@@ -1,0 +1,89 @@
+// §VI-C.1 reproduction — controller cost: storage, computation and network
+// overhead at Internet scale (43k ASes, 442k prefixes), plus live
+// measurements from the simulated control plane (SSL handshake accounting
+// during an invocation storm).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "control/controller.hpp"
+#include "eval/cost.hpp"
+#include "eval/load.hpp"
+#include "topology/synthetic.hpp"
+
+using namespace discs;
+
+int main() {
+  bench::header("Section VI-C.1 — controller cost model (43k ASes, 442k prefixes)");
+  const auto cost = controller_cost(43000, 442000);
+  bench::row("AS table memory", 1.6, cost.as_table_mb, "MB");
+  bench::row("prefix table memory", 31.5, cost.prefix_table_mb, "MB");
+  bench::row("SSL session memory (all peers live)", 430, cost.ssl_sessions_mb, "MB");
+  bench::row("total controller memory", 463.1, cost.total_mb, "MB");
+  bench::row("key negotiations per minute (10-day rekey)", 6.1,
+             cost.rekeys_per_minute, "/min");
+  bench::row("invocation requests per minute (1611 attacks/day)", 1.1,
+             cost.invocations_per_minute, "/min");
+  bench::row("SSL connections per second (5-min reaction)", 147,
+             cost.ssl_conns_per_second_under_attack, "/s");
+  bench::row("CPU utilization (Atom @1.66GHz reference)", 0.073,
+             cost.cpu_utilization);
+  bench::row("control bandwidth under attack", 1.76, cost.bandwidth_mbps, "Mbps");
+
+  // Live measurement: a victim with 200 peers invokes defense; count the
+  // actual channel work the simulator performs.
+  bench::header("Measured control-plane traffic (simulated, 1 victim + 200 peers)");
+  {
+    SyntheticConfig internet;
+    internet.num_ases = 201;
+    internet.num_prefixes = 2010;
+    const auto dataset = generate_dataset(internet);
+
+    EventLoop loop;
+    ConConNetwork channel(loop, 10 * kMillisecond);
+    std::vector<std::unique_ptr<Controller>> controllers;
+    for (AsNumber as = 1; as <= 201; ++as) {
+      ControllerConfig cfg;
+      cfg.as = as;
+      cfg.seed = as;
+      cfg.max_peering_delay = kSecond;
+      controllers.push_back(
+          std::make_unique<Controller>(cfg, loop, channel, dataset));
+    }
+    for (auto& a : controllers) {
+      for (auto& b : controllers) {
+        if (a != b) b->discover(a->advertisement());
+      }
+    }
+    loop.run_until(loop.now() + 30 * kSecond);
+    const auto peering_stats = channel.stats();
+    std::printf("  full-mesh peering+keys: %llu messages, %.2f MB, %llu handshakes\n",
+                static_cast<unsigned long long>(peering_stats.messages),
+                double(peering_stats.bytes) / 1e6,
+                static_cast<unsigned long long>(peering_stats.handshakes));
+
+    const auto before = channel.stats().messages;
+    controllers.front()->invoke_ddos_defense_all(false);
+    loop.run_until(loop.now() + 10 * kSecond);
+    std::printf("  one invocation to 200 peers: %llu messages (expect ~2x peers)\n",
+                static_cast<unsigned long long>(channel.stats().messages - before));
+    std::printf("  peak concurrent TLS sessions: %zu\n",
+                channel.stats().peak_concurrent_sessions);
+  }
+
+  // On-demand vs always-on processing load (§IV-E quantified): with the
+  // paper's 1611 attacks/day and 24 h invocations at snapshot scale, how
+  // much of global traffic ever touches DISCS processing?
+  bench::header("On-demand processing load (gravity traffic model)");
+  {
+    const auto dataset = generate_dataset(SyntheticConfig{});
+    const double load24 = expected_on_demand_load(dataset, 1611, 24);
+    const double load1 = expected_on_demand_load(dataset, 1611, 1);
+    std::printf("  1611 attacks/day, 24h invocations: %.3f%% of traffic processed\n",
+                100.0 * load24);
+    std::printf("  1611 attacks/day,  1h invocations: %.3f%% of traffic processed\n",
+                100.0 * load1);
+    bench::row("always-on methods (IF/uRPF/SPM/Passport)", 1.0, 1.0);
+    bench::row("DISCS on-demand (paper's attack stats)", 0.0, load24);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared console-table helpers for the reproduction harnesses. Every
+// bench_fig* / bench_cost* binary prints the paper's reported values next to
+// the values this implementation measures, so EXPERIMENTS.md can be filled
+// by running the binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace discs::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& label, double paper, double measured,
+                const char* unit = "") {
+  std::printf("  %-44s paper: %10.4g   measured: %10.4g %s\n", label.c_str(),
+              paper, measured, unit);
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// Prints a curve as "count value" pairs, gnuplot-ready.
+inline void curve(const std::string& name, const std::vector<std::size_t>& xs,
+                  const std::vector<double>& ys) {
+  std::printf("  # curve: %s\n", name.c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("  %8zu  %.6f\n", xs[i], ys[i]);
+  }
+}
+
+}  // namespace discs::bench

@@ -1,0 +1,151 @@
+#include "attack/traffic.hpp"
+
+#include <deque>
+
+namespace discs {
+
+TrafficSampler::TrafficSampler(const InternetDataset& dataset,
+                               std::uint64_t seed)
+    : dataset_(&dataset), rng_(seed) {
+  // Walker alias construction over the r_j distribution.
+  const auto& ases = dataset.as_numbers();
+  const std::size_t n = ases.size();
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = dataset.ratio(ases[i]) * static_cast<double>(n);
+  }
+  std::deque<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.front();
+    const std::uint32_t l = large.front();
+    small.pop_front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {  // numerical stragglers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+AsNumber TrafficSampler::sample_as() {
+  const std::size_t column = rng_.below(prob_.size());
+  const std::size_t row =
+      rng_.uniform() < prob_[column] ? column : alias_[column];
+  return dataset_->as_numbers()[row];
+}
+
+Ipv4Address TrafficSampler::sample_address(AsNumber as) {
+  const auto prefixes = dataset_->prefixes_of(as);
+  if (prefixes.empty()) return Ipv4Address(0);
+  // Weight prefixes by size.
+  double total = 0;
+  for (const auto& p : prefixes) total += static_cast<double>(p.size());
+  double pick = rng_.uniform() * total;
+  const Prefix4* chosen = &prefixes.back();
+  for (const auto& p : prefixes) {
+    pick -= static_cast<double>(p.size());
+    if (pick <= 0) {
+      chosen = &p;
+      break;
+    }
+  }
+  // Random host inside; retry a few times if a more-specific foreign prefix
+  // shadows the drawn address (possible on real snapshots, not on the
+  // disjoint synthetic ones).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const Ipv4Address addr(chosen->address().bits() +
+                           static_cast<std::uint32_t>(rng_.below(chosen->size())));
+    const auto origins = dataset_->origins_of(addr);
+    for (AsNumber o : origins) {
+      if (o == as) return addr;
+    }
+  }
+  return chosen->address();
+}
+
+SpoofFlow TrafficSampler::sample_flow(AttackType type) {
+  SpoofFlow flow;
+  flow.type = type;
+  flow.agent = sample_as();
+  do {
+    flow.victim = sample_as();
+  } while (flow.victim == flow.agent);
+  do {
+    flow.innocent = sample_as();
+  } while (flow.innocent == flow.agent || flow.innocent == flow.victim);
+  return flow;
+}
+
+Ipv4Packet TrafficSampler::attack_packet(const SpoofFlow& flow) {
+  const Ipv4Address src = flow.type == AttackType::kDirect
+                              ? sample_address(flow.innocent)
+                              : sample_address(flow.victim);
+  const Ipv4Address dst = flow.type == AttackType::kDirect
+                              ? sample_address(flow.victim)
+                              : sample_address(flow.innocent);
+  std::vector<std::uint8_t> payload(8);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next());
+  return Ipv4Packet::make(src, dst, IpProto::kUdp, std::move(payload));
+}
+
+Ipv4Packet TrafficSampler::legit_packet(AsNumber from, AsNumber to) {
+  std::vector<std::uint8_t> payload(8);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next());
+  return Ipv4Packet::make(sample_address(from), sample_address(to),
+                          IpProto::kUdp, std::move(payload));
+}
+
+Ipv6Address TrafficSampler::sample_address6(AsNumber as) {
+  const auto prefixes = dataset_->prefixes6_of(as);
+  if (prefixes.empty()) return Ipv6Address{};
+  const Prefix6& chosen = prefixes[rng_.below(prefixes.size())];
+  auto bytes = chosen.address().bytes();
+  // Randomize the host bits below the prefix length.
+  for (unsigned i = 0; i < 16; ++i) {
+    const unsigned bit_start = i * 8;
+    if (bit_start + 8 <= chosen.length()) continue;
+    std::uint8_t random_byte = static_cast<std::uint8_t>(rng_.next());
+    if (bit_start < chosen.length()) {
+      const unsigned keep = chosen.length() - bit_start;
+      const std::uint8_t mask = static_cast<std::uint8_t>(0xffu << (8 - keep));
+      random_byte = static_cast<std::uint8_t>((bytes[i] & mask) |
+                                              (random_byte & ~mask));
+    }
+    bytes[i] = random_byte;
+  }
+  return Ipv6Address(bytes);
+}
+
+Ipv6Packet TrafficSampler::attack_packet6(const SpoofFlow& flow) {
+  const Ipv6Address src = flow.type == AttackType::kDirect
+                              ? sample_address6(flow.innocent)
+                              : sample_address6(flow.victim);
+  const Ipv6Address dst = flow.type == AttackType::kDirect
+                              ? sample_address6(flow.victim)
+                              : sample_address6(flow.innocent);
+  std::vector<std::uint8_t> payload(8);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next());
+  return Ipv6Packet::make(src, dst, 17, std::move(payload));
+}
+
+Ipv6Packet TrafficSampler::legit_packet6(AsNumber from, AsNumber to) {
+  std::vector<std::uint8_t> payload(8);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next());
+  return Ipv6Packet::make(sample_address6(from), sample_address6(to), 17,
+                          std::move(payload));
+}
+
+}  // namespace discs

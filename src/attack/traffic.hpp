@@ -1,0 +1,75 @@
+// Traffic and attack generation: spoofing flows (a, i, v) exactly as §VI-A
+// models them — agent AS a, innocent AS i, victim AS v, each drawn with
+// probability proportional to its routable-space ratio r_j — plus packet
+// synthesis for driving the real data plane.
+//
+//   d-DDoS (direct):     agents in a send packets src ∈ i, dst ∈ v.
+//   s-DDoS (reflection): agents in a send packets src ∈ v, dst ∈ i
+//                        (the reflector's replies then flood v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+enum class AttackType : std::uint8_t {
+  kDirect,      // d-DDoS: v is the destination, i the spoofed source
+  kReflection,  // s-DDoS: v is the spoofed source, i the reflector
+};
+
+/// One spoofing flow in the paper's (a, i, v) notation.
+struct SpoofFlow {
+  AsNumber agent = kNoAs;
+  AsNumber innocent = kNoAs;
+  AsNumber victim = kNoAs;
+  AttackType type = AttackType::kDirect;
+};
+
+/// Samples ASes proportionally to r_j in O(1) per draw (Walker alias
+/// method) and synthesizes addresses/packets inside their prefixes.
+class TrafficSampler {
+ public:
+  TrafficSampler(const InternetDataset& dataset, std::uint64_t seed);
+
+  /// Draws an AS with probability r_j.
+  [[nodiscard]] AsNumber sample_as();
+
+  /// Draws an address inside one of `as`'s prefixes (prefix chosen
+  /// proportionally to its size).
+  [[nodiscard]] Ipv4Address sample_address(AsNumber as);
+
+  /// Draws a spoofing flow with distinct agent/innocent/victim.
+  [[nodiscard]] SpoofFlow sample_flow(AttackType type);
+
+  /// Synthesizes the attack packet of a flow: the wire packet an agent in
+  /// `flow.agent` emits.
+  [[nodiscard]] Ipv4Packet attack_packet(const SpoofFlow& flow);
+
+  /// Synthesizes a genuine packet from `from` to `to`.
+  [[nodiscard]] Ipv4Packet legit_packet(AsNumber from, AsNumber to);
+
+  // ---- IPv6 variants (drawn from the dataset's v6 registry) ----
+
+  /// Draws an address inside one of `as`'s IPv6 prefixes; the unspecified
+  /// address when the AS has no v6 allocation.
+  [[nodiscard]] Ipv6Address sample_address6(AsNumber as);
+  [[nodiscard]] Ipv6Packet attack_packet6(const SpoofFlow& flow);
+  [[nodiscard]] Ipv6Packet legit_packet6(AsNumber from, AsNumber to);
+
+  [[nodiscard]] const InternetDataset& dataset() const { return *dataset_; }
+
+ private:
+  const InternetDataset* dataset_;
+  Xoshiro256 rng_;
+  // Alias table over as_numbers().
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace discs

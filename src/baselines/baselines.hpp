@@ -1,0 +1,109 @@
+// Baseline spoofing-defense methods from the paper's related work (§II),
+// implemented behind a common flow-filter interface so the comparison bench
+// can reproduce the paper's qualitative claims:
+//   * Ingress Filtering (IF, RFC 2827) — end-based, always-on, and with
+//     essentially no deployment incentive;
+//   * strict uRPF (RFC 3704) — path-based, false positives under route
+//     asymmetry;
+//   * SPM — e2e deterministic marks, d-DDoS-oriented, replayable;
+//   * Passport — e2e MACs for every DAS en route, higher per-packet cost;
+//   * MEF — on-demand mutual egress filtering with a centralized registry.
+//
+// Each method answers: does deployment set D filter spoofing flow (a,i,v)?
+// plus closed-form deployment incentive / effectiveness and a cost sketch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/traffic.hpp"
+#include "topology/graph.hpp"
+
+namespace discs {
+
+enum class Method : std::uint8_t {
+  kDiscs,
+  kIngressFiltering,
+  kUrpf,
+  kSpm,
+  kPassport,
+  kMef,
+};
+
+[[nodiscard]] std::string method_name(Method method);
+
+/// Flow-filter predicate of every non-path-based method (uRPF needs the
+/// graph; use UrpfEvaluator). Flows are d-DDoS unless stated; the roles of
+/// s-DDoS map symmetrically where the method supports it at all.
+[[nodiscard]] bool method_filters_flow(Method method, const SpoofFlow& flow,
+                                       const std::unordered_set<AsNumber>& deployed);
+
+/// Closed-form average deployment incentive at deployed sums S1, S2 and
+/// weighted-average LAS ratio mean_rv, mirroring the DISCS formulas:
+///   IF       ~ 0                    (self-protection only)
+///   SPM      = CDP form for d-DDoS  (0 against s-DDoS)
+///   Passport = CDP form for d-DDoS  (0 against s-DDoS)
+///   MEF      = DP form
+///   DISCS    = DP+CDP form, and symmetric for s-DDoS
+[[nodiscard]] double method_incentive(Method method, double s1, double s2,
+                                      double mean_rv, bool s_ddos);
+
+/// Per-packet marks a source border router generates (cost comparison):
+/// DISCS/SPM: 1 mark for the destination; Passport: one per DAS en route.
+[[nodiscard]] double marks_per_packet(Method method, double avg_das_on_path);
+
+/// Whether filtering machinery runs on all traffic all the time (the cost &
+/// risk drawback DISCS's on-demand invocation removes, §I).
+[[nodiscard]] bool always_on(Method method);
+
+/// Whether the method requires centralized infrastructure (MEF's
+/// registration server — the design DISCS explicitly avoids).
+[[nodiscard]] bool requires_central_server(Method method);
+
+/// uRPF mode (RFC 3704): strict accepts a packet only when it arrives from
+/// the best reverse-path neighbor; feasible accepts any neighbor that
+/// legitimately announces a route to the claimed source (fewer false
+/// positives under multihoming, weaker filtering).
+enum class UrpfMode : std::uint8_t { kStrict, kFeasible };
+
+/// uRPF over valley-free forwarding: a packet is dropped at the first
+/// deployed AS on the path whose reverse-path check for the claimed source
+/// fails. Route tables are memoized per destination (O(V+E) each).
+class UrpfEvaluator {
+ public:
+  explicit UrpfEvaluator(const AsGraph& graph, UrpfMode mode = UrpfMode::kStrict)
+      : graph_(&graph), mode_(mode) {}
+
+  /// Does D filter the spoofing flow? (d-DDoS: packet travels a -> v
+  /// claiming source in i.)
+  [[nodiscard]] bool filters_flow(const SpoofFlow& flow,
+                                  const std::unordered_set<AsNumber>& deployed);
+
+  /// Is a *genuine* packet src -> dst dropped (false positive)? True when a
+  /// deployed AS on the forward path sees the packet arrive on a neighbor
+  /// that differs from its best route back to src (route asymmetry).
+  [[nodiscard]] bool false_positive(AsNumber src, AsNumber dst,
+                                    const std::unordered_set<AsNumber>& deployed);
+
+  /// Measured false-positive rate over sampled genuine AS pairs.
+  [[nodiscard]] double false_positive_rate(
+      const std::unordered_set<AsNumber>& deployed, std::size_t samples,
+      std::uint64_t seed);
+
+ private:
+  [[nodiscard]] const AsGraph::RouteTable& table_for(AsNumber dst);
+  /// Shared walk: drop check for a packet traversing src_as -> dst claiming
+  /// `claimed_src`.
+  [[nodiscard]] bool dropped_en_route(AsNumber src_as, AsNumber dst,
+                                      AsNumber claimed_src,
+                                      const std::unordered_set<AsNumber>& deployed);
+
+  const AsGraph* graph_;
+  UrpfMode mode_;
+  std::map<AsNumber, AsGraph::RouteTable> cache_;
+};
+
+}  // namespace discs

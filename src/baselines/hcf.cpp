@@ -1,0 +1,61 @@
+#include "baselines/hcf.hpp"
+
+#include <limits>
+
+namespace discs {
+
+std::size_t HcfEvaluator::distance(const AsGraph& graph, AsNumber src,
+                                   AsNumber dst) {
+  if (src == dst) return 0;
+  const auto path = graph.path(src, dst);
+  return path.empty() ? std::numeric_limits<std::size_t>::max()
+                      : path.size() - 1;
+}
+
+std::size_t HcfEvaluator::learned_distance(AsNumber src, AsNumber dst) {
+  const auto key = std::make_pair(src, dst);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const std::size_t d = distance(*learned_, src, dst);
+  cache_.emplace(key, d);
+  return d;
+}
+
+bool HcfEvaluator::filters_flow(const SpoofFlow& flow,
+                                const std::unordered_set<AsNumber>& deployed,
+                                const AsGraph& current) {
+  // HCF protects the packet's *destination*: v for d-DDoS, the reflector i
+  // for s-DDoS (where it prevents the amplification request).
+  const AsNumber dst =
+      flow.type == AttackType::kDirect ? flow.victim : flow.innocent;
+  const AsNumber claimed =
+      flow.type == AttackType::kDirect ? flow.innocent : flow.victim;
+  if (!deployed.contains(dst) || flow.agent == dst) return false;
+
+  const std::size_t expected = learned_distance(claimed, dst);
+  const std::size_t observed = distance(current, flow.agent, dst);
+  if (expected == std::numeric_limits<std::size_t>::max() ||
+      observed == std::numeric_limits<std::size_t>::max()) {
+    return false;  // nothing learned for this source: cannot judge
+  }
+  const std::size_t gap = expected > observed ? expected - observed
+                                              : observed - expected;
+  return gap > tolerance_;
+}
+
+bool HcfEvaluator::false_positive(AsNumber src, AsNumber dst,
+                                  const std::unordered_set<AsNumber>& deployed,
+                                  const AsGraph& current) {
+  if (!deployed.contains(dst) || src == dst) return false;
+  const std::size_t expected = learned_distance(src, dst);
+  const std::size_t observed = distance(current, src, dst);
+  if (expected == std::numeric_limits<std::size_t>::max() ||
+      observed == std::numeric_limits<std::size_t>::max()) {
+    return false;
+  }
+  const std::size_t gap = expected > observed ? expected - observed
+                                              : observed - expected;
+  return gap > tolerance_;
+}
+
+}  // namespace discs

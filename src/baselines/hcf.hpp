@@ -1,0 +1,58 @@
+// Hop-Count Filtering (Wang, Jin & Shin, ToN'07), the path-based method of
+// the paper's related work that infers spoofing from TTL: the destination
+// learns each source's typical hop distance during peacetime and flags
+// packets whose observed distance disagrees.
+//
+// At AS granularity: a spoofed flow (a, i, v) physically traverses
+// path(a, v) but claims source i, whose learned distance is |path(i, v)| —
+// a mismatch reveals the spoof. The method's §II weaknesses reproduce
+// naturally: agents at the same hop distance as the spoofed source evade
+// it, and route changes after learning turn genuine traffic into false
+// positives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "attack/traffic.hpp"
+#include "topology/graph.hpp"
+
+namespace discs {
+
+class HcfEvaluator {
+ public:
+  /// `learned` is the topology at learning time; hop counts are computed
+  /// from it lazily and cached. `tolerance` accepts |observed - learned|
+  /// deviations up to the given number of hops (the paper's HCF uses small
+  /// tolerances to absorb jitter at the cost of detection power).
+  explicit HcfEvaluator(const AsGraph& learned, unsigned tolerance = 0)
+      : learned_(&learned), tolerance_(tolerance) {}
+
+  /// Hop distance (AS hops) from src to dst in the learning topology;
+  /// SIZE_MAX when unreachable.
+  [[nodiscard]] std::size_t learned_distance(AsNumber src, AsNumber dst);
+
+  /// Does a deployed victim v identify the spoofing flow? The observed
+  /// distance comes from `current` (the topology at attack time, usually
+  /// the same object).
+  [[nodiscard]] bool filters_flow(const SpoofFlow& flow,
+                                  const std::unordered_set<AsNumber>& deployed,
+                                  const AsGraph& current);
+
+  /// Is a genuine packet src -> dst misclassified because the route changed
+  /// between learning and now?
+  [[nodiscard]] bool false_positive(AsNumber src, AsNumber dst,
+                                    const std::unordered_set<AsNumber>& deployed,
+                                    const AsGraph& current);
+
+ private:
+  [[nodiscard]] static std::size_t distance(const AsGraph& graph, AsNumber src,
+                                            AsNumber dst);
+
+  const AsGraph* learned_;
+  unsigned tolerance_;
+  std::map<std::pair<AsNumber, AsNumber>, std::size_t> cache_;
+};
+
+}  // namespace discs

@@ -1,0 +1,45 @@
+#include "baselines/passport.hpp"
+
+namespace discs {
+
+void PassportEndpoint::set_key(AsNumber peer, const Key128& key) {
+  keys_.insert_or_assign(peer, AesCmac(key));
+}
+
+std::uint64_t PassportEndpoint::compute_mac(const Ipv4Packet& packet,
+                                            const AesCmac& mac) const {
+  // Same immutable-field msg as DISCS (§V-E layout) with the full 64-bit
+  // truncation Passport's 8-byte MACs allow.
+  const auto msg = discs_msg(packet);
+  return mac.mac_truncated(msg, 64);
+}
+
+std::size_t PassportEndpoint::stamp(
+    PassportPacket& pp, const std::vector<AsNumber>& path_ases) const {
+  std::size_t computed = 0;
+  for (AsNumber as : path_ases) {
+    if (as == local_as_) continue;
+    const auto it = keys_.find(as);
+    if (it == keys_.end()) continue;  // legacy hop: no slot
+    pp.shim.push_back({as, compute_mac(pp.packet, it->second)});
+    ++computed;
+  }
+  return computed;
+}
+
+PassportVerdict PassportEndpoint::verify(PassportPacket& pp,
+                                         AsNumber source_as) const {
+  const auto key = keys_.find(source_as);
+  if (key == keys_.end()) return PassportVerdict::kNoSlot;  // unknown source
+  for (auto& slot : pp.shim) {
+    if (slot.as != local_as_) continue;
+    const std::uint64_t expected = compute_mac(pp.packet, key->second);
+    if (slot.mac != expected) return PassportVerdict::kInvalid;
+    slot.mac = 0;  // consume: downstream replays of this shim fail here
+    slot.as = kNoAs;
+    return PassportVerdict::kValid;
+  }
+  return PassportVerdict::kNoSlot;
+}
+
+}  // namespace discs

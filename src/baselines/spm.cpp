@@ -1,0 +1,50 @@
+#include "baselines/spm.hpp"
+
+#include "net/checksum.hpp"
+
+namespace discs {
+namespace {
+
+void write_mark(Ipv4Packet& packet, std::uint32_t mark) {
+  Ipv4Header& h = packet.header;
+  const std::uint16_t new_id = static_cast<std::uint16_t>(mark >> 13);
+  const std::uint16_t new_fo = static_cast<std::uint16_t>(mark & 0x1fff);
+  const std::uint16_t old_fo_word =
+      static_cast<std::uint16_t>((h.flags << 13) | h.fragment_offset);
+  const std::uint16_t new_fo_word =
+      static_cast<std::uint16_t>((h.flags << 13) | new_fo);
+  h.checksum = incremental_checksum_update(h.checksum, h.identification, new_id);
+  h.checksum = incremental_checksum_update(h.checksum, old_fo_word, new_fo_word);
+  h.identification = new_id;
+  h.fragment_offset = new_fo;
+}
+
+}  // namespace
+
+void SpmEndpoint::set_stamp_mark(AsNumber peer, std::uint32_t mark29) {
+  stamp_marks_[peer] = mark29 & ((1u << 29) - 1);
+}
+
+void SpmEndpoint::set_verify_mark(AsNumber peer, std::uint32_t mark29) {
+  verify_marks_[peer] = mark29 & ((1u << 29) - 1);
+}
+
+bool SpmEndpoint::stamp(Ipv4Packet& packet, AsNumber dst_as) const {
+  const auto it = stamp_marks_.find(dst_as);
+  if (it == stamp_marks_.end()) return false;
+  write_mark(packet, it->second);
+  return true;
+}
+
+bool SpmEndpoint::verify(const Ipv4Packet& packet, AsNumber src_as) const {
+  const auto it = verify_marks_.find(src_as);
+  if (it == verify_marks_.end()) return true;  // non-member: cannot judge
+  return spm_read_mark(packet) == it->second;
+}
+
+std::uint32_t spm_read_mark(const Ipv4Packet& packet) {
+  return (static_cast<std::uint32_t>(packet.header.identification) << 13) |
+         packet.header.fragment_offset;
+}
+
+}  // namespace discs

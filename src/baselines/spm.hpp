@@ -1,0 +1,51 @@
+// SPM (Bremler-Barr & Levy, INFOCOM'05) data plane, as characterized in the
+// paper's related work: like DISCS's CDP it carries an e2e mark between
+// deployer pairs, but the mark *is* the pairwise key — a deterministic value
+// independent of packet contents ("SPM has much lower cost than Passport by
+// using deterministic e2e marks, but it loses security", §II).
+//
+// This implementation exists to make that security gap measurable: an
+// attacker who observes one marked packet (e.g. via the §VI-E2 TTL probe)
+// can stamp arbitrary spoofed packets forever, while DISCS's per-packet
+// AES-CMAC binds the mark to the packet's immutable fields.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "net/ipv4.hpp"
+
+namespace discs {
+
+/// One SPM-enabled AS endpoint. Marks ride the same IPv4 header fields
+/// DISCS uses (IPID + Fragment Offset) for comparability.
+class SpmEndpoint {
+ public:
+  explicit SpmEndpoint(AsNumber local_as) : local_as_(local_as) {}
+
+  /// Installs the deterministic mark this endpoint stamps toward `peer`
+  /// (key_{local,peer}) or expects from `peer` (key_{peer,local}).
+  void set_stamp_mark(AsNumber peer, std::uint32_t mark29);
+  void set_verify_mark(AsNumber peer, std::uint32_t mark29);
+
+  /// Stamps an outbound packet destined to `dst_as`; false when no key.
+  bool stamp(Ipv4Packet& packet, AsNumber dst_as) const;
+
+  /// Verifies an inbound packet claiming to originate in `src_as`.
+  /// Returns true when the packet carries that pair's mark (or the pair is
+  /// unknown, mirroring CDP's pass-through for non-peers).
+  [[nodiscard]] bool verify(const Ipv4Packet& packet, AsNumber src_as) const;
+
+  [[nodiscard]] AsNumber local_as() const { return local_as_; }
+
+ private:
+  AsNumber local_as_;
+  std::unordered_map<AsNumber, std::uint32_t> stamp_marks_;
+  std::unordered_map<AsNumber, std::uint32_t> verify_marks_;
+};
+
+/// Reads the 29-bit mark an SPM packet carries (shared layout with DISCS).
+[[nodiscard]] std::uint32_t spm_read_mark(const Ipv4Packet& packet);
+
+}  // namespace discs

@@ -1,0 +1,60 @@
+#include "baselines/stackpi.hpp"
+
+namespace discs {
+
+std::uint16_t StackPiEvaluator::mark_of(AsNumber as) {
+  // SplitMix-style scramble truncated to kBitsPerHop bits.
+  std::uint64_t z = as + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::uint16_t>(z & ((1u << kBitsPerHop) - 1));
+}
+
+std::uint16_t StackPiEvaluator::stack_for_path(
+    const AsGraph& graph, AsNumber src, AsNumber dst,
+    const std::unordered_set<AsNumber>& deployed) {
+  const auto path = graph.path(src, dst);
+  std::uint16_t stack = 0;
+  // Hops past the source push marks in travel order; old bits shift out
+  // once the 16-bit stack is full (StackPi's "last n hops" property).
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (!deployed.contains(path[i])) continue;
+    stack = static_cast<std::uint16_t>(
+        (stack << kBitsPerHop) | mark_of(path[i]));
+  }
+  return stack;
+}
+
+std::uint16_t StackPiEvaluator::learned_stack(
+    AsNumber src, AsNumber dst, const std::unordered_set<AsNumber>& deployed) {
+  const auto key = std::make_pair(src, dst);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const std::uint16_t stack = stack_for_path(*learned_, src, dst, deployed);
+  cache_.emplace(key, stack);
+  return stack;
+}
+
+bool StackPiEvaluator::filters_flow(
+    const SpoofFlow& flow, const std::unordered_set<AsNumber>& deployed,
+    const AsGraph& current) {
+  const AsNumber dst =
+      flow.type == AttackType::kDirect ? flow.victim : flow.innocent;
+  const AsNumber claimed =
+      flow.type == AttackType::kDirect ? flow.innocent : flow.victim;
+  if (!deployed.contains(dst) || flow.agent == dst) return false;
+  const std::uint16_t expected = learned_stack(claimed, dst, deployed);
+  const std::uint16_t observed =
+      stack_for_path(current, flow.agent, dst, deployed);
+  return expected != observed;
+}
+
+bool StackPiEvaluator::false_positive(
+    AsNumber src, AsNumber dst, const std::unordered_set<AsNumber>& deployed,
+    const AsGraph& current) {
+  if (!deployed.contains(dst) || src == dst) return false;
+  return learned_stack(src, dst, deployed) !=
+         stack_for_path(current, src, dst, deployed);
+}
+
+}  // namespace discs

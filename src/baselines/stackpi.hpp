@@ -1,0 +1,66 @@
+// Path identification / StackPi (Yaar, Perrig & Song, JSAC'06), the last
+// path-based method in the paper's related work: every router deterministically
+// pushes a few self-generated bits into a fixed-width mark stack in the
+// packet header; the destination learns each source's "integral mark stack"
+// during peacetime and treats deviations as spoofing.
+//
+// At AS granularity each AS contributes kBitsPerHop bits (derived from its
+// number) and the stack keeps the most recent hops that fit in 16 bits (the
+// IPID field StackPi overloads). The paper's critique reproduces here:
+// partial deployment and route changes corrupt stacks (inherent false
+// positives), and agents sharing a path suffix with the spoofed source are
+// indistinguishable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "attack/traffic.hpp"
+#include "topology/graph.hpp"
+
+namespace discs {
+
+class StackPiEvaluator {
+ public:
+  static constexpr unsigned kStackBits = 16;   // the overloaded IPID field
+  static constexpr unsigned kBitsPerHop = 2;   // per-AS mark width
+
+  /// `learned` is the peacetime topology used to learn stacks. Only
+  /// deployed ASes push marks; the deployment set at learning time is given
+  /// per call so partial-deployment effects are visible.
+  explicit StackPiEvaluator(const AsGraph& learned) : learned_(&learned) {}
+
+  /// The mark stack a packet accumulates traveling src -> dst in `graph`
+  /// when `deployed` ASes mark. The source AS itself does not mark (marks
+  /// come from forwarding routers past the first hop, matching Pi).
+  [[nodiscard]] static std::uint16_t stack_for_path(
+      const AsGraph& graph, AsNumber src, AsNumber dst,
+      const std::unordered_set<AsNumber>& deployed);
+
+  /// Learned (peacetime) stack for a source at a destination.
+  [[nodiscard]] std::uint16_t learned_stack(
+      AsNumber src, AsNumber dst, const std::unordered_set<AsNumber>& deployed);
+
+  /// Does the deployed destination identify the spoofing flow? (The packet
+  /// physically travels agent -> dst, claiming `innocent`/`victim` roles as
+  /// per the attack type.)
+  [[nodiscard]] bool filters_flow(const SpoofFlow& flow,
+                                  const std::unordered_set<AsNumber>& deployed,
+                                  const AsGraph& current);
+
+  /// Genuine packet misclassified because the route (and hence the stack)
+  /// changed after learning.
+  [[nodiscard]] bool false_positive(AsNumber src, AsNumber dst,
+                                    const std::unordered_set<AsNumber>& deployed,
+                                    const AsGraph& current);
+
+ private:
+  /// Deterministic per-AS mark bits.
+  [[nodiscard]] static std::uint16_t mark_of(AsNumber as);
+
+  const AsGraph* learned_;
+  std::map<std::pair<AsNumber, AsNumber>, std::uint16_t> cache_;
+};
+
+}  // namespace discs

@@ -1,0 +1,85 @@
+#include "bgp/message.hpp"
+
+namespace discs {
+
+std::vector<std::uint8_t> PathAttribute::encode() const {
+  std::vector<std::uint8_t> out;
+  const bool extended = value.size() > 255;
+  std::uint8_t f = flags;
+  if (extended) f |= kAttrFlagExtendedLength;
+  out.push_back(f);
+  out.push_back(type);
+  if (extended) {
+    out.push_back(static_cast<std::uint8_t>(value.size() >> 8));
+  }
+  out.push_back(static_cast<std::uint8_t>(value.size() & 0xff));
+  out.insert(out.end(), value.begin(), value.end());
+  return out;
+}
+
+std::optional<PathAttribute> PathAttribute::decode(
+    std::span<const std::uint8_t> in, std::size_t& offset) {
+  if (offset + 3 > in.size()) return std::nullopt;
+  PathAttribute attr;
+  attr.flags = in[offset];
+  attr.type = in[offset + 1];
+  std::size_t len = 0;
+  std::size_t header = 3;
+  if (attr.flags & kAttrFlagExtendedLength) {
+    if (offset + 4 > in.size()) return std::nullopt;
+    len = (static_cast<std::size_t>(in[offset + 2]) << 8) | in[offset + 3];
+    header = 4;
+  } else {
+    len = in[offset + 2];
+  }
+  if (offset + header + len > in.size()) return std::nullopt;
+  attr.value.assign(in.begin() + static_cast<std::ptrdiff_t>(offset + header),
+                    in.begin() + static_cast<std::ptrdiff_t>(offset + header + len));
+  attr.flags &= static_cast<std::uint8_t>(~kAttrFlagExtendedLength);
+  offset += header + len;
+  return attr;
+}
+
+PathAttribute DiscsAd::to_attribute() const {
+  PathAttribute attr;
+  attr.flags = kAttrFlagOptional | kAttrFlagTransitive;
+  attr.type = kAttrTypeDiscsAd;
+  attr.value.reserve(5 + controller.size());
+  for (int i = 0; i < 4; ++i) {
+    attr.value.push_back(static_cast<std::uint8_t>(origin_as >> (24 - 8 * i)));
+  }
+  attr.value.push_back(static_cast<std::uint8_t>(controller.size()));
+  attr.value.insert(attr.value.end(), controller.begin(), controller.end());
+  return attr;
+}
+
+std::optional<DiscsAd> DiscsAd::from_attribute(const PathAttribute& attr) {
+  if (attr.type != kAttrTypeDiscsAd || !attr.optional() || !attr.transitive()) {
+    return std::nullopt;
+  }
+  if (attr.value.size() < 5) return std::nullopt;
+  DiscsAd ad;
+  for (int i = 0; i < 4; ++i) {
+    ad.origin_as = (ad.origin_as << 8) | attr.value[static_cast<std::size_t>(i)];
+  }
+  const std::size_t name_len = attr.value[4];
+  if (attr.value.size() != 5 + name_len) return std::nullopt;
+  ad.controller.assign(attr.value.begin() + 5, attr.value.end());
+  if (ad.origin_as == kNoAs) return std::nullopt;
+  return ad;
+}
+
+const PathAttribute* BgpUpdate::find_attribute(std::uint8_t type) const {
+  for (const auto& attr : attributes) {
+    if (attr.type == type) return &attr;
+  }
+  return nullptr;
+}
+
+std::optional<DiscsAd> BgpUpdate::discs_ad() const {
+  const PathAttribute* attr = find_attribute(kAttrTypeDiscsAd);
+  if (attr == nullptr) return std::nullopt;
+  return DiscsAd::from_attribute(*attr);
+}
+
+}  // namespace discs

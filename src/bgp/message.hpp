@@ -1,0 +1,82 @@
+// Minimal BGP-4 (RFC 4271) update model: enough of the path-attribute
+// machinery to carry the DISCS-Ad as an optional transitive attribute
+// (paper §IV-B) through ASes that do not understand it, with byte-exact
+// attribute encoding so legacy handling (retain + forward) is honest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace discs {
+
+/// BGP path-attribute flag bits (RFC 4271 §4.3).
+inline constexpr std::uint8_t kAttrFlagOptional = 0x80;
+inline constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+inline constexpr std::uint8_t kAttrFlagPartial = 0x20;
+inline constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+
+/// Well-known / assigned attribute type codes used by the simulator.
+inline constexpr std::uint8_t kAttrTypeOrigin = 1;
+inline constexpr std::uint8_t kAttrTypeAsPath = 2;
+inline constexpr std::uint8_t kAttrTypeNextHop = 3;
+/// DISCS-Ad type code. Unassigned in the IANA registry; the paper leaves the
+/// allocation open, we pick a value from the unassigned range.
+inline constexpr std::uint8_t kAttrTypeDiscsAd = 242;
+
+/// A raw path attribute: flags, type and opaque value bytes.
+struct PathAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] bool optional() const { return flags & kAttrFlagOptional; }
+  [[nodiscard]] bool transitive() const { return flags & kAttrFlagTransitive; }
+
+  /// Encodes per RFC 4271 §4.3 (extended length used when value > 255 B).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes one attribute from `in`, advancing `offset`. nullopt on
+  /// malformed input.
+  static std::optional<PathAttribute> decode(std::span<const std::uint8_t> in,
+                                             std::size_t& offset);
+
+  friend bool operator==(const PathAttribute&, const PathAttribute&) = default;
+};
+
+/// The DISCS-Ad payload: origin DAS number plus its controller endpoint
+/// (a domain name or address literal, paper §IV-B).
+struct DiscsAd {
+  AsNumber origin_as = kNoAs;
+  std::string controller;  // e.g. "controller.as65001.example"
+
+  /// Encodes as: 4-byte AS number, 1-byte name length, name bytes.
+  [[nodiscard]] PathAttribute to_attribute() const;
+
+  /// Parses a kAttrTypeDiscsAd attribute; nullopt if malformed or not a
+  /// DISCS-Ad.
+  static std::optional<DiscsAd> from_attribute(const PathAttribute& attr);
+
+  friend bool operator==(const DiscsAd&, const DiscsAd&) = default;
+};
+
+/// A BGP update for one prefix (the simulator does not batch NLRI).
+struct BgpUpdate {
+  Prefix4 prefix;
+  std::vector<AsNumber> as_path;  // leftmost = most recent AS
+  std::vector<PathAttribute> attributes;  // non-AS-path attributes
+
+  /// Finds the first attribute with `type`, nullptr when absent.
+  [[nodiscard]] const PathAttribute* find_attribute(std::uint8_t type) const;
+
+  /// Extracts the DISCS-Ad if one rides on this update.
+  [[nodiscard]] std::optional<DiscsAd> discs_ad() const;
+
+  friend bool operator==(const BgpUpdate&, const BgpUpdate&) = default;
+};
+
+}  // namespace discs

@@ -1,0 +1,206 @@
+#include "bgp/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace discs {
+
+BgpSimulator::BgpSimulator(const AsGraph& graph) : graph_(graph) {}
+
+RouteType BgpSimulator::classify(AsNumber node, AsNumber neighbor) const {
+  const auto& customers = graph_.customers_of(node);
+  if (std::find(customers.begin(), customers.end(), neighbor) != customers.end()) {
+    return RouteType::kCustomer;
+  }
+  const auto& peers = graph_.peers_of(node);
+  if (std::find(peers.begin(), peers.end(), neighbor) != peers.end()) {
+    return RouteType::kPeer;
+  }
+  return RouteType::kProvider;
+}
+
+bool BgpSimulator::prefer(const Route& candidate, const Route& incumbent) {
+  if (candidate.type != incumbent.type) return candidate.type < incumbent.type;
+  if (candidate.as_path.size() != incumbent.as_path.size()) {
+    return candidate.as_path.size() < incumbent.as_path.size();
+  }
+  return candidate.learned_from < incumbent.learned_from;
+}
+
+void BgpSimulator::originate(AsNumber as, const Prefix4& prefix,
+                             std::vector<PathAttribute> attributes) {
+  const auto idx = graph_.index_of(as);
+  if (!idx) throw std::invalid_argument("originate: unknown AS");
+
+  auto& state = prefixes_[prefix];
+  if (state.nodes.empty()) state.nodes.resize(graph_.as_count());
+  if (state.originator != kNoAs && state.originator != as) {
+    throw std::invalid_argument("originate: prefix already owned by another AS");
+  }
+  state.originator = as;
+
+  NodeState& node = state.nodes[*idx];
+  ++node.origination_count;
+  Route self;
+  // The origin AS is prepended at export time, so the initial self route has
+  // an empty path. Re-originations prepend the origin once more (paper
+  // §IV-B): the path visibly changes, so neighbors re-install and re-export,
+  // spreading the new attributes without affecting reachability.
+  self.as_path.assign(node.origination_count - 1, as);
+  self.attributes = std::move(attributes);
+  self.learned_from = kNoAs;
+  self.type = RouteType::kCustomer;  // self routes rank like customer routes
+  node.best = std::move(self);
+  export_route(state, prefix, *idx);
+  run_queue();
+}
+
+void BgpSimulator::export_route(PrefixState& state, const Prefix4& prefix,
+                                std::size_t node) {
+  const AsNumber as = graph_.ases()[node];
+  NodeState& ns = state.nodes[node];
+  const Route& route = *ns.best;
+
+  // Gao-Rexford export: routes learned from customers (or self-originated)
+  // go to everyone; peer/provider routes go to customers only.
+  const bool to_everyone = route.type == RouteType::kCustomer;
+  std::vector<AsNumber> targets;
+  auto send = [&](AsNumber neighbor) {
+    // Poison-reverse-lite: do not echo a route back to its sender.
+    if (neighbor == route.learned_from) return;
+    Route exported = route;
+    exported.as_path.insert(exported.as_path.begin(), as);
+    // learned_from/type are rewritten on receipt.
+    queue_.push_back({as, neighbor, prefix, std::move(exported)});
+    targets.push_back(neighbor);
+  };
+  for (AsNumber c : graph_.customers_of(as)) send(c);
+  if (to_everyone) {
+    for (AsNumber p : graph_.peers_of(as)) send(p);
+    for (AsNumber p : graph_.providers_of(as)) send(p);
+  }
+
+  // Withdraw from neighbors that held the previous export but are no
+  // longer targeted (e.g. the best route degraded from customer to
+  // provider type).
+  for (AsNumber old_target : ns.adj_out) {
+    if (std::find(targets.begin(), targets.end(), old_target) == targets.end()) {
+      queue_.push_back({as, old_target, prefix, std::nullopt});
+    }
+  }
+  ns.adj_out = std::move(targets);
+}
+
+void BgpSimulator::withdraw_exports(PrefixState& state, const Prefix4& prefix,
+                                    std::size_t node) {
+  NodeState& ns = state.nodes[node];
+  const AsNumber as = graph_.ases()[node];
+  for (AsNumber target : ns.adj_out) {
+    queue_.push_back({as, target, prefix, std::nullopt});
+  }
+  ns.adj_out.clear();
+}
+
+void BgpSimulator::select_and_export(PrefixState& state, const Prefix4& prefix,
+                                     std::size_t node) {
+  NodeState& ns = state.nodes[node];
+  if (ns.origination_count > 0) return;  // originator keeps its self route
+
+  const Route* best = nullptr;
+  for (const auto& [neighbor, route] : ns.adj_in) {
+    if (best == nullptr || prefer(route, *best)) best = &route;
+  }
+  const bool changed = [&] {
+    if (best == nullptr) return ns.best.has_value();
+    if (!ns.best) return true;
+    return best->as_path != ns.best->as_path ||
+           best->learned_from != ns.best->learned_from ||
+           !(best->attributes == ns.best->attributes);
+  }();
+  if (!changed) return;
+  if (best == nullptr) {
+    ns.best.reset();
+    withdraw_exports(state, prefix, node);
+    return;
+  }
+  ns.best = *best;
+  export_route(state, prefix, node);
+}
+
+void BgpSimulator::withdraw(AsNumber as, const Prefix4& prefix) {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || it->second.originator != as) {
+    throw std::invalid_argument("withdraw: prefix not originated by this AS");
+  }
+  const auto idx = graph_.index_of(as);
+  PrefixState& state = it->second;
+  NodeState& node = state.nodes[*idx];
+  node.origination_count = 0;
+  node.best.reset();
+  state.originator = kNoAs;
+  withdraw_exports(state, prefix, *idx);
+  run_queue();
+}
+
+void BgpSimulator::run_queue() {
+  while (queue_head_ < queue_.size()) {
+    Pending msg = std::move(queue_[queue_head_++]);
+    ++updates_;
+    auto& state = prefixes_.at(msg.prefix);
+    const auto to_idx = graph_.index_of(msg.to);
+    if (!to_idx) continue;
+    NodeState& ns = state.nodes[*to_idx];
+
+    if (!msg.route) {
+      ns.adj_in.erase(msg.from);
+      select_and_export(state, msg.prefix, *to_idx);
+      continue;
+    }
+    Route route = std::move(*msg.route);
+    // Loop prevention: drop updates whose AS path already contains us.
+    if (std::find(route.as_path.begin(), route.as_path.end(), msg.to) !=
+        route.as_path.end()) {
+      continue;
+    }
+    route.learned_from = msg.from;
+    route.type = classify(msg.to, msg.from);
+    ns.adj_in[msg.from] = std::move(route);
+    select_and_export(state, msg.prefix, *to_idx);
+  }
+  queue_.clear();
+  queue_head_ = 0;
+}
+
+const BgpSimulator::Route* BgpSimulator::best_route(AsNumber as,
+                                                    const Prefix4& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return nullptr;
+  const auto idx = graph_.index_of(as);
+  if (!idx) return nullptr;
+  const auto& best = it->second.nodes[*idx].best;
+  return best ? &*best : nullptr;
+}
+
+std::vector<DiscsAd> BgpSimulator::ads_seen(AsNumber as) const {
+  std::vector<DiscsAd> ads;
+  const auto idx = graph_.index_of(as);
+  if (!idx) return ads;
+  for (const auto& [prefix, state] : prefixes_) {
+    const auto& best = state.nodes[*idx].best;
+    if (!best) continue;
+    for (const auto& attr : best->attributes) {
+      if (auto ad = DiscsAd::from_attribute(attr)) ads.push_back(*ad);
+    }
+  }
+  return ads;
+}
+
+std::size_t BgpSimulator::coverage(const Prefix4& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& node : it->second.nodes) n += node.best.has_value();
+  return n;
+}
+
+}  // namespace discs

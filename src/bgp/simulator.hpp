@@ -1,0 +1,109 @@
+// BGP propagation simulator: floods updates over an AsGraph with
+// Gao-Rexford export policies and RFC 4271 route selection, carrying
+// optional transitive attributes (the DISCS-Ad) through legacy ASes
+// unchanged — which is precisely what makes the paper's discovery mechanism
+// incrementally deployable.
+//
+// The model is message-level and deterministic: updates propagate through a
+// FIFO queue until convergence; every AS keeps an Adj-RIB-In per neighbor
+// and a Loc-RIB best route per prefix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "topology/graph.hpp"
+
+namespace discs {
+
+class BgpSimulator {
+ public:
+  /// The graph must outlive the simulator.
+  explicit BgpSimulator(const AsGraph& graph);
+
+  /// A route as installed in a Loc-RIB.
+  struct Route {
+    std::vector<AsNumber> as_path;              // leftmost = nearest AS
+    std::vector<PathAttribute> attributes;      // incl. any DISCS-Ad
+    AsNumber learned_from = kNoAs;              // kNoAs for self-originated
+    RouteType type = RouteType::kCustomer;      // relationship to sender
+  };
+
+  /// (Re-)originates `prefix` from `as` with the given extra attributes and
+  /// floods to convergence. Re-originating an existing prefix models the
+  /// paper's "prepend the origin AS" trick: the AS path gains a prepended
+  /// origin so the update modifies Loc-RIBs everywhere without changing
+  /// reachability.
+  void originate(AsNumber as, const Prefix4& prefix,
+                 std::vector<PathAttribute> attributes);
+
+  /// Withdraws `prefix` at its originator and propagates the withdrawal to
+  /// convergence (nodes fall back to alternative Adj-RIB-In routes where
+  /// they exist). Throws if `as` is not the prefix's originator.
+  void withdraw(AsNumber as, const Prefix4& prefix);
+
+  /// Best route of `as` for `prefix`; nullptr when none.
+  [[nodiscard]] const Route* best_route(AsNumber as, const Prefix4& prefix) const;
+
+  /// All DISCS-Ads visible in `as`'s Loc-RIB (at most one per prefix).
+  [[nodiscard]] std::vector<DiscsAd> ads_seen(AsNumber as) const;
+
+  /// Number of ASes whose Loc-RIB holds a route for `prefix`.
+  [[nodiscard]] std::size_t coverage(const Prefix4& prefix) const;
+
+  /// Total update messages processed since construction (cost accounting).
+  [[nodiscard]] std::uint64_t updates_processed() const { return updates_; }
+
+ private:
+  struct NodeState {
+    // Neighbor ASN -> route advertised by that neighbor.
+    std::map<AsNumber, Route> adj_in;
+    std::optional<Route> best;
+    // Neighbors our current best route was exported to (Adj-RIB-Out); used
+    // to target withdrawals when the route disappears.
+    std::vector<AsNumber> adj_out;
+    std::size_t origination_count = 0;  // times this node originated it
+  };
+  struct PrefixState {
+    std::vector<NodeState> nodes;  // indexed like the graph
+    AsNumber originator = kNoAs;
+  };
+
+  /// Relationship of `neighbor` from `node`'s point of view.
+  [[nodiscard]] RouteType classify(AsNumber node, AsNumber neighbor) const;
+
+  /// Returns true when `candidate` beats `incumbent` under customer > peer >
+  /// provider, then shortest AS path, then lowest neighbor ASN.
+  [[nodiscard]] static bool prefer(const Route& candidate, const Route& incumbent);
+
+  /// Re-runs selection for `node`; if the best route changed, exports it.
+  void select_and_export(PrefixState& state, const Prefix4& prefix,
+                         std::size_t node);
+
+  void export_route(PrefixState& state, const Prefix4& prefix, std::size_t node);
+
+  /// Sends withdrawals to everything in the node's Adj-RIB-Out.
+  void withdraw_exports(PrefixState& state, const Prefix4& prefix,
+                        std::size_t node);
+
+  void run_queue();
+
+  struct Pending {
+    AsNumber from;
+    AsNumber to;
+    Prefix4 prefix;
+    std::optional<Route> route;  // nullopt = withdraw from this neighbor
+  };
+
+  const AsGraph& graph_;
+  std::map<Prefix4, PrefixState> prefixes_;
+  std::vector<Pending> queue_;
+  std::size_t queue_head_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace discs

@@ -1,0 +1,100 @@
+// Deterministic, seedable pseudo-random generators used across the
+// simulator. Every randomized component in this repo takes an explicit seed
+// so that experiments are exactly reproducible run to run.
+//
+// Xoshiro256** is the workhorse generator (fast, 256-bit state, passes
+// BigCrush); SplitMix64 seeds it and derives independent per-trial streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace discs {
+
+/// SplitMix64 — tiny generator used to expand a single 64-bit seed into
+/// well-distributed state words (Vigna's recommended seeding procedure).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — satisfies UniformRandomBitGenerator so it plugs into
+/// <random> distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // 128-bit multiply keeps the distribution exactly uniform after the
+    // rejection step.
+    while (true) {
+      const std::uint64_t x = next();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a statistically independent child seed, e.g. one per Monte-Carlo
+/// trial, so parallel trials never share a stream.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  SplitMix64 sm(root ^ (0xd1342543de82ef95ull * (index + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace discs

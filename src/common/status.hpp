@@ -1,0 +1,65 @@
+// Lightweight status/error handling for the data-plane and control-plane
+// code paths. Exceptions are reserved for construction-time configuration
+// errors; hot paths report outcomes via these value types instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace discs {
+
+/// Error carries a stable code string plus a human-oriented message.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Minimal expected-style result: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(storage_); }
+  [[nodiscard]] T& value() & { return std::get<T>(storage_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(storage_)); }
+  [[nodiscard]] const Error& error() const { return std::get<Error>(storage_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+  static Status failure(std::string_view code, std::string_view message) {
+    return Status(Error{std::string(code), std::string(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace discs

@@ -1,0 +1,133 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace discs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// State shared between the calling thread and helper tasks. Owned by a
+// shared_ptr captured by value in every helper so that no helper can outlive
+// the state even if it is scheduled after the caller has already returned.
+struct ForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunks = 0;
+  std::size_t chunk_size = 0;
+  std::function<void(std::size_t)> body;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  // Claims chunks until none remain; dynamic claiming load-balances uneven
+  // iteration costs across workers.
+  void run_chunks() {
+    while (true) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= chunks) return;
+      // chunk_size * chunks can overshoot n, so clamp both bounds; trailing
+      // chunks may legitimately be empty.
+      const std::size_t lo = std::min(end, begin + c * chunk_size);
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(m);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(hi - lo) + (hi - lo) == end - begin) {
+        std::lock_guard lock(m);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, size() * 4);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunks = chunks;
+  state->chunk_size = (n + chunks - 1) / chunks;
+  state->body = body;
+
+  // The calling thread participates, so progress is guaranteed even when all
+  // pool workers are busy elsewhere (including nested parallel_for calls).
+  const std::size_t helpers = std::min(size(), chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([state] { state->run_chunks(); });
+  }
+  state->run_chunks();
+
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+}  // namespace discs

@@ -1,0 +1,63 @@
+// A small fixed-size thread pool plus a chunked parallel_for, used to fan
+// Monte-Carlo deployment trials and packet-replay sweeps across cores.
+//
+// Design notes (HPC guide idioms):
+//  * work is distributed in contiguous chunks to preserve cache locality and
+//    keep per-task overhead negligible;
+//  * the pool is created once and reused — no thread churn inside sweeps;
+//  * exceptions thrown by worker bodies are captured and rethrown on the
+//    calling thread so failures are never silently swallowed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace discs {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; fire-and-forget (synchronization is the caller's job,
+  /// normally via parallel_for below).
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [begin, end), split into `size()*4` chunks.
+  /// Blocks until all iterations finish. The calling thread participates, so
+  /// the pool also works when constructed with a single worker. Rethrows the
+  /// first exception raised by any iteration.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// The process-wide default pool (lazily created, hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace discs

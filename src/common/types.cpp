@@ -1,0 +1,188 @@
+#include "common/types.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace discs {
+namespace {
+
+// Parses a decimal integer in [0, max]; advances `text` past the digits.
+std::optional<unsigned> eat_decimal(std::string_view& text, unsigned max) {
+  unsigned value = 0;
+  std::size_t used = 0;
+  while (used < text.size() && text[used] >= '0' && text[used] <= '9') {
+    value = value * 10 + static_cast<unsigned>(text[used] - '0');
+    if (value > max) return std::nullopt;
+    ++used;
+    if (used > 10) return std::nullopt;
+  }
+  if (used == 0) return std::nullopt;
+  text.remove_prefix(used);
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = eat_decimal(text, 255);
+    if (!octet) return std::nullopt;
+    bits = (bits << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bits_ >> 24,
+                              (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff,
+                              bits_ & 0xff);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<Prefix4> Prefix4::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = eat_decimal(rest, 32);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Prefix4(*addr, *len);
+}
+
+std::string Prefix4::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" first; each side is a (possibly empty) list of hex groups.
+  std::array<std::uint16_t, 8> groups{};
+  int head = 0, tail = 0;
+  std::array<std::uint16_t, 8> head_groups{}, tail_groups{};
+
+  auto parse_group = [](std::string_view g) -> std::optional<std::uint16_t> {
+    if (g.empty() || g.size() > 4) return std::nullopt;
+    std::uint16_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(g.data(), g.data() + g.size(), v, 16);
+    if (ec != std::errc{} || ptr != g.data() + g.size()) return std::nullopt;
+    return v;
+  };
+  auto parse_side = [&](std::string_view side, std::array<std::uint16_t, 8>& out,
+                        int& count) -> bool {
+    count = 0;
+    if (side.empty()) return true;
+    while (true) {
+      const auto colon = side.find(':');
+      const auto g = parse_group(side.substr(0, colon));
+      if (!g || count >= 8) return false;
+      out[static_cast<std::size_t>(count++)] = *g;
+      if (colon == std::string_view::npos) return true;
+      side.remove_prefix(colon + 1);
+    }
+  };
+
+  const auto dc = text.find("::");
+  if (dc == std::string_view::npos) {
+    if (!parse_side(text, head_groups, head) || head != 8) return std::nullopt;
+    return from_groups(head_groups);
+  }
+  if (text.find("::", dc + 1) != std::string_view::npos) return std::nullopt;
+  if (!parse_side(text.substr(0, dc), head_groups, head)) return std::nullopt;
+  if (!parse_side(text.substr(dc + 2), tail_groups, tail)) return std::nullopt;
+  if (head + tail >= 8) return std::nullopt;  // "::" must elide >= 1 group
+  for (int i = 0; i < head; ++i) groups[static_cast<std::size_t>(i)] = head_groups[static_cast<std::size_t>(i)];
+  for (int i = 0; i < tail; ++i)
+    groups[static_cast<std::size_t>(8 - tail + i)] = tail_groups[static_cast<std::size_t>(i)];
+  return from_groups(groups);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>((bytes_[2 * i] << 8) | bytes_[2 * i + 1]);
+  }
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+Prefix6::Prefix6(Ipv6Address addr, unsigned length)
+    : length_(static_cast<std::uint8_t>(length)) {
+  auto bytes = addr.bytes();
+  for (unsigned i = 0; i < 16; ++i) {
+    const unsigned bit_start = i * 8;
+    if (bit_start >= length) {
+      bytes[i] = 0;
+    } else if (bit_start + 8 > length) {
+      const unsigned keep = length - bit_start;
+      bytes[i] = static_cast<std::uint8_t>(bytes[i] & (0xffu << (8 - keep)));
+    }
+  }
+  addr_ = Ipv6Address(bytes);
+}
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  auto len = eat_decimal(rest, 128);
+  if (!len || !rest.empty()) return std::nullopt;
+  return Prefix6(*addr, *len);
+}
+
+std::string Prefix6::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+bool Prefix6::contains(const Ipv6Address& a) const {
+  const auto& pb = addr_.bytes();
+  const auto& ab = a.bytes();
+  unsigned full = length_ / 8;
+  for (unsigned i = 0; i < full; ++i) {
+    if (pb[i] != ab[i]) return false;
+  }
+  const unsigned rem = length_ % 8;
+  if (rem == 0) return true;
+  const std::uint8_t m = static_cast<std::uint8_t>(0xffu << (8 - rem));
+  return (pb[full] & m) == (ab[full] & m);
+}
+
+}  // namespace discs

@@ -1,0 +1,191 @@
+// Fundamental value types shared by every DISCS subsystem: autonomous-system
+// numbers, IPv4/IPv6 addresses and prefixes, and their text representations.
+//
+// All types are trivially copyable value types with total orderings so they
+// can be used as keys in ordered and unordered containers alike.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace discs {
+
+/// Autonomous-system number (32-bit per RFC 6793).
+using AsNumber = std::uint32_t;
+
+/// Sentinel for "no AS" (AS 0 is reserved and never allocated).
+inline constexpr AsNumber kNoAs = 0;
+
+/// An IPv4 address held in host byte order so that prefix arithmetic is
+/// plain integer arithmetic.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) : bits_(host_order) {}
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The bit at position `index`, where 0 is the most significant bit.
+  [[nodiscard]] constexpr unsigned bit(unsigned index) const {
+    return (bits_ >> (31u - index)) & 1u;
+  }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// An IPv6 address stored as 16 network-order bytes.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(const std::array<std::uint8_t, 16>& bytes)
+      : bytes_(bytes) {}
+
+  /// Builds an address from eight 16-bit groups (as written in RFC 4291).
+  static constexpr Ipv6Address from_groups(std::array<std::uint16_t, 8> groups) {
+    std::array<std::uint8_t, 16> b{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      b[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+      b[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+    }
+    return Ipv6Address(b);
+  }
+
+  /// Parses the canonical textual forms (full, ::-compressed). Returns
+  /// nullopt on malformed input. Mixed IPv4-suffix notation is not needed by
+  /// the simulator and is rejected.
+  static std::optional<Ipv6Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The bit at position `index`, where 0 is the most significant bit.
+  [[nodiscard]] constexpr unsigned bit(unsigned index) const {
+    return (bytes_[index / 8] >> (7u - index % 8)) & 1u;
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// An IPv4 prefix in CIDR form. The address is canonicalized: bits below the
+/// prefix length are forced to zero on construction.
+class Prefix4 {
+ public:
+  constexpr Prefix4() = default;
+  constexpr Prefix4(Ipv4Address addr, unsigned length)
+      : addr_(mask(addr, length)), length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input or len > 32.
+  static std::optional<Prefix4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return addr_; }
+  [[nodiscard]] constexpr unsigned length() const { return length_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// True when `a` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return mask(a, length_).bits() == addr_.bits();
+  }
+  /// True when `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool covers(const Prefix4& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Number of addresses in the prefix (2^(32-len)).
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32u - length_);
+  }
+
+  friend constexpr auto operator<=>(const Prefix4&, const Prefix4&) = default;
+
+ private:
+  static constexpr Ipv4Address mask(Ipv4Address a, unsigned len) {
+    if (len == 0) return Ipv4Address(0);
+    const std::uint32_t m = len >= 32 ? ~0u : ~0u << (32u - len);
+    return Ipv4Address(a.bits() & m);
+  }
+  Ipv4Address addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// An IPv6 prefix in CIDR form, canonicalized like Prefix4.
+class Prefix6 {
+ public:
+  constexpr Prefix6() = default;
+  Prefix6(Ipv6Address addr, unsigned length);
+
+  /// Parses "addr/len"; returns nullopt on malformed input or len > 128.
+  static std::optional<Prefix6> parse(std::string_view text);
+
+  [[nodiscard]] const Ipv6Address& address() const { return addr_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool contains(const Ipv6Address& a) const;
+  [[nodiscard]] bool covers(const Prefix6& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  friend auto operator<=>(const Prefix6&, const Prefix6&) = default;
+
+ private:
+  Ipv6Address addr_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace discs
+
+template <>
+struct std::hash<discs::Ipv4Address> {
+  std::size_t operator()(discs::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<discs::Ipv6Address> {
+  std::size_t operator()(const discs::Ipv6Address& a) const noexcept {
+    // FNV-1a over the 16 bytes; adequate for container hashing.
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint8_t b : a.bytes()) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+template <>
+struct std::hash<discs::Prefix4> {
+  std::size_t operator()(const discs::Prefix4& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.address().bits()) * 31u + p.length();
+  }
+};
+
+template <>
+struct std::hash<discs::Prefix6> {
+  std::size_t operator()(const discs::Prefix6& p) const noexcept {
+    return std::hash<discs::Ipv6Address>{}(p.address()) * 31u + p.length();
+  }
+};

@@ -1,0 +1,249 @@
+#include "control/codec.hpp"
+
+#include <cstring>
+
+namespace discs {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'D', 'C', 'S', '1'};
+constexpr std::size_t kHeaderSize = 16;
+
+// ---- primitive writers ----
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_victim_prefix(std::vector<std::uint8_t>& out, const VictimPrefix& vp) {
+  if (const auto* v4 = std::get_if<Prefix4>(&vp)) {
+    put_u8(out, 4);
+    put_u32(out, v4->address().bits());
+    put_u8(out, static_cast<std::uint8_t>(v4->length()));
+  } else {
+    const auto& v6 = std::get<Prefix6>(vp);
+    put_u8(out, 6);
+    out.insert(out.end(), v6.address().bytes().begin(), v6.address().bytes().end());
+    put_u8(out, static_cast<std::uint8_t>(v6.length()));
+  }
+}
+
+// ---- primitive readers (cursor-based, fail via optional) ----
+
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool need(std::size_t n) {
+    if (failed || pos + n > data.size()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+  std::string string() {
+    const std::size_t n = u16();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  std::optional<VictimPrefix> victim_prefix() {
+    const std::uint8_t family = u8();
+    if (family == 4) {
+      const std::uint32_t bits = u32();
+      const std::uint8_t len = u8();
+      if (failed || len > 32) {
+        failed = true;
+        return std::nullopt;
+      }
+      return VictimPrefix{Prefix4(Ipv4Address(bits), len)};
+    }
+    if (family == 6) {
+      if (!need(16)) return std::nullopt;
+      std::array<std::uint8_t, 16> bytes{};
+      std::memcpy(bytes.data(), data.data() + pos, 16);
+      pos += 16;
+      const std::uint8_t len = u8();
+      if (failed || len > 128) {
+        failed = true;
+        return std::nullopt;
+      }
+      return VictimPrefix{Prefix6(Ipv6Address(bytes), len)};
+    }
+    failed = true;
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+MessageType message_type(const ControlMessage& message) {
+  return std::visit(
+      [](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PeeringRequest>) return MessageType::kPeeringRequest;
+        else if constexpr (std::is_same_v<T, PeeringAccept>) return MessageType::kPeeringAccept;
+        else if constexpr (std::is_same_v<T, PeeringReject>) return MessageType::kPeeringReject;
+        else if constexpr (std::is_same_v<T, KeyInstall>) return MessageType::kKeyInstall;
+        else if constexpr (std::is_same_v<T, KeyInstallAck>) return MessageType::kKeyInstallAck;
+        else if constexpr (std::is_same_v<T, InvocationRequest>) return MessageType::kInvocationRequest;
+        else if constexpr (std::is_same_v<T, InvocationAccept>) return MessageType::kInvocationAccept;
+        else if constexpr (std::is_same_v<T, InvocationReject>) return MessageType::kInvocationReject;
+        else if constexpr (std::is_same_v<T, AlarmQuit>) return MessageType::kAlarmQuit;
+        else {
+          static_assert(std::is_same_v<T, PeeringTeardown>);
+          return MessageType::kPeeringTeardown;
+        }
+      },
+      message);
+}
+
+std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u8(out, static_cast<std::uint8_t>(message_type(envelope.message)));
+  put_u8(out, 0);   // flags
+  put_u16(out, 0);  // reserved
+  put_u32(out, envelope.from);
+  put_u32(out, envelope.to);
+
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PeeringReject> ||
+                      std::is_same_v<T, InvocationReject> ||
+                      std::is_same_v<T, PeeringTeardown>) {
+          put_string(out, body.reason);
+        } else if constexpr (std::is_same_v<T, KeyInstall>) {
+          out.insert(out.end(), body.key.begin(), body.key.end());
+          put_u64(out, body.serial);
+          put_u8(out, body.rekey ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, KeyInstallAck>) {
+          put_u64(out, body.serial);
+        } else if constexpr (std::is_same_v<T, InvocationRequest>) {
+          put_u8(out, body.alarm_mode ? 1 : 0);
+          put_u16(out, static_cast<std::uint16_t>(body.triples.size()));
+          for (const auto& triple : body.triples) {
+            put_victim_prefix(out, triple.victim_prefix);
+            put_u8(out, triple.functions);
+            put_u64(out, triple.duration);
+          }
+        } else if constexpr (std::is_same_v<T, InvocationAccept>) {
+          put_u32(out, static_cast<std::uint32_t>(body.accepted_triples));
+        }
+        // PeeringRequest / PeeringAccept / AlarmQuit: empty body.
+      },
+      envelope.message);
+  return out;
+}
+
+std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> wire) {
+  if (wire.size() < kHeaderSize) return std::nullopt;
+  if (std::memcmp(wire.data(), kMagic, 4) != 0) return std::nullopt;
+
+  Reader r{wire, 4};
+  const std::uint8_t type = r.u8();
+  (void)r.u8();   // flags
+  (void)r.u16();  // reserved
+  Envelope envelope;
+  envelope.from = r.u32();
+  envelope.to = r.u32();
+
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kPeeringRequest:
+      envelope.message = PeeringRequest{};
+      break;
+    case MessageType::kPeeringAccept:
+      envelope.message = PeeringAccept{};
+      break;
+    case MessageType::kPeeringReject:
+      envelope.message = PeeringReject{r.string()};
+      break;
+    case MessageType::kKeyInstall: {
+      KeyInstall body;
+      if (!r.need(16)) return std::nullopt;
+      std::memcpy(body.key.data(), r.data.data() + r.pos, 16);
+      r.pos += 16;
+      body.serial = r.u64();
+      body.rekey = r.u8() != 0;
+      envelope.message = body;
+      break;
+    }
+    case MessageType::kKeyInstallAck:
+      envelope.message = KeyInstallAck{r.u64()};
+      break;
+    case MessageType::kInvocationRequest: {
+      InvocationRequest body;
+      body.alarm_mode = r.u8() != 0;
+      const std::uint16_t count = r.u16();
+      for (std::uint16_t k = 0; k < count && !r.failed; ++k) {
+        InvocationTriple triple;
+        auto prefix = r.victim_prefix();
+        if (!prefix) return std::nullopt;
+        triple.victim_prefix = *prefix;
+        triple.functions = r.u8();
+        triple.duration = r.u64();
+        body.triples.push_back(std::move(triple));
+      }
+      envelope.message = std::move(body);
+      break;
+    }
+    case MessageType::kInvocationAccept:
+      envelope.message = InvocationAccept{r.u32()};
+      break;
+    case MessageType::kInvocationReject:
+      envelope.message = InvocationReject{r.string()};
+      break;
+    case MessageType::kAlarmQuit:
+      envelope.message = AlarmQuit{};
+      break;
+    case MessageType::kPeeringTeardown:
+      envelope.message = PeeringTeardown{r.string()};
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (r.failed || r.pos != wire.size()) return std::nullopt;  // no trailing junk
+  return envelope;
+}
+
+}  // namespace discs

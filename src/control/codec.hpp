@@ -1,0 +1,47 @@
+// Wire codec for the controller-to-controller protocol: every
+// ControlMessage encodes to a self-describing byte string and back. The
+// simulator's channel moves C++ objects for speed; this codec exists so the
+// protocol is implementable outside the simulator (and its tests pin the
+// format): a 16-byte common header followed by a type-specific body.
+//
+//   header: magic "DCS1" (4) | type (1) | flags (1) | reserved (2) |
+//           from AS (4) | to AS (4)
+//
+// All integers are big-endian. Strings are length-prefixed (u16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "control/messages.hpp"
+
+namespace discs {
+
+/// Serializes an envelope (header + message body).
+[[nodiscard]] std::vector<std::uint8_t> encode_envelope(const Envelope& envelope);
+
+/// Parses an envelope; nullopt on any malformed input (bad magic, unknown
+/// type, truncation, trailing bytes, out-of-range values).
+[[nodiscard]] std::optional<Envelope> decode_envelope(
+    std::span<const std::uint8_t> wire);
+
+/// Stable type codes (wire ABI; do not renumber).
+enum class MessageType : std::uint8_t {
+  kPeeringRequest = 1,
+  kPeeringAccept = 2,
+  kPeeringReject = 3,
+  kKeyInstall = 4,
+  kKeyInstallAck = 5,
+  kInvocationRequest = 6,
+  kInvocationAccept = 7,
+  kInvocationReject = 8,
+  kAlarmQuit = 9,
+  kPeeringTeardown = 10,
+};
+
+/// The type code a message variant encodes to.
+[[nodiscard]] MessageType message_type(const ControlMessage& message);
+
+}  // namespace discs

@@ -1,0 +1,459 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+
+namespace discs {
+namespace {
+
+/// The per-direction data-plane operations each invokable function expands
+/// into, split by executing side (Table I: bold = peer side).
+struct FunctionExpansion {
+  InvokableFunction function;
+  // Peer side.
+  std::optional<DefenseFunction> peer_out_dst;
+  std::optional<DefenseFunction> peer_out_src;
+  std::optional<DefenseFunction> peer_in_src;
+  // Victim side.
+  std::optional<DefenseFunction> victim_in_dst;
+  std::optional<DefenseFunction> victim_out_src;
+};
+
+constexpr FunctionExpansion kExpansions[] = {
+    {InvokableFunction::kDp, DefenseFunction::kDp, {}, {}, {}, {}},
+    {InvokableFunction::kCdp, DefenseFunction::kCdpStamp, {}, {},
+     DefenseFunction::kCdpVerify, {}},
+    {InvokableFunction::kSp, {}, DefenseFunction::kSp, {}, {}, {}},
+    {InvokableFunction::kCsp, {}, {}, DefenseFunction::kCspVerify, {},
+     DefenseFunction::kCspStamp},
+};
+
+}  // namespace
+
+Controller::Controller(ControllerConfig config, EventLoop& loop,
+                       ConConNetwork& network, const InternetDataset& rpki)
+    : config_(std::move(config)),
+      loop_(&loop),
+      network_(&network),
+      rpki_(&rpki),
+      rng_(config_.seed) {
+  if (config_.as == kNoAs) {
+    throw std::invalid_argument("Controller: AS number required");
+  }
+  if (config_.controller_name.empty()) {
+    config_.controller_name = "controller.as" + std::to_string(config_.as);
+  }
+  tables_.in_src = FunctionTable(config_.tolerance);
+  tables_.in_dst = FunctionTable(config_.tolerance);
+  tables_.out_src = FunctionTable(config_.tolerance);
+  tables_.out_dst = FunctionTable(config_.tolerance);
+
+  // Install the RPKI-derived prefix-to-AS mapping on the router (§V-A) and
+  // remember our own prefixes, both address families.
+  for (const auto& entry : rpki_->entries()) {
+    tables_.pfx2as.add(entry.prefix, entry.origins.front());
+  }
+  for (const auto& entry : rpki_->entries6()) {
+    tables_.pfx2as.add(entry.prefix, entry.origins.front());
+  }
+  local_prefixes_ = rpki_->prefixes_of(config_.as);
+  local_prefixes6_ = rpki_->prefixes6_of(config_.as);
+
+  const std::size_t router_count = std::max<std::size_t>(1, config_.border_routers);
+  routers_.reserve(router_count);
+  for (std::size_t i = 0; i < router_count; ++i) {
+    routers_.push_back(std::make_unique<BorderRouter>(
+        tables_, config_.as, derive_seed(config_.seed, 0xda7a + i)));
+    routers_.back()->set_alarm_sink(
+        [this](const AlarmSample& sample) { on_alarm_sample(sample); });
+  }
+
+  network_->attach(config_.as,
+                   [this](const Envelope& envelope) { handle(envelope); });
+  schedule_rekey_timer();
+}
+
+DiscsAd Controller::advertisement() const {
+  return DiscsAd{config_.as, config_.controller_name};
+}
+
+void Controller::discover(const DiscsAd& ad) {
+  if (ad.origin_as == config_.as) return;  // our own Ad reflected back
+  ++stats_.ads_seen;
+  auto [it, inserted] = peers_.try_emplace(ad.origin_as);
+  it->second.controller_name = ad.controller;
+  if (!inserted && it->second.state != PeerState::kDiscovered) return;
+
+  if (config_.blacklist.contains(ad.origin_as)) {
+    it->second.state = PeerState::kRejected;
+    return;
+  }
+  // Random delay prevents every DAS from hitting a new deployer at once
+  // (§IV-C). Simultaneous requests from both sides are harmless: each side
+  // accepts the other's request and the state machine converges to kPeered.
+  const AsNumber target = ad.origin_as;
+  const SimTime delay = config_.max_peering_delay == 0
+                            ? 0
+                            : rng_.below(config_.max_peering_delay);
+  loop_->schedule(delay, [this, target] {
+    auto& info = peers_[target];
+    if (info.state != PeerState::kDiscovered) return;
+    info.state = PeerState::kRequested;
+    ++stats_.peering_requests_sent;
+    network_->send(config_.as, target, PeeringRequest{});
+  });
+}
+
+void Controller::handle(const Envelope& envelope) {
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PeeringRequest>) {
+          handle_peering_request(envelope.from);
+        } else if constexpr (std::is_same_v<T, PeeringAccept>) {
+          handle_peering_accept(envelope.from);
+        } else if constexpr (std::is_same_v<T, PeeringReject>) {
+          peers_[envelope.from].state = PeerState::kRejected;
+        } else if constexpr (std::is_same_v<T, KeyInstall>) {
+          handle_key_install(envelope.from, body);
+        } else if constexpr (std::is_same_v<T, KeyInstallAck>) {
+          handle_key_install_ack(envelope.from, body);
+        } else if constexpr (std::is_same_v<T, InvocationRequest>) {
+          handle_invocation(envelope.from, body);
+        } else if constexpr (std::is_same_v<T, AlarmQuit>) {
+          handle_alarm_quit(envelope.from);
+        } else if constexpr (std::is_same_v<T, PeeringTeardown>) {
+          handle_teardown(envelope.from);
+        }
+        // InvocationAccept/Reject are informational; rejects are counted by
+        // the peer that rejected.
+      },
+      envelope.message);
+}
+
+void Controller::handle_peering_request(AsNumber from) {
+  ++stats_.peering_requests_received;
+  auto& info = peers_[from];
+  if (config_.blacklist.contains(from)) {
+    info.state = PeerState::kRejected;
+    network_->send(config_.as, from, PeeringReject{"blacklisted"});
+    return;
+  }
+  info.state = PeerState::kPeered;
+  network_->send(config_.as, from, PeeringAccept{});
+  negotiate_key(from, /*rekey=*/false);
+}
+
+void Controller::handle_peering_accept(AsNumber from) {
+  auto& info = peers_[from];
+  if (info.state == PeerState::kPeered) return;
+  info.state = PeerState::kPeered;
+  negotiate_key(from, /*rekey=*/false);
+}
+
+void Controller::negotiate_key(AsNumber peer, bool rekey) {
+  auto& info = peers_[peer];
+  const Key128 key = derive_key128(rng_.next());
+  ++stats_.keys_generated;
+  ++info.tx_key_serial;
+  if (rekey) {
+    // Two-phase: keep stamping with the old key until the peer acks.
+    info.pending_key = key;
+  } else {
+    tables_.key_s.set_key(peer, key, /*retain_previous=*/false);
+  }
+  network_->send(config_.as, peer, KeyInstall{key, info.tx_key_serial, rekey});
+}
+
+void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
+  if (!is_peer(from)) return;  // keys only from established peers
+  // key_{from,us}: we verify traffic stamped by `from` with it. During a
+  // re-key the old key stays valid (grace) until traffic switches over.
+  tables_.key_v.set_key(from, msg.key, /*retain_previous=*/msg.rekey);
+  network_->send(config_.as, from, KeyInstallAck{msg.serial});
+  if (msg.rekey) {
+    // Drop the grace key once the sender has certainly switched: one full
+    // round trip after our ack is a conservative bound in this model.
+    const AsNumber peer = from;
+    loop_->schedule(2 * kSecond, [this, peer] {
+      tables_.key_v.finish_rekey(peer);
+    });
+  }
+}
+
+void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg) {
+  auto it = peers_.find(from);
+  if (it == peers_.end() || msg.serial != it->second.tx_key_serial) return;
+  if (it->second.pending_key) {
+    tables_.key_s.set_key(from, *it->second.pending_key,
+                          /*retain_previous=*/false);
+    it->second.pending_key.reset();
+    ++stats_.rekeys_completed;
+  }
+}
+
+void Controller::rekey_all_peers() {
+  for (auto& [as, info] : peers_) {
+    if (info.state == PeerState::kPeered) negotiate_key(as, /*rekey=*/true);
+  }
+}
+
+void Controller::schedule_rekey_timer() {
+  if (config_.rekey_interval == 0) return;
+  loop_->schedule(config_.rekey_interval, [this] {
+    rekey_all_peers();
+    schedule_rekey_timer();
+  });
+}
+
+std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
+                               bool alarm_mode) {
+  for (const auto& triple : triples) {
+    execute_victim_functions(triple);
+  }
+  for (auto& r : routers_) r->set_alarm_mode(alarm_mode);
+  std::size_t asked = 0;
+  for (const auto& [as, info] : peers_) {
+    if (info.state != PeerState::kPeered) continue;
+    ++stats_.invocations_sent;
+    network_->send(config_.as, as, InvocationRequest{triples, alarm_mode});
+    ++asked;
+  }
+  return asked;
+}
+
+std::size_t Controller::invoke_ddos_defense(const VictimPrefix& victim_prefix,
+                                            bool spoofed_source,
+                                            std::optional<SimTime> duration) {
+  // §VI-A2: the cost-effective strategy pairs the end-based function with
+  // the cryptographic one (DP+CDP against d-DDoS, SP+CSP against s-DDoS).
+  const InvokableSet functions =
+      spoofed_source
+          ? (invoke_mask(InvokableFunction::kSp) | invoke_mask(InvokableFunction::kCsp))
+          : (invoke_mask(InvokableFunction::kDp) | invoke_mask(InvokableFunction::kCdp));
+  return invoke({{victim_prefix, functions,
+                  duration.value_or(config_.default_duration)}});
+}
+
+std::size_t Controller::invoke_ddos_defense_all(bool spoofed_source,
+                                                std::optional<SimTime> duration) {
+  const InvokableSet functions =
+      spoofed_source
+          ? (invoke_mask(InvokableFunction::kSp) | invoke_mask(InvokableFunction::kCsp))
+          : (invoke_mask(InvokableFunction::kDp) | invoke_mask(InvokableFunction::kCdp));
+  std::vector<InvocationTriple> triples;
+  triples.reserve(local_prefixes_.size() + local_prefixes6_.size());
+  for (const Prefix4& prefix : local_prefixes_) {
+    triples.push_back(
+        {prefix, functions, duration.value_or(config_.default_duration)});
+  }
+  for (const Prefix6& prefix : local_prefixes6_) {
+    triples.push_back(
+        {prefix, functions, duration.value_or(config_.default_duration)});
+  }
+  return invoke(triples);
+}
+
+void Controller::execute_victim_functions(const InvocationTriple& triple) {
+  // Tables reach the routers one con-rou latency later (§IV-B Fig. 2); the
+  // window starts when the routers actually hold it.
+  if (config_.con_rou_latency > 0) {
+    loop_->schedule(config_.con_rou_latency,
+                    [this, triple] { execute_victim_functions_now(triple); });
+    return;
+  }
+  execute_victim_functions_now(triple);
+}
+
+void Controller::execute_victim_functions_now(const InvocationTriple& triple) {
+  const SimTime start = loop_->now();
+  const SimTime end = start + triple.duration;
+  std::visit(
+      [&](const auto& prefix) {
+        for (const auto& exp : kExpansions) {
+          if (!has_invokable(triple.functions, exp.function)) continue;
+          if (exp.victim_in_dst) {
+            tables_.in_dst.install(prefix, *exp.victim_in_dst, start, end);
+          }
+          if (exp.victim_out_src) {
+            tables_.out_src.install(prefix, *exp.victim_out_src, start, end);
+          }
+        }
+      },
+      triple.victim_prefix);
+}
+
+void Controller::execute_peer_functions(AsNumber victim,
+                                        const InvocationTriple& triple) {
+  if (config_.con_rou_latency > 0) {
+    loop_->schedule(config_.con_rou_latency, [this, victim, triple] {
+      execute_peer_functions_now(victim, triple);
+    });
+    return;
+  }
+  execute_peer_functions_now(victim, triple);
+}
+
+void Controller::execute_peer_functions_now(AsNumber /*victim*/,
+                                            const InvocationTriple& triple) {
+  const SimTime start = loop_->now();
+  const SimTime end = start + triple.duration;
+  std::visit(
+      [&](const auto& prefix) {
+        for (const auto& exp : kExpansions) {
+          if (!has_invokable(triple.functions, exp.function)) continue;
+          if (exp.peer_out_dst) {
+            tables_.out_dst.install(prefix, *exp.peer_out_dst, start, end);
+          }
+          if (exp.peer_out_src) {
+            tables_.out_src.install(prefix, *exp.peer_out_src, start, end);
+          }
+          if (exp.peer_in_src) {
+            tables_.in_src.install(prefix, *exp.peer_in_src, start, end);
+          }
+        }
+      },
+      triple.victim_prefix);
+}
+
+void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) {
+  ++stats_.invocations_received;
+  if (!is_peer(from)) {
+    network_->send(config_.as, from, InvocationReject{"not a peer"});
+    return;
+  }
+  // Ownership check (§IV-E3): every requested prefix must belong to the
+  // requesting DAS per the RPKI oracle; otherwise a malicious DAS could
+  // blackhole third-party prefixes.
+  std::size_t accepted = 0;
+  for (const auto& triple : msg.triples) {
+    const bool owned = std::visit(
+        [&](const auto& prefix) { return rpki_->owns(from, prefix); },
+        triple.victim_prefix);
+    if (!owned) {
+      ++stats_.invocations_rejected;
+      continue;
+    }
+    execute_peer_functions(from, triple);
+    ++accepted;
+  }
+  if (msg.alarm_mode) {
+    for (auto& r : routers_) r->set_alarm_mode(true);
+  }
+  if (accepted == msg.triples.size()) {
+    network_->send(config_.as, from, InvocationAccept{accepted});
+  } else {
+    network_->send(config_.as, from,
+                   InvocationReject{"ownership check failed for some prefixes"});
+  }
+}
+
+void Controller::handle_alarm_quit(AsNumber from) {
+  if (!is_peer(from)) return;
+  // Leave alarm mode: identified spoofing traffic is dropped again.
+  for (auto& r : routers_) r->set_alarm_mode(false);
+}
+
+void Controller::request_drop_mode() {
+  for (auto& r : routers_) r->set_alarm_mode(false);
+  for (const auto& [as, info] : peers_) {
+    if (info.state == PeerState::kPeered) {
+      network_->send(config_.as, as, AlarmQuit{});
+    }
+  }
+  drop_mode_requested_ = true;
+}
+
+void Controller::enable_auto_defense(std::size_t threshold_packets,
+                                     SimTime window, SimTime holddown) {
+  RateDetector::Config cfg;
+  cfg.threshold_packets = threshold_packets;
+  cfg.window = window;
+  cfg.holddown = holddown;
+  detector_ = std::make_unique<RateDetector>(local_prefixes_, cfg);
+  for (auto& router : routers_) {
+    router->set_traffic_observer([this](Ipv4Address dst, SimTime now) {
+      const auto overwhelmed = detector_->observe(dst, now);
+      if (!overwhelmed) return;
+      ++stats_.detector_triggers;
+      // d-DDoS playbook: the prefix's inbound rate exploded, so invoke
+      // DP+CDP at every peer for it.
+      invoke_ddos_defense(*overwhelmed, /*spoofed_source=*/false);
+    });
+  }
+}
+
+void Controller::on_alarm_sample(const AlarmSample& sample) {
+  if (drop_mode_requested_) return;
+  auto& window = samples_[sample.source_as];
+  window.push_back(sample.time);
+  const SimTime cutoff =
+      sample.time > config_.detect_window ? sample.time - config_.detect_window : 0;
+  std::erase_if(window, [cutoff](SimTime t) { return t < cutoff; });
+  if (window.size() >= config_.detect_threshold) {
+    ++stats_.detector_triggers;
+    request_drop_mode();
+  }
+}
+
+void Controller::forget_peer(AsNumber peer) {
+  tables_.key_s.erase(peer);
+  tables_.key_v.erase(peer);
+  peers_.erase(peer);
+}
+
+void Controller::handle_teardown(AsNumber from) { forget_peer(from); }
+
+void Controller::tear_down_peering(AsNumber peer, std::string reason) {
+  if (!peers_.contains(peer)) return;
+  network_->send(config_.as, peer, PeeringTeardown{std::move(reason)});
+  forget_peer(peer);
+}
+
+void Controller::shutdown() {
+  for (const auto& [as, info] : peers_) {
+    if (info.state == PeerState::kPeered) {
+      network_->send(config_.as, as, PeeringTeardown{"undeploying"});
+    }
+  }
+  peers_.clear();
+  tables_.key_s = KeyTable{};
+  tables_.key_v = KeyTable{};
+  network_->detach(config_.as);
+}
+
+PeerState Controller::peer_state(AsNumber as) const {
+  const auto it = peers_.find(as);
+  return it == peers_.end() ? PeerState::kDiscovered : it->second.state;
+}
+
+std::vector<AsNumber> Controller::peers() const {
+  std::vector<AsNumber> result;
+  for (const auto& [as, info] : peers_) {
+    if (info.state == PeerState::kPeered) result.push_back(as);
+  }
+  return result;
+}
+
+std::size_t Controller::peer_count() const { return peers().size(); }
+
+RouterStats Controller::total_router_stats() const {
+  RouterStats total;
+  for (const auto& r : routers_) {
+    const RouterStats& s = r->stats();
+    total.out_processed += s.out_processed;
+    total.out_dropped += s.out_dropped;
+    total.out_stamped += s.out_stamped;
+    total.out_too_big += s.out_too_big;
+    total.fragments_stamped += s.fragments_stamped;
+    total.in_processed += s.in_processed;
+    total.in_verified += s.in_verified;
+    total.in_spoof_dropped += s.in_spoof_dropped;
+    total.in_spoof_sampled += s.in_spoof_sampled;
+    total.in_erased_tolerance += s.in_erased_tolerance;
+    total.in_passed_unverified += s.in_passed_unverified;
+    total.icmp_scrubbed += s.icmp_scrubbed;
+  }
+  return total;
+}
+
+}  // namespace discs

@@ -1,0 +1,247 @@
+// The DISCS controller of one DAS (paper §IV): a route-reflector-attached
+// control element that
+//   1. learns other DASes from DISCS-Ads            (DAS discovery, §IV-B)
+//   2. sets up peer relationships under a blacklist  (§IV-C)
+//   3. negotiates and re-keys per-pair symmetric keys (§IV-D)
+//   4. invokes / executes defense functions on demand (§IV-E)
+//   5. runs alarm mode and a threshold attack detector (§IV-F)
+//
+// The controller owns its AS's RouterTables and the BorderRouter bound to
+// them (the iBGP "controller pushes tables to routers" step is a direct
+// write in the simulator; the paper assumes the con-rou channel is secure).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "common/rng.hpp"
+#include "control/detector.hpp"
+#include "control/secure_channel.hpp"
+#include "dataplane/router.hpp"
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+struct ControllerConfig {
+  AsNumber as = kNoAs;
+  std::string controller_name;  // advertised in the DISCS-Ad
+  /// ASes this DAS refuses to peer with (conflict of interest, §IV-C).
+  std::unordered_set<AsNumber> blacklist;
+  /// Peering requests are delayed by uniform(0, max) to avoid the
+  /// thundering herd on a freshly advertised DAS (§IV-C).
+  SimTime max_peering_delay = 5 * kSecond;
+  /// Periodic re-keying; 0 disables the timer (§IV-D).
+  SimTime rekey_interval = 0;
+  /// Default invocation duration (§IV-E1; [30]: >93% of attacks < 24 h).
+  SimTime default_duration = 24 * kHour;
+  /// Verification tolerance interval at window edges (§IV-E1).
+  SimTime tolerance = 2 * kSecond;
+  /// Alarm-mode detector: samples of one source AS within `detect_window`
+  /// needed before the controller requests peers to quit alarm mode.
+  std::size_t detect_threshold = 100;
+  SimTime detect_window = 10 * kSecond;
+  /// Border routers this controller manages (it connects to them like a
+  /// route reflector, §IV-B Fig. 2). All share the controller-installed
+  /// tables; each keeps its own counters/RNG.
+  std::size_t border_routers = 1;
+  /// Latency of the secure con-rou channel: table updates reach the border
+  /// routers this much later than the controller decides them. Contributes
+  /// to the asynchronization the §IV-E1 tolerance intervals absorb.
+  SimTime con_rou_latency = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Peering state machine.
+enum class PeerState : std::uint8_t {
+  kDiscovered,   // Ad seen, no relationship yet
+  kRequested,    // our request is in flight
+  kPeered,       // both sides agreed
+  kRejected,     // they refused (or we blacklist them)
+};
+
+class Controller {
+ public:
+  /// `network` delivers control messages; `rpki` is the prefix-ownership
+  /// oracle (RPKI in the paper). Both must outlive the controller.
+  Controller(ControllerConfig config, EventLoop& loop, ConConNetwork& network,
+             const InternetDataset& rpki);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // ---- lifecycle ----
+
+  /// The DISCS-Ad this DAS floods via BGP on deployment.
+  [[nodiscard]] DiscsAd advertisement() const;
+
+  /// Feed of DISCS-Ads arriving via BGP (§IV-B). Triggers the peering
+  /// workflow unless the origin is blacklisted or already known.
+  void discover(const DiscsAd& ad);
+
+  // ---- defense invocation (victim side) ----
+
+  /// Requests all peers to execute `functions` for the given victim
+  /// prefixes (§IV-E). Installs the victim-side table entries (CDP-verify /
+  /// CSP-stamp) locally. Returns the number of peers asked.
+  std::size_t invoke(const std::vector<InvocationTriple>& triples,
+                     bool alarm_mode = false);
+
+  /// Convenience: protect one local prefix (IPv4 or IPv6) against d-DDoS
+  /// (DP+CDP) or s-DDoS (SP+CSP) following the §VI-A2 cost-effective
+  /// strategy.
+  std::size_t invoke_ddos_defense(const VictimPrefix& victim_prefix,
+                                  bool spoofed_source,
+                                  std::optional<SimTime> duration = {});
+
+  /// Same, but for every prefix the AS originates — IPv4 and IPv6 — in a
+  /// single invocation request (the "highly destructive attack" playbook of
+  /// §IV-E2).
+  std::size_t invoke_ddos_defense_all(bool spoofed_source,
+                                      std::optional<SimTime> duration = {});
+
+  /// Asks peers to quit alarm mode for our prefixes (start dropping).
+  void request_drop_mode();
+
+  // ---- key management ----
+
+  /// Starts a re-key toward every peer now (also runs on the timer).
+  void rekey_all_peers();
+
+  /// Emergency response to key leakage (§VI-E3): renew all stamping keys
+  /// and ask peers to renew the verification keys they hold for us.
+  void handle_key_leakage() { rekey_all_peers(); }
+
+  /// Severs one peer relationship (policy change / conflict of interest):
+  /// both sides drop the pair's keys; the AS stays a DAS.
+  void tear_down_peering(AsNumber peer, std::string reason = "policy");
+
+  /// Leaves the collaboration entirely: tears down every peering and
+  /// detaches from the con-con channel. The caller is responsible for
+  /// withdrawing the DISCS-Ad from BGP (DiscsSystem::undeploy does both).
+  void shutdown();
+
+  // ---- automatic attack detection (§IV-E1, "when to invoke") ----
+
+  /// Arms a rate detector over all local IPv4 prefixes on every border
+  /// router: when the inbound rate toward a prefix crosses the threshold,
+  /// the controller invokes DP+CDP for it automatically. Fires at most once
+  /// per prefix per holddown.
+  void enable_auto_defense(std::size_t threshold_packets, SimTime window,
+                           SimTime holddown = kMinute);
+
+  [[nodiscard]] bool auto_defense_enabled() const {
+    return detector_ != nullptr;
+  }
+
+  // ---- alarm-mode detector (§IV-F) ----
+
+  /// Feed of alarm samples from the border router; when one source AS
+  /// crosses the detection threshold the controller auto-invokes drop mode.
+  void on_alarm_sample(const AlarmSample& sample);
+
+  // ---- introspection ----
+
+  [[nodiscard]] AsNumber as_number() const { return config_.as; }
+  [[nodiscard]] PeerState peer_state(AsNumber as) const;
+  [[nodiscard]] std::vector<AsNumber> peers() const;
+  [[nodiscard]] std::size_t peer_count() const;
+  [[nodiscard]] bool is_peer(AsNumber as) const {
+    return peer_state(as) == PeerState::kPeered;
+  }
+  [[nodiscard]] const std::vector<Prefix4>& local_prefixes() const {
+    return local_prefixes_;
+  }
+  [[nodiscard]] const std::vector<Prefix6>& local_prefixes6() const {
+    return local_prefixes6_;
+  }
+
+  /// The DAS's border routers. router() is the first (single-router DASes
+  /// are the common case); router(i) addresses a specific one; an interface
+  /// (e.g. the neighbor AS hash) selects which router a packet traverses.
+  [[nodiscard]] BorderRouter& router() { return *routers_.front(); }
+  [[nodiscard]] const BorderRouter& router() const { return *routers_.front(); }
+  [[nodiscard]] BorderRouter& router(std::size_t index) {
+    return *routers_[index % routers_.size()];
+  }
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] RouterTables& tables() { return tables_; }
+
+  /// Aggregated counters across all border routers.
+  [[nodiscard]] RouterStats total_router_stats() const;
+
+  /// Controller-side counters for the cost evaluation.
+  struct Stats {
+    std::uint64_t ads_seen = 0;
+    std::uint64_t peering_requests_sent = 0;
+    std::uint64_t peering_requests_received = 0;
+    std::uint64_t keys_generated = 0;
+    std::uint64_t rekeys_completed = 0;
+    std::uint64_t invocations_sent = 0;
+    std::uint64_t invocations_received = 0;
+    std::uint64_t invocations_rejected = 0;  // ownership check failed
+    std::uint64_t detector_triggers = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct PeerInfo {
+    PeerState state = PeerState::kDiscovered;
+    std::string controller_name;
+    std::uint64_t tx_key_serial = 0;  // last key serial we sent them
+    std::optional<Key128> pending_key;  // new stamping key awaiting ack
+  };
+
+  void handle(const Envelope& envelope);
+  void handle_peering_request(AsNumber from);
+  void handle_peering_accept(AsNumber from);
+  void handle_key_install(AsNumber from, const KeyInstall& msg);
+  void handle_key_install_ack(AsNumber from, const KeyInstallAck& msg);
+  void handle_invocation(AsNumber from, const InvocationRequest& msg);
+  void handle_alarm_quit(AsNumber from);
+  void handle_teardown(AsNumber from);
+
+  /// Drops peer state + keys locally (shared by both teardown directions).
+  void forget_peer(AsNumber peer);
+
+  /// Generates and ships key_{us,peer}; first key or re-key.
+  void negotiate_key(AsNumber peer, bool rekey);
+
+  /// Installs the peer-side table entries for an accepted triple (after the
+  /// con-rou latency when configured).
+  void execute_peer_functions(AsNumber victim, const InvocationTriple& triple);
+  void execute_peer_functions_now(AsNumber victim, const InvocationTriple& triple);
+
+  /// Installs the victim-side table entries for our own invocation.
+  void execute_victim_functions(const InvocationTriple& triple);
+  void execute_victim_functions_now(const InvocationTriple& triple);
+
+  void schedule_rekey_timer();
+
+  ControllerConfig config_;
+  EventLoop* loop_;
+  ConConNetwork* network_;
+  const InternetDataset* rpki_;
+  Xoshiro256 rng_;
+
+  RouterTables tables_;
+  std::vector<std::unique_ptr<BorderRouter>> routers_;
+  std::vector<Prefix4> local_prefixes_;
+  std::vector<Prefix6> local_prefixes6_;
+
+  std::map<AsNumber, PeerInfo> peers_;
+  std::unique_ptr<RateDetector> detector_;
+  Stats stats_;
+
+  // Detector state: per source AS, sample timestamps in the window.
+  std::unordered_map<AsNumber, std::vector<SimTime>> samples_;
+  bool drop_mode_requested_ = false;
+};
+
+}  // namespace discs

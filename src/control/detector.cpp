@@ -1,0 +1,43 @@
+#include "control/detector.hpp"
+
+namespace discs {
+
+RateDetector::RateDetector(std::vector<Prefix4> monitored, Config config)
+    : config_(config) {
+  states_.reserve(monitored.size());
+  for (const auto& prefix : monitored) {
+    index_.insert(prefix, static_cast<std::uint32_t>(states_.size()));
+    states_.push_back({prefix, {}, 0});
+  }
+}
+
+void RateDetector::trim(State& state, SimTime now) {
+  const SimTime cutoff = now > config_.window ? now - config_.window : 0;
+  while (!state.arrivals.empty() && state.arrivals.front() < cutoff) {
+    state.arrivals.pop_front();
+  }
+}
+
+std::optional<Prefix4> RateDetector::observe(Ipv4Address dst, SimTime now) {
+  const auto idx = index_.lookup(dst);
+  if (!idx) return std::nullopt;
+  State& state = states_[*idx];
+  state.arrivals.push_back(now);
+  trim(state, now);
+  if (now < state.quiet_until ||
+      state.arrivals.size() < config_.threshold_packets) {
+    return std::nullopt;
+  }
+  state.quiet_until = now + config_.holddown;
+  state.arrivals.clear();
+  return state.prefix;
+}
+
+std::size_t RateDetector::current_rate(Ipv4Address dst, SimTime now) {
+  const auto idx = index_.lookup(dst);
+  if (!idx) return 0;
+  trim(states_[*idx], now);
+  return states_[*idx].arrivals.size();
+}
+
+}  // namespace discs

@@ -1,0 +1,60 @@
+// Attack-detection module (paper §IV-E1: "at the upstream of the DDoS
+// defense tool chain are the attack detection modules [AL-2:ADS], which
+// detect attacks in real time and invoke the DISCS functions
+// automatically").
+//
+// RateDetector is a per-prefix sliding-window rate monitor: it watches the
+// inbound packet rate toward each protected prefix and fires once the rate
+// crosses a threshold. The controller wires it to its border routers and
+// invokes DP+CDP for the overwhelmed prefix when it fires.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lpm/lpm.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+class RateDetector {
+ public:
+  struct Config {
+    /// Packets per window that constitute an attack on one prefix.
+    std::size_t threshold_packets = 1000;
+    SimTime window = kSecond;
+    /// Re-arm delay: after firing for a prefix, stay quiet this long (the
+    /// invocation it triggers covers the attack; re-fire only if the attack
+    /// outlives it).
+    SimTime holddown = kMinute;
+  };
+
+  RateDetector(std::vector<Prefix4> monitored, Config config);
+
+  /// Feeds one inbound packet observation. Returns the monitored prefix
+  /// whose rate just crossed the threshold, if any (at most once per
+  /// holddown per prefix).
+  std::optional<Prefix4> observe(Ipv4Address dst, SimTime now);
+
+  /// Current windowed packet count toward the prefix covering `dst`.
+  [[nodiscard]] std::size_t current_rate(Ipv4Address dst, SimTime now);
+
+ private:
+  struct State {
+    Prefix4 prefix;
+    std::deque<SimTime> arrivals;  // within the window
+    SimTime quiet_until = 0;
+  };
+
+  void trim(State& state, SimTime now);
+
+  Config config_;
+  std::vector<State> states_;
+  Lpm4<std::uint32_t> index_;  // dst -> index into states_
+};
+
+}  // namespace discs

@@ -1,0 +1,117 @@
+// Controller-to-controller protocol messages (the customized peer-to-peer
+// protocol of paper §IV): peering setup, key negotiation with two-phase
+// re-keying, on-demand function invocation, and alarm-mode control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/cmac.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+/// High-level defense functions as a victim invokes them (§IV-E2); the
+/// controller maps each to its per-direction table operations.
+enum class InvokableFunction : std::uint8_t {
+  kDp = 1u << 0,
+  kCdp = 1u << 1,
+  kSp = 1u << 2,
+  kCsp = 1u << 3,
+};
+using InvokableSet = std::uint8_t;
+
+[[nodiscard]] constexpr InvokableSet invoke_mask(InvokableFunction f) {
+  return static_cast<InvokableSet>(f);
+}
+[[nodiscard]] constexpr bool has_invokable(InvokableSet set, InvokableFunction f) {
+  return (set & invoke_mask(f)) != 0;
+}
+/// All four functions — the paper's "attack type unknown / highly
+/// destructive" fallback.
+inline constexpr InvokableSet kInvokeAll =
+    invoke_mask(InvokableFunction::kDp) | invoke_mask(InvokableFunction::kCdp) |
+    invoke_mask(InvokableFunction::kSp) | invoke_mask(InvokableFunction::kCsp);
+
+/// A protected subnetwork: DISCS defends IPv4 and IPv6 prefixes alike
+/// (§V-E / §V-F give both packet formats).
+using VictimPrefix = std::variant<Prefix4, Prefix6>;
+
+/// One element of an invocation: protect prefix `v` with `functions` for
+/// `duration` (§IV-E3's (v, f, duration) triple).
+struct InvocationTriple {
+  VictimPrefix victim_prefix;
+  InvokableSet functions = 0;
+  SimTime duration = 24 * kHour;
+
+  friend bool operator==(const InvocationTriple&, const InvocationTriple&) = default;
+};
+
+// ---- message bodies ----
+
+struct PeeringRequest {};
+struct PeeringAccept {};
+struct PeeringReject {
+  std::string reason;
+};
+
+/// Key delivery: `key` is key_{sender,receiver} — the sender stamps with it,
+/// the receiver verifies with it. `serial` orders re-keys; `rekey` marks a
+/// replacement (receiver keeps the old key as grace key until commit).
+struct KeyInstall {
+  Key128 key{};
+  std::uint64_t serial = 0;
+  bool rekey = false;
+};
+
+/// Receiver confirms deployment of `serial`; the sender now switches its
+/// stamping key (two-phase re-keying, §IV-D).
+struct KeyInstallAck {
+  std::uint64_t serial = 0;
+};
+
+struct InvocationRequest {
+  std::vector<InvocationTriple> triples;
+  /// Alarm mode: execute the functions but sample instead of dropping.
+  bool alarm_mode = false;
+};
+
+struct InvocationAccept {
+  std::size_t accepted_triples = 0;
+};
+
+struct InvocationReject {
+  std::string reason;
+};
+
+/// Victim asks peers to leave alarm mode and start dropping (§IV-F).
+struct AlarmQuit {};
+
+/// Sender is leaving the collaboration (un-deploying DISCS, or severing
+/// this one relationship): the receiver must erase the pair's keys and
+/// stop treating the sender as a peer.
+struct PeeringTeardown {
+  std::string reason;
+};
+
+using ControlMessage =
+    std::variant<PeeringRequest, PeeringAccept, PeeringReject, KeyInstall,
+                 KeyInstallAck, InvocationRequest, InvocationAccept,
+                 InvocationReject, AlarmQuit, PeeringTeardown>;
+
+/// A routed control-plane message.
+struct Envelope {
+  AsNumber from = kNoAs;
+  AsNumber to = kNoAs;
+  ControlMessage message;
+};
+
+/// Approximate serialized size in bytes, used for bandwidth accounting in
+/// the §VI-C controller cost model (TLS record overhead excluded; the
+/// channel adds it).
+[[nodiscard]] std::size_t wire_size(const ControlMessage& message);
+
+}  // namespace discs

@@ -1,0 +1,50 @@
+#include "control/secure_channel.hpp"
+
+#include <algorithm>
+
+#include "control/codec.hpp"
+
+namespace discs {
+
+std::size_t wire_size(const ControlMessage& message) {
+  // Single source of truth: the real codec (header endpoints do not affect
+  // the size — the common header is fixed at 16 bytes).
+  return encode_envelope(Envelope{kNoAs, kNoAs, message}).size();
+}
+
+void ConConNetwork::send(AsNumber from, AsNumber to, ControlMessage message) {
+  const SimTime now = loop_->now();
+
+  // TLS session management: resume when the cache entry is still fresh,
+  // otherwise a full handshake (cost + extra latency).
+  const PairKey key = pair_key(from, to);
+  SimTime extra_latency = 0;
+  const auto it = session_expiry_.find(key);
+  if (it != session_expiry_.end() && it->second > now) {
+    ++stats_.session_resumptions;
+  } else {
+    ++stats_.handshakes;
+    stats_.bytes += cost_.handshake_bytes;
+    extra_latency = cost_.handshake_latency;
+  }
+  session_expiry_[key] = now + cost_.session_ttl;
+  stats_.peak_concurrent_sessions =
+      std::max(stats_.peak_concurrent_sessions, live_sessions(now));
+
+  ++stats_.messages;
+  stats_.bytes += wire_size(message) + cost_.record_overhead_bytes;
+
+  Envelope envelope{from, to, std::move(message)};
+  loop_->schedule(latency_ + extra_latency, [this, envelope = std::move(envelope)] {
+    const auto handler = handlers_.find(envelope.to);
+    if (handler != handlers_.end()) handler->second(envelope);
+  });
+}
+
+std::size_t ConConNetwork::live_sessions(SimTime now) const {
+  return static_cast<std::size_t>(
+      std::count_if(session_expiry_.begin(), session_expiry_.end(),
+                    [now](const auto& kv) { return kv.second > now; }));
+}
+
+}  // namespace discs

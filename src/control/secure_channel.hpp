@@ -1,0 +1,76 @@
+// The con-con channel (paper §IV-B): SSL-secured controller-to-controller
+// messaging, simulated as a latency-delayed bus over the event loop with
+// TLS cost accounting (handshakes, session-cache hits, bytes, concurrent
+// session memory) feeding the §VI-C controller cost model.
+//
+// Confidentiality/integrity are assumed (the simulator does not model an
+// on-path adversary inside the channel; §VI-E treats BGP security
+// separately), so "SSL" here is the cost model plus reliable delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "control/messages.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;           // payload + record overhead
+  std::uint64_t handshakes = 0;      // full TLS handshakes performed
+  std::uint64_t session_resumptions = 0;  // session-cache hits
+  std::size_t peak_concurrent_sessions = 0;
+};
+
+/// Cost constants from the paper's cited benchmarks (§VI-C1).
+struct ChannelCostModel {
+  std::size_t record_overhead_bytes = 29;      // TLS record + MAC overhead
+  std::size_t handshake_bytes = 1500;          // certs + key exchange
+  std::size_t per_session_memory_bytes = 10 * 1024;  // "less than 10kB" [39]
+  SimTime handshake_latency = 2 * kMillisecond;
+  SimTime session_ttl = 10 * kMinute;          // session cache lifetime
+};
+
+/// Star-free full-mesh message bus: any registered controller can message
+/// any other by AS number. Delivery is asynchronous via the event loop.
+class ConConNetwork {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  ConConNetwork(EventLoop& loop, SimTime latency = 50 * kMillisecond,
+                ChannelCostModel cost = {})
+      : loop_(&loop), latency_(latency), cost_(cost) {}
+
+  /// Registers the controller of `as`; replaces any previous handler.
+  void attach(AsNumber as, Handler handler) { handlers_[as] = std::move(handler); }
+  void detach(AsNumber as) { handlers_.erase(as); }
+
+  /// Sends a message; silently dropped when the destination is not attached
+  /// (the sender only learns through its own timeouts, like real networks).
+  void send(AsNumber from, AsNumber to, ControlMessage message);
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+
+  /// Number of currently live TLS sessions (cache entries not yet expired).
+  [[nodiscard]] std::size_t live_sessions(SimTime now) const;
+
+ private:
+  /// Session cache key: unordered controller pair.
+  using PairKey = std::pair<AsNumber, AsNumber>;
+  static PairKey pair_key(AsNumber a, AsNumber b) {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  EventLoop* loop_;
+  SimTime latency_;
+  ChannelCostModel cost_;
+  std::unordered_map<AsNumber, Handler> handlers_;
+  std::map<PairKey, SimTime> session_expiry_;
+  ChannelStats stats_;
+};
+
+}  // namespace discs

@@ -1,0 +1,184 @@
+#include "core/discs_system.hpp"
+
+#include <stdexcept>
+
+namespace discs {
+
+DiscsSystem::DiscsSystem(Config config)
+    : DiscsSystem(generate_dataset(config.internet), config) {}
+
+DiscsSystem::DiscsSystem(InternetDataset dataset, Config config)
+    : config_(config),
+      dataset_(std::move(dataset)),
+      graph_(generate_graph(dataset_.ases_by_space_desc(), config.graph)),
+      channel_(loop_, config.channel_latency),
+      bgp_(graph_),
+      sampler_(dataset_, derive_seed(config.seed, 0x7af)) {}
+
+Controller& DiscsSystem::deploy(AsNumber as) {
+  if (const auto it = controllers_.find(as); it != controllers_.end()) {
+    return *it->second;
+  }
+  if (!graph_.contains(as)) {
+    throw std::invalid_argument("deploy: AS not in the topology");
+  }
+  const auto prefixes = dataset_.prefixes_of(as);
+  if (prefixes.empty()) {
+    throw std::invalid_argument("deploy: AS owns no prefixes");
+  }
+
+  ControllerConfig cfg = config_.controller;
+  cfg.as = as;
+  cfg.controller_name = "controller.as" + std::to_string(as);
+  cfg.seed = derive_seed(config_.seed, as);
+  auto controller = std::make_unique<Controller>(cfg, loop_, channel_, dataset_);
+
+  // Flood the DISCS-Ad in a (re-)origination of a prefix this AS is the
+  // primary origin of (paper §IV-B: prepend/de-prepend keeps reachability
+  // intact). MOAS prefixes co-owned with another primary origin are skipped
+  // because only one AS may originate a prefix in the BGP model.
+  const Prefix4* own = nullptr;
+  for (const Prefix4& p : prefixes) {
+    if (dataset_.origins_of(p.address()).front() == as) {
+      own = &p;
+      break;
+    }
+  }
+  const Prefix4 ad_prefix = own != nullptr ? *own : prefixes.front();
+  bgp_.originate(as, ad_prefix, {controller->advertisement().to_attribute()});
+  ad_prefix_.emplace(as, ad_prefix);
+  controllers_.emplace(as, std::move(controller));
+
+  distribute_ads();
+  return *controllers_.at(as);
+}
+
+void DiscsSystem::undeploy(AsNumber as) {
+  const auto it = controllers_.find(as);
+  if (it == controllers_.end()) return;
+  it->second->shutdown();
+  controllers_.erase(it);
+  // Re-originate the prefix without the Ad so reachability is unaffected;
+  // the visible path change flushes the stale attribute from Loc-RIBs.
+  const auto prefix = ad_prefix_.find(as);
+  if (prefix != ad_prefix_.end()) {
+    bgp_.originate(as, prefix->second, {});
+    ad_prefix_.erase(prefix);
+  }
+  // Let the teardown messages drain.
+  settle(kSecond);
+}
+
+void DiscsSystem::distribute_ads() {
+  // Every controller learns whatever DISCS-Ads its Loc-RIB now carries.
+  // discover() is idempotent per origin, so repeated distribution is cheap.
+  for (auto& [as, controller] : controllers_) {
+    for (const DiscsAd& ad : bgp_.ads_seen(as)) {
+      controller->discover(ad);
+    }
+  }
+}
+
+void DiscsSystem::settle(SimTime window) { loop_.run_until(loop_.now() + window); }
+
+Controller* DiscsSystem::controller(AsNumber as) {
+  const auto it = controllers_.find(as);
+  return it == controllers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<AsNumber> DiscsSystem::deployed_ases() const {
+  std::vector<AsNumber> result;
+  result.reserve(controllers_.size());
+  for (const auto& [as, controller] : controllers_) result.push_back(as);
+  return result;
+}
+
+template <typename Packet>
+DeliveryResult DiscsSystem::send_impl(AsNumber origin_as, Packet& packet) {
+  DeliveryResult result;
+  const AsNumber dst_as = dataset_.origin_of(packet.header.dst);
+  if (dst_as == kNoAs || !graph_.contains(origin_as) || !graph_.contains(dst_as)) {
+    result.outcome = DeliveryOutcome::kUnroutable;
+    return result;
+  }
+  result.path = graph_.path(origin_as, dst_as);
+  if (result.path.empty()) {
+    result.outcome = DeliveryOutcome::kUnroutable;
+    return result;
+  }
+
+  // Outbound processing happens where the packet originates (a transit AS
+  // never applies Out-* functions to through-traffic; that is what keeps
+  // DISCS free of inherent false positives). Multi-router DASes pick the
+  // border router facing the next/previous hop on the AS path.
+  if (auto* source = controller(origin_as); source != nullptr && origin_as != dst_as) {
+    BorderRouter& egress = source->router(result.path.size() > 1 ? result.path[1] : 0);
+    result.source_verdict = egress.process_outbound(packet, loop_.now());
+    if (is_drop(result.source_verdict)) {
+      result.outcome = DeliveryOutcome::kDroppedAtSource;
+      return result;
+    }
+  }
+  // Legacy and transit ASes forward the packet unmodified.
+  if (auto* destination = controller(dst_as);
+      destination != nullptr && origin_as != dst_as) {
+    BorderRouter& ingress = destination->router(
+        result.path.size() > 1 ? result.path[result.path.size() - 2] : 0);
+    result.destination_verdict = ingress.process_inbound(packet, loop_.now());
+    if (is_drop(result.destination_verdict)) {
+      result.outcome = DeliveryOutcome::kDroppedAtDestination;
+      return result;
+    }
+  }
+  result.outcome = DeliveryOutcome::kDelivered;
+  return result;
+}
+
+DeliveryResult DiscsSystem::send_packet(AsNumber origin_as, Ipv4Packet& packet) {
+  return send_impl(origin_as, packet);
+}
+
+DeliveryResult DiscsSystem::send_packet(AsNumber origin_as, Ipv6Packet& packet) {
+  return send_impl(origin_as, packet);
+}
+
+AttackReport DiscsSystem::run_attack(AttackType type, AsNumber agent_as,
+                                     AsNumber victim_as, std::size_t packets) {
+  AttackReport report;
+  for (std::size_t k = 0; k < packets; ++k) {
+    SpoofFlow flow = sampler_.sample_flow(type);
+    flow.agent = agent_as;
+    flow.victim = victim_as;
+    Ipv4Packet packet;
+    while (true) {
+      while (flow.innocent == flow.agent || flow.innocent == flow.victim) {
+        flow.innocent = sampler_.sample_as();
+      }
+      packet = sampler_.attack_packet(flow);
+      // MOAS prefixes can map a role's sampled address into the agent's own
+      // AS, turning the flow intra-AS (it would never cross a border);
+      // resample those so every reported packet is a real inter-AS attack.
+      const AsNumber dst_as = dataset_.origin_of(packet.header.dst);
+      if (dst_as != agent_as && dst_as != kNoAs) break;
+      flow.innocent = sampler_.sample_as();
+    }
+    const DeliveryResult result = send_packet(agent_as, packet);
+    ++report.packets_sent;
+    switch (result.outcome) {
+      case DeliveryOutcome::kDroppedAtSource:
+        ++report.dropped_at_source;
+        break;
+      case DeliveryOutcome::kDroppedAtDestination:
+        ++report.dropped_at_destination;
+        break;
+      case DeliveryOutcome::kDelivered:
+        ++report.delivered;
+        break;
+      case DeliveryOutcome::kUnroutable:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace discs

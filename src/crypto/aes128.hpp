@@ -1,0 +1,35 @@
+// AES-128 block cipher (FIPS-197), encryption direction only — AES-CMAC
+// (the only consumer in DISCS) never needs the inverse cipher.
+//
+// This is a portable byte-oriented implementation: the S-box lookup plus an
+// explicit MixColumns using xtime(). It favours clarity and constant table
+// size over bit-sliced speed; the router cost bench (bench_cost_router)
+// reports its measured throughput next to the paper's hardware-core figures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace discs {
+
+/// A 128-bit symmetric key.
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// A 128-bit cipher block.
+using Block128 = std::array<std::uint8_t, 16>;
+
+class Aes128 {
+ public:
+  /// Expands the round keys once; encrypt() is then reusable and const.
+  explicit Aes128(const Key128& key);
+
+  /// Encrypts one 16-byte block (ECB single block; modes are built on top).
+  [[nodiscard]] Block128 encrypt(const Block128& plaintext) const;
+
+ private:
+  // 11 round keys of 16 bytes each (AES-128 = 10 rounds + initial).
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace discs

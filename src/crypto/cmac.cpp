@@ -1,0 +1,82 @@
+#include "crypto/cmac.hpp"
+
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+// Doubling in GF(2^128) with the CMAC polynomial (RFC 4493 §2.3).
+Block128 gf_double(const Block128& in) {
+  Block128 out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry != 0) out[15] ^= 0x87;
+  return out;
+}
+
+void xor_into(Block128& dst, const Block128& src) {
+  for (std::size_t i = 0; i < 16; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace
+
+AesCmac::AesCmac(const Key128& key) : cipher_(key) {
+  const Block128 l = cipher_.encrypt(Block128{});
+  k1_ = gf_double(l);
+  k2_ = gf_double(k1_);
+}
+
+Block128 AesCmac::mac(std::span<const std::uint8_t> message) const {
+  const std::size_t len = message.size();
+  // Number of blocks, counting an empty message as one (padded) block.
+  const std::size_t n = len == 0 ? 1 : (len + 15) / 16;
+  const bool last_complete = len != 0 && len % 16 == 0;
+
+  Block128 x{};  // running CBC state
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    Block128 block{};
+    for (std::size_t j = 0; j < 16; ++j) block[j] = message[16 * i + j];
+    xor_into(x, block);
+    x = cipher_.encrypt(x);
+  }
+
+  Block128 last{};
+  if (last_complete) {
+    for (std::size_t j = 0; j < 16; ++j) last[j] = message[16 * (n - 1) + j];
+    xor_into(last, k1_);
+  } else {
+    const std::size_t rem = len - 16 * (n - 1);
+    for (std::size_t j = 0; j < rem; ++j) last[j] = message[16 * (n - 1) + j];
+    last[rem] = 0x80;  // 10^i padding
+    xor_into(last, k2_);
+  }
+  xor_into(x, last);
+  return cipher_.encrypt(x);
+}
+
+std::uint64_t AesCmac::mac_truncated(std::span<const std::uint8_t> message,
+                                     unsigned bits) const {
+  const Block128 full = mac(message);
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < 8; ++i) top = (top << 8) | full[i];
+  return top >> (64u - bits);
+}
+
+Key128 derive_key128(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  Key128 key{};
+  for (int half = 0; half < 2; ++half) {
+    const std::uint64_t w = sm.next();
+    for (int i = 0; i < 8; ++i) {
+      key[static_cast<std::size_t>(8 * half + i)] =
+          static_cast<std::uint8_t>(w >> (56 - 8 * i));
+    }
+  }
+  return key;
+}
+
+}  // namespace discs

@@ -1,0 +1,44 @@
+// AES-CMAC (RFC 4493): the keyed MAC algorithm DISCS uses for per-packet
+// e2e marks (paper §V-D), plus the mark-truncation helpers for the IPv4
+// (29-bit) and IPv6 (32-bit) packet formats (§V-E, §V-F).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes128.hpp"
+
+namespace discs {
+
+/// Number of MAC bits that fit in the IPv4 IPID + Fragment Offset fields.
+inline constexpr unsigned kIpv4MarkBits = 29;
+/// Number of MAC bits carried by the 4-byte IPv6 DISCS destination option.
+inline constexpr unsigned kIpv6MarkBits = 32;
+
+/// AES-CMAC with a fixed key. Subkeys K1/K2 are derived once at
+/// construction; mac() is const and thread-safe afterwards.
+class AesCmac {
+ public:
+  explicit AesCmac(const Key128& key);
+
+  /// Computes the full 128-bit CMAC of `message` (any length, including 0).
+  [[nodiscard]] Block128 mac(std::span<const std::uint8_t> message) const;
+
+  /// Computes the CMAC truncated to the top `bits` bits (1..64), returned
+  /// right-aligned in a 64-bit integer. RFC 4493 §2.4 sanctions truncation
+  /// by taking the most significant bits.
+  [[nodiscard]] std::uint64_t mac_truncated(
+      std::span<const std::uint8_t> message, unsigned bits) const;
+
+ private:
+  Aes128 cipher_;
+  Block128 k1_{};
+  Block128 k2_{};
+};
+
+/// Deterministic 128-bit key derivation from a 64-bit seed — used by the
+/// simulator's controllers so experiments are reproducible. Not a KDF for
+/// production use; real deployments draw keys from a CSPRNG.
+[[nodiscard]] Key128 derive_key128(std::uint64_t seed);
+
+}  // namespace discs

@@ -1,0 +1,127 @@
+// The DISCS border-router engine: the §V-C processing flow over the §V-A
+// tables, with alarm mode (§IV-F), IPv6 MTU handling (§V-F) and the ICMP
+// Time Exceeded mark scrubbing of §VI-E2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "dataplane/stamp.hpp"
+#include "dataplane/tables.hpp"
+#include "dataplane/tuple.hpp"
+#include "net/icmp.hpp"
+
+namespace discs {
+
+/// What the router decided to do with a packet.
+enum class Verdict : std::uint8_t {
+  kPass,          // forward
+  kDropFiltered,  // DP/SP end-based filter fired
+  kDropSpoofed,   // mark verification failed
+  kDropTooBig,    // IPv6 stamping would exceed the MTU (PTB emitted)
+};
+
+[[nodiscard]] constexpr bool is_drop(Verdict v) { return v != Verdict::kPass; }
+
+/// A sampled spoofing report emitted in alarm mode (the NetFlow/sFlow record
+/// of §IV-F, reduced to what the controller's detector consumes).
+struct AlarmSample {
+  SimTime time = 0;
+  AsNumber source_as = kNoAs;  // Pfx2AS of the claimed source
+  bool inbound = true;
+};
+
+struct RouterStats {
+  std::uint64_t out_processed = 0;
+  std::uint64_t out_dropped = 0;     // DP/SP
+  std::uint64_t out_stamped = 0;
+  std::uint64_t out_too_big = 0;
+  /// Fragmented IPv4 packets whose IPID/offset were overwritten by a stamp
+  /// — the §V-E collateral damage (~0.06% of real traffic): reassembly at
+  /// the destination will fail for these.
+  std::uint64_t fragments_stamped = 0;
+  std::uint64_t in_processed = 0;
+  std::uint64_t in_verified = 0;     // valid mark, erased
+  std::uint64_t in_spoof_dropped = 0;
+  std::uint64_t in_spoof_sampled = 0;  // alarm mode: identified but passed
+  std::uint64_t in_erased_tolerance = 0;
+  std::uint64_t in_passed_unverified = 0;
+  std::uint64_t icmp_scrubbed = 0;
+};
+
+class BorderRouter {
+ public:
+  /// `tables` must outlive the router (the controller owns them and pushes
+  /// updates; the router only reads).
+  BorderRouter(const RouterTables& tables, AsNumber local_as,
+               std::uint64_t rng_seed, std::size_t external_mtu = 1500)
+      : tables_(&tables),
+        tuples_(tables, local_as),
+        rng_(rng_seed),
+        mtu_(external_mtu) {}
+
+  /// Alarm mode: identified spoofing packets are sampled and passed instead
+  /// of dropped (paper §IV-F).
+  void set_alarm_mode(bool on) { alarm_mode_ = on; }
+  [[nodiscard]] bool alarm_mode() const { return alarm_mode_; }
+
+  /// Receives alarm-mode samples. By default every identified packet is
+  /// reported; set_sampling_rate(n) reports 1-in-n (NetFlow/sFlow style,
+  /// §IV-F) — sampling is deterministic-random from the router's stream.
+  void set_alarm_sink(std::function<void(const AlarmSample&)> sink) {
+    alarm_sink_ = std::move(sink);
+  }
+  void set_sampling_rate(std::uint32_t one_in_n) {
+    sampling_rate_ = one_in_n == 0 ? 1 : one_in_n;
+  }
+
+  /// Receives ICMPv6 messages the router originates (Packet Too Big).
+  void set_icmp6_sink(std::function<void(Ipv6Packet)> sink) {
+    icmp6_sink_ = std::move(sink);
+  }
+
+  /// Observes every inbound IPv4 packet's destination before processing —
+  /// the tap an attack-detection module (§IV-E1) hangs off.
+  void set_traffic_observer(std::function<void(Ipv4Address, SimTime)> observer) {
+    traffic_observer_ = std::move(observer);
+  }
+
+  /// Processes a packet leaving the local AS through this border router.
+  Verdict process_outbound(Ipv4Packet& packet, SimTime now);
+  Verdict process_outbound(Ipv6Packet& packet, SimTime now);
+
+  /// Processes a packet entering the local AS through this border router.
+  Verdict process_inbound(Ipv4Packet& packet, SimTime now);
+  Verdict process_inbound(Ipv6Packet& packet, SimTime now);
+
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] AsNumber local_as() const { return tuples_.local_as(); }
+
+ private:
+  template <typename Packet>
+  Verdict inbound_impl(Packet& packet, SimTime now);
+
+  /// Applies the verify/erase decision; returns the verdict contribution.
+  Verdict apply_verify(Ipv4Packet& packet, const InTuple& tuple);
+  Verdict apply_verify(Ipv6Packet& packet, const InTuple& tuple);
+
+  void report_spoof(const AlarmSample& sample) {
+    if (!alarm_sink_) return;
+    if (sampling_rate_ > 1 && rng_.below(sampling_rate_) != 0) return;
+    alarm_sink_(sample);
+  }
+
+  const RouterTables* tables_;
+  TupleGenerator tuples_;
+  Xoshiro256 rng_;
+  std::size_t mtu_;
+  std::uint32_t sampling_rate_ = 1;
+  bool alarm_mode_ = false;
+  std::function<void(const AlarmSample&)> alarm_sink_;
+  std::function<void(Ipv6Packet)> icmp6_sink_;
+  std::function<void(Ipv4Address, SimTime)> traffic_observer_;
+  RouterStats stats_;
+};
+
+}  // namespace discs

@@ -1,0 +1,117 @@
+#include "dataplane/stamp.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+
+namespace discs {
+namespace {
+
+// Writes the 29 mark bits across IPID (high 16) and Fragment Offset (low 13)
+// with incremental checksum maintenance.
+void ipv4_write_mark(Ipv4Packet& packet, std::uint32_t mark) {
+  Ipv4Header& h = packet.header;
+  const std::uint16_t new_id = static_cast<std::uint16_t>(mark >> 13);
+  const std::uint16_t new_fo = static_cast<std::uint16_t>(mark & 0x1fff);
+
+  const std::uint16_t old_word_id = h.identification;
+  const std::uint16_t old_word_fo =
+      static_cast<std::uint16_t>((h.flags << 13) | h.fragment_offset);
+  const std::uint16_t new_word_fo =
+      static_cast<std::uint16_t>((h.flags << 13) | new_fo);
+
+  h.checksum = incremental_checksum_update(h.checksum, old_word_id, new_id);
+  h.checksum = incremental_checksum_update(h.checksum, old_word_fo, new_word_fo);
+  h.identification = new_id;
+  h.fragment_offset = new_fo;
+}
+
+}  // namespace
+
+std::uint32_t ipv4_mark(const Ipv4Packet& packet, const AesCmac& mac) {
+  const auto msg = discs_msg(packet);
+  return static_cast<std::uint32_t>(mac.mac_truncated(msg, kIpv4MarkBits));
+}
+
+void ipv4_stamp(Ipv4Packet& packet, const AesCmac& mac) {
+  ipv4_write_mark(packet, ipv4_mark(packet, mac));
+}
+
+std::uint32_t ipv4_read_mark(const Ipv4Packet& packet) {
+  return (static_cast<std::uint32_t>(packet.header.identification) << 13) |
+         packet.header.fragment_offset;
+}
+
+void ipv4_erase(Ipv4Packet& packet, Xoshiro256& rng) {
+  ipv4_write_mark(packet,
+                  static_cast<std::uint32_t>(rng.next() & ((1u << 29) - 1)));
+}
+
+VerifyResult ipv4_verify(Ipv4Packet& packet, const AesCmac& mac,
+                         const AesCmac* grace_mac, Xoshiro256& rng) {
+  const std::uint32_t carried = ipv4_read_mark(packet);
+  const bool ok = carried == ipv4_mark(packet, mac) ||
+                  (grace_mac != nullptr && carried == ipv4_mark(packet, *grace_mac));
+  if (!ok) return VerifyResult::kInvalid;
+  ipv4_erase(packet, rng);
+  return VerifyResult::kValid;
+}
+
+std::uint32_t ipv6_mark(const Ipv6Packet& packet, const AesCmac& mac) {
+  const auto msg = discs_msg(packet);
+  return static_cast<std::uint32_t>(mac.mac_truncated(msg, kIpv6MarkBits));
+}
+
+Ipv6StampOutcome ipv6_stamp(Ipv6Packet& packet, const AesCmac& mac,
+                            std::size_t mtu) {
+  const std::uint32_t mark = ipv6_mark(packet, mac);
+  // Compute the grown size before mutating: +8 when a fresh destination
+  // options header is needed, +8 when the existing one has no room (a 6-byte
+  // option always forces a new 8-byte unit), judged via wire_size delta.
+  Ipv6Packet trial = packet;
+  if (!trial.dest_opts) trial.dest_opts.emplace();
+  trial.dest_opts->options.push_back(
+      {kDiscsOptionType,
+       {static_cast<std::uint8_t>(mark >> 24), static_cast<std::uint8_t>(mark >> 16),
+        static_cast<std::uint8_t>(mark >> 8), static_cast<std::uint8_t>(mark)}});
+  trial.refresh_chain();
+  if (trial.wire_size() > mtu) {
+    return {.stamped = false, .too_big = true};
+  }
+  packet = std::move(trial);
+  return {.stamped = true, .too_big = false};
+}
+
+std::optional<std::uint32_t> ipv6_read_mark(const Ipv6Packet& packet) {
+  if (!packet.dest_opts) return std::nullopt;
+  for (const auto& opt : packet.dest_opts->options) {
+    if (opt.type == kDiscsOptionType && opt.data.size() == 4) {
+      return (std::uint32_t{opt.data[0]} << 24) | (std::uint32_t{opt.data[1]} << 16) |
+             (std::uint32_t{opt.data[2]} << 8) | opt.data[3];
+    }
+  }
+  return std::nullopt;
+}
+
+void ipv6_erase(Ipv6Packet& packet) {
+  if (!packet.dest_opts) return;
+  auto& options = packet.dest_opts->options;
+  std::erase_if(options,
+                [](const Ipv6Option& o) { return o.type == kDiscsOptionType; });
+  // Paper §V-F: when no other option remains, remove the entire header.
+  if (options.empty()) packet.dest_opts.reset();
+  packet.refresh_chain();
+}
+
+VerifyResult ipv6_verify(Ipv6Packet& packet, const AesCmac& mac,
+                         const AesCmac* grace_mac) {
+  const auto carried = ipv6_read_mark(packet);
+  if (!carried) return VerifyResult::kAbsent;
+  const bool ok = *carried == ipv6_mark(packet, mac) ||
+                  (grace_mac != nullptr && *carried == ipv6_mark(packet, *grace_mac));
+  if (!ok) return VerifyResult::kInvalid;
+  ipv6_erase(packet);
+  return VerifyResult::kValid;
+}
+
+}  // namespace discs

@@ -1,0 +1,111 @@
+#include "dataplane/tables.hpp"
+
+#include <algorithm>
+
+namespace discs {
+
+void KeyTable::set_key(AsNumber peer, const Key128& key, bool retain_previous) {
+  const auto it = entries_.find(peer);
+  if (it == entries_.end()) {
+    entries_.emplace(peer, Entry(key));
+    return;
+  }
+  if (retain_previous) {
+    it->second.previous = it->second.active;
+    it->second.previous_mac.emplace(it->second.active);
+  } else {
+    it->second.previous.reset();
+    it->second.previous_mac.reset();
+  }
+  it->second.active = key;
+  it->second.active_mac = AesCmac(key);
+}
+
+void KeyTable::finish_rekey(AsNumber peer) {
+  const auto it = entries_.find(peer);
+  if (it != entries_.end()) {
+    it->second.previous.reset();
+    it->second.previous_mac.reset();
+  }
+}
+
+const KeyTable::Entry* KeyTable::find(AsNumber peer) const {
+  const auto it = entries_.find(peer);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+template <typename Lpm, typename Prefix>
+void FunctionTable::install_impl(Lpm& lpm, const Prefix& prefix,
+                                 DefenseFunction f, SimTime start, SimTime end) {
+  std::uint32_t index;
+  if (const std::uint32_t* existing = lpm.find_exact(prefix)) {
+    index = *existing;
+  } else {
+    index = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+    lpm.insert(prefix, index);
+  }
+  auto& windows = entries_[index].windows;
+  // Merge with an overlapping/adjacent window of the same function
+  // (re-invocation extends the original window, paper §IV-E1).
+  for (auto& w : windows) {
+    if (w.function == f && start <= w.end && end >= w.start) {
+      w.start = std::min(w.start, start);
+      w.end = std::max(w.end, end);
+      return;
+    }
+  }
+  windows.push_back({f, start, end});
+}
+
+void FunctionTable::install(const Prefix4& prefix, DefenseFunction f,
+                            SimTime start, SimTime end) {
+  install_impl(v4_, prefix, f, start, end);
+}
+
+void FunctionTable::install(const Prefix6& prefix, DefenseFunction f,
+                            SimTime start, SimTime end) {
+  install_impl(v6_, prefix, f, start, end);
+}
+
+template <typename Lpm, typename Addr>
+FunctionMatch FunctionTable::lookup_impl(const Lpm& lpm, const Addr& addr,
+                                         SimTime now) const {
+  FunctionMatch match;
+  lpm.visit_matches(addr, [&](std::uint32_t index) {
+    for (const auto& w : entries_[index].windows) {
+      if (!w.active_at(now)) continue;
+      match.functions |= to_mask(w.function);
+      const bool crypto_verify = w.function == DefenseFunction::kCdpVerify ||
+                                 w.function == DefenseFunction::kCspVerify;
+      if (crypto_verify &&
+          (now < w.start + tolerance_ || now + tolerance_ >= w.end)) {
+        match.erase_only = true;
+      }
+    }
+  });
+  return match;
+}
+
+FunctionMatch FunctionTable::lookup(Ipv4Address addr, SimTime now) const {
+  return lookup_impl(v4_, addr, now);
+}
+
+FunctionMatch FunctionTable::lookup(const Ipv6Address& addr, SimTime now) const {
+  return lookup_impl(v6_, addr, now);
+}
+
+void FunctionTable::expire(SimTime now) {
+  for (auto& entry : entries_) {
+    std::erase_if(entry.windows,
+                  [now](const FunctionWindow& w) { return w.end <= now; });
+  }
+}
+
+std::size_t FunctionTable::window_count() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) n += entry.windows.size();
+  return n;
+}
+
+}  // namespace discs

@@ -1,0 +1,175 @@
+// The extra tables a DISCS border router maintains (paper §V-A): the
+// prefix-to-AS mapping, the stamping/verification key tables, and the four
+// function tables (In-Src, In-Dst, Out-Src, Out-Dst).
+//
+// All tables are controller-constructed and installed on routers; lookups
+// are longest-prefix-match. Function entries carry the invocation window
+// (start/end) so on-demand invocation and expiry fall out of the lookup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/cmac.hpp"
+#include "lpm/lpm.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+/// The four defense functions, split into their per-direction operations
+/// exactly as Table I anatomizes them.
+enum class DefenseFunction : std::uint8_t {
+  kDp = 1u << 0,        // Out-Dst: drop if src not local
+  kCdpStamp = 1u << 1,  // Out-Dst: stamp
+  kCdpVerify = 1u << 2, // In-Dst:  verify if src belongs to a peer
+  kSp = 1u << 3,        // Out-Src: drop
+  kCspStamp = 1u << 4,  // Out-Src: stamp if dst belongs to a peer
+  kCspVerify = 1u << 5, // In-Src:  verify
+};
+
+/// Bitmask of DefenseFunction values.
+using FunctionSet = std::uint8_t;
+
+[[nodiscard]] constexpr FunctionSet to_mask(DefenseFunction f) {
+  return static_cast<FunctionSet>(f);
+}
+[[nodiscard]] constexpr bool has_function(FunctionSet set, DefenseFunction f) {
+  return (set & to_mask(f)) != 0;
+}
+
+/// Maps an address to its origin AS (longest prefix match). This is the
+/// router-resident projection of the controller's RPKI-derived mapping.
+class Pfx2AsTable {
+ public:
+  void add(const Prefix4& prefix, AsNumber as) { v4_.insert(prefix, as); }
+  void add(const Prefix6& prefix, AsNumber as) { v6_.insert(prefix, as); }
+
+  [[nodiscard]] AsNumber lookup(Ipv4Address addr) const {
+    return v4_.lookup(addr).value_or(kNoAs);
+  }
+  [[nodiscard]] AsNumber lookup(const Ipv6Address& addr) const {
+    return v6_.lookup(addr).value_or(kNoAs);
+  }
+
+  [[nodiscard]] std::size_t size() const { return v4_.size() + v6_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return v4_.memory_bytes() + v6_.memory_bytes();
+  }
+
+ private:
+  Lpm4<AsNumber> v4_;
+  Lpm6<AsNumber> v6_;
+};
+
+/// Key table: maps a peer AS to its 128-bit key. During re-keying the
+/// previous key stays valid for verification until the window closes
+/// (paper §IV-D), so entries hold up to two keys. The expanded AES-CMAC
+/// contexts are cached here so per-packet work is mac-only (the hardware
+/// analogue loads the key schedule once).
+class KeyTable {
+ public:
+  struct Entry {
+    explicit Entry(const Key128& key) : active(key), active_mac(key) {}
+
+    Key128 active;
+    AesCmac active_mac;
+    std::optional<Key128> previous;  // still accepted while re-keying
+    std::optional<AesCmac> previous_mac;
+  };
+
+  /// Installs/overwrites the key for `peer`. When a key already exists it
+  /// is retained as `previous` (the re-keying grace key) unless
+  /// `retain_previous` is false.
+  void set_key(AsNumber peer, const Key128& key, bool retain_previous = true);
+
+  /// Drops the grace key once the peer confirms the new key is deployed.
+  void finish_rekey(AsNumber peer);
+
+  /// Removes the peer entirely (peering torn down or key leaked).
+  void erase(AsNumber peer) { entries_.erase(peer); }
+
+  [[nodiscard]] const Entry* find(AsNumber peer) const;
+  [[nodiscard]] bool has_key(AsNumber peer) const {
+    return entries_.contains(peer);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<AsNumber, Entry> entries_;
+};
+
+/// One invocation window of a defense function over a prefix.
+struct FunctionWindow {
+  DefenseFunction function;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] bool active_at(SimTime t) const { return t >= start && t < end; }
+};
+
+/// What a function-table lookup reports about an address at a given time.
+struct FunctionMatch {
+  FunctionSet functions = 0;  // active functions
+  /// True when a crypto verify function is inside its head/tail tolerance
+  /// interval: erase the mark but do not judge it (paper §IV-E1).
+  bool erase_only = false;
+};
+
+/// One of In-Src / In-Dst / Out-Src / Out-Dst: prefix -> active functions.
+class FunctionTable {
+ public:
+  /// Tolerance interval applied at both ends of every crypto-verify window.
+  explicit FunctionTable(SimTime tolerance = 2 * kSecond)
+      : tolerance_(tolerance) {}
+
+  /// Installs a window; overlapping windows for the same prefix+function
+  /// extend each other (re-invocation with a longer duration).
+  void install(const Prefix4& prefix, DefenseFunction f, SimTime start,
+               SimTime end);
+  void install(const Prefix6& prefix, DefenseFunction f, SimTime start,
+               SimTime end);
+
+  /// Longest-prefix... actually *all*-prefix match: DISCS semantics union
+  /// the functions of every covering prefix (a /16 invocation and a nested
+  /// /24 invocation both apply).
+  [[nodiscard]] FunctionMatch lookup(Ipv4Address addr, SimTime now) const;
+  [[nodiscard]] FunctionMatch lookup(const Ipv6Address& addr, SimTime now) const;
+
+  /// Removes windows that ended before `now` (housekeeping).
+  void expire(SimTime now);
+
+  [[nodiscard]] std::size_t window_count() const;
+
+ private:
+  struct Entry {
+    std::vector<FunctionWindow> windows;
+  };
+
+  template <typename Lpm, typename Prefix>
+  void install_impl(Lpm& lpm, const Prefix& prefix, DefenseFunction f,
+                    SimTime start, SimTime end);
+  template <typename Lpm, typename Addr>
+  FunctionMatch lookup_impl(const Lpm& lpm, const Addr& addr, SimTime now) const;
+
+  SimTime tolerance_;
+  // Values are indices into entries_ so windows can be mutated after insert.
+  Lpm4<std::uint32_t> v4_;
+  Lpm6<std::uint32_t> v6_;
+  std::vector<Entry> entries_;
+};
+
+/// The full table set of one border router.
+struct RouterTables {
+  Pfx2AsTable pfx2as;
+  KeyTable key_s;  // stamping keys: key_{local,peer}
+  KeyTable key_v;  // verification keys: key_{peer,local}
+  FunctionTable in_src;
+  FunctionTable in_dst;
+  FunctionTable out_src;
+  FunctionTable out_dst;
+};
+
+}  // namespace discs

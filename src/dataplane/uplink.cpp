@@ -1,0 +1,56 @@
+#include "dataplane/uplink.hpp"
+
+#include <algorithm>
+
+namespace discs {
+
+UplinkReport strict_priority_admit(
+    const std::array<std::uint64_t, kTrafficClasses>& offered,
+    std::uint64_t capacity) {
+  UplinkReport report;
+  report.offered = offered;
+  std::uint64_t remaining = capacity;
+  for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+    const std::uint64_t take = std::min(offered[c], remaining);
+    report.served[c] = take;
+    report.dropped[c] = offered[c] - take;
+    remaining -= take;
+  }
+  return report;
+}
+
+UplinkReport fifo_admit(const std::array<std::uint64_t, kTrafficClasses>& offered,
+                        std::uint64_t capacity) {
+  UplinkReport report;
+  report.offered = offered;
+  std::uint64_t total = 0;
+  for (const auto o : offered) total += o;
+  if (total <= capacity) {
+    report.served = offered;
+    return report;
+  }
+  // Proportional sharing of the saturated link; remainders go to the
+  // highest classes (negligible, keeps totals exact).
+  std::uint64_t served_total = 0;
+  for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+    report.served[c] = offered[c] * capacity / total;
+    served_total += report.served[c];
+  }
+  for (std::size_t c = 0; served_total < capacity && c < kTrafficClasses; ++c) {
+    const std::uint64_t extra =
+        std::min(offered[c] - report.served[c], capacity - served_total);
+    report.served[c] += extra;
+    served_total += extra;
+  }
+  for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+    report.dropped[c] = offered[c] - report.served[c];
+  }
+  return report;
+}
+
+TrafficClass classify_for_uplink(Verdict verdict, bool was_verified) {
+  if (verdict == Verdict::kDropSpoofed) return TrafficClass::kDemoted;
+  return was_verified ? TrafficClass::kVerified : TrafficClass::kUnverifiable;
+}
+
+}  // namespace discs

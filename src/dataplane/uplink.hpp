@@ -1,0 +1,63 @@
+// Prioritized-queue uplink model (paper §I): MEF's flaw is that "the victim
+// AS cannot determine whether an inbound packet is spoofed or not no matter
+// what source address it carries, so it cannot enforce prioritized queues
+// in case the bandwidth is overwhelmed." DISCS's CDP/CSP verification gives
+// the victim exactly that signal, so identified-genuine traffic can be
+// served first when the uplink saturates — filtering *or* prioritizing
+// policies (§III-B).
+//
+// The model is a per-interval strict-priority scheduler over three classes:
+//   kVerified     — carried a valid mark (peer-stamped genuine traffic)
+//   kUnverifiable — source not a collaborator; cannot be judged
+//   kDemoted      — identified spoofed, kept at lowest priority instead of
+//                   dropped (the soft alternative to filtering)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dataplane/router.hpp"
+
+namespace discs {
+
+enum class TrafficClass : std::uint8_t {
+  kVerified = 0,
+  kUnverifiable = 1,
+  kDemoted = 2,
+};
+inline constexpr std::size_t kTrafficClasses = 3;
+
+/// Offered vs served packet counts per class for one scheduling interval.
+struct UplinkReport {
+  std::array<std::uint64_t, kTrafficClasses> offered{};
+  std::array<std::uint64_t, kTrafficClasses> served{};
+  std::array<std::uint64_t, kTrafficClasses> dropped{};
+
+  [[nodiscard]] double served_fraction(TrafficClass c) const {
+    const auto i = static_cast<std::size_t>(c);
+    return offered[i] == 0
+               ? 1.0
+               : static_cast<double>(served[i]) / static_cast<double>(offered[i]);
+  }
+};
+
+/// Strict-priority admission: serve kVerified first, then kUnverifiable,
+/// then kDemoted, up to `capacity` packets for the interval.
+[[nodiscard]] UplinkReport strict_priority_admit(
+    const std::array<std::uint64_t, kTrafficClasses>& offered,
+    std::uint64_t capacity);
+
+/// Single-queue admission (what a victim without verification can do at
+/// best): every class shares the capacity proportionally — genuine traffic
+/// drowns in attack volume.
+[[nodiscard]] UplinkReport fifo_admit(
+    const std::array<std::uint64_t, kTrafficClasses>& offered,
+    std::uint64_t capacity);
+
+/// Maps a router verdict to the uplink class it would be enqueued with when
+/// the DAS prefers demotion over dropping. kDropFiltered/TooBig never reach
+/// the uplink (those packets died at a border).
+[[nodiscard]] TrafficClass classify_for_uplink(Verdict verdict,
+                                               bool was_verified);
+
+}  // namespace discs

@@ -1,0 +1,73 @@
+#include "eval/cost.hpp"
+
+namespace discs {
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+/// AES-CMAC processes full 16-byte blocks; a msg of n bytes costs
+/// ceil(max(n,1)/16) block cipher calls. Rates derive from the hardware
+/// core's message throughput.
+double cmac_blocks(double msg_bytes) {
+  return msg_bytes <= 16 ? 1.0 : std::size_t((msg_bytes + 15) / 16);
+}
+
+}  // namespace
+
+ControllerCost controller_cost(std::size_t as_count, std::size_t prefix_count,
+                               const CostConstants& c) {
+  ControllerCost out;
+  out.as_table_mb = double(as_count * c.per_as_bytes) / kMb;
+  out.prefix_table_mb = double(prefix_count * c.per_prefix_bytes) / kMb;
+  // Worst case: concurrent SSL sessions to every other controller.
+  out.ssl_sessions_mb = double(as_count * c.per_ssl_session_bytes) / kMb;
+  out.total_mb = out.as_table_mb + out.prefix_table_mb + out.ssl_sessions_mb;
+
+  // Each ordered pair re-keys once per interval; a controller handles both
+  // the keys it generates and the ones it receives (2 events per peer).
+  const double minutes_per_interval = c.rekey_interval_days * 24 * 60;
+  out.rekeys_per_minute =
+      2.0 * static_cast<double>(as_count) / minutes_per_interval;
+
+  out.invocations_per_minute = c.attacks_per_day / (24 * 60);
+
+  out.ssl_conns_per_second_under_attack =
+      static_cast<double>(as_count) / c.reaction_time_seconds;
+  out.cpu_utilization =
+      out.ssl_conns_per_second_under_attack / c.ssl_conns_per_second_capacity;
+  out.bandwidth_mbps = out.ssl_conns_per_second_under_attack *
+                       c.ssl_bytes_per_connection * 8.0 / 1e6;
+  return out;
+}
+
+RouterCost router_cost(std::size_t as_count, std::size_t prefix_count,
+                       const CostConstants& c) {
+  RouterCost out;
+  out.sram_mb = double(prefix_count * c.router_per_prefix_bytes +
+                       as_count * c.router_key_bytes_per_as) /
+                kMb;
+  out.cam_kb = double(as_count * c.router_cam_bits_per_as) / 8.0 / 1024.0;
+
+  // Message sizes: 21 B (IPv4, §V-E) and 40 B (IPv6, §V-F) round up to 2
+  // and 3 AES blocks respectively.
+  const double bytes_per_second = c.hw_cmac_gbps * 1e9 / 8.0;
+  const double v4_pps = bytes_per_second / (cmac_blocks(21) * 16.0);
+  const double v6_pps = bytes_per_second / (cmac_blocks(40) * 16.0);
+  out.hw_mpps_ipv4 = v4_pps / 1e6;
+  out.hw_mpps_ipv6 = v6_pps / 1e6;
+  // Line rate assuming 400 B payloads (20/40 B base headers).
+  out.hw_gbps_ipv4 = v4_pps * (400 + 20) * 8.0 / 1e9;
+  out.hw_gbps_ipv6 = v6_pps * (400 + 40) * 8.0 / 1e9;
+  return out;
+}
+
+NetworkOverhead network_overhead(double payload_bytes) {
+  NetworkOverhead out;
+  out.ipv4_goodput_loss = 0.0;  // the 29-bit mark reuses existing fields
+  // An IPv6 packet grows by at most 8 bytes (option or full dest-opts
+  // header); goodput loss = 8 / (packet + 8).
+  out.ipv6_goodput_loss = 8.0 / (40.0 + payload_bytes + 8.0);
+  return out;
+}
+
+}  // namespace discs

@@ -1,0 +1,77 @@
+// The §VI-C resource-consumption model: controller storage / computation /
+// network and router storage / computation, computed from dataset scale and
+// the paper's cited benchmark constants, so bench_cost_* can print
+// paper-vs-reproduced tables side by side.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// Constants the paper plugs in (§VI-C with citations [30][39][40][41]).
+struct CostConstants {
+  // Controller storage.
+  std::size_t per_as_bytes = 4 + 1 + 1 + 32;   // ASN -> blacklist?, peer?, 2 keys
+  std::size_t per_prefix_bytes = 5 + 4 + 64;   // prefix -> ASN + 4 fn windows
+  std::size_t per_ssl_session_bytes = 10 * 1024;
+  // Controller computation / network.
+  double rekey_interval_days = 10;
+  double attacks_per_day = 1611;               // 1128 / 0.7 (Arbor [40])
+  double reaction_time_seconds = 300;          // contact all peers in 5 min
+  double ssl_conns_per_second_capacity = 2000; // low-end dual-core Atom [41]
+  double ssl_bytes_per_connection = 1500;      // with session cache
+  // Router storage.
+  std::size_t router_per_prefix_bytes = 4 + 1; // Pfx2AS + function bits
+  std::size_t router_key_bytes_per_as = 32;    // stamping + verification key
+  std::size_t router_cam_bits_per_as = 32;     // ASN lookup CAM
+  // Hardware AES-CMAC reference (Helion / IP Cores, ~2 Gbps per core).
+  double hw_cmac_gbps = 2.0;
+  // Network overhead reference.
+  double average_payload_bytes = 400;
+};
+
+struct ControllerCost {
+  double as_table_mb = 0;
+  double prefix_table_mb = 0;
+  double ssl_sessions_mb = 0;
+  double total_mb = 0;
+  double rekeys_per_minute = 0;
+  double invocations_per_minute = 0;
+  double ssl_conns_per_second_under_attack = 0;  // victim contacting peers
+  double cpu_utilization = 0;                    // of the Atom reference CPU
+  double bandwidth_mbps = 0;
+};
+
+struct RouterCost {
+  double sram_mb = 0;
+  double cam_kb = 0;
+  // Packet rates a 2 Gbps CMAC core sustains (paper: 8 / 5.33 Mpps).
+  double hw_mpps_ipv4 = 0;
+  double hw_mpps_ipv6 = 0;
+  // Line rates at 400 B payload (paper: 26.25 / 18.33 Gbps).
+  double hw_gbps_ipv4 = 0;
+  double hw_gbps_ipv6 = 0;
+};
+
+struct NetworkOverhead {
+  double ipv4_goodput_loss = 0;  // exactly 0: the mark reuses header fields
+  double ipv6_goodput_loss = 0;  // ~1.6% at 400 B payloads
+};
+
+/// Computes §VI-C.1 for a controller of an Internet with `as_count` DASes
+/// and `prefix_count` routable prefixes.
+[[nodiscard]] ControllerCost controller_cost(std::size_t as_count,
+                                             std::size_t prefix_count,
+                                             const CostConstants& c = {});
+
+/// Computes §VI-C.2 router storage and hardware-CMAC throughput figures.
+[[nodiscard]] RouterCost router_cost(std::size_t as_count,
+                                     std::size_t prefix_count,
+                                     const CostConstants& c = {});
+
+/// Computes the §VI-C.2 goodput overhead at a given payload size.
+[[nodiscard]] NetworkOverhead network_overhead(double payload_bytes);
+
+}  // namespace discs

@@ -1,0 +1,194 @@
+#include "eval/deployment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace discs {
+
+DeploymentState::DeploymentState(std::vector<double> ratios)
+    : ratios_(std::move(ratios)), deployed_(ratios_.size(), false) {
+  if (ratios_.empty()) {
+    throw std::invalid_argument("DeploymentState: empty ratio vector");
+  }
+  for (double r : ratios_) {
+    t1_ += r;
+    t2_ += r * r;
+  }
+}
+
+DeploymentState DeploymentState::from_dataset(const InternetDataset& dataset) {
+  std::vector<double> ratios;
+  ratios.reserve(dataset.as_count());
+  for (AsNumber as : dataset.as_numbers()) ratios.push_back(dataset.ratio(as));
+  return DeploymentState(std::move(ratios));
+}
+
+void DeploymentState::deploy(std::size_t index) {
+  if (deployed_[index]) return;
+  deployed_[index] = true;
+  ++count_;
+  const double r = ratios_[index];
+  s1_ += r;
+  s2_ += r * r;
+  s3_ += r * r * r;
+}
+
+void DeploymentState::reset() {
+  std::fill(deployed_.begin(), deployed_.end(), false);
+  count_ = 0;
+  s1_ = s2_ = s3_ = 0;
+}
+
+double DeploymentState::avg_incentive_dp() const { return s1_ - s2_; }
+
+double DeploymentState::avg_incentive_cdp() const {
+  const double c1 = t1_ - s1_;
+  if (c1 <= 0) return s1_ - s2_;  // no LAS left; limit value
+  const double c2 = t2_ - s2_;
+  return s1_ - s2_ - s1_ * (c2 / c1);
+}
+
+double DeploymentState::avg_incentive_dp_cdp() const {
+  const double c1 = t1_ - s1_;
+  const double mean_rv = c1 <= 0 ? 0.0 : (t2_ - s2_) / c1;
+  return (s1_ - s2_) + s1_ * (1.0 - mean_rv - s1_);
+}
+
+double DeploymentState::effectiveness() const {
+  return s1_ + s1_ * s1_ - s1_ * s1_ * s1_ - 3.0 * s2_ + s1_ * s2_ + s3_;
+}
+
+std::vector<std::size_t> deployment_order(const InternetDataset& dataset,
+                                          DeploymentStrategy strategy,
+                                          std::uint64_t seed) {
+  const std::size_t n = dataset.as_count();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (strategy) {
+    case DeploymentStrategy::kUniform:
+      // Order is irrelevant under equal sizes; keep the identity order.
+      return order;
+    case DeploymentStrategy::kRandom: {
+      Xoshiro256 rng(seed);
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(order[i - 1], order[rng.below(i)]);
+      }
+      return order;
+    }
+    case DeploymentStrategy::kOptimal: {
+      const auto& ases = dataset.as_numbers();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return dataset.address_space(ases[a]) >
+                                dataset.address_space(ases[b]);
+                       });
+      return order;
+    }
+  }
+  return order;
+}
+
+namespace {
+
+double read_metric(const DeploymentState& state, CurveMetric metric) {
+  switch (metric) {
+    case CurveMetric::kCumulatedRatio:
+      return state.cumulated_ratio();
+    case CurveMetric::kIncentiveDp:
+      return state.avg_incentive_dp();
+    case CurveMetric::kIncentiveCdp:
+      return state.avg_incentive_cdp();
+    case CurveMetric::kIncentiveDpCdp:
+      return state.avg_incentive_dp_cdp();
+    case CurveMetric::kEffectiveness:
+      return state.effectiveness();
+  }
+  return 0;
+}
+
+DeploymentCurve run_over_state(DeploymentState& state,
+                               const std::vector<std::size_t>& order,
+                               const std::vector<std::size_t>& sample_counts,
+                               CurveMetric metric) {
+  DeploymentCurve curve;
+  curve.counts = sample_counts;
+  curve.values.reserve(sample_counts.size());
+  std::size_t next_sample = 0;
+  for (std::size_t step = 0;
+       step <= order.size() && next_sample < sample_counts.size(); ++step) {
+    while (next_sample < sample_counts.size() &&
+           sample_counts[next_sample] == step) {
+      curve.values.push_back(read_metric(state, metric));
+      ++next_sample;
+    }
+    if (step < order.size()) state.deploy(order[step]);
+  }
+  // Any trailing sample counts beyond N saturate at the final value.
+  while (curve.values.size() < sample_counts.size()) {
+    curve.values.push_back(read_metric(state, metric));
+  }
+  return curve;
+}
+
+}  // namespace
+
+DeploymentCurve run_deployment(const InternetDataset& dataset,
+                               const std::vector<std::size_t>& order,
+                               const std::vector<std::size_t>& sample_counts,
+                               CurveMetric metric) {
+  DeploymentState state = DeploymentState::from_dataset(dataset);
+  return run_over_state(state, order, sample_counts, metric);
+}
+
+DeploymentCurve run_uniform_deployment(
+    std::size_t num_ases, const std::vector<std::size_t>& sample_counts,
+    CurveMetric metric) {
+  DeploymentState state(
+      std::vector<double>(num_ases, 1.0 / static_cast<double>(num_ases)));
+  std::vector<std::size_t> order(num_ases);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return run_over_state(state, order, sample_counts, metric);
+}
+
+DeploymentCurve run_random_trials(const InternetDataset& dataset,
+                                  const std::vector<std::size_t>& sample_counts,
+                                  CurveMetric metric, std::size_t trials,
+                                  std::uint64_t seed) {
+  std::vector<DeploymentCurve> curves(trials);
+  parallel_for(0, trials, [&](std::size_t trial) {
+    const auto order = deployment_order(dataset, DeploymentStrategy::kRandom,
+                                        derive_seed(seed, trial));
+    curves[trial] = run_deployment(dataset, order, sample_counts, metric);
+  });
+  DeploymentCurve mean;
+  mean.counts = sample_counts;
+  mean.values.assign(sample_counts.size(), 0.0);
+  for (const auto& curve : curves) {
+    for (std::size_t i = 0; i < curve.values.size(); ++i) {
+      mean.values[i] += curve.values[i];
+    }
+  }
+  for (double& v : mean.values) v /= static_cast<double>(trials);
+  return mean;
+}
+
+std::vector<std::size_t> default_sample_counts(std::size_t n,
+                                               std::size_t points) {
+  std::vector<std::size_t> counts;
+  counts.reserve(points + 4);
+  for (std::size_t i = 0; i <= points; ++i) {
+    counts.push_back(i * n / points);
+  }
+  for (std::size_t anchor : {std::size_t{50}, std::size_t{200}, std::size_t{629}}) {
+    if (anchor < n) counts.push_back(anchor);
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+}  // namespace discs

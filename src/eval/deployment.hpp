@@ -1,0 +1,126 @@
+// Deployment-simulation machinery for §VI-A/§VI-B: an incremental
+// deployment state with O(1) closed-form queries for the average deployment
+// incentive of each DISCS function family and for global effectiveness.
+//
+// Derivations (see DESIGN.md §4; probabilities p^A = p^I = p^V = r_j):
+//   S1 = Σ_{j∈D} r_j, S2 = Σ_{j∈D} r_j², S3 = Σ_{j∈D} r_j³,
+//   C1 = Σ_{v∉D} r_v, C2 = Σ_{v∉D} r_v².
+//
+//   inc_DP(D)        = S1 − S2                       (independent of v)
+//   inc_CDP(D, v)    = S1 − S2 − S1·r_v
+//   inc_DP+CDP(D, v) = (S1 − S2) + S1(1 − r_v − S1)
+//   weighted averages over v ∉ D divide by C1 and replace r_v by C2/C1.
+//
+//   Effectiveness (Fig. 7) is measured with "all functions enabled for all
+//   traffic all the time" — always-on, not on-demand — so the end-based leg
+//   fires at any deployed agent AS regardless of the victim:
+//     end leg    E: a∈D ∧ i≠a ∧ a≠v
+//     crypto leg C: v∈D ∧ i∈D ∧ a≠i ∧ i≠v ∧ a≠v
+//   P(E) = Σ_{a∈D} r_a(1−r_a)² = S1 − 2S2 + S3
+//   P(C) = (S1−S2)S1 − (S1+1)S2 + 2S3
+//   P(E∧C) = Σ_{distinct a,i,v∈D} r_a r_i r_v = S1³ − 3S1S2 + 2S3
+//   effectiveness = P(E)+P(C)−P(E∧C)
+//                 = S1 + S1² − S1³ − 3S2 + S1·S2 + S3,
+//   which is ~linear in S1 for small deployments — matching the paper's
+//   "almost linear" random-deployment curve. SP/CSP against s-DDoS is
+//   symmetric, so one number serves both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// Which deployment order to simulate (paper Figure 6).
+enum class DeploymentStrategy : std::uint8_t {
+  kRandom,   // uniformly random order (Fig. 5 / "random" series)
+  kOptimal,  // largest address space first (§VI-A3, provably optimal)
+  kUniform,  // hypothetical equal-size ASes ("uniform" series)
+};
+
+/// Incremental deployment over a fixed ratio vector.
+class DeploymentState {
+ public:
+  /// `ratios` must sum to ~1 (the r_j of every AS).
+  explicit DeploymentState(std::vector<double> ratios);
+
+  /// Builds the ratio vector from a dataset (indexed like as_numbers()).
+  static DeploymentState from_dataset(const InternetDataset& dataset);
+
+  /// Marks AS `index` deployed; idempotent.
+  void deploy(std::size_t index);
+
+  void reset();
+
+  [[nodiscard]] bool deployed(std::size_t index) const { return deployed_[index]; }
+  [[nodiscard]] std::size_t deployed_count() const { return count_; }
+  [[nodiscard]] std::size_t size() const { return ratios_.size(); }
+  [[nodiscard]] double ratio(std::size_t index) const { return ratios_[index]; }
+
+  [[nodiscard]] double s1() const { return s1_; }
+  [[nodiscard]] double s2() const { return s2_; }
+
+  /// Cumulated routable address ratio of the deployed set (Fig. 6a).
+  [[nodiscard]] double cumulated_ratio() const { return s1_; }
+
+  // ---- average deployment incentives over the remaining LASes ----
+  [[nodiscard]] double avg_incentive_dp() const;
+  [[nodiscard]] double avg_incentive_cdp() const;
+  [[nodiscard]] double avg_incentive_dp_cdp() const;
+
+  // ---- global spoofing reduction, all functions always on (Fig. 7) ----
+  [[nodiscard]] double effectiveness() const;
+
+ private:
+  std::vector<double> ratios_;
+  std::vector<bool> deployed_;
+  std::size_t count_ = 0;
+  double s1_ = 0, s2_ = 0, s3_ = 0;
+  double t1_ = 0, t2_ = 0;  // totals over all ASes
+};
+
+/// A deployment order (indices into the ratio vector).
+[[nodiscard]] std::vector<std::size_t> deployment_order(
+    const InternetDataset& dataset, DeploymentStrategy strategy,
+    std::uint64_t seed);
+
+/// One measured curve: value at each requested deployment count.
+struct DeploymentCurve {
+  std::vector<std::size_t> counts;  // deployer counts sampled
+  std::vector<double> values;
+};
+
+/// What to measure along a deployment run.
+enum class CurveMetric : std::uint8_t {
+  kCumulatedRatio,
+  kIncentiveDp,
+  kIncentiveCdp,
+  kIncentiveDpCdp,
+  kEffectiveness,
+};
+
+/// Walks `order`, deploying one AS at a time, and records `metric` at each
+/// count in `sample_counts` (must be ascending).
+[[nodiscard]] DeploymentCurve run_deployment(
+    const InternetDataset& dataset, const std::vector<std::size_t>& order,
+    const std::vector<std::size_t>& sample_counts, CurveMetric metric);
+
+/// Uniform-hypothesis variant: every AS weighs 1/N regardless of dataset.
+[[nodiscard]] DeploymentCurve run_uniform_deployment(
+    std::size_t num_ases, const std::vector<std::size_t>& sample_counts,
+    CurveMetric metric);
+
+/// Fig. 5 / Fig. 6 "random" series: mean of `trials` random-order runs,
+/// parallelized over the thread pool. Deterministic in `seed`.
+[[nodiscard]] DeploymentCurve run_random_trials(
+    const InternetDataset& dataset, const std::vector<std::size_t>& sample_counts,
+    CurveMetric metric, std::size_t trials, std::uint64_t seed);
+
+/// Convenience: sample counts evenly covering [1, n] plus the paper's
+/// anchor counts (50, 200, 629) when they fit.
+[[nodiscard]] std::vector<std::size_t> default_sample_counts(std::size_t n,
+                                                             std::size_t points);
+
+}  // namespace discs

@@ -1,0 +1,66 @@
+#include "eval/flowsim.hpp"
+
+namespace discs {
+
+bool discs_filters_flow(const SpoofFlow& flow,
+                        const std::unordered_set<AsNumber>& deployed,
+                        InvocationModel model) {
+  const AsNumber a = flow.agent;
+  const AsNumber i = flow.innocent;
+  const AsNumber v = flow.victim;
+  if (a == v) return false;  // intra-AS; never crosses a border
+  // On demand, nothing runs unless the victim is a DAS that invoked.
+  if (model == InvocationModel::kOnDemand && !deployed.contains(v)) {
+    return false;
+  }
+  // End-based leg (DP for d-DDoS, SP for s-DDoS): the agent's own DAS drops
+  // the spoofed packet at egress, unless the agent spoofs its own AS space.
+  const bool end_based = deployed.contains(a) && i != a;
+  // Crypto leg (CDP: victim verifies sources claiming peer i; CSP: the
+  // reflector i verifies sources claiming the victim): needs both the
+  // verifying end (v) and the claimed AS (i) deployed, and fails to catch
+  // agents inside i itself.
+  const bool crypto = deployed.contains(v) && deployed.contains(i) &&
+                      a != i && i != v;
+  return end_based || crypto;
+}
+
+FlowSimResult simulate_effectiveness(const InternetDataset& dataset,
+                                     const std::unordered_set<AsNumber>& deployed,
+                                     AttackType type, std::size_t flows,
+                                     std::uint64_t seed, InvocationModel model) {
+  TrafficSampler sampler(dataset, seed);
+  FlowSimResult result;
+  result.flows = flows;
+  for (std::size_t k = 0; k < flows; ++k) {
+    const SpoofFlow flow = sampler.sample_flow(type);
+    result.filtered += discs_filters_flow(flow, deployed, model);
+  }
+  return result;
+}
+
+FlowSimResult simulate_incentive(const InternetDataset& dataset,
+                                 const std::unordered_set<AsNumber>& deployed,
+                                 AsNumber victim, AttackType type,
+                                 std::size_t flows, std::uint64_t seed) {
+  TrafficSampler sampler(dataset, seed);
+  std::unordered_set<AsNumber> with_victim = deployed;
+  with_victim.insert(victim);
+
+  FlowSimResult result;
+  result.flows = flows;
+  std::size_t accepted = 0;
+  while (accepted < flows) {
+    SpoofFlow flow = sampler.sample_flow(type);
+    flow.victim = victim;
+    // Resample roles that collided with the pinned victim.
+    if (flow.agent == victim || flow.innocent == victim) continue;
+    ++accepted;
+    // An LAS gets nothing (on-demand functions are never invoked for it),
+    // so the incentive delta is simply "filtered once v deploys".
+    result.filtered += discs_filters_flow(flow, with_victim);
+  }
+  return result;
+}
+
+}  // namespace discs

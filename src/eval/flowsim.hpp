@@ -1,0 +1,56 @@
+// Flow-level Monte-Carlo cross-check for the closed-form effectiveness and
+// incentive models: sample spoofing flows (a, i, v) from the r_j
+// distribution, apply the DISCS filter predicate, and estimate the filtered
+// fraction. Agreement between this estimator and DeploymentState's closed
+// forms is asserted by tests and reported by bench_fig7_effectiveness.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "attack/traffic.hpp"
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// How the defense functions are activated:
+///  * kOnDemand — the paper's deployment model (§IV-E): functions run only
+///    because the victim DAS invoked them, so nothing fires unless v ∈ D;
+///  * kAlwaysOn — the Fig. 7 effectiveness setting ("all functions enabled
+///    for all traffic all the time"): the end-based leg fires at any
+///    deployed agent AS regardless of who the victim is.
+enum class InvocationModel : std::uint8_t { kOnDemand, kAlwaysOn };
+
+/// Whether the deployed set D filters the flow, with full peering among
+/// DASes:
+///   end leg:    a∈D ∧ i≠a ∧ a≠v            (requires v∈D when on-demand)
+///   crypto leg: v∈D ∧ i∈D ∧ a≠i ∧ i≠v ∧ a≠v
+///   s-DDoS is the SP/CSP dual — same formula by the roles' symmetry
+///   (i is the reflector where CSP-verify runs).
+[[nodiscard]] bool discs_filters_flow(
+    const SpoofFlow& flow, const std::unordered_set<AsNumber>& deployed,
+    InvocationModel model = InvocationModel::kOnDemand);
+
+struct FlowSimResult {
+  std::size_t flows = 0;
+  std::size_t filtered = 0;
+  [[nodiscard]] double fraction() const {
+    return flows == 0 ? 0.0 : static_cast<double>(filtered) / static_cast<double>(flows);
+  }
+};
+
+/// Samples `flows` spoofing flows of `type` and counts how many D filters.
+/// Defaults to the always-on model, matching Fig. 7's setting.
+[[nodiscard]] FlowSimResult simulate_effectiveness(
+    const InternetDataset& dataset, const std::unordered_set<AsNumber>& deployed,
+    AttackType type, std::size_t flows, std::uint64_t seed,
+    InvocationModel model = InvocationModel::kAlwaysOn);
+
+/// Incentive estimator: fraction of flows targeting a fixed victim `v`
+/// (v ∉ D) that become filtered when v joins D — the Δ of §VI-A1,
+/// Monte-Carlo style. Only flows with victim v are sampled (a and i vary).
+[[nodiscard]] FlowSimResult simulate_incentive(
+    const InternetDataset& dataset, const std::unordered_set<AsNumber>& deployed,
+    AsNumber victim, AttackType type, std::size_t flows, std::uint64_t seed);
+
+}  // namespace discs

@@ -1,0 +1,43 @@
+#include "eval/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace discs {
+
+double processing_load_fraction(const InternetDataset& dataset,
+                                const std::vector<AsNumber>& victims) {
+  std::unordered_set<AsNumber> unique(victims.begin(), victims.end());
+  double mass = 0;
+  for (AsNumber v : unique) mass += dataset.ratio(v);
+  mass = std::min(mass, 1.0);
+  // P(src in V or dst in V) under independent gravity endpoints.
+  return 2.0 * mass - mass * mass;
+}
+
+double expected_on_demand_load(const InternetDataset& dataset,
+                               double attacks_per_day, double duration_hours) {
+  // Invocations protect the attacked *prefix* (§IV-E3 "who to protect"),
+  // not the victim's whole AS. Attacks land on prefix p with probability
+  // proportional to its share s_p, so p's invocations form a Poisson
+  // process of rate attacks_per_day * s_p; with duration T days, p is
+  // protected at a random instant with probability 1 - exp(-rate * T)
+  // (M/G/inf busy probability). Expected protected address mass:
+  //   M = Σ_p s_p * (1 - exp(-attacks_per_day * s_p * T)).
+  const double duration_days = duration_hours / 24.0;
+  double total_size = 0;
+  for (const auto& e : dataset.entries()) {
+    total_size += static_cast<double>(e.prefix.size());
+  }
+  double mass = 0;
+  for (const auto& e : dataset.entries()) {
+    const double share = static_cast<double>(e.prefix.size()) / total_size;
+    mass += share *
+            (1.0 - std::exp(-attacks_per_day * share * duration_days));
+  }
+  mass = std::min(mass, 1.0);
+  return 2.0 * mass - mass * mass;
+}
+
+}  // namespace discs

@@ -1,0 +1,40 @@
+// On-demand processing load (§IV-E's cost argument, quantified): with
+// always-on methods every border router runs its filter over 100% of
+// traffic forever; with DISCS only traffic touching victim prefixes during
+// active invocations is processed.
+//
+// Traffic between ASes follows a gravity model — volume(i, j) ∝ r_i · r_j —
+// the same assumption as the flow sampling in §VI-A2. Under it, the
+// fraction of global traffic a DP+CDP invocation set subjects to DISCS
+// processing is:
+//
+//   load = Σ_{v in V} 2 r_v − (Σ_{v in V} r_v)²·2 + ... ≈ 2·R_V − R_V²
+//
+// where R_V = Σ r_v over ASes with at least one victim prefix under active
+// invocation: a packet is processed when its destination (stamp/verify) or
+// its source (SP/CSP dual) lies in protected space. Exactly:
+//   P(dst ∈ V or src ∈ V) = 2 R_V − R_V².
+#pragma once
+
+#include <vector>
+
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// Fraction of global traffic (gravity model) that touches DISCS
+/// processing when the given ASes have invocations active over their whole
+/// address space. `victims` lists the ASes under active defense.
+[[nodiscard]] double processing_load_fraction(const InternetDataset& dataset,
+                                              const std::vector<AsNumber>& victims);
+
+/// Expected long-run load given an attack arrival process: `attacks_per_day`
+/// independent attacks, each protecting the attacked *prefix* (§IV-E3's
+/// "who") for `duration_hours`. Per prefix this is an M/G/∞ busy
+/// probability; the expected protected mass sums size-weighted busy
+/// probabilities over all routed prefixes.
+[[nodiscard]] double expected_on_demand_load(const InternetDataset& dataset,
+                                             double attacks_per_day,
+                                             double duration_hours);
+
+}  // namespace discs

@@ -1,0 +1,60 @@
+#include "eval/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace discs {
+
+void CurveSet::add(const std::string& name, const DeploymentCurve& curve) {
+  if (x.empty()) {
+    x = curve.counts;
+  } else if (x != curve.counts) {
+    throw std::invalid_argument("CurveSet::add: mismatched x-axis for " + name);
+  }
+  series.push_back({name, curve.values});
+}
+
+void write_csv(std::ostream& out, const CurveSet& curves) {
+  out << curves.x_label;
+  for (const auto& s : curves.series) out << ',' << s.name;
+  out << '\n';
+  for (std::size_t i = 0; i < curves.x.size(); ++i) {
+    out << curves.x[i];
+    for (const auto& s : curves.series) out << ',' << s.y[i];
+    out << '\n';
+  }
+}
+
+void write_gnuplot(std::ostream& out, const CurveSet& curves) {
+  out << "# " << curves.title << '\n';
+  out << "# " << curves.x_label;
+  for (const auto& s : curves.series) out << '\t' << s.name;
+  out << '\n';
+  for (std::size_t i = 0; i < curves.x.size(); ++i) {
+    out << curves.x[i];
+    for (const auto& s : curves.series) out << '\t' << s.y[i];
+    out << '\n';
+  }
+}
+
+std::string write_artifacts(const std::string& directory,
+                            const std::string& stem, const CurveSet& curves) {
+  std::filesystem::create_directories(directory);
+  const std::string csv_path = directory + "/" + stem + ".csv";
+  {
+    std::ofstream csv(csv_path);
+    if (!csv) throw std::runtime_error("cannot write " + csv_path);
+    write_csv(csv, curves);
+  }
+  const std::string dat_path = directory + "/" + stem + ".dat";
+  {
+    std::ofstream dat(dat_path);
+    if (!dat) throw std::runtime_error("cannot write " + dat_path);
+    write_gnuplot(dat, curves);
+  }
+  return csv_path;
+}
+
+}  // namespace discs

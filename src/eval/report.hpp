@@ -1,0 +1,41 @@
+// Result export: turns bench measurements into machine-readable artifacts
+// (CSV and gnuplot-ready .dat) so reproduced figures can be re-plotted
+// outside the harness. Benches write into a results/ directory next to the
+// binary when given one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/deployment.hpp"
+
+namespace discs {
+
+/// A named series sharing one x-axis (e.g. Fig. 6b's uniform/random/optimal).
+struct CurveSet {
+  std::string title;
+  std::string x_label;
+  std::vector<std::size_t> x;
+  struct Series {
+    std::string name;
+    std::vector<double> y;
+  };
+  std::vector<Series> series;
+
+  /// Adds a deployment curve; its counts must equal `x` (checked).
+  void add(const std::string& name, const DeploymentCurve& curve);
+};
+
+/// CSV: header "x,<name1>,<name2>,..." then one row per x.
+void write_csv(std::ostream& out, const CurveSet& curves);
+
+/// gnuplot .dat with a commented header and aligned columns.
+void write_gnuplot(std::ostream& out, const CurveSet& curves);
+
+/// Writes `<stem>.csv` and `<stem>.dat` under `directory` (created when
+/// missing). Returns the csv path; throws std::runtime_error on IO failure.
+std::string write_artifacts(const std::string& directory,
+                            const std::string& stem, const CurveSet& curves);
+
+}  // namespace discs

@@ -1,0 +1,67 @@
+#include "eval/security.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "dataplane/stamp.hpp"
+
+namespace discs {
+
+double forgery_expected_attempts(unsigned mark_bits, unsigned valid_keys) {
+  const double space = static_cast<double>(1ull << mark_bits) /
+                       static_cast<double>(valid_keys);
+  return (space + 1.0) / 2.0;
+}
+
+ForgeryTrialResult run_forgery_trials(unsigned mark_bits, std::size_t trials,
+                                      unsigned valid_keys, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const AesCmac active(derive_key128(seed ^ 0xaaaa));
+  const AesCmac grace(derive_key128(seed ^ 0xbbbb));
+
+  ForgeryTrialResult result;
+  result.trials = trials;
+  result.expected_rate = static_cast<double>(valid_keys) /
+                         static_cast<double>(1ull << mark_bits);
+  const std::uint64_t mask = (1ull << mark_bits) - 1;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // A fresh packet per trial (attackers vary payloads to dodge duplicate
+    // detection), with a uniformly guessed mark.
+    auto packet = Ipv4Packet::make(
+        Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+        Ipv4Address(static_cast<std::uint32_t>(rng.next())), IpProto::kUdp,
+        {static_cast<std::uint8_t>(rng.next()), static_cast<std::uint8_t>(rng.next())});
+    const std::uint64_t guess = rng.next() & mask;
+    const auto msg = discs_msg(packet);
+    const bool hit = guess == active.mac_truncated(msg, mark_bits) ||
+                     (valid_keys > 1 && guess == grace.mac_truncated(msg, mark_bits));
+    result.successes += hit;
+  }
+  result.success_rate =
+      static_cast<double>(result.successes) / static_cast<double>(trials);
+  return result;
+}
+
+double key_leakage_exposure(const InternetDataset& dataset,
+                            const std::vector<AsNumber>& deployed,
+                            AsNumber leaked) {
+  // Re-enabled spoofing traffic after j's keys leak (§VI-E3):
+  //  * d-/s-DDoS on j spoofing any peer i (the attacker can now forge
+  //    key_{i,j} marks) from agents outside D (inside D the end-based
+  //    filter still drops at egress);
+  //  * attacks on each peer p spoofing j (forging key_{j,p} marks),
+  //    likewise from agents outside D.
+  const double r_j = dataset.ratio(leaked);
+  double s1 = 0;
+  bool j_deployed = false;
+  for (AsNumber as : deployed) {
+    s1 += dataset.ratio(as);
+    j_deployed = j_deployed || as == leaked;
+  }
+  if (!j_deployed) return 0.0;  // an LAS's "keys" protect nothing
+  const double peers_mass = s1 - r_j;       // Σ_{i ∈ D \ {j}} r_i
+  const double outside_mass = 1.0 - s1;     // Σ_{a ∉ D} r_a
+  return 2.0 * r_j * peers_mass * outside_mass;
+}
+
+}  // namespace discs

@@ -1,0 +1,45 @@
+// The §VI-E security model: brute-force MAC forgery work factors (analytic
+// and empirically measured against the real verifier) and replay-attack
+// properties.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// Expected number of packets an attacker must send to land one valid mark
+/// by brute force, trying marks without repetition: (space/keys + 1)/2.
+/// With one valid key this gives 2^28 (IPv4, 29-bit marks) and 2^31 (IPv6,
+/// 32-bit marks); during re-keying two keys verify, halving the factor
+/// (§VI-E1).
+[[nodiscard]] double forgery_expected_attempts(unsigned mark_bits,
+                                               unsigned valid_keys = 1);
+
+struct ForgeryTrialResult {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  double success_rate = 0;   // measured
+  double expected_rate = 0;  // keys / 2^bits
+};
+
+/// Empirical forgery experiment against the real AES-CMAC verifier with a
+/// reduced mark width (full 29/32-bit spaces are too large to sample):
+/// random guesses against random packets, measuring the success rate and
+/// comparing it to keys/2^bits. `valid_keys` = 2 models a re-key window.
+[[nodiscard]] ForgeryTrialResult run_forgery_trials(unsigned mark_bits,
+                                                    std::size_t trials,
+                                                    unsigned valid_keys,
+                                                    std::uint64_t seed);
+
+/// §VI-E3 key-leakage blast radius: when AS j's keys leak, all of j's peers
+/// become spoofable innocents for attacks on j, while only j becomes a new
+/// innocent for attacks on each peer. Returns the fraction of global
+/// spoofing traffic that the leak re-enables (was filtered, now passes),
+/// under full deployment of set D.
+[[nodiscard]] double key_leakage_exposure(const InternetDataset& dataset,
+                                          const std::vector<AsNumber>& deployed,
+                                          AsNumber leaked);
+
+}  // namespace discs

@@ -1,0 +1,217 @@
+// Longest-prefix-match tables — the lookup substrate behind the DISCS
+// Pfx2AS table and the four function tables (paper §V-A).
+//
+// Two interchangeable engines are provided:
+//  * BinaryTrie  — one node per prefix bit; minimal memory, simple.
+//  * StrideTrie  — 8-bit stride with leaf pushing per level; trades memory
+//    for ~4x fewer memory touches per lookup. bench_ablation compares them.
+//
+// Both are templates over the key family (IPv4 or IPv6 traits) and the
+// mapped value type. Insert-then-lookup workloads only (route tables are
+// rebuilt, not incrementally withdrawn, in this simulator); `insert`
+// overwrites an existing entry for the same prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace discs {
+
+/// Key traits: bit access over addresses and prefix decomposition.
+struct Ipv4Key {
+  using Address = Ipv4Address;
+  using Prefix = Prefix4;
+  static constexpr unsigned kMaxBits = 32;
+  static unsigned bit(const Address& a, unsigned i) { return a.bit(i); }
+  /// Byte `i` of the address, most significant first.
+  static std::uint8_t byte(const Address& a, unsigned i) {
+    return static_cast<std::uint8_t>(a.bits() >> (24 - 8 * i));
+  }
+};
+
+struct Ipv6Key {
+  using Address = Ipv6Address;
+  using Prefix = Prefix6;
+  static constexpr unsigned kMaxBits = 128;
+  static unsigned bit(const Address& a, unsigned i) { return a.bit(i); }
+  static std::uint8_t byte(const Address& a, unsigned i) { return a.bytes()[i]; }
+};
+
+/// Classic binary (unibit) trie.
+template <typename Traits, typename Value>
+class BinaryTrie {
+ public:
+  using Address = typename Traits::Address;
+  using Prefix = typename Traits::Prefix;
+
+  BinaryTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the value for `prefix`.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+      auto& child = node->child[Traits::bit(prefix.address(), i)];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix-match lookup; nullopt when nothing matches.
+  [[nodiscard]] std::optional<Value> lookup(const Address& addr) const {
+    const Node* node = root_.get();
+    std::optional<Value> best;
+    for (unsigned i = 0;; ++i) {
+      if (node->value) best = node->value;
+      if (i >= Traits::kMaxBits) break;
+      node = node->child[Traits::bit(addr, i)].get();
+      if (node == nullptr) break;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup of a stored prefix (no LPM semantics).
+  [[nodiscard]] const Value* find_exact(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+      node = node->child[Traits::bit(prefix.address(), i)].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  /// Visits the value stored at every prefix on the path to `addr`, shortest
+  /// first — i.e. every table entry the address matches, not just the
+  /// longest. Used by function-table scans.
+  template <typename Fn>
+  void visit_matches(const Address& addr, Fn&& fn) const {
+    const Node* node = root_.get();
+    for (unsigned i = 0;; ++i) {
+      if (node->value) fn(*node->value);
+      if (i >= Traits::kMaxBits) break;
+      node = node->child[Traits::bit(addr, i)].get();
+      if (node == nullptr) break;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+  /// Approximate heap footprint in bytes (node count * sizeof(Node)); used
+  /// by the router cost bench.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return count_nodes(root_.get()) * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Value> value;
+  };
+
+  static std::size_t count_nodes(const Node* n) {
+    if (n == nullptr) return 0;
+    return 1 + count_nodes(n->child[0].get()) + count_nodes(n->child[1].get());
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// 8-bit-stride multibit trie. Each level consumes one address byte; a
+/// prefix whose length is not a multiple of 8 is expanded into the covered
+/// slots of its level (controlled prefix expansion), with longer prefixes
+/// taking precedence slot by slot.
+template <typename Traits, typename Value>
+class StrideTrie {
+ public:
+  using Address = typename Traits::Address;
+  using Prefix = typename Traits::Prefix;
+
+  StrideTrie() : root_(std::make_unique<Node>()) {}
+
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    unsigned remaining = prefix.length();
+    unsigned level = 0;
+    while (remaining > 8) {
+      const std::uint8_t b = Traits::byte(prefix.address(), level);
+      auto& child = node->children[b];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+      remaining -= 8;
+      ++level;
+    }
+    // Expand the final partial byte across its 2^(8-remaining) slots.
+    const std::uint8_t base =
+        remaining == 0 ? 0 : Traits::byte(prefix.address(), level);
+    const unsigned span = 1u << (8 - remaining);
+    const unsigned lo = remaining == 0 ? 0 : (base & ~(span - 1));
+    for (unsigned s = 0; s < span; ++s) {
+      auto& slot = node->slots[lo + s];
+      // A slot keeps the longest originating prefix; ties mean the same
+      // prefix is being overwritten, which insert() permits.
+      if (!slot.value || slot.length <= remaining) {
+        slot.value = value;
+        slot.length = static_cast<std::uint8_t>(remaining);
+      }
+    }
+    ++size_;  // counts insert calls (duplicates included); informational only
+  }
+
+  [[nodiscard]] std::optional<Value> lookup(const Address& addr) const {
+    const Node* node = root_.get();
+    std::optional<Value> best;
+    for (unsigned level = 0; level < Traits::kMaxBits / 8; ++level) {
+      const std::uint8_t b = Traits::byte(addr, level);
+      if (node->slots[b].value) best = node->slots[b].value;
+      node = node->children[b].get();
+      if (node == nullptr) break;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return count_nodes(root_.get()) * sizeof(Node);
+  }
+
+ private:
+  struct Slot {
+    std::optional<Value> value;
+    std::uint8_t length = 0;  // of the originating prefix's final byte part
+  };
+  struct Node {
+    std::array<Slot, 256> slots{};
+    std::array<std::unique_ptr<Node>, 256> children{};
+  };
+
+  static std::size_t count_nodes(const Node* n) {
+    if (n == nullptr) return 0;
+    std::size_t total = 1;
+    for (const auto& c : n->children) total += count_nodes(c.get());
+    return total;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Default LPM engines used by the data plane.
+template <typename Value>
+using Lpm4 = BinaryTrie<Ipv4Key, Value>;
+template <typename Value>
+using Lpm6 = BinaryTrie<Ipv6Key, Value>;
+
+}  // namespace discs

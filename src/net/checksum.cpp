@@ -1,0 +1,33 @@
+#include "net/checksum.hpp"
+
+namespace discs {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_word,
+                                          std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), all one's-complement sums.
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace discs

@@ -1,0 +1,23 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624), used by
+// the IPv4 stamper/verifier: rewriting IPID + Fragment Offset with a MAC
+// must keep the header checksum wire-correct (paper §V-E).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace discs {
+
+/// One's-complement sum of 16-bit words (RFC 1071). An odd trailing byte is
+/// padded with zero. Returns the checksum (already complemented) in host
+/// order; store it big-endian in the header.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// RFC 1624 incremental update: returns the new checksum after a 16-bit
+/// header word changes from `old_word` to `new_word`.
+/// HC' = ~(~HC + ~m + m')  (equation 3).
+[[nodiscard]] std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                                        std::uint16_t old_word,
+                                                        std::uint16_t new_word);
+
+}  // namespace discs

@@ -1,0 +1,168 @@
+#include "net/icmp.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+
+namespace discs {
+namespace {
+
+// Writes the ICMP type/code/checksum/rest-of-header prologue and returns the
+// body vector primed with it; checksum is filled by the caller.
+std::vector<std::uint8_t> icmp_prologue(std::uint8_t type, std::uint8_t code,
+                                        std::uint32_t rest) {
+  std::vector<std::uint8_t> body(8, 0);
+  body[0] = type;
+  body[1] = code;
+  body[4] = static_cast<std::uint8_t>(rest >> 24);
+  body[5] = static_cast<std::uint8_t>(rest >> 16);
+  body[6] = static_cast<std::uint8_t>(rest >> 8);
+  body[7] = static_cast<std::uint8_t>(rest & 0xff);
+  return body;
+}
+
+void store_checksum(std::vector<std::uint8_t>& icmp, std::uint16_t sum) {
+  icmp[2] = static_cast<std::uint8_t>(sum >> 8);
+  icmp[3] = static_cast<std::uint8_t>(sum & 0xff);
+}
+
+}  // namespace
+
+std::uint16_t icmpv4_checksum(std::span<const std::uint8_t> icmp) {
+  return internet_checksum(icmp);
+}
+
+std::uint16_t icmpv6_checksum(const Ipv6Address& src, const Ipv6Address& dst,
+                              std::span<const std::uint8_t> icmp) {
+  // RFC 8200 §8.1 pseudo-header: src, dst, upper-layer length, next header.
+  std::vector<std::uint8_t> buf;
+  buf.reserve(40 + icmp.size());
+  buf.insert(buf.end(), src.bytes().begin(), src.bytes().end());
+  buf.insert(buf.end(), dst.bytes().begin(), dst.bytes().end());
+  const std::uint32_t len = static_cast<std::uint32_t>(icmp.size());
+  buf.push_back(static_cast<std::uint8_t>(len >> 24));
+  buf.push_back(static_cast<std::uint8_t>(len >> 16));
+  buf.push_back(static_cast<std::uint8_t>(len >> 8));
+  buf.push_back(static_cast<std::uint8_t>(len & 0xff));
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(static_cast<std::uint8_t>(IpProto::kIcmpV6));
+  buf.insert(buf.end(), icmp.begin(), icmp.end());
+  return internet_checksum(buf);
+}
+
+Ipv4Packet build_time_exceeded_v4(const Ipv4Packet& offending,
+                                  Ipv4Address reporter) {
+  std::vector<std::uint8_t> body = icmp_prologue(kIcmpTimeExceeded, 0, 0);
+  // Quote the offending header + first 8 payload bytes (RFC 792).
+  std::array<std::uint8_t, Ipv4Header::kSize> quoted{};
+  offending.header.serialize(quoted);
+  body.insert(body.end(), quoted.begin(), quoted.end());
+  const std::size_t n = std::min<std::size_t>(8, offending.payload.size());
+  body.insert(body.end(), offending.payload.begin(),
+              offending.payload.begin() + static_cast<std::ptrdiff_t>(n));
+  store_checksum(body, icmpv4_checksum(body));
+  return Ipv4Packet::make(reporter, offending.header.src, IpProto::kIcmp,
+                          std::move(body));
+}
+
+Ipv6Packet build_time_exceeded_v6(const Ipv6Packet& offending,
+                                  const Ipv6Address& reporter,
+                                  std::size_t quote_limit) {
+  std::vector<std::uint8_t> body = icmp_prologue(kIcmpV6TimeExceeded, 0, 0);
+  auto quoted = offending.serialize();
+  if (quoted.size() > quote_limit) quoted.resize(quote_limit);
+  body.insert(body.end(), quoted.begin(), quoted.end());
+  store_checksum(
+      body, icmpv6_checksum(reporter, offending.header.src, body));
+  return Ipv6Packet::make(reporter, offending.header.src,
+                          static_cast<std::uint8_t>(IpProto::kIcmpV6),
+                          std::move(body));
+}
+
+Ipv6Packet build_packet_too_big_v6(const Ipv6Packet& offending,
+                                   const Ipv6Address& reporter,
+                                   std::uint32_t mtu,
+                                   std::size_t quote_limit) {
+  std::vector<std::uint8_t> body = icmp_prologue(kIcmpV6PacketTooBig, 0, mtu);
+  auto quoted = offending.serialize();
+  if (quoted.size() > quote_limit) quoted.resize(quote_limit);
+  body.insert(body.end(), quoted.begin(), quoted.end());
+  store_checksum(
+      body, icmpv6_checksum(reporter, offending.header.src, body));
+  return Ipv6Packet::make(reporter, offending.header.src,
+                          static_cast<std::uint8_t>(IpProto::kIcmpV6),
+                          std::move(body));
+}
+
+bool scrub_quoted_mark_v4(Ipv4Packet& packet) {
+  if (packet.header.protocol != static_cast<std::uint8_t>(IpProto::kIcmp)) {
+    return false;
+  }
+  auto& icmp = packet.payload;
+  if (icmp.size() < 8 + Ipv4Header::kSize || icmp[0] != kIcmpTimeExceeded) {
+    return false;
+  }
+  // The quoted header starts at offset 8. The mark occupies bytes 4..7 of it
+  // (Identification + Flags/FragmentOffset); DISCS keeps the 3 flag bits.
+  const std::size_t q = 8;
+  const std::uint16_t old_id =
+      static_cast<std::uint16_t>((icmp[q + 4] << 8) | icmp[q + 5]);
+  const std::uint16_t old_fo =
+      static_cast<std::uint16_t>((icmp[q + 6] << 8) | icmp[q + 7]);
+  const std::uint16_t new_fo = static_cast<std::uint16_t>(old_fo & 0xe000);
+  if (old_id == 0 && (old_fo & 0x1fff) == 0) return false;  // nothing to hide
+
+  icmp[q + 4] = 0;
+  icmp[q + 5] = 0;
+  icmp[q + 6] = static_cast<std::uint8_t>(new_fo >> 8);
+  icmp[q + 7] = static_cast<std::uint8_t>(new_fo & 0xff);
+
+  // Repair the quoted header's checksum incrementally so the quote stays
+  // internally consistent, then recompute the ICMP checksum over the body.
+  std::uint16_t qsum = static_cast<std::uint16_t>((icmp[q + 10] << 8) | icmp[q + 11]);
+  qsum = incremental_checksum_update(qsum, old_id, 0);
+  qsum = incremental_checksum_update(qsum, old_fo, new_fo);
+  icmp[q + 10] = static_cast<std::uint8_t>(qsum >> 8);
+  icmp[q + 11] = static_cast<std::uint8_t>(qsum & 0xff);
+
+  icmp[2] = icmp[3] = 0;
+  store_checksum(icmp, icmpv4_checksum(icmp));
+  return true;
+}
+
+bool scrub_quoted_mark_v6(Ipv6Packet& packet) {
+  if (packet.upper_proto != static_cast<std::uint8_t>(IpProto::kIcmpV6)) {
+    return false;
+  }
+  auto& icmp = packet.payload;
+  if (icmp.size() < 8 + Ipv6Header::kSize || icmp[0] != kIcmpV6TimeExceeded) {
+    return false;
+  }
+  // Re-parse the quoted packet, zero any DISCS option data, re-serialize in
+  // place. Truncated quotes that cut into the extension chain simply fail to
+  // parse and are left alone.
+  const std::span<std::uint8_t> quoted(icmp.data() + 8, icmp.size() - 8);
+  auto inner = Ipv6Packet::parse(quoted);
+  if (!inner || !inner->dest_opts) return false;
+  bool scrubbed = false;
+  for (auto& opt : inner->dest_opts->options) {
+    if (opt.type == kDiscsOptionType) {
+      std::fill(opt.data.begin(), opt.data.end(), 0);
+      scrubbed = true;
+    }
+  }
+  if (!scrubbed) return false;
+  const auto rewritten = inner->serialize();
+  // Zeroing option data never changes lengths, so this is a 1:1 overwrite of
+  // the parsed region (the quote may carry trailing truncated bytes).
+  std::copy(rewritten.begin(), rewritten.end(), quoted.begin());
+
+  icmp[2] = icmp[3] = 0;
+  store_checksum(icmp,
+                 icmpv6_checksum(packet.header.src, packet.header.dst, icmp));
+  return true;
+}
+
+}  // namespace discs

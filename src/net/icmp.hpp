@@ -1,0 +1,63 @@
+// ICMP / ICMPv6 messages used by DISCS:
+//  * Time Exceeded — §VI-E2: a TTL-expiry probe can echo a stamped header
+//    back to the attacker, so source-DAS border routers must scrub the MAC
+//    from the quoted packet inside inbound Time Exceeded messages.
+//  * ICMPv6 Packet Too Big — §V-F: stamping can grow an IPv6 packet past the
+//    external-link MTU; the border router reports MTU-8 to the source host.
+//
+// Checksums (ICMPv4 plain, ICMPv6 with pseudo-header) are computed so the
+// messages are wire-correct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+
+namespace discs {
+
+inline constexpr std::uint8_t kIcmpTimeExceeded = 11;       // ICMPv4 type
+inline constexpr std::uint8_t kIcmpV6TimeExceeded = 3;      // ICMPv6 type
+inline constexpr std::uint8_t kIcmpV6PacketTooBig = 2;      // ICMPv6 type
+
+/// Builds an ICMPv4 Time Exceeded (TTL) message quoting `offending`'s header
+/// plus its first 8 payload bytes, sent from `reporter` to the offending
+/// packet's source (RFC 792 semantics).
+[[nodiscard]] Ipv4Packet build_time_exceeded_v4(const Ipv4Packet& offending,
+                                                Ipv4Address reporter);
+
+/// Builds an ICMPv6 Time Exceeded message quoting as much of `offending` as
+/// fits in `quote_limit` bytes (RFC 4443).
+[[nodiscard]] Ipv6Packet build_time_exceeded_v6(const Ipv6Packet& offending,
+                                                const Ipv6Address& reporter,
+                                                std::size_t quote_limit = 1232);
+
+/// Builds an ICMPv6 Packet Too Big message advertising `mtu`.
+[[nodiscard]] Ipv6Packet build_packet_too_big_v6(const Ipv6Packet& offending,
+                                                 const Ipv6Address& reporter,
+                                                 std::uint32_t mtu,
+                                                 std::size_t quote_limit = 1232);
+
+/// Computes the ICMPv4 checksum over an ICMP message body.
+[[nodiscard]] std::uint16_t icmpv4_checksum(std::span<const std::uint8_t> icmp);
+
+/// Computes the ICMPv6 checksum including the IPv6 pseudo-header.
+[[nodiscard]] std::uint16_t icmpv6_checksum(const Ipv6Address& src,
+                                            const Ipv6Address& dst,
+                                            std::span<const std::uint8_t> icmp);
+
+/// If `packet` is an inbound ICMPv4 Time Exceeded quoting a stamped header,
+/// overwrites the quoted IPID + Fragment Offset (where the DISCS mark lives)
+/// with zeros and repairs the quoted header checksum and the ICMP checksum.
+/// Returns true when a quoted header was scrubbed.
+bool scrub_quoted_mark_v4(Ipv4Packet& packet);
+
+/// IPv6 analogue: zeroes the data of any DISCS destination option inside the
+/// packet quoted by an inbound ICMPv6 Time Exceeded message and repairs the
+/// ICMPv6 checksum. Returns true when a mark was scrubbed.
+bool scrub_quoted_mark_v6(Ipv6Packet& packet);
+
+}  // namespace discs

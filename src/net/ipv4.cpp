@@ -1,0 +1,120 @@
+#include "net/ipv4.hpp"
+
+#include <algorithm>
+
+#include "net/checksum.hpp"
+
+namespace discs {
+
+void Ipv4Header::refresh_checksum() {
+  checksum = 0;
+  std::array<std::uint8_t, kSize> bytes{};
+  serialize(bytes);
+  checksum = internet_checksum(bytes);
+}
+
+void Ipv4Header::serialize(std::span<std::uint8_t, kSize> out) const {
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = dscp_ecn;
+  out[2] = static_cast<std::uint8_t>(total_length >> 8);
+  out[3] = static_cast<std::uint8_t>(total_length & 0xff);
+  out[4] = static_cast<std::uint8_t>(identification >> 8);
+  out[5] = static_cast<std::uint8_t>(identification & 0xff);
+  out[6] = static_cast<std::uint8_t>((flags << 5) | ((fragment_offset >> 8) & 0x1f));
+  out[7] = static_cast<std::uint8_t>(fragment_offset & 0xff);
+  out[8] = ttl;
+  out[9] = protocol;
+  out[10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[11] = static_cast<std::uint8_t>(checksum & 0xff);
+  const std::uint32_t s = src.bits();
+  const std::uint32_t d = dst.bits();
+  out[12] = static_cast<std::uint8_t>(s >> 24);
+  out[13] = static_cast<std::uint8_t>(s >> 16);
+  out[14] = static_cast<std::uint8_t>(s >> 8);
+  out[15] = static_cast<std::uint8_t>(s);
+  out[16] = static_cast<std::uint8_t>(d >> 24);
+  out[17] = static_cast<std::uint8_t>(d >> 16);
+  out[18] = static_cast<std::uint8_t>(d >> 8);
+  out[19] = static_cast<std::uint8_t>(d);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  if (in[0] != 0x45) return std::nullopt;  // version 4, IHL 5 only
+  Ipv4Header h;
+  h.dscp_ecn = in[1];
+  h.total_length = static_cast<std::uint16_t>((in[2] << 8) | in[3]);
+  h.identification = static_cast<std::uint16_t>((in[4] << 8) | in[5]);
+  h.flags = static_cast<std::uint8_t>(in[6] >> 5);
+  h.fragment_offset = static_cast<std::uint16_t>(((in[6] & 0x1f) << 8) | in[7]);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = static_cast<std::uint16_t>((in[10] << 8) | in[11]);
+  h.src = Ipv4Address((std::uint32_t{in[12]} << 24) | (std::uint32_t{in[13]} << 16) |
+                      (std::uint32_t{in[14]} << 8) | in[15]);
+  h.dst = Ipv4Address((std::uint32_t{in[16]} << 24) | (std::uint32_t{in[17]} << 16) |
+                      (std::uint32_t{in[18]} << 8) | in[19]);
+  return h;
+}
+
+Ipv4Packet Ipv4Packet::make(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                            std::vector<std::uint8_t> payload) {
+  Ipv4Packet p;
+  p.header.src = src;
+  p.header.dst = dst;
+  p.header.protocol = static_cast<std::uint8_t>(proto);
+  p.header.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + payload.size());
+  p.payload = std::move(payload);
+  p.header.refresh_checksum();
+  return p;
+}
+
+std::vector<std::uint8_t> Ipv4Packet::serialize() const {
+  std::vector<std::uint8_t> wire(Ipv4Header::kSize + payload.size());
+  header.serialize(std::span<std::uint8_t, Ipv4Header::kSize>(
+      wire.data(), Ipv4Header::kSize));
+  std::copy(payload.begin(), payload.end(), wire.begin() + Ipv4Header::kSize);
+  return wire;
+}
+
+std::optional<Ipv4Packet> Ipv4Packet::parse(std::span<const std::uint8_t> wire) {
+  auto header = Ipv4Header::parse(wire);
+  if (!header) return std::nullopt;
+  if (header->total_length < Ipv4Header::kSize ||
+      header->total_length > wire.size()) {
+    return std::nullopt;
+  }
+  Ipv4Packet p;
+  p.header = *header;
+  p.payload.assign(wire.begin() + Ipv4Header::kSize,
+                   wire.begin() + header->total_length);
+  return p;
+}
+
+bool Ipv4Packet::checksum_valid() const {
+  std::array<std::uint8_t, Ipv4Header::kSize> bytes{};
+  header.serialize(bytes);
+  return internet_checksum(bytes) == 0;
+}
+
+std::array<std::uint8_t, 21> discs_msg(const Ipv4Packet& packet) {
+  std::array<std::uint8_t, 21> msg{};
+  const Ipv4Header& h = packet.header;
+  msg[0] = 0x45;  // Version | IHL
+  msg[1] = static_cast<std::uint8_t>(h.total_length >> 8);
+  msg[2] = static_cast<std::uint8_t>(h.total_length & 0xff);
+  msg[3] = static_cast<std::uint8_t>(h.flags << 5);  // 3 flag bits + 5 '0's
+  msg[4] = h.protocol;
+  const std::uint32_t s = h.src.bits();
+  const std::uint32_t d = h.dst.bits();
+  for (int i = 0; i < 4; ++i) {
+    msg[static_cast<std::size_t>(5 + i)] = static_cast<std::uint8_t>(s >> (24 - 8 * i));
+    msg[static_cast<std::size_t>(9 + i)] = static_cast<std::uint8_t>(d >> (24 - 8 * i));
+  }
+  const std::size_t n = std::min<std::size_t>(8, packet.payload.size());
+  for (std::size_t i = 0; i < n; ++i) msg[13 + i] = packet.payload[i];
+  return msg;
+}
+
+}  // namespace discs

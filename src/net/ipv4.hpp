@@ -1,0 +1,76 @@
+// IPv4 packet model: a structured header plus payload, with byte-exact
+// parse/serialize and the DISCS `msg` extraction of paper §V-E.
+//
+// The header checksum is kept wire-correct at all times: mutators that the
+// DISCS data plane uses (mark embedding, mark erasure) update it
+// incrementally per RFC 1624, and serialize() emits it verbatim so tests can
+// assert RFC 1071 validity over the emitted bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace discs {
+
+/// IP protocol numbers used by the simulator.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kIcmpV6 = 58,
+};
+
+/// A parsed IPv4 header (no options support — IHL is fixed at 5, which is
+/// what >99.9% of real traffic carries and all DISCS fields require).
+struct Ipv4Header {
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 20;  // header + payload bytes
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           // 3 bits: reserved, DF, MF
+  std::uint16_t fragment_offset = 0;  // 13 bits, in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  std::uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Recomputes `checksum` from scratch over the serialized header.
+  void refresh_checksum();
+
+  /// Serializes into exactly kSize bytes at `out`.
+  void serialize(std::span<std::uint8_t, kSize> out) const;
+
+  /// Parses a header; rejects short input, version != 4, IHL != 5.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> in);
+};
+
+/// An IPv4 packet: header plus opaque payload.
+struct Ipv4Packet {
+  Ipv4Header header;
+  std::vector<std::uint8_t> payload;
+
+  /// Builds a packet with consistent total_length and a valid checksum.
+  static Ipv4Packet make(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                         std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Ipv4Packet> parse(std::span<const std::uint8_t> wire);
+
+  /// True when the serialized header checksums to zero (RFC 1071 check).
+  [[nodiscard]] bool checksum_valid() const;
+};
+
+/// Builds the 21-byte DISCS MAC input (paper §V-E): Version|IHL, Total
+/// Length, Flags (padded with 5 zero bits), Protocol, Source, Destination,
+/// then the first 8 payload bytes zero-padded. IPID and Fragment Offset are
+/// deliberately excluded — DISCS overwrites them with the mark.
+[[nodiscard]] std::array<std::uint8_t, 21> discs_msg(const Ipv4Packet& packet);
+
+}  // namespace discs

@@ -1,0 +1,213 @@
+#include "net/ipv6.hpp"
+
+#include <algorithm>
+
+namespace discs {
+namespace {
+
+// Serialized byte length of the option TLVs (without lead bytes or padding).
+std::size_t options_content_size(const std::vector<Ipv6Option>& options) {
+  std::size_t n = 0;
+  for (const auto& opt : options) n += 2 + opt.data.size();
+  return n;
+}
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+}  // namespace
+
+std::size_t DestinationOptionsHeader::wire_size() const {
+  const std::size_t content = 2 + options_content_size(options);
+  return (content + 7) / 8 * 8;
+}
+
+Ipv6Packet Ipv6Packet::make(const Ipv6Address& src, const Ipv6Address& dst,
+                            std::uint8_t upper_proto,
+                            std::vector<std::uint8_t> payload) {
+  Ipv6Packet p;
+  p.header.src = src;
+  p.header.dst = dst;
+  p.upper_proto = upper_proto;
+  p.payload = std::move(payload);
+  p.refresh_chain();
+  return p;
+}
+
+void Ipv6Packet::refresh_chain() {
+  std::size_t ext = 0;
+  if (!hop_by_hop.empty()) ext += 2 + hop_by_hop.size();
+  if (dest_opts) ext += dest_opts->wire_size();
+  if (!routing.empty()) ext += 2 + routing.size();
+  header.payload_length = static_cast<std::uint16_t>(ext + payload.size());
+  if (!hop_by_hop.empty()) {
+    header.next_header = kNextHeaderHopByHop;
+  } else if (dest_opts) {
+    header.next_header = kNextHeaderDestOpts;
+  } else if (!routing.empty()) {
+    header.next_header = kNextHeaderRouting;
+  } else {
+    header.next_header = upper_proto;
+  }
+}
+
+std::size_t Ipv6Packet::wire_size() const {
+  std::size_t n = Ipv6Header::kSize + payload.size();
+  if (!hop_by_hop.empty()) n += 2 + hop_by_hop.size();
+  if (dest_opts) n += dest_opts->wire_size();
+  if (!routing.empty()) n += 2 + routing.size();
+  return n;
+}
+
+std::vector<std::uint8_t> Ipv6Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+
+  // What follows each present header in the chain.
+  const std::uint8_t after_hbh =
+      dest_opts ? kNextHeaderDestOpts
+                : (!routing.empty() ? kNextHeaderRouting : upper_proto);
+  const std::uint8_t after_dopt =
+      !routing.empty() ? kNextHeaderRouting : upper_proto;
+
+  // Fixed header.
+  out.push_back(static_cast<std::uint8_t>(0x60 | (header.traffic_class >> 4)));
+  out.push_back(static_cast<std::uint8_t>(((header.traffic_class & 0x0f) << 4) |
+                                          ((header.flow_label >> 16) & 0x0f)));
+  put16(out, static_cast<std::uint16_t>(header.flow_label & 0xffff));
+  put16(out, header.payload_length);
+  out.push_back(header.next_header);
+  out.push_back(header.hop_limit);
+  out.insert(out.end(), header.src.bytes().begin(), header.src.bytes().end());
+  out.insert(out.end(), header.dst.bytes().begin(), header.dst.bytes().end());
+
+  if (!hop_by_hop.empty()) {
+    out.push_back(after_hbh);
+    out.push_back(static_cast<std::uint8_t>((2 + hop_by_hop.size()) / 8 - 1));
+    out.insert(out.end(), hop_by_hop.begin(), hop_by_hop.end());
+  }
+  if (dest_opts) {
+    const std::size_t wire = dest_opts->wire_size();
+    out.push_back(after_dopt);
+    out.push_back(static_cast<std::uint8_t>(wire / 8 - 1));
+    std::size_t written = 2;
+    for (const auto& opt : dest_opts->options) {
+      out.push_back(opt.type);
+      out.push_back(static_cast<std::uint8_t>(opt.data.size()));
+      out.insert(out.end(), opt.data.begin(), opt.data.end());
+      written += 2 + opt.data.size();
+    }
+    const std::size_t pad = wire - written;
+    if (pad == 1) {
+      out.push_back(kPad1OptionType);
+    } else if (pad >= 2) {
+      out.push_back(kPadNOptionType);
+      out.push_back(static_cast<std::uint8_t>(pad - 2));
+      out.insert(out.end(), pad - 2, 0);
+    }
+  }
+  if (!routing.empty()) {
+    out.push_back(upper_proto);
+    out.push_back(static_cast<std::uint8_t>((2 + routing.size()) / 8 - 1));
+    out.insert(out.end(), routing.begin(), routing.end());
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Ipv6Packet> Ipv6Packet::parse(std::span<const std::uint8_t> wire) {
+  if (wire.size() < Ipv6Header::kSize) return std::nullopt;
+  if ((wire[0] >> 4) != 6) return std::nullopt;
+
+  Ipv6Packet p;
+  p.header.traffic_class =
+      static_cast<std::uint8_t>(((wire[0] & 0x0f) << 4) | (wire[1] >> 4));
+  p.header.flow_label = (static_cast<std::uint32_t>(wire[1] & 0x0f) << 16) |
+                        (static_cast<std::uint32_t>(wire[2]) << 8) | wire[3];
+  p.header.payload_length = static_cast<std::uint16_t>((wire[4] << 8) | wire[5]);
+  p.header.next_header = wire[6];
+  p.header.hop_limit = wire[7];
+  std::array<std::uint8_t, 16> src{}, dst{};
+  std::copy(wire.begin() + 8, wire.begin() + 24, src.begin());
+  std::copy(wire.begin() + 24, wire.begin() + 40, dst.begin());
+  p.header.src = Ipv6Address(src);
+  p.header.dst = Ipv6Address(dst);
+
+  if (Ipv6Header::kSize + p.header.payload_length > wire.size()) {
+    return std::nullopt;
+  }
+
+  std::size_t pos = Ipv6Header::kSize;
+  const std::size_t end = Ipv6Header::kSize + p.header.payload_length;
+  std::uint8_t next = p.header.next_header;
+
+  // Walk the supported chain: [hop-by-hop] [dest-opts] [routing] upper.
+  // Any other arrangement (e.g. dest-opts after routing) is rejected — the
+  // simulator never produces one and DISCS ignores such packets.
+  int stage = 0;  // 0 = may see hbh, 1 = may see dopt, 2 = may see routing
+  while (next == kNextHeaderHopByHop || next == kNextHeaderDestOpts ||
+         next == kNextHeaderRouting) {
+    if (pos + 2 > end) return std::nullopt;
+    const std::uint8_t following = wire[pos];
+    const std::size_t ext_len = 8u * (wire[pos + 1] + 1u);
+    if (pos + ext_len > end) return std::nullopt;
+
+    if (next == kNextHeaderHopByHop) {
+      if (stage > 0) return std::nullopt;
+      p.hop_by_hop.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos + 2),
+                          wire.begin() + static_cast<std::ptrdiff_t>(pos + ext_len));
+      stage = 1;
+    } else if (next == kNextHeaderDestOpts) {
+      if (stage > 1) return std::nullopt;
+      DestinationOptionsHeader dopt;
+      std::size_t o = pos + 2;
+      const std::size_t opt_end = pos + ext_len;
+      while (o < opt_end) {
+        const std::uint8_t type = wire[o];
+        if (type == kPad1OptionType) {
+          ++o;
+          continue;
+        }
+        if (o + 2 > opt_end) return std::nullopt;
+        const std::size_t len = wire[o + 1];
+        if (o + 2 + len > opt_end) return std::nullopt;
+        if (type != kPadNOptionType) {
+          dopt.options.push_back(
+              {type, std::vector<std::uint8_t>(
+                         wire.begin() + static_cast<std::ptrdiff_t>(o + 2),
+                         wire.begin() + static_cast<std::ptrdiff_t>(o + 2 + len))});
+        }
+        o += 2 + len;
+      }
+      p.dest_opts = std::move(dopt);
+      stage = 2;
+    } else {  // routing
+      if (stage > 2) return std::nullopt;
+      p.routing.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos + 2),
+                       wire.begin() + static_cast<std::ptrdiff_t>(pos + ext_len));
+      stage = 3;
+    }
+    pos += ext_len;
+    next = following;
+  }
+
+  p.upper_proto = next;
+  p.payload.assign(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                   wire.begin() + static_cast<std::ptrdiff_t>(end));
+  return p;
+}
+
+std::array<std::uint8_t, 40> discs_msg(const Ipv6Packet& packet) {
+  std::array<std::uint8_t, 40> msg{};
+  std::copy(packet.header.src.bytes().begin(), packet.header.src.bytes().end(),
+            msg.begin());
+  std::copy(packet.header.dst.bytes().begin(), packet.header.dst.bytes().end(),
+            msg.begin() + 16);
+  const std::size_t n = std::min<std::size_t>(8, packet.payload.size());
+  for (std::size_t i = 0; i < n; ++i) msg[32 + i] = packet.payload[i];
+  return msg;
+}
+
+}  // namespace discs

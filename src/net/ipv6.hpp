@@ -1,0 +1,108 @@
+// IPv6 packet model with the extension-header support DISCS needs:
+// a structured destination-options header (where the DISCS option lives,
+// paper §V-F) positioned before an opaque routing header, behind an opaque
+// hop-by-hop header. Parse/serialize are byte-exact, and Payload Length /
+// Next Header chaining is maintained by the mutators.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace discs {
+
+/// IPv6 extension-header protocol numbers.
+inline constexpr std::uint8_t kNextHeaderHopByHop = 0;
+inline constexpr std::uint8_t kNextHeaderRouting = 43;
+inline constexpr std::uint8_t kNextHeaderDestOpts = 60;
+
+/// DISCS destination option type. The paper requires the first three bits to
+/// be "001" ("skip if unrecognized" action = 00, may-change bit = 1 so the
+/// mark survives AH-less middleboxes while telling legacy routers to forward
+/// anyway); the low five bits await IANA allocation — we use 0b11110.
+inline constexpr std::uint8_t kDiscsOptionType = 0x3e;
+
+/// Pad1 / PadN option types (RFC 8200 §4.2).
+inline constexpr std::uint8_t kPad1OptionType = 0;
+inline constexpr std::uint8_t kPadNOptionType = 1;
+
+/// One TLV option inside a destination-options header. Padding options are
+/// materialized only at serialization time and stripped during parsing of
+/// the structured view (they carry no information).
+struct Ipv6Option {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const Ipv6Option&, const Ipv6Option&) = default;
+};
+
+/// A destination-options extension header as a list of non-padding options.
+struct DestinationOptionsHeader {
+  std::vector<Ipv6Option> options;
+
+  /// Serialized length in bytes (multiple of 8, PadN inserted as needed).
+  [[nodiscard]] std::size_t wire_size() const;
+
+  friend bool operator==(const DestinationOptionsHeader&,
+                         const DestinationOptionsHeader&) = default;
+};
+
+/// Fixed IPv6 header fields.
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 17;  // of the first header after the fixed one
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  static constexpr std::size_t kSize = 40;
+
+  friend bool operator==(const Ipv6Header&, const Ipv6Header&) = default;
+};
+
+/// An IPv6 packet with the extension chain DISCS cares about, in RFC 8200
+/// recommended order: [hop-by-hop] [destination options] [routing] payload.
+/// Hop-by-hop and routing headers are carried as opaque body bytes (their
+/// internal structure never matters to DISCS).
+struct Ipv6Packet {
+  Ipv6Header header;
+  /// Opaque hop-by-hop options header body (without NextHeader/HdrExtLen),
+  /// empty = absent. Length must be ≡ 6 mod 8 when present.
+  std::vector<std::uint8_t> hop_by_hop;
+  /// Structured destination-options header; nullopt = absent.
+  std::optional<DestinationOptionsHeader> dest_opts;
+  /// Opaque routing header body (without NextHeader/HdrExtLen), empty = absent.
+  std::vector<std::uint8_t> routing;
+  /// Upper-layer protocol of `payload`.
+  std::uint8_t upper_proto = 17;
+  std::vector<std::uint8_t> payload;
+
+  /// Builds a plain packet (no extension headers) with consistent lengths.
+  static Ipv6Packet make(const Ipv6Address& src, const Ipv6Address& dst,
+                         std::uint8_t upper_proto,
+                         std::vector<std::uint8_t> payload);
+
+  /// Recomputes header.payload_length and header.next_header plus the
+  /// internal chain links. Call after structural edits.
+  void refresh_chain();
+
+  /// Total serialized size in bytes.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Ipv6Packet> parse(std::span<const std::uint8_t> wire);
+
+  friend bool operator==(const Ipv6Packet&, const Ipv6Packet&) = default;
+};
+
+/// Builds the 40-byte DISCS MAC input (paper §V-F): source address,
+/// destination address, then the first 8 payload bytes zero-padded. Payload
+/// Length and Next Header are excluded because stamping modifies them.
+[[nodiscard]] std::array<std::uint8_t, 40> discs_msg(const Ipv6Packet& packet);
+
+}  // namespace discs

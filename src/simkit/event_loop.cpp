@@ -1,0 +1,44 @@
+#include "simkit/event_loop.hpp"
+
+#include <algorithm>
+
+namespace discs {
+
+std::uint64_t EventLoop::schedule(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  live_ids_.insert(id);
+  return id;
+}
+
+bool EventLoop::cancel(std::uint64_t id) { return live_ids_.erase(id) > 0; }
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_ids_.erase(ev.id) == 0) continue;  // cancelled tombstone
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace discs

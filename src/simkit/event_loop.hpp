@@ -1,0 +1,69 @@
+// Deterministic discrete-event loop driving the DISCS control plane
+// simulation: controller timers (peering-request jitter, invocation
+// durations, re-keying), message latency, and attack timelines.
+//
+// Time is in integer microseconds. Events at equal timestamps fire in
+// scheduling order (a monotonic sequence number breaks ties), so a given
+// scenario replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace discs {
+
+/// Simulation time in microseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+
+class EventLoop {
+ public:
+  /// Schedules `fn` to run at now() + delay. Returns an id usable in cancel().
+  std::uint64_t schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules at an absolute time (clamped to now() if in the past).
+  std::uint64_t schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran or never existed.
+  bool cancel(std::uint64_t id);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamps <= deadline, then sets now() = deadline.
+  void run_until(SimTime deadline);
+
+  /// Runs at most one event; returns false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return live_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> live_ids_;  // scheduled, not yet run
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace discs

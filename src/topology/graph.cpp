@@ -1,0 +1,246 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+void AsGraph::add_as(AsNumber as) { ensure(as); }
+
+std::size_t AsGraph::ensure(AsNumber as) {
+  const auto [it, inserted] = index_.try_emplace(as, asn_of_.size());
+  if (inserted) {
+    asn_of_.push_back(as);
+    providers_.emplace_back();
+    customers_.emplace_back();
+    peers_.emplace_back();
+  }
+  return it->second;
+}
+
+void AsGraph::add_provider(AsNumber customer, AsNumber provider) {
+  if (customer == provider) {
+    throw std::invalid_argument("AsGraph: self transit edge");
+  }
+  const std::size_t c = ensure(customer);
+  const std::size_t p = ensure(provider);
+  providers_[c].push_back(provider);
+  customers_[p].push_back(customer);
+}
+
+void AsGraph::add_peering(AsNumber a, AsNumber b) {
+  if (a == b) throw std::invalid_argument("AsGraph: self peering edge");
+  const std::size_t ia = ensure(a);
+  const std::size_t ib = ensure(b);
+  peers_[ia].push_back(b);
+  peers_[ib].push_back(a);
+}
+
+const std::vector<AsNumber>& AsGraph::providers_of(AsNumber as) const {
+  static const std::vector<AsNumber> kEmpty;
+  const auto it = index_.find(as);
+  return it == index_.end() ? kEmpty : providers_[it->second];
+}
+
+const std::vector<AsNumber>& AsGraph::customers_of(AsNumber as) const {
+  static const std::vector<AsNumber> kEmpty;
+  const auto it = index_.find(as);
+  return it == index_.end() ? kEmpty : customers_[it->second];
+}
+
+const std::vector<AsNumber>& AsGraph::peers_of(AsNumber as) const {
+  static const std::vector<AsNumber> kEmpty;
+  const auto it = index_.find(as);
+  return it == index_.end() ? kEmpty : peers_[it->second];
+}
+
+std::optional<std::size_t> AsGraph::index_of(AsNumber as) const {
+  const auto it = index_.find(as);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+AsGraph::RouteTable AsGraph::routes_to(AsNumber dst) const {
+  const auto dst_it = index_.find(dst);
+  if (dst_it == index_.end()) {
+    throw std::invalid_argument("routes_to: unknown destination AS");
+  }
+  const std::size_t n = asn_of_.size();
+  RouteTable table;
+  table.dst = dst;
+  table.next_hop.assign(n, kNoAs);
+  table.length.assign(n, kUnreachable);
+  table.type.assign(n, RouteType::kProvider);
+
+  auto better = [&](std::size_t node, RouteType t, std::uint32_t len,
+                    AsNumber hop) {
+    // Preference: route type, then length, then lowest next-hop ASN.
+    if (table.length[node] == kUnreachable) return true;
+    if (t != table.type[node]) return t < table.type[node];
+    if (len != table.length[node]) return len < table.length[node];
+    return hop < table.next_hop[node];
+  };
+  auto adopt = [&](std::size_t node, RouteType t, std::uint32_t len,
+                   AsNumber hop) {
+    if (!better(node, t, len, hop)) return false;
+    table.type[node] = t;
+    table.length[node] = len;
+    table.next_hop[node] = hop;
+    return true;
+  };
+
+  const std::size_t d = dst_it->second;
+  table.length[d] = 0;
+  table.type[d] = RouteType::kCustomer;
+
+  // Phase 1 — customer routes climb provider edges (dst's providers learn a
+  // customer route, then their providers, ...). BFS by length; ties within a
+  // level are resolved by the `better` comparator since we relax every edge
+  // of the level before moving on.
+  std::deque<std::size_t> queue{d};
+  while (!queue.empty()) {
+    const std::size_t x = queue.front();
+    queue.pop_front();
+    for (AsNumber prov : providers_[x]) {
+      const std::size_t p = index_.at(prov);
+      if (adopt(p, RouteType::kCustomer, table.length[x] + 1, asn_of_[x])) {
+        queue.push_back(p);
+      }
+    }
+  }
+
+  // Phase 2 — peer routes: one lateral hop from any customer route (or dst).
+  for (std::size_t x = 0; x < n; ++x) {
+    if (table.length[x] == kUnreachable || table.type[x] != RouteType::kCustomer) {
+      continue;
+    }
+    for (AsNumber peer : peers_[x]) {
+      const std::size_t q = index_.at(peer);
+      adopt(q, RouteType::kPeer, table.length[x] + 1, asn_of_[x]);
+    }
+  }
+
+  // Phase 3 — provider routes descend customer edges from every routed node.
+  // Seed the BFS with all currently routed nodes ordered by length so the
+  // shortest provider routes win.
+  std::vector<std::size_t> seeds;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (table.length[x] != kUnreachable) seeds.push_back(x);
+  }
+  std::sort(seeds.begin(), seeds.end(), [&](std::size_t a, std::size_t b) {
+    return table.length[a] < table.length[b];
+  });
+  queue.assign(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    const std::size_t x = queue.front();
+    queue.pop_front();
+    for (AsNumber cust : customers_[x]) {
+      const std::size_t c = index_.at(cust);
+      if (adopt(c, RouteType::kProvider, table.length[x] + 1, asn_of_[x])) {
+        queue.push_back(c);
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<AsNumber> AsGraph::path(AsNumber src, AsNumber dst) const {
+  const auto src_idx = index_of(src);
+  if (!src_idx || !contains(dst)) return {};
+  const RouteTable table = routes_to(dst);
+  std::vector<AsNumber> hops;
+  AsNumber cur = src;
+  while (true) {
+    hops.push_back(cur);
+    if (cur == dst) return hops;
+    const std::size_t i = index_.at(cur);
+    if (table.next_hop[i] == kNoAs || hops.size() > asn_of_.size()) return {};
+    cur = table.next_hop[i];
+  }
+}
+
+AsGraph generate_graph(const std::vector<AsNumber>& by_size_desc,
+                       const GraphConfig& config) {
+  if (by_size_desc.empty()) {
+    throw std::invalid_argument("generate_graph: empty AS list");
+  }
+  AsGraph graph;
+  Xoshiro256 rng(config.seed);
+  const std::size_t n = by_size_desc.size();
+  const std::size_t tier1 = std::min(config.tier1_count, n);
+
+  // Tier-1 clique of peers.
+  for (std::size_t i = 0; i < tier1; ++i) {
+    graph.add_as(by_size_desc[i]);
+    for (std::size_t j = 0; j < i; ++j) {
+      graph.add_peering(by_size_desc[i], by_size_desc[j]);
+    }
+  }
+
+  // Preferential attachment below tier-1: sample providers from a ball of
+  // endpoints where each AS appears once per unit of degree (+1), the
+  // classic Barabási-Albert trick.
+  std::vector<std::size_t> ball;  // indices into by_size_desc
+  for (std::size_t i = 0; i < tier1; ++i) ball.push_back(i);
+  for (std::size_t i = tier1; i < n; ++i) {
+    const AsNumber as = by_size_desc[i];
+    graph.add_as(as);
+    const std::size_t want = 1 + rng.below(config.max_providers);
+    std::vector<std::size_t> chosen;
+    for (std::size_t attempt = 0; attempt < want * 4 && chosen.size() < want;
+         ++attempt) {
+      const std::size_t pick = ball[rng.below(ball.size())];
+      if (pick != i &&
+          std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) {
+        chosen.push_back(pick);
+      }
+    }
+    if (chosen.empty()) chosen.push_back(0);
+    for (std::size_t p : chosen) {
+      graph.add_provider(as, by_size_desc[p]);
+      ball.push_back(p);
+    }
+    ball.push_back(i);
+  }
+
+  // Sparse lateral peering between similar-rank ASes (adds the route
+  // asymmetry uRPF suffers from). Each AS pair keeps exactly one
+  // relationship: peering is skipped when a transit or peering edge already
+  // connects the two, so route classification stays unambiguous.
+  auto related = [&graph](AsNumber a, AsNumber b) {
+    const auto& providers = graph.providers_of(a);
+    if (std::find(providers.begin(), providers.end(), b) != providers.end()) {
+      return true;
+    }
+    const auto& customers = graph.customers_of(a);
+    if (std::find(customers.begin(), customers.end(), b) != customers.end()) {
+      return true;
+    }
+    const auto& peers = graph.peers_of(a);
+    return std::find(peers.begin(), peers.end(), b) != peers.end();
+  };
+  const auto lateral = static_cast<std::size_t>(
+      config.extra_peering_fraction * static_cast<double>(n));
+  for (std::size_t k = 0; k < lateral; ++k) {
+    const std::size_t i = tier1 + rng.below(n - tier1);
+    const std::size_t span = std::max<std::size_t>(n / 20, 2);
+    const std::size_t lo = i > span ? i - span : 0;
+    const std::size_t hi = std::min(n - 1, i + span);
+    const std::size_t j = lo + rng.below(hi - lo + 1);
+    if (i != j && !related(by_size_desc[i], by_size_desc[j])) {
+      graph.add_peering(by_size_desc[i], by_size_desc[j]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace discs

@@ -1,0 +1,133 @@
+#include "topology/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+// Usable allocation window: skips 0/8 and class-E style space so generated
+// addresses look plausible; ~3.9 B addresses available.
+constexpr std::uint64_t kAllocBase = 0x01000000ull;
+constexpr std::uint64_t kAllocEnd = 0xF0000000ull;
+
+// Total routable space budget (addresses). The 2012 snapshot routes ~2.6 B
+// addresses; we stay below it to leave alignment headroom in the window.
+constexpr double kSpaceBudget = 1.8e9;
+
+}  // namespace
+
+std::vector<PrefixOrigin> generate_internet(const SyntheticConfig& config) {
+  const std::size_t n = config.num_ases;
+  if (n == 0 || config.num_prefixes < n) {
+    throw std::invalid_argument(
+        "SyntheticConfig: need num_ases >= 1 and num_prefixes >= num_ases");
+  }
+  Xoshiro256 rng(config.seed);
+
+  // --- Space weights: boosted-head Zipf-Mandelbrot over size ranks. ---
+  std::vector<double> weight(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double w = std::pow(static_cast<double>(k + 1) + config.zipf_q, -config.zipf_s);
+    if (k < config.head_count) {
+      // Geometric decay of the boost across the head keeps the curve smooth.
+      const double fade = static_cast<double>(k) / static_cast<double>(config.head_count);
+      w *= 1.0 + config.head_boost * (1.0 - fade);
+    }
+    weight[k] = w;
+  }
+  const double weight_sum = std::accumulate(weight.begin(), weight.end(), 0.0);
+
+  // --- Per-AS prefix counts: milder skew (sqrt of space weight). ---
+  std::vector<double> count_weight(n);
+  for (std::size_t k = 0; k < n; ++k) count_weight[k] = std::sqrt(weight[k]);
+  const double count_sum =
+      std::accumulate(count_weight.begin(), count_weight.end(), 0.0);
+
+  // --- Decide target size and prefix plan per rank. ---
+  struct Plan {
+    std::size_t rank;
+    unsigned length;       // prefix length for this AS's prefixes
+    std::size_t prefixes;  // how many of them
+  };
+  std::vector<Plan> plans(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double target = kSpaceBudget * weight[k] / weight_sum;
+    std::size_t count = static_cast<std::size_t>(
+        static_cast<double>(config.num_prefixes) * count_weight[k] / count_sum);
+    count = std::max<std::size_t>(count, 1);
+    // Pick the prefix length whose size best matches target/count, clamped
+    // to the realistic /8../24 announcement range; grow the count if even
+    // /8 blocks cannot carry the target.
+    const double per_prefix_min = static_cast<double>(target) / static_cast<double>(count);
+    if (per_prefix_min > double(1u << 24)) {
+      count = static_cast<std::size_t>(std::ceil(target / double(1u << 24)));
+    }
+    const double per_prefix = target / static_cast<double>(count);
+    double bits = std::log2(std::max(per_prefix, 1.0));
+    unsigned length = 32u - static_cast<unsigned>(std::lround(bits));
+    length = std::clamp(length, 8u, 24u);
+    plans[k] = {k, length, count};
+  }
+
+  // --- Assign AS numbers: a random permutation so rank is not readable
+  // from the ASN (real ASNs carry no size information). ---
+  std::vector<AsNumber> asn_of_rank(n);
+  std::iota(asn_of_rank.begin(), asn_of_rank.end(), AsNumber{1});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(asn_of_rank[i - 1], asn_of_rank[rng.below(i)]);
+  }
+
+  // --- Sequential allocation, large ASes first to minimize alignment
+  // waste. plans is already in rank order (largest target first). ---
+  std::vector<PrefixOrigin> entries;
+  entries.reserve(config.num_prefixes + n);
+  std::uint64_t cursor = kAllocBase;
+  for (const Plan& plan : plans) {
+    const std::uint64_t size = 1ull << (32u - plan.length);
+    cursor = (cursor + size - 1) / size * size;  // align
+    for (std::size_t i = 0; i < plan.prefixes; ++i) {
+      if (cursor + size > kAllocEnd) {
+        throw std::runtime_error(
+            "generate_internet: address window exhausted; lower num_prefixes "
+            "or space budget");
+      }
+      PrefixOrigin entry{
+          Prefix4(Ipv4Address(static_cast<std::uint32_t>(cursor)), plan.length),
+          {asn_of_rank[plan.rank]}};
+      if (rng.chance(config.multi_origin_fraction)) {
+        AsNumber other = asn_of_rank[rng.below(n)];
+        if (other != entry.origins.front()) entry.origins.push_back(other);
+      }
+      entries.push_back(std::move(entry));
+      cursor += size;
+    }
+  }
+  return entries;
+}
+
+std::vector<PrefixOrigin6> generate_internet6(const SyntheticConfig& config) {
+  std::vector<PrefixOrigin6> entries;
+  entries.reserve(config.num_ases);
+  for (AsNumber as = 1; as <= config.num_ases; ++as) {
+    // 2400:xxxx::/32 with xxxx = AS number (fits: 44k < 2^16; larger runs
+    // spill into the next /16 block within 2400::/12).
+    std::array<std::uint8_t, 16> bytes{};
+    bytes[0] = 0x24;
+    bytes[1] = static_cast<std::uint8_t>(0x00 + ((as >> 16) & 0x0f));
+    bytes[2] = static_cast<std::uint8_t>(as >> 8);
+    bytes[3] = static_cast<std::uint8_t>(as & 0xff);
+    entries.push_back({Prefix6(Ipv6Address(bytes), 32), {as}});
+  }
+  return entries;
+}
+
+InternetDataset generate_dataset(const SyntheticConfig& config) {
+  return InternetDataset(generate_internet(config), generate_internet6(config));
+}
+
+}  // namespace discs

@@ -1,0 +1,54 @@
+// Synthetic-Internet generator — the stand-in for the CAIDA routeviews
+// prefix2as snapshot the paper uses (see DESIGN.md §2 for the substitution
+// rationale).
+//
+// The generator emits a prefix-to-AS table at the snapshot's scale (44 036
+// ASes, ~442 k prefixes by default) with a heavy-tailed address-space
+// distribution. Space weights follow a Zipf-Mandelbrot law with a separately
+// boosted head, whose default parameters were calibrated so the cumulative
+// space shares of the top 50 / 200 / 629 ASes land near the values implied
+// by the paper's Figure 6 (~0.42 / ~0.65 / ~0.80) — these shares fully
+// determine the closed-form incentive and effectiveness curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+struct SyntheticConfig {
+  /// Number of ASes (paper snapshot: 44 036).
+  std::size_t num_ases = 44036;
+  /// Target number of routed prefixes (paper snapshot: ~442 000).
+  std::size_t num_prefixes = 442000;
+  /// Zipf-Mandelbrot exponent for space weights w_k = (k+q)^-s.
+  double zipf_s = 1.50;
+  /// Zipf-Mandelbrot shift q (negative values sharpen the head).
+  double zipf_q = 45.0;
+  /// Extra multiplicative boost applied to the top `head_count` ASes; models
+  /// the few hyper-large allocations real snapshots contain.
+  double head_boost = 2.0;
+  std::size_t head_count = 16;
+  /// Fraction of prefixes emitted with a second origin AS (MOAS).
+  double multi_origin_fraction = 0.01;
+  /// RNG seed; same seed -> byte-identical table.
+  std::uint64_t seed = 20121011;  // the snapshot date
+};
+
+/// Generates the prefix table. Deterministic in `config.seed`.
+[[nodiscard]] std::vector<PrefixOrigin> generate_internet(
+    const SyntheticConfig& config);
+
+/// Generates the IPv6 registry: one /32 under 2400::/12 per AS (sequential,
+/// keyed by AS number), mirroring the fact that most real ASes hold a
+/// single large v6 allocation. Used by the §V-F control-plane paths; v6
+/// space never enters the r_j statistics.
+[[nodiscard]] std::vector<PrefixOrigin6> generate_internet6(
+    const SyntheticConfig& config);
+
+/// Convenience: generate both tables + build the dataset.
+[[nodiscard]] InternetDataset generate_dataset(const SyntheticConfig& config);
+
+}  // namespace discs

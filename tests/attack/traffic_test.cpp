@@ -1,0 +1,132 @@
+#include "attack/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/synthetic.hpp"
+
+#include <map>
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+
+InternetDataset small_internet() {
+  // AS 1 owns 3/4 of the space, AS 2 and 3 one eighth each.
+  return InternetDataset({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("11.0.0.0/8"), {1}},
+      {pfx("12.0.0.0/8"), {1}},
+      {pfx("13.0.0.0/8"), {2}},
+      {pfx("14.0.0.0/8"), {3}},
+  });
+}
+
+TEST(TrafficSamplerTest, SampleAsFollowsSpaceRatios) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 42);
+  std::map<AsNumber, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample_as()];
+  EXPECT_NEAR(double(counts[1]) / kDraws, 0.6, 0.02);
+  EXPECT_NEAR(double(counts[2]) / kDraws, 0.2, 0.02);
+  EXPECT_NEAR(double(counts[3]) / kDraws, 0.2, 0.02);
+}
+
+TEST(TrafficSamplerTest, SampledAddressesBelongToTheAs) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 1);
+  for (int i = 0; i < 500; ++i) {
+    const AsNumber as = sampler.sample_as();
+    const auto addr = sampler.sample_address(as);
+    EXPECT_EQ(ds.origin_of(addr), as);
+  }
+}
+
+TEST(TrafficSamplerTest, AddressesSpreadAcrossPrefixes) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 7);
+  std::map<std::uint32_t, int> first_octets;
+  for (int i = 0; i < 300; ++i) {
+    ++first_octets[sampler.sample_address(1).bits() >> 24];
+  }
+  // AS 1 has three /8s; all should receive samples.
+  EXPECT_EQ(first_octets.size(), 3u);
+}
+
+TEST(TrafficSamplerTest, FlowRolesAreDistinct) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 3);
+  for (int i = 0; i < 200; ++i) {
+    const auto flow = sampler.sample_flow(AttackType::kDirect);
+    EXPECT_NE(flow.agent, flow.innocent);
+    EXPECT_NE(flow.agent, flow.victim);
+    EXPECT_NE(flow.innocent, flow.victim);
+  }
+}
+
+TEST(TrafficSamplerTest, DirectAttackPacketAddressing) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 5);
+  const SpoofFlow flow{1, 2, 3, AttackType::kDirect};
+  for (int i = 0; i < 50; ++i) {
+    const auto pkt = sampler.attack_packet(flow);
+    EXPECT_EQ(ds.origin_of(pkt.header.src), 2u);  // spoofed innocent
+    EXPECT_EQ(ds.origin_of(pkt.header.dst), 3u);  // victim
+    EXPECT_TRUE(pkt.checksum_valid());
+  }
+}
+
+TEST(TrafficSamplerTest, ReflectionAttackPacketAddressing) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 5);
+  const SpoofFlow flow{1, 2, 3, AttackType::kReflection};
+  for (int i = 0; i < 50; ++i) {
+    const auto pkt = sampler.attack_packet(flow);
+    EXPECT_EQ(ds.origin_of(pkt.header.src), 3u);  // spoofed victim source
+    EXPECT_EQ(ds.origin_of(pkt.header.dst), 2u);  // reflector
+  }
+}
+
+TEST(TrafficSamplerTest, LegitPacketUsesRealSource) {
+  const auto ds = small_internet();
+  TrafficSampler sampler(ds, 5);
+  const auto pkt = sampler.legit_packet(2, 3);
+  EXPECT_EQ(ds.origin_of(pkt.header.src), 2u);
+  EXPECT_EQ(ds.origin_of(pkt.header.dst), 3u);
+}
+
+TEST(TrafficSamplerTest, DeterministicUnderSeed) {
+  const auto ds = small_internet();
+  TrafficSampler a(ds, 9), b(ds, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.sample_as(), b.sample_as());
+  }
+}
+
+TEST(TrafficSamplerTest, WorksAtSnapshotScaleSample) {
+  // Alias table over ~44k ASes builds fast and samples correctly.
+  SyntheticConfig cfg;
+  cfg.num_ases = 2000;
+  cfg.num_prefixes = 20000;
+  const auto ds = generate_dataset(cfg);
+  TrafficSampler sampler(ds, 11);
+  double top_ratio = 0;
+  const auto order = ds.ases_by_space_desc();
+  for (std::size_t i = 0; i < 20; ++i) top_ratio += ds.ratio(order[i]);
+  int top_hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const AsNumber as = sampler.sample_as();
+    for (std::size_t j = 0; j < 20; ++j) {
+      if (order[j] == as) {
+        ++top_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(double(top_hits) / kDraws, top_ratio, 0.02);
+}
+
+}  // namespace
+}  // namespace discs

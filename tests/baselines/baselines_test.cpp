@@ -1,0 +1,244 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace discs {
+namespace {
+
+const std::unordered_set<AsNumber> kDeployed{1, 2, 3};
+
+SpoofFlow direct(AsNumber a, AsNumber i, AsNumber v) {
+  return {a, i, v, AttackType::kDirect};
+}
+SpoofFlow reflection(AsNumber a, AsNumber i, AsNumber v) {
+  return {a, i, v, AttackType::kReflection};
+}
+
+TEST(MethodFilterTest, IngressFilteringOnlyNeedsTheAgentAs) {
+  EXPECT_TRUE(method_filters_flow(Method::kIngressFiltering, direct(1, 9, 8),
+                                  kDeployed));
+  EXPECT_FALSE(method_filters_flow(Method::kIngressFiltering, direct(9, 1, 8),
+                                   kDeployed));
+  // Self-spoofing evades IF.
+  EXPECT_FALSE(method_filters_flow(Method::kIngressFiltering, direct(1, 1, 8),
+                                   kDeployed));
+  // Works regardless of attack direction.
+  EXPECT_TRUE(method_filters_flow(Method::kIngressFiltering,
+                                  reflection(1, 9, 8), kDeployed));
+}
+
+TEST(MethodFilterTest, SpmProtectsOnlyDirectAttacks) {
+  // d-DDoS with victim and innocent deployed: filtered (e2e leg).
+  EXPECT_TRUE(method_filters_flow(Method::kSpm, direct(9, 1, 2), kDeployed));
+  // Same roles as s-DDoS: SPM gives no protection.
+  EXPECT_FALSE(method_filters_flow(Method::kSpm, reflection(9, 1, 2), kDeployed));
+  // Victim not deployed, agent not deployed: nothing fires.
+  EXPECT_FALSE(method_filters_flow(Method::kSpm, direct(9, 1, 8), kDeployed));
+}
+
+TEST(MethodFilterTest, MefNeedsVictimCollaboration) {
+  // Victim deployed + agent deployed: egress filtering fires on demand.
+  EXPECT_TRUE(method_filters_flow(Method::kMef, direct(1, 9, 2), kDeployed));
+  // Victim deployed but agent is a legacy AS: nothing (no e2e leg in MEF).
+  EXPECT_FALSE(method_filters_flow(Method::kMef, direct(9, 1, 2), kDeployed));
+  // Victim not deployed: no invocation happens at all.
+  EXPECT_FALSE(method_filters_flow(Method::kMef, direct(1, 9, 8), kDeployed));
+}
+
+TEST(MethodFilterTest, DiscsCoversBothLegsAndBothDirections) {
+  // Always-on Fig. 7 semantics: the egress leg fires at any deployed agent
+  // AS; the e2e leg needs victim + innocent deployed.
+  EXPECT_TRUE(method_filters_flow(Method::kDiscs, direct(1, 9, 2), kDeployed));
+  EXPECT_TRUE(method_filters_flow(Method::kDiscs, direct(9, 1, 2), kDeployed));
+  EXPECT_TRUE(method_filters_flow(Method::kDiscs, direct(1, 9, 8), kDeployed));
+  EXPECT_FALSE(method_filters_flow(Method::kDiscs, direct(9, 1, 8), kDeployed));
+  EXPECT_TRUE(method_filters_flow(Method::kDiscs, reflection(9, 1, 2), kDeployed));
+  // DISCS is never weaker than IF or SPM on any flow.
+  for (const auto& flow :
+       {direct(1, 9, 2), direct(9, 1, 2), direct(1, 9, 8), direct(9, 1, 8),
+        reflection(1, 9, 2), reflection(9, 1, 2)}) {
+    EXPECT_GE(method_filters_flow(Method::kDiscs, flow, kDeployed),
+              method_filters_flow(Method::kIngressFiltering, flow, kDeployed));
+    EXPECT_GE(method_filters_flow(Method::kDiscs, flow, kDeployed),
+              method_filters_flow(Method::kSpm, flow, kDeployed));
+  }
+}
+
+TEST(MethodIncentiveTest, QualitativeOrderingFromThePaper) {
+  const double s1 = 0.4, s2 = 0.01, mean_rv = 0.001;
+  // IF/uRPF have no deployment incentive; that is the paper's motivation.
+  EXPECT_DOUBLE_EQ(method_incentive(Method::kIngressFiltering, s1, s2, mean_rv, false), 0.0);
+  EXPECT_DOUBLE_EQ(method_incentive(Method::kUrpf, s1, s2, mean_rv, false), 0.0);
+  // SPM/Passport match DISCS against d-DDoS but collapse against s-DDoS.
+  EXPECT_GT(method_incentive(Method::kSpm, s1, s2, mean_rv, false), 0.0);
+  EXPECT_DOUBLE_EQ(method_incentive(Method::kSpm, s1, s2, mean_rv, true), 0.0);
+  EXPECT_DOUBLE_EQ(
+      method_incentive(Method::kDiscs, s1, s2, mean_rv, true),
+      method_incentive(Method::kDiscs, s1, s2, mean_rv, false));
+  // DISCS >= MEF >= 0 in both directions.
+  EXPECT_GE(method_incentive(Method::kDiscs, s1, s2, mean_rv, true),
+            method_incentive(Method::kMef, s1, s2, mean_rv, true));
+  EXPECT_GT(method_incentive(Method::kMef, s1, s2, mean_rv, true), 0.0);
+}
+
+TEST(MethodCostTest, PassportStampsPerHopDiscsOnce) {
+  EXPECT_DOUBLE_EQ(marks_per_packet(Method::kDiscs, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(marks_per_packet(Method::kSpm, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(marks_per_packet(Method::kPassport, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(marks_per_packet(Method::kIngressFiltering, 4.0), 0.0);
+}
+
+TEST(MethodCostTest, OnDemandAndCentralizationFlags) {
+  EXPECT_FALSE(always_on(Method::kDiscs));
+  EXPECT_FALSE(always_on(Method::kMef));
+  EXPECT_TRUE(always_on(Method::kSpm));
+  EXPECT_TRUE(always_on(Method::kUrpf));
+  EXPECT_TRUE(requires_central_server(Method::kMef));
+  EXPECT_FALSE(requires_central_server(Method::kDiscs));
+}
+
+// uRPF on the reference topology (same as graph tests):
+//
+//        1 ===== 2
+//       / \       \ .
+//      3   4       5
+//     /     \     / \ .
+//    6       7 = 8   9
+AsGraph reference_graph() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_provider(3, 1);
+  g.add_provider(4, 1);
+  g.add_provider(5, 2);
+  g.add_provider(6, 3);
+  g.add_provider(7, 4);
+  g.add_provider(8, 5);
+  g.add_provider(9, 5);
+  g.add_peering(7, 8);
+  return g;
+}
+
+TEST(UrpfTest, DropsSpoofAtFirstDeployedHop) {
+  const auto g = reference_graph();
+  UrpfEvaluator urpf(g);
+  // Agent in 6 spoofs 9's space toward 7; first hop 3 deploys uRPF. 3's
+  // route toward 9 goes up to 1, not down to 6 -> drop.
+  EXPECT_TRUE(urpf.filters_flow(direct(6, 9, 7), {3}));
+  // Without any deployer on the path the spoof sails through.
+  EXPECT_FALSE(urpf.filters_flow(direct(6, 9, 7), {5, 8}));
+}
+
+TEST(UrpfTest, AcceptsGenuineSymmetricTraffic) {
+  const auto g = reference_graph();
+  UrpfEvaluator urpf(g);
+  // 6 -> 9 genuine: hierarchical up-down path is symmetric here.
+  EXPECT_FALSE(urpf.false_positive(6, 9, {3, 1, 2, 5}));
+}
+
+TEST(UrpfTest, FalsePositiveUnderRouteAsymmetry) {
+  // Multihoming diamond where the deterministic lowest-ASN tie-break picks
+  // different transit ASes per direction:
+  //
+  //    10 === 21        S (5) buys from 10 and 20; D (30) buys from 11/21;
+  //    20 === 11        peerings 10=21 and 20=11.
+  //
+  // Forward S->D resolves to 5-10-21-30 (tie-break at S picks 10); reverse
+  // D->S resolves to 30-11-20-5 (tie-break at D picks 11). A genuine packet
+  // from S therefore reaches D from neighbor 21 while D's best route back
+  // to S points at 11 -> strict uRPF at D drops legitimate traffic.
+  AsGraph g;
+  g.add_provider(5, 10);
+  g.add_provider(5, 20);
+  g.add_provider(30, 11);
+  g.add_provider(30, 21);
+  g.add_peering(10, 21);
+  g.add_peering(20, 11);
+  ASSERT_EQ(g.path(5, 30), (std::vector<AsNumber>{5, 10, 21, 30}));
+  ASSERT_EQ(g.path(30, 5), (std::vector<AsNumber>{30, 11, 20, 5}));
+
+  UrpfEvaluator urpf(g);
+  EXPECT_TRUE(urpf.false_positive(5, 30, {30}));
+  // The same deployment still accepts traffic on the symmetric leg.
+  EXPECT_FALSE(urpf.false_positive(21, 30, {30}));
+}
+
+TEST(UrpfTest, MeasurableFalsePositiveRateOnGeneratedTopology) {
+  std::vector<AsNumber> order(300);
+  std::iota(order.begin(), order.end(), 1);
+  GraphConfig cfg;
+  cfg.extra_peering_fraction = 0.5;  // plenty of lateral links
+  const auto g = generate_graph(order, cfg);
+  UrpfEvaluator urpf(g);
+  std::unordered_set<AsNumber> all;
+  for (AsNumber as = 1; as <= 300; ++as) all.insert(as);
+  const double fp = urpf.false_positive_rate(all, 2000, 77);
+  // The paper's point: prevalent route asymmetry makes strict uRPF drop
+  // genuine packets. We only require the effect to be measurable.
+  EXPECT_GT(fp, 0.0);
+  EXPECT_LT(fp, 0.9);
+}
+
+TEST(UrpfTest, ReflectionFlowsUseReflectorAsDestination) {
+  const auto g = reference_graph();
+  UrpfEvaluator urpf(g);
+  // s-DDoS: agent 6 sends toward reflector 9 claiming victim 7's space.
+  // Deployed 3 (on the 6 -> 9 path) checks the route back to 7 (via 1/4),
+  // which does not point down to 6 -> drop.
+  EXPECT_TRUE(urpf.filters_flow(reflection(6, 9, 7), {3}));
+}
+
+TEST(UrpfTest, FeasibleModeAcceptsTheStrictFalsePositive) {
+  // Same diamond as FalsePositiveUnderRouteAsymmetry: the 21 -> D arrival
+  // is a legitimate alternative path, so feasible-path uRPF accepts it
+  // while strict uRPF drops it (RFC 3704's motivation).
+  AsGraph g;
+  g.add_provider(5, 10);
+  g.add_provider(5, 20);
+  g.add_provider(30, 11);
+  g.add_provider(30, 21);
+  g.add_peering(10, 21);
+  g.add_peering(20, 11);
+  UrpfEvaluator strict(g, UrpfMode::kStrict);
+  UrpfEvaluator feasible(g, UrpfMode::kFeasible);
+  EXPECT_TRUE(strict.false_positive(5, 30, {30}));
+  EXPECT_FALSE(feasible.false_positive(5, 30, {30}));
+}
+
+TEST(UrpfTest, FeasibleModeStillDropsClearSpoofs) {
+  const auto g = reference_graph();
+  UrpfEvaluator feasible(g, UrpfMode::kFeasible);
+  // Agent in 6 spoofs 9's space toward 7: the packet climbs 6 -> 3, but 6
+  // never announced a route for 9's space to 3 (6 cannot reach 9 via a
+  // customer route and 3 is not 6's customer) -> dropped at 3.
+  EXPECT_TRUE(feasible.filters_flow(direct(6, 9, 7), {3}));
+}
+
+TEST(UrpfTest, FeasibleFpRateNotAboveStrict) {
+  std::vector<AsNumber> order(300);
+  std::iota(order.begin(), order.end(), 1);
+  GraphConfig cfg;
+  cfg.extra_peering_fraction = 0.5;
+  const auto g = generate_graph(order, cfg);
+  UrpfEvaluator strict(g, UrpfMode::kStrict);
+  UrpfEvaluator feasible(g, UrpfMode::kFeasible);
+  std::unordered_set<AsNumber> all;
+  for (AsNumber as = 1; as <= 300; ++as) all.insert(as);
+  const double fp_strict = strict.false_positive_rate(all, 2000, 77);
+  const double fp_feasible = feasible.false_positive_rate(all, 2000, 77);
+  EXPECT_LE(fp_feasible, fp_strict);
+  EXPECT_LT(fp_feasible, 0.5 * fp_strict + 1e-9);  // materially better
+}
+
+TEST(MethodNameTest, AllNamesDistinct) {
+  std::unordered_set<std::string> names;
+  for (Method m : {Method::kDiscs, Method::kIngressFiltering, Method::kUrpf,
+                   Method::kSpm, Method::kPassport, Method::kMef}) {
+    names.insert(method_name(m));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,119 @@
+// Passport data-plane tests and the DISCS-vs-Passport cost contrast.
+#include "baselines/passport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/stamp.hpp"
+
+namespace discs {
+namespace {
+
+// Path: source AS 1 -> transit 2 -> transit 3 -> destination 4.
+constexpr AsNumber kSrc = 1;
+const std::vector<AsNumber> kPath{1, 2, 3, 4};
+
+Ipv4Packet make_packet(std::uint8_t tag = 0) {
+  return Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
+                          *Ipv4Address::parse("40.0.0.9"), IpProto::kUdp,
+                          {tag, 1, 2, 3, 4, 5, 6, 7});
+}
+
+struct Mesh {
+  PassportEndpoint e1{1}, e2{2}, e3{3}, e4{4};
+  Mesh() {
+    // Pairwise keys between the source and everyone en route.
+    for (auto* other : {&e2, &e3, &e4}) {
+      const Key128 key = derive_key128(100 + other->local_as());
+      e1.set_key(other->local_as(), key);
+      other->set_key(1, key);
+    }
+  }
+};
+
+TEST(PassportTest, StampsOneMacPerDasEnRoute) {
+  Mesh mesh;
+  PassportPacket pp{make_packet(), {}};
+  EXPECT_EQ(mesh.e1.stamp(pp, kPath), 3u);  // ASes 2, 3, 4
+  EXPECT_EQ(pp.shim.size(), 3u);
+  EXPECT_EQ(pp.shim_bytes(), 2u + 3u * 12u);
+}
+
+TEST(PassportTest, EveryHopVerifiesAndConsumesItsSlot) {
+  Mesh mesh;
+  PassportPacket pp{make_packet(), {}};
+  mesh.e1.stamp(pp, kPath);
+  EXPECT_EQ(mesh.e2.verify(pp, kSrc), PassportVerdict::kValid);
+  EXPECT_EQ(mesh.e3.verify(pp, kSrc), PassportVerdict::kValid);
+  EXPECT_EQ(mesh.e4.verify(pp, kSrc), PassportVerdict::kValid);
+  // Slots are consumed: a second pass finds nothing.
+  EXPECT_EQ(mesh.e2.verify(pp, kSrc), PassportVerdict::kNoSlot);
+}
+
+TEST(PassportTest, SpoofedPacketHasNoValidSlots) {
+  Mesh mesh;
+  // Attacker in a legacy AS forges src in AS 1's space but holds no keys:
+  // it cannot produce slots, so DASes see kNoSlot (demote, not drop — the
+  // legacy-compatibility behaviour Passport specifies).
+  PassportPacket forged{make_packet(7), {}};
+  EXPECT_EQ(mesh.e2.verify(forged, kSrc), PassportVerdict::kNoSlot);
+
+  // Attacker guesses a slot: invalid.
+  forged.shim.push_back({2, 0xdeadbeefdeadbeefull});
+  EXPECT_EQ(mesh.e2.verify(forged, kSrc), PassportVerdict::kInvalid);
+}
+
+TEST(PassportTest, TamperedPayloadFailsEveryRemainingHop) {
+  Mesh mesh;
+  PassportPacket pp{make_packet(), {}};
+  mesh.e1.stamp(pp, kPath);
+  ASSERT_EQ(mesh.e2.verify(pp, kSrc), PassportVerdict::kValid);
+  pp.packet.payload[2] ^= 0xff;  // modified in flight after hop 2
+  EXPECT_EQ(mesh.e3.verify(pp, kSrc), PassportVerdict::kInvalid);
+}
+
+TEST(PassportTest, LegacyHopsSimplyHaveNoSlot) {
+  Mesh mesh;
+  PassportPacket pp{make_packet(), {}};
+  // AS 3 is legacy: source has no key for it.
+  PassportEndpoint partial_src(1);
+  const Key128 k2 = derive_key128(102), k4 = derive_key128(104);
+  partial_src.set_key(2, k2);
+  partial_src.set_key(4, k4);
+  PassportEndpoint e2(2), e4(4);
+  e2.set_key(1, k2);
+  e4.set_key(1, k4);
+  EXPECT_EQ(partial_src.stamp(pp, kPath), 2u);
+  EXPECT_EQ(e2.verify(pp, kSrc), PassportVerdict::kValid);
+  EXPECT_EQ(e4.verify(pp, kSrc), PassportVerdict::kValid);
+}
+
+TEST(PassportVsDiscsTest, PerPacketCryptoCostScalesWithPathLength) {
+  Mesh mesh;
+  // DISCS: exactly one mark regardless of path length (§III-B).
+  const AesCmac discs_mac(derive_key128(1));
+  auto discs_packet = make_packet();
+  ipv4_stamp(discs_packet, discs_mac);  // 1 CMAC
+
+  for (std::size_t hops : {2u, 4u, 8u}) {
+    std::vector<AsNumber> path{1};
+    PassportEndpoint src(1);
+    std::vector<PassportEndpoint> transits;
+    for (std::size_t h = 0; h < hops; ++h) {
+      const AsNumber as = static_cast<AsNumber>(10 + h);
+      path.push_back(as);
+      const Key128 key = derive_key128(200 + as);
+      src.set_key(as, key);
+      transits.emplace_back(as);
+      transits.back().set_key(1, key);
+    }
+    PassportPacket pp{make_packet(), {}};
+    EXPECT_EQ(src.stamp(pp, path), hops);           // vs DISCS's 1
+    EXPECT_EQ(pp.shim_bytes(), 2 + 12 * hops);      // vs DISCS's 0 (IPv4)
+    for (auto& t : transits) {
+      EXPECT_EQ(t.verify(pp, kSrc), PassportVerdict::kValid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,111 @@
+// SPM data-plane tests + the head-to-head replay experiment backing the
+// paper's "SPM ... loses security" claim (§II) and DISCS's §VI-E2 analysis.
+#include "baselines/spm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/stamp.hpp"
+
+namespace discs {
+namespace {
+
+constexpr AsNumber kSrcAs = 100;
+constexpr AsNumber kDstAs = 200;
+
+Ipv4Packet make_packet(std::uint8_t tag) {
+  return Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
+                          *Ipv4Address::parse("20.0.0.9"), IpProto::kUdp,
+                          {tag, 2, 3, 4, 5, 6, 7, 8});
+}
+
+TEST(SpmTest, StampVerifyRoundTrip) {
+  SpmEndpoint src(kSrcAs), dst(kDstAs);
+  src.set_stamp_mark(kDstAs, 0x1234567);
+  dst.set_verify_mark(kSrcAs, 0x1234567);
+
+  auto packet = make_packet(1);
+  ASSERT_TRUE(src.stamp(packet, kDstAs));
+  EXPECT_TRUE(packet.checksum_valid());
+  EXPECT_TRUE(dst.verify(packet, kSrcAs));
+}
+
+TEST(SpmTest, WrongMarkRejected) {
+  SpmEndpoint dst(kDstAs);
+  dst.set_verify_mark(kSrcAs, 0x1234567);
+  auto packet = make_packet(1);  // unstamped
+  EXPECT_FALSE(dst.verify(packet, kSrcAs));
+}
+
+TEST(SpmTest, UnknownPairPassesLikeCdp) {
+  SpmEndpoint dst(kDstAs);
+  auto packet = make_packet(1);
+  EXPECT_TRUE(dst.verify(packet, 999));
+}
+
+TEST(SpmTest, StampWithoutKeyFails) {
+  SpmEndpoint src(kSrcAs);
+  auto packet = make_packet(1);
+  EXPECT_FALSE(src.stamp(packet, kDstAs));
+}
+
+// The decisive experiment: capture one marked packet, then forge new
+// packets with different contents carrying the captured mark.
+TEST(SpmVsDiscsTest, CapturedMarkReplaysAgainstSpmButNotDiscs) {
+  // --- SPM side ---
+  SpmEndpoint spm_src(kSrcAs), spm_dst(kDstAs);
+  spm_src.set_stamp_mark(kDstAs, 0x0abcdef);
+  spm_dst.set_verify_mark(kSrcAs, 0x0abcdef);
+  auto observed_spm = make_packet(1);
+  ASSERT_TRUE(spm_src.stamp(observed_spm, kDstAs));
+  const std::uint32_t captured_spm = spm_read_mark(observed_spm);
+
+  // --- DISCS side ---
+  const AesCmac mac(derive_key128(7));
+  auto observed_discs = make_packet(1);
+  ipv4_stamp(observed_discs, mac);
+  const std::uint32_t captured_discs = ipv4_read_mark(observed_discs);
+
+  Xoshiro256 rng(3);
+  int spm_accepted = 0, discs_accepted = 0;
+  for (std::uint8_t tag = 10; tag < 110; ++tag) {
+    auto forged_spm = make_packet(tag);  // different payload every time
+    forged_spm.header.identification = static_cast<std::uint16_t>(captured_spm >> 13);
+    forged_spm.header.fragment_offset =
+        static_cast<std::uint16_t>(captured_spm & 0x1fff);
+    forged_spm.header.refresh_checksum();
+    spm_accepted += spm_dst.verify(forged_spm, kSrcAs);
+
+    auto forged_discs = make_packet(tag);
+    forged_discs.header.identification =
+        static_cast<std::uint16_t>(captured_discs >> 13);
+    forged_discs.header.fragment_offset =
+        static_cast<std::uint16_t>(captured_discs & 0x1fff);
+    forged_discs.header.refresh_checksum();
+    discs_accepted +=
+        ipv4_verify(forged_discs, mac, nullptr, rng) == VerifyResult::kValid;
+  }
+  // Every forgery sails through SPM; none through DISCS.
+  EXPECT_EQ(spm_accepted, 100);
+  EXPECT_EQ(discs_accepted, 0);
+}
+
+TEST(SpmVsDiscsTest, DiscsMarkChangesPerPacketSpmDoesNot) {
+  SpmEndpoint spm_src(kSrcAs);
+  spm_src.set_stamp_mark(kDstAs, 0x0abcdef);
+  const AesCmac mac(derive_key128(7));
+
+  auto a = make_packet(1);
+  auto b = make_packet(2);
+  ASSERT_TRUE(spm_src.stamp(a, kDstAs));
+  ASSERT_TRUE(spm_src.stamp(b, kDstAs));
+  EXPECT_EQ(spm_read_mark(a), spm_read_mark(b));  // deterministic
+
+  auto c = make_packet(1);
+  auto d = make_packet(2);
+  ipv4_stamp(c, mac);
+  ipv4_stamp(d, mac);
+  EXPECT_NE(ipv4_read_mark(c), ipv4_read_mark(d));  // content-bound
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,59 @@
+// Cross-validation property: the message-passing BGP simulator and the
+// closed-form Gao-Rexford computation (AsGraph::routes_to) are independent
+// implementations of the same policy — on any topology they must agree on
+// route type and path length for every node, and on the exact next hop
+// (both use the same deterministic tie-breaks).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bgp/simulator.hpp"
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+class BgpEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpEquivalence, SimulatorMatchesClosedFormRouting) {
+  std::vector<AsNumber> order(150);
+  std::iota(order.begin(), order.end(), 1);
+  GraphConfig cfg;
+  cfg.seed = GetParam();
+  cfg.extra_peering_fraction = 0.3;
+  const auto graph = generate_graph(order, cfg);
+
+  Xoshiro256 rng(GetParam() ^ 0x5151);
+  for (int round = 0; round < 6; ++round) {
+    const AsNumber dst = 1 + static_cast<AsNumber>(rng.below(150));
+    const Prefix4 prefix(Ipv4Address(0x0a000000 + (dst << 8)), 24);
+
+    BgpSimulator sim(graph);
+    sim.originate(dst, prefix, {});
+    const auto table = graph.routes_to(dst);
+
+    for (AsNumber as = 1; as <= 150; ++as) {
+      if (as == dst) continue;
+      const auto idx = graph.index_of(as);
+      ASSERT_TRUE(idx.has_value());
+      const auto* route = sim.best_route(as, prefix);
+      const bool reachable =
+          table.next_hop[*idx] != kNoAs ||
+          table.length[*idx] == 0;  // dst itself
+      ASSERT_EQ(route != nullptr, reachable)
+          << "AS " << as << " -> " << dst << " (seed " << GetParam() << ")";
+      if (route == nullptr) continue;
+      EXPECT_EQ(route->as_path.size(), table.length[*idx])
+          << "AS " << as << " -> " << dst;
+      EXPECT_EQ(static_cast<int>(route->type), static_cast<int>(table.type[*idx]))
+          << "AS " << as << " -> " << dst;
+      EXPECT_EQ(route->as_path.front(), table.next_hop[*idx])
+          << "AS " << as << " -> " << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpEquivalence, ::testing::Values(1, 2, 3, 7));
+
+}  // namespace
+}  // namespace discs

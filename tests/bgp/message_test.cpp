@@ -1,0 +1,123 @@
+#include "bgp/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+TEST(PathAttributeTest, EncodeDecodeRoundTrip) {
+  PathAttribute attr;
+  attr.flags = kAttrFlagOptional | kAttrFlagTransitive;
+  attr.type = kAttrTypeDiscsAd;
+  attr.value = {1, 2, 3, 4, 5};
+  const auto wire = attr.encode();
+  EXPECT_EQ(wire.size(), 3u + 5u);
+  std::size_t offset = 0;
+  const auto decoded = PathAttribute::decode(wire, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_EQ(*decoded, attr);
+}
+
+TEST(PathAttributeTest, ExtendedLengthForLargeValues) {
+  PathAttribute attr;
+  attr.flags = kAttrFlagOptional;
+  attr.type = 7;
+  attr.value.assign(300, 0xab);
+  const auto wire = attr.encode();
+  EXPECT_TRUE(wire[0] & kAttrFlagExtendedLength);
+  EXPECT_EQ(wire.size(), 4u + 300u);
+  std::size_t offset = 0;
+  const auto decoded = PathAttribute::decode(wire, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->value, attr.value);
+  EXPECT_EQ(decoded->flags, attr.flags);  // ext-length bit is not persisted
+}
+
+TEST(PathAttributeTest, DecodeRejectsTruncation) {
+  PathAttribute attr;
+  attr.type = 1;
+  attr.value = {1, 2, 3};
+  auto wire = attr.encode();
+  wire.pop_back();
+  std::size_t offset = 0;
+  EXPECT_FALSE(PathAttribute::decode(wire, offset).has_value());
+  std::size_t offset2 = 0;
+  EXPECT_FALSE(PathAttribute::decode(std::vector<std::uint8_t>{0x40}, offset2)
+                   .has_value());
+}
+
+TEST(PathAttributeTest, DecodeSequenceOfAttributes) {
+  PathAttribute a;
+  a.type = 1;
+  a.value = {9};
+  PathAttribute b;
+  b.type = 2;
+  b.value = {8, 7};
+  auto wire = a.encode();
+  const auto wb = b.encode();
+  wire.insert(wire.end(), wb.begin(), wb.end());
+  std::size_t offset = 0;
+  EXPECT_EQ(*PathAttribute::decode(wire, offset), a);
+  EXPECT_EQ(*PathAttribute::decode(wire, offset), b);
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(DiscsAdTest, AttributeRoundTrip) {
+  const DiscsAd ad{65001, "controller.as65001.net"};
+  const auto attr = ad.to_attribute();
+  EXPECT_TRUE(attr.optional());
+  EXPECT_TRUE(attr.transitive());
+  EXPECT_EQ(attr.type, kAttrTypeDiscsAd);
+  const auto back = DiscsAd::from_attribute(attr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ad);
+}
+
+TEST(DiscsAdTest, SurvivesWireEncoding) {
+  const DiscsAd ad{4200000001u, "c"};
+  auto wire = ad.to_attribute().encode();
+  std::size_t offset = 0;
+  const auto attr = PathAttribute::decode(wire, offset);
+  ASSERT_TRUE(attr.has_value());
+  const auto back = DiscsAd::from_attribute(*attr);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->origin_as, 4200000001u);
+  EXPECT_EQ(back->controller, "c");
+}
+
+TEST(DiscsAdTest, RejectsNonTransitiveOrWrongType) {
+  auto attr = DiscsAd{65001, "c"}.to_attribute();
+  attr.flags = kAttrFlagOptional;  // transitive bit cleared
+  EXPECT_FALSE(DiscsAd::from_attribute(attr).has_value());
+  auto attr2 = DiscsAd{65001, "c"}.to_attribute();
+  attr2.type = kAttrTypeOrigin;
+  EXPECT_FALSE(DiscsAd::from_attribute(attr2).has_value());
+}
+
+TEST(DiscsAdTest, RejectsMalformedPayloads) {
+  PathAttribute attr;
+  attr.flags = kAttrFlagOptional | kAttrFlagTransitive;
+  attr.type = kAttrTypeDiscsAd;
+  attr.value = {0, 0};  // too short
+  EXPECT_FALSE(DiscsAd::from_attribute(attr).has_value());
+  attr.value = {0, 0, 0xfd, 0xe9, 5, 'a'};  // name length 5 but 1 byte given
+  EXPECT_FALSE(DiscsAd::from_attribute(attr).has_value());
+  attr.value = {0, 0, 0, 0, 1, 'a'};  // AS 0 invalid
+  EXPECT_FALSE(DiscsAd::from_attribute(attr).has_value());
+}
+
+TEST(BgpUpdateTest, FindAttributeAndAd) {
+  BgpUpdate update;
+  update.prefix = *Prefix4::parse("10.0.0.0/8");
+  update.as_path = {65001};
+  update.attributes.push_back(DiscsAd{65001, "ctl"}.to_attribute());
+  EXPECT_NE(update.find_attribute(kAttrTypeDiscsAd), nullptr);
+  EXPECT_EQ(update.find_attribute(kAttrTypeNextHop), nullptr);
+  const auto ad = update.discs_ad();
+  ASSERT_TRUE(ad.has_value());
+  EXPECT_EQ(ad->origin_as, 65001u);
+}
+
+}  // namespace
+}  // namespace discs

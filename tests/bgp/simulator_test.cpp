@@ -1,0 +1,133 @@
+#include "bgp/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* text) { return *Prefix4::parse(text); }
+
+// Same reference topology as the graph tests.
+AsGraph reference_graph() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_provider(3, 1);
+  g.add_provider(4, 1);
+  g.add_provider(5, 2);
+  g.add_provider(6, 3);
+  g.add_provider(7, 4);
+  g.add_provider(8, 5);
+  g.add_provider(9, 5);
+  g.add_peering(7, 8);
+  return g;
+}
+
+TEST(BgpSimulatorTest, OriginationReachesEveryAs) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(9, pfx("10.9.0.0/16"), {});
+  EXPECT_EQ(sim.coverage(pfx("10.9.0.0/16")), 9u);
+  const auto* route = sim.best_route(6, pfx("10.9.0.0/16"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->as_path, (std::vector<AsNumber>{3, 1, 2, 5, 9}));
+}
+
+TEST(BgpSimulatorTest, ValleyFreeSelectionMatchesGraphPaths) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(8, pfx("10.8.0.0/16"), {});
+  // 7 uses the lateral peering, 6 climbs through tier-1.
+  EXPECT_EQ(sim.best_route(7, pfx("10.8.0.0/16"))->as_path,
+            (std::vector<AsNumber>{8}));
+  EXPECT_EQ(sim.best_route(6, pfx("10.8.0.0/16"))->as_path,
+            (std::vector<AsNumber>{3, 1, 2, 5, 8}));
+}
+
+TEST(BgpSimulatorTest, DiscsAdFloodsWithTheUpdate) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(9, pfx("10.9.0.0/16"), {DiscsAd{9, "ctl-9"}.to_attribute()});
+  for (AsNumber as = 1; as <= 8; ++as) {
+    const auto ads = sim.ads_seen(as);
+    ASSERT_EQ(ads.size(), 1u) << "AS " << as;
+    EXPECT_EQ(ads[0].origin_as, 9u);
+    EXPECT_EQ(ads[0].controller, "ctl-9");
+  }
+}
+
+TEST(BgpSimulatorTest, LegacyAsesRetainUnknownAttribute) {
+  // Every intermediate AS in this simulator is "legacy" (it does not
+  // interpret the attribute); the Ad must still arrive intact at the far
+  // side of the topology, which is the incremental-deployment property.
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(6, pfx("10.6.0.0/16"), {DiscsAd{6, "ctl-6"}.to_attribute()});
+  const auto ads = sim.ads_seen(9);
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0].origin_as, 6u);
+}
+
+TEST(BgpSimulatorTest, ReOriginationPrependsAndRefloodsNewAttributes) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(9, pfx("10.9.0.0/16"), {});
+  EXPECT_TRUE(sim.ads_seen(6).empty());
+
+  // Later the AS deploys DISCS and re-announces with the Ad attached.
+  sim.originate(9, pfx("10.9.0.0/16"), {DiscsAd{9, "ctl-9"}.to_attribute()});
+  const auto* route = sim.best_route(6, pfx("10.9.0.0/16"));
+  ASSERT_NE(route, nullptr);
+  // Prepended origin: path ends with 9, 9.
+  EXPECT_EQ(route->as_path, (std::vector<AsNumber>{3, 1, 2, 5, 9, 9}));
+  const auto ads = sim.ads_seen(6);
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0].origin_as, 9u);
+}
+
+TEST(BgpSimulatorTest, MultipleOriginsMultipleAds) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(6, pfx("10.6.0.0/16"), {DiscsAd{6, "ctl-6"}.to_attribute()});
+  sim.originate(9, pfx("10.9.0.0/16"), {DiscsAd{9, "ctl-9"}.to_attribute()});
+  sim.originate(7, pfx("10.7.0.0/16"), {});
+  auto ads = sim.ads_seen(8);
+  ASSERT_EQ(ads.size(), 2u);
+  EXPECT_NE(ads[0].origin_as, ads[1].origin_as);
+}
+
+TEST(BgpSimulatorTest, RejectsForeignReOrigination) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(9, pfx("10.9.0.0/16"), {});
+  EXPECT_THROW(sim.originate(8, pfx("10.9.0.0/16"), {}), std::invalid_argument);
+  EXPECT_THROW(sim.originate(42, pfx("10.42.0.0/16"), {}), std::invalid_argument);
+}
+
+TEST(BgpSimulatorTest, PeerRouteNotExportedUpward) {
+  // 7 learns 8's prefix over the peering; it must not export it to its
+  // provider 4, so 4 (and 1) route via tier-1 instead of through 7.
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  sim.originate(8, pfx("10.8.0.0/16"), {});
+  EXPECT_EQ(sim.best_route(4, pfx("10.8.0.0/16"))->as_path,
+            (std::vector<AsNumber>{1, 2, 5, 8}));
+}
+
+TEST(BgpSimulatorTest, ConvergesOnGeneratedTopology) {
+  std::vector<AsNumber> order(400);
+  std::iota(order.begin(), order.end(), 1);
+  const auto g = generate_graph(order, GraphConfig{});
+  BgpSimulator sim(g);
+  sim.originate(200, pfx("10.200.0.0/16"), {DiscsAd{200, "ctl"}.to_attribute()});
+  EXPECT_EQ(sim.coverage(pfx("10.200.0.0/16")), 400u);
+  // Every AS sees exactly one Ad.
+  for (AsNumber as : {AsNumber{1}, AsNumber{57}, AsNumber{399}}) {
+    EXPECT_EQ(sim.ads_seen(as).size(), 1u) << as;
+  }
+  EXPECT_GT(sim.updates_processed(), 400u);
+}
+
+}  // namespace
+}  // namespace discs

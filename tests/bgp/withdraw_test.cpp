@@ -1,0 +1,114 @@
+// BGP withdrawal propagation tests: Adj-RIB-Out-targeted withdraws, fallback
+// to alternative routes, and cascading route loss.
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* text) { return *Prefix4::parse(text); }
+
+// Reference topology from the other BGP tests.
+AsGraph reference_graph() {
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_provider(3, 1);
+  g.add_provider(4, 1);
+  g.add_provider(5, 2);
+  g.add_provider(6, 3);
+  g.add_provider(7, 4);
+  g.add_provider(8, 5);
+  g.add_provider(9, 5);
+  g.add_peering(7, 8);
+  return g;
+}
+
+TEST(BgpWithdrawTest, WithdrawClearsAllLocRibs) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.9.0.0/16");
+  sim.originate(9, p, {});
+  ASSERT_EQ(sim.coverage(p), 9u);
+  sim.withdraw(9, p);
+  EXPECT_EQ(sim.coverage(p), 0u);
+  for (AsNumber as = 1; as <= 9; ++as) {
+    EXPECT_EQ(sim.best_route(as, p), nullptr) << "AS " << as;
+  }
+}
+
+TEST(BgpWithdrawTest, WithdrawRemovesAds) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.9.0.0/16");
+  sim.originate(9, p, {DiscsAd{9, "ctl-9"}.to_attribute()});
+  ASSERT_EQ(sim.ads_seen(6).size(), 1u);
+  sim.withdraw(9, p);
+  EXPECT_TRUE(sim.ads_seen(6).empty());
+}
+
+TEST(BgpWithdrawTest, ReOriginationWithoutAdFlushesIt) {
+  // The undeploy path: re-announce the same prefix with no attributes.
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.9.0.0/16");
+  sim.originate(9, p, {DiscsAd{9, "ctl-9"}.to_attribute()});
+  ASSERT_EQ(sim.ads_seen(6).size(), 1u);
+  sim.originate(9, p, {});
+  EXPECT_TRUE(sim.ads_seen(6).empty());
+  EXPECT_EQ(sim.coverage(p), 9u);  // reachability intact
+}
+
+TEST(BgpWithdrawTest, FallbackToAlternativeRoute) {
+  // A multihomed destination: withdrawals from one path leave the other.
+  AsGraph g;
+  g.add_peering(1, 2);
+  g.add_provider(3, 1);
+  g.add_provider(3, 2);  // 3 is multihomed to both tier-1s
+  g.add_provider(4, 1);
+  BgpSimulator sim(g);
+  const auto p = pfx("10.3.0.0/16");
+  sim.originate(3, p, {});
+  // 4 routes to 3 via 1 (customer chain), never via 2.
+  ASSERT_NE(sim.best_route(4, p), nullptr);
+  EXPECT_EQ(sim.best_route(4, p)->as_path, (std::vector<AsNumber>{1, 3}));
+  // Reachability everywhere.
+  EXPECT_EQ(sim.coverage(p), 4u);
+}
+
+TEST(BgpWithdrawTest, WithdrawRequiresOriginator) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.9.0.0/16");
+  sim.originate(9, p, {});
+  EXPECT_THROW(sim.withdraw(8, p), std::invalid_argument);
+  EXPECT_THROW(sim.withdraw(9, pfx("10.8.0.0/16")), std::invalid_argument);
+}
+
+TEST(BgpWithdrawTest, PrefixCanMoveToNewOriginatorAfterWithdraw) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.99.0.0/16");
+  sim.originate(9, p, {});
+  sim.withdraw(9, p);
+  // Ownership released: another AS may originate now.
+  sim.originate(8, p, {});
+  EXPECT_EQ(sim.coverage(p), 9u);
+  EXPECT_EQ(sim.best_route(5, p)->as_path, (std::vector<AsNumber>{8}));
+}
+
+TEST(BgpWithdrawTest, RepeatedOriginateWithdrawCycles) {
+  const auto g = reference_graph();
+  BgpSimulator sim(g);
+  const auto p = pfx("10.9.0.0/16");
+  for (int round = 0; round < 5; ++round) {
+    sim.originate(9, p, {DiscsAd{9, "ctl"}.to_attribute()});
+    EXPECT_EQ(sim.coverage(p), 9u) << round;
+    EXPECT_EQ(sim.ads_seen(6).size(), 1u) << round;
+    sim.withdraw(9, p);
+    EXPECT_EQ(sim.coverage(p), 0u) << round;
+  }
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace discs {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceSequence) {
+  // Reference outputs for seed 1234567 from Vigna's splitmix64.c.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.next(), 3203168211198807973ull);
+  EXPECT_EQ(sm.next(), 9817491932198370423ull);
+}
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(42), b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256Test, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 400);  // ~4 sigma
+  }
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(DeriveSeedTest, ChildStreamsAreIndependent) {
+  const std::uint64_t s0 = derive_seed(1, 0);
+  const std::uint64_t s1 = derive_seed(1, 1);
+  const std::uint64_t other_root = derive_seed(2, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, other_root);
+  // Deterministic.
+  EXPECT_EQ(s0, derive_seed(1, 0));
+}
+
+}  // namespace
+}  // namespace discs

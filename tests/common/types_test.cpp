@@ -1,0 +1,120 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace discs {
+namespace {
+
+TEST(Ipv4AddressTest, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->bits(), 0xc0a801c8u);
+  EXPECT_EQ(a->to_string(), "192.168.1.200");
+}
+
+TEST(Ipv4AddressTest, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->bits(), 0xffffffffu);
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4AddressTest, BitIndexingIsMsbFirst) {
+  const auto a = Ipv4Address(0x80000001u);
+  EXPECT_EQ(a.bit(0), 1u);
+  EXPECT_EQ(a.bit(1), 0u);
+  EXPECT_EQ(a.bit(31), 1u);
+}
+
+TEST(Prefix4Test, CanonicalizesHostBits) {
+  const Prefix4 p(*Ipv4Address::parse("10.1.2.3"), 8);
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(p.size(), 1u << 24);
+}
+
+TEST(Prefix4Test, ContainsAndCovers) {
+  const auto p = *Prefix4::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.255.0.1")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("11.0.0.1")));
+  EXPECT_TRUE(p.covers(*Prefix4::parse("10.2.0.0/16")));
+  EXPECT_FALSE(p.covers(*Prefix4::parse("0.0.0.0/0")));
+}
+
+TEST(Prefix4Test, ZeroLengthMatchesEverything) {
+  const auto def = *Prefix4::parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(*Ipv4Address::parse("255.255.255.255")));
+  EXPECT_EQ(def.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix4Test, RejectsMalformed) {
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/"));
+  EXPECT_FALSE(Prefix4::parse("10.0.0.0/8x"));
+}
+
+TEST(Ipv6AddressTest, ParseFullForm) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6AddressTest, ParseCompressedForms) {
+  EXPECT_EQ(Ipv6Address::parse("::")->to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::")->to_string(), "fe80::");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8::8:800:200c:417a")->to_string(),
+            "2001:db8::8:800:200c:417a");
+}
+
+TEST(Ipv6AddressTest, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse(""));
+  EXPECT_FALSE(Ipv6Address::parse(":::"));
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7"));
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(Ipv6Address::parse("12345::"));
+  EXPECT_FALSE(Ipv6Address::parse("zzzz::"));
+}
+
+TEST(Ipv6AddressTest, BitIndexingIsMsbFirst) {
+  const auto a = *Ipv6Address::parse("8000::1");
+  EXPECT_EQ(a.bit(0), 1u);
+  EXPECT_EQ(a.bit(1), 0u);
+  EXPECT_EQ(a.bit(127), 1u);
+}
+
+TEST(Prefix6Test, CanonicalizesHostBits) {
+  const Prefix6 p(*Ipv6Address::parse("2001:db8::ffff"), 32);
+  EXPECT_EQ(p.to_string(), "2001:db8::/32");
+}
+
+TEST(Prefix6Test, ContainsRespectsPartialByte) {
+  const Prefix6 p(*Ipv6Address::parse("2001:d80::"), 28);
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("2001:d8f::1")));
+  EXPECT_FALSE(p.contains(*Ipv6Address::parse("2001:d90::1")));
+}
+
+TEST(TypesTest, HashableInUnorderedContainers) {
+  std::unordered_set<Ipv4Address> v4{Ipv4Address(1), Ipv4Address(2)};
+  std::unordered_set<Prefix4> p4{*Prefix4::parse("10.0.0.0/8")};
+  std::unordered_set<Ipv6Address> v6{*Ipv6Address::parse("::1")};
+  std::unordered_set<Prefix6> p6{*Prefix6::parse("2001:db8::/32")};
+  EXPECT_EQ(v4.size(), 2u);
+  EXPECT_TRUE(p4.contains(*Prefix4::parse("10.0.0.0/8")));
+  EXPECT_TRUE(v6.contains(*Ipv6Address::parse("::1")));
+  EXPECT_TRUE(p6.contains(*Prefix6::parse("2001:db8::/32")));
+}
+
+}  // namespace
+}  // namespace discs

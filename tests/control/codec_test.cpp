@@ -1,0 +1,163 @@
+// Wire-codec tests: round trips for every message type, format pinning,
+// and decode fuzzing (mutations + garbage must never crash or mis-accept).
+#include "control/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+Envelope wrap(ControlMessage message) {
+  return Envelope{65001, 65002, std::move(message)};
+}
+
+void expect_round_trip(const Envelope& envelope) {
+  const auto wire = encode_envelope(envelope);
+  const auto back = decode_envelope(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, envelope.from);
+  EXPECT_EQ(back->to, envelope.to);
+  EXPECT_EQ(message_type(back->message), message_type(envelope.message));
+  EXPECT_EQ(encode_envelope(*back), wire);  // canonical re-encoding
+}
+
+TEST(CodecTest, EmptyBodyMessages) {
+  expect_round_trip(wrap(PeeringRequest{}));
+  expect_round_trip(wrap(PeeringAccept{}));
+  expect_round_trip(wrap(AlarmQuit{}));
+}
+
+TEST(CodecTest, ReasonCarryingMessages) {
+  expect_round_trip(wrap(PeeringReject{"blacklisted"}));
+  expect_round_trip(wrap(InvocationReject{"ownership check failed"}));
+  expect_round_trip(wrap(PeeringTeardown{"undeploying"}));
+  // Content check.
+  const auto wire = encode_envelope(wrap(PeeringReject{"why"}));
+  const auto back = decode_envelope(wire);
+  EXPECT_EQ(std::get<PeeringReject>(back->message).reason, "why");
+}
+
+TEST(CodecTest, KeyInstallRoundTrip) {
+  KeyInstall body;
+  body.key = derive_key128(42);
+  body.serial = 0x1122334455667788ull;
+  body.rekey = true;
+  expect_round_trip(wrap(body));
+  const auto back = decode_envelope(encode_envelope(wrap(body)));
+  const auto& decoded = std::get<KeyInstall>(back->message);
+  EXPECT_EQ(decoded.key, body.key);
+  EXPECT_EQ(decoded.serial, body.serial);
+  EXPECT_TRUE(decoded.rekey);
+}
+
+TEST(CodecTest, InvocationRequestWithMixedFamilies) {
+  InvocationRequest body;
+  body.alarm_mode = true;
+  body.triples.push_back({*Prefix4::parse("10.1.0.0/16"),
+                          invoke_mask(InvokableFunction::kDp) |
+                              invoke_mask(InvokableFunction::kCdp),
+                          24 * kHour});
+  body.triples.push_back({*Prefix6::parse("2400:1::/32"),
+                          invoke_mask(InvokableFunction::kSp), kHour});
+  expect_round_trip(wrap(body));
+
+  const auto back = decode_envelope(encode_envelope(wrap(body)));
+  const auto& decoded = std::get<InvocationRequest>(back->message);
+  ASSERT_EQ(decoded.triples.size(), 2u);
+  EXPECT_TRUE(decoded.alarm_mode);
+  EXPECT_EQ(decoded.triples[0], body.triples[0]);
+  EXPECT_EQ(decoded.triples[1], body.triples[1]);
+}
+
+TEST(CodecTest, HeaderFormatIsPinned) {
+  const auto wire = encode_envelope(Envelope{0x01020304, 0x0a0b0c0d,
+                                             PeeringRequest{}});
+  ASSERT_EQ(wire.size(), 16u);
+  EXPECT_EQ(wire[0], 'D');
+  EXPECT_EQ(wire[3], '1');
+  EXPECT_EQ(wire[4], 1);  // kPeeringRequest
+  EXPECT_EQ(wire[8], 0x01);
+  EXPECT_EQ(wire[11], 0x04);
+  EXPECT_EQ(wire[12], 0x0a);
+  EXPECT_EQ(wire[15], 0x0d);
+}
+
+TEST(CodecTest, RejectsBadMagicUnknownTypeTruncationAndTrailing) {
+  auto wire = encode_envelope(wrap(KeyInstall{}));
+  auto bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decode_envelope(bad_magic).has_value());
+
+  auto bad_type = wire;
+  bad_type[4] = 200;
+  EXPECT_FALSE(decode_envelope(bad_type).has_value());
+
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(decode_envelope(std::span(wire.data(), cut)).has_value()) << cut;
+  }
+
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_envelope(trailing).has_value());
+}
+
+TEST(CodecTest, RejectsOutOfRangePrefixLengths) {
+  InvocationRequest body;
+  body.triples.push_back({*Prefix4::parse("10.0.0.0/8"), 1, kHour});
+  auto wire = encode_envelope(wrap(body));
+  // The v4 prefix length byte sits 5 bytes from the end of the triple:
+  // [family(1) addr(4) len(1) functions(1) duration(8)] at the tail.
+  wire[wire.size() - 10] = 40;  // len > 32
+  EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, MutationsNeverCrashAndReEncodeCanonically) {
+  Xoshiro256 rng(GetParam());
+  const std::vector<Envelope> corpus = {
+      wrap(PeeringRequest{}),
+      wrap(PeeringReject{"reason string"}),
+      wrap(KeyInstall{derive_key128(1), 7, false}),
+      wrap(InvocationRequest{
+          {{*Prefix4::parse("10.0.0.0/8"), kInvokeAll, kHour},
+           {*Prefix6::parse("2400:2::/32"), 3, kMinute}},
+          false}),
+      wrap(InvocationAccept{5}),
+  };
+  for (int k = 0; k < 2000; ++k) {
+    auto wire = encode_envelope(corpus[rng.below(corpus.size())]);
+    const std::size_t mutations = 1 + rng.below(5);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      wire[rng.below(wire.size())] = static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.25)) wire.resize(rng.below(wire.size() + 1));
+    const auto decoded = decode_envelope(wire);  // must not crash
+    if (decoded) {
+      // Whatever is accepted must re-encode to a decodable canonical form.
+      const auto rewire = encode_envelope(*decoded);
+      const auto again = decode_envelope(rewire);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(encode_envelope(*again), rewire);
+    }
+  }
+}
+
+TEST_P(CodecFuzz, PureGarbageNeverDecodes) {
+  Xoshiro256 rng(GetParam() ^ 0xdead);
+  int accepted = 0;
+  for (int k = 0; k < 2000; ++k) {
+    std::vector<std::uint8_t> garbage(rng.below(80));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    accepted += decode_envelope(garbage).has_value();
+  }
+  // Random bytes essentially never start with "DCS1".
+  EXPECT_EQ(accepted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace discs

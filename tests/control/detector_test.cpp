@@ -1,0 +1,121 @@
+// Attack-detector tests: the sliding-window rate monitor and the automatic
+// invocation loop it drives (§IV-E1 "when to invoke").
+#include "control/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/discs_system.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+Ipv4Address ip(const char* t) { return *Ipv4Address::parse(t); }
+
+RateDetector::Config tight_config() {
+  RateDetector::Config cfg;
+  cfg.threshold_packets = 10;
+  cfg.window = kSecond;
+  cfg.holddown = kMinute;
+  return cfg;
+}
+
+TEST(RateDetectorTest, FiresAtThresholdWithinWindow) {
+  RateDetector detector({pfx("10.1.0.0/16")}, tight_config());
+  std::optional<Prefix4> fired;
+  for (int k = 0; k < 10; ++k) {
+    fired = detector.observe(ip("10.1.2.3"), kSecond + k * kMillisecond);
+  }
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, pfx("10.1.0.0/16"));
+}
+
+TEST(RateDetectorTest, SlowTrafficNeverFires) {
+  RateDetector detector({pfx("10.1.0.0/16")}, tight_config());
+  for (int k = 0; k < 100; ++k) {
+    // One packet every 200 ms: max 5 in any 1 s window.
+    EXPECT_FALSE(
+        detector.observe(ip("10.1.2.3"), k * 200 * kMillisecond).has_value());
+  }
+}
+
+TEST(RateDetectorTest, UnmonitoredDestinationsIgnored) {
+  RateDetector detector({pfx("10.1.0.0/16")}, tight_config());
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(detector.observe(ip("10.2.0.1"), kSecond + k).has_value());
+  }
+}
+
+TEST(RateDetectorTest, HolddownSuppressesRefire) {
+  RateDetector detector({pfx("10.1.0.0/16")}, tight_config());
+  SimTime t = kSecond;
+  int fires = 0;
+  for (int k = 0; k < 200; ++k) {
+    t += kMillisecond;
+    fires += detector.observe(ip("10.1.0.1"), t).has_value();
+  }
+  EXPECT_EQ(fires, 1);  // holddown (1 min) blankets the burst
+
+  // After the holddown a sustained attack re-fires.
+  t += 2 * kMinute;
+  for (int k = 0; k < 200; ++k) {
+    t += kMillisecond;
+    fires += detector.observe(ip("10.1.0.1"), t).has_value();
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(RateDetectorTest, PerPrefixIsolation) {
+  RateDetector detector({pfx("10.1.0.0/16"), pfx("10.2.0.0/16")},
+                        tight_config());
+  SimTime t = kSecond;
+  // Drive only the first prefix over threshold.
+  std::optional<Prefix4> fired;
+  for (int k = 0; k < 10; ++k) fired = detector.observe(ip("10.1.0.1"), t += 1);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, pfx("10.1.0.0/16"));
+  EXPECT_EQ(detector.current_rate(ip("10.2.0.1"), t), 0u);
+}
+
+TEST(AutoDefenseTest, FloodTriggersAutomaticInvocation) {
+  DiscsSystem::Config cfg;
+  cfg.internet.num_ases = 32;
+  cfg.internet.num_prefixes = 320;
+  cfg.internet.seed = 99;
+  cfg.seed = 5;
+  // Short verification tolerance so the post-invocation packets in this
+  // compressed timeline are judged rather than erase-only passed.
+  cfg.controller.tolerance = 50 * kMillisecond;
+  DiscsSystem system(cfg);
+  const auto order = system.dataset().ases_by_space_desc();
+  auto& victim = system.deploy(order[0]);
+  auto& helper = system.deploy(order[1]);
+  system.settle();
+
+  victim.enable_auto_defense(/*threshold_packets=*/50, /*window=*/kSecond);
+  EXPECT_TRUE(victim.auto_defense_enabled());
+
+  // A legacy-AS flood hammers one victim address. The first ~50 packets
+  // slip through; then the detector fires, the invocation reaches the
+  // helper, and everything afterwards is filtered.
+  const auto target = system.sampler().sample_address(order[0]);
+  std::size_t delivered = 0;
+  for (int k = 0; k < 200; ++k) {
+    auto packet = Ipv4Packet::make(system.sampler().sample_address(order[1]),
+                                   target, IpProto::kUdp,
+                                   {std::uint8_t(k), std::uint8_t(k >> 8)});
+    // Attack from the legacy world spoofing the helper's space.
+    const auto result = system.send_packet(order[2], packet);
+    delivered += result.outcome == DeliveryOutcome::kDelivered;
+    system.settle(10 * kMillisecond);  // let control messages flow
+  }
+  // At least the rate detector fired (the alarm-sample detector may also
+  // trigger on the post-invocation drop stream and add to the counter).
+  EXPECT_GE(victim.stats().detector_triggers, 1u);
+  EXPECT_GT(delivered, 40u);   // pre-detection slip-through
+  EXPECT_LT(delivered, 120u);  // post-invocation filtering bites
+  EXPECT_GT(helper.stats().invocations_received, 0u);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,103 @@
+#include "control/secure_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+TEST(WireSizeTest, MatchesTheRealCodec) {
+  EXPECT_EQ(wire_size(PeeringRequest{}), 16u);  // header only
+  EXPECT_GT(wire_size(KeyInstall{}), wire_size(KeyInstallAck{}));
+  InvocationRequest inv;
+  inv.triples.resize(3);  // v4 triples: family+addr+len+functions+duration
+  EXPECT_EQ(wire_size(inv) - wire_size(InvocationRequest{}), 3u * 15u);
+  InvocationRequest inv6;
+  inv6.triples.push_back({*Prefix6::parse("2400:1::/32"), 1, kHour});
+  EXPECT_EQ(wire_size(inv6) - wire_size(InvocationRequest{}), 27u);
+}
+
+TEST(ConConNetworkTest, DeliversWithLatency) {
+  EventLoop loop;
+  ConConNetwork net(loop, 100 * kMillisecond);
+  std::vector<Envelope> received;
+  SimTime delivered_at = 0;
+  net.attach(2, [&](const Envelope& e) {
+    received.push_back(e);
+    delivered_at = loop.now();
+  });
+  net.send(1, 2, PeeringRequest{});
+  loop.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].from, 1u);
+  EXPECT_EQ(received[0].to, 2u);
+  // First contact pays the handshake latency on top of propagation.
+  EXPECT_EQ(delivered_at, 100 * kMillisecond + 2 * kMillisecond);
+}
+
+TEST(ConConNetworkTest, UnattachedDestinationDropsSilently) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  net.send(1, 99, PeeringRequest{});
+  loop.run();  // no crash, message vanished
+  EXPECT_EQ(net.stats().messages, 1u);
+}
+
+TEST(ConConNetworkTest, SessionCacheAvoidsRepeatedHandshakes) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  net.attach(2, [](const Envelope&) {});
+  for (int i = 0; i < 5; ++i) net.send(1, 2, PeeringRequest{});
+  loop.run();
+  EXPECT_EQ(net.stats().handshakes, 1u);
+  EXPECT_EQ(net.stats().session_resumptions, 4u);
+}
+
+TEST(ConConNetworkTest, SessionExpiresAfterTtl) {
+  EventLoop loop;
+  ChannelCostModel cost;
+  cost.session_ttl = 1 * kSecond;
+  ConConNetwork net(loop, 10 * kMillisecond, cost);
+  net.attach(2, [](const Envelope&) {});
+  net.send(1, 2, PeeringRequest{});
+  loop.run();
+  loop.run_until(loop.now() + 2 * kSecond);
+  net.send(1, 2, PeeringRequest{});
+  loop.run();
+  EXPECT_EQ(net.stats().handshakes, 2u);
+}
+
+TEST(ConConNetworkTest, SessionIsSharedBetweenDirections) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  net.attach(1, [](const Envelope&) {});
+  net.attach(2, [](const Envelope&) {});
+  net.send(1, 2, PeeringRequest{});
+  net.send(2, 1, PeeringAccept{});
+  loop.run();
+  EXPECT_EQ(net.stats().handshakes, 1u);
+}
+
+TEST(ConConNetworkTest, ByteAccountingIncludesOverheads) {
+  EventLoop loop;
+  ChannelCostModel cost;
+  cost.record_overhead_bytes = 29;
+  cost.handshake_bytes = 1500;
+  ConConNetwork net(loop, 0, cost);
+  net.attach(2, [](const Envelope&) {});
+  net.send(1, 2, KeyInstall{});
+  loop.run();
+  EXPECT_EQ(net.stats().bytes, 1500u + wire_size(KeyInstall{}) + 29u);
+}
+
+TEST(ConConNetworkTest, TracksPeakConcurrentSessions) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  for (AsNumber as = 2; as <= 6; ++as) net.attach(as, [](const Envelope&) {});
+  for (AsNumber as = 2; as <= 6; ++as) net.send(1, as, PeeringRequest{});
+  loop.run();
+  EXPECT_EQ(net.stats().peak_concurrent_sessions, 5u);
+  EXPECT_EQ(net.live_sessions(loop.now()), 5u);
+}
+
+}  // namespace
+}  // namespace discs

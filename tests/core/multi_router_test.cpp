@@ -1,0 +1,99 @@
+// Multi-router DAS tests: one controller pushing tables to several border
+// routers (the route-reflector structure of the paper's Figure 2), with the
+// traversed router selected per neighbor.
+#include <gtest/gtest.h>
+
+#include "core/discs_system.hpp"
+
+namespace discs {
+namespace {
+
+DiscsSystem::Config multi_router_config() {
+  DiscsSystem::Config cfg;
+  cfg.internet.num_ases = 32;
+  cfg.internet.num_prefixes = 320;
+  cfg.internet.seed = 99;
+  cfg.seed = 5;
+  cfg.controller.border_routers = 4;
+  return cfg;
+}
+
+TEST(MultiRouterTest, ControllerSpawnsConfiguredRouterCount) {
+  DiscsSystem system(multi_router_config());
+  const auto order = system.dataset().ases_by_space_desc();
+  auto& c = system.deploy(order[0]);
+  EXPECT_EQ(c.router_count(), 4u);
+  // router(i) wraps modulo the count.
+  EXPECT_EQ(&c.router(0), &c.router(4));
+  EXPECT_NE(&c.router(0), &c.router(1));
+}
+
+TEST(MultiRouterTest, AllRoutersShareTheControllerTables) {
+  DiscsSystem system(multi_router_config());
+  const auto order = system.dataset().ases_by_space_desc();
+  auto& victim = system.deploy(order[0]);
+  auto& helper = system.deploy(order[1]);
+  system.settle();
+  victim.invoke_ddos_defense_all(false);
+  system.settle(10 * kSecond);
+
+  // Every one of the helper's routers enforces DP: spoofed packets die no
+  // matter which border they exit through.
+  const SimTime now = system.now() + kMinute;
+  for (std::size_t i = 0; i < helper.router_count(); ++i) {
+    SpoofFlow flow{order[1], order[2], order[0], AttackType::kDirect};
+    auto packet = system.sampler().attack_packet(flow);
+    EXPECT_EQ(helper.router(i).process_outbound(packet, now),
+              Verdict::kDropFiltered)
+        << "router " << i;
+  }
+}
+
+TEST(MultiRouterTest, EndToEndFilteringAcrossRouters) {
+  DiscsSystem system(multi_router_config());
+  const auto order = system.dataset().ases_by_space_desc();
+  auto& victim = system.deploy(order[0]);
+  auto& helper = system.deploy(order[1]);
+  system.settle();
+  victim.invoke_ddos_defense_all(false);
+  system.settle(10 * kSecond);
+
+  const auto report =
+      system.run_attack(AttackType::kDirect, order[1], order[0], 200);
+  EXPECT_EQ(report.delivered, 0u);
+  EXPECT_EQ(report.dropped_at_source, 200u);
+
+  // Genuine traffic still flows through whichever routers it hits.
+  for (int k = 0; k < 40; ++k) {
+    auto p = system.sampler().legit_packet(order[1], order[0]);
+    EXPECT_EQ(system.send_packet(order[1], p).outcome,
+              DeliveryOutcome::kDelivered);
+  }
+  // Aggregated stats across the helper's routers account for the drops.
+  EXPECT_EQ(helper.total_router_stats().out_dropped, 200u);
+  EXPECT_GE(helper.total_router_stats().out_stamped, 40u);
+}
+
+TEST(MultiRouterTest, AlarmModeAppliesToEveryRouter) {
+  DiscsSystem system(multi_router_config());
+  const auto order = system.dataset().ases_by_space_desc();
+  auto& victim = system.deploy(order[0]);
+  system.deploy(order[1]);
+  system.settle();
+  victim.invoke({{victim.local_prefixes().front(),
+                  invoke_mask(InvokableFunction::kDp) |
+                      invoke_mask(InvokableFunction::kCdp),
+                  kHour}},
+                /*alarm_mode=*/true);
+  system.settle(5 * kSecond);
+  for (std::size_t i = 0; i < victim.router_count(); ++i) {
+    EXPECT_TRUE(victim.router(i).alarm_mode()) << i;
+  }
+  victim.request_drop_mode();
+  for (std::size_t i = 0; i < victim.router_count(); ++i) {
+    EXPECT_FALSE(victim.router(i).alarm_mode()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace discs

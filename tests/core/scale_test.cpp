@@ -1,0 +1,107 @@
+// Moderate-scale integration: a 20-DAS collaboration over a 256-AS internet
+// — full-mesh peering and keys, an invocation storm, mixed attack/genuine
+// traffic, and teardown — asserting global invariants rather than
+// per-packet outcomes.
+#include <gtest/gtest.h>
+
+#include "core/discs_system.hpp"
+
+namespace discs {
+namespace {
+
+TEST(ScaleTest, TwentyDasCollaboration) {
+  DiscsSystem::Config cfg;
+  cfg.internet.num_ases = 256;
+  cfg.internet.num_prefixes = 2560;
+  cfg.internet.seed = 4242;
+  cfg.seed = 9;
+  DiscsSystem system(cfg);
+
+  const auto order = system.dataset().ases_by_space_desc();
+  constexpr std::size_t kDases = 20;
+  for (std::size_t i = 0; i < kDases; ++i) system.deploy(order[i]);
+  system.settle();
+
+  // Full mesh: every DAS peers with the other 19 and holds both-direction
+  // keys for each.
+  for (std::size_t i = 0; i < kDases; ++i) {
+    auto* c = system.controller(order[i]);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->peer_count(), kDases - 1) << "AS " << order[i];
+    for (std::size_t j = 0; j < kDases; ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(c->tables().key_s.has_key(order[j]));
+      EXPECT_TRUE(c->tables().key_v.has_key(order[j]));
+    }
+  }
+
+  // Every DAS invokes defense simultaneously (an invocation storm).
+  for (std::size_t i = 0; i < kDases; ++i) {
+    system.controller(order[i])->invoke_ddos_defense_all(false);
+  }
+  system.settle(10 * kSecond);
+
+  // Attack matrix: agents inside DAS j attacking DAS i are always filtered
+  // at the source (sampled pairs).
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 4; j < 8; ++j) {
+      const auto report =
+          system.run_attack(AttackType::kDirect, order[j], order[i], 25);
+      EXPECT_EQ(report.delivered, 0u) << order[j] << " -> " << order[i];
+    }
+  }
+
+  // Genuine traffic between every sampled DAS pair still flows.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t j = (i + 3) % kDases;
+    if (i == j) continue;
+    auto p = system.sampler().legit_packet(order[i], order[j]);
+    EXPECT_EQ(system.send_packet(order[i], p).outcome,
+              DeliveryOutcome::kDelivered)
+        << order[i] << " -> " << order[j];
+  }
+
+  // Attack traffic from a legacy AS is partially filtered: globally some
+  // destination drops must have happened (spoofing DAS space).
+  AttackReport legacy_total;
+  for (int k = 0; k < 8; ++k) {
+    const auto r = system.run_attack(AttackType::kDirect, order[kDases + static_cast<std::size_t>(k)],
+                                     order[0], 50);
+    legacy_total.packets_sent += r.packets_sent;
+    legacy_total.delivered += r.delivered;
+    legacy_total.dropped_at_destination += r.dropped_at_destination;
+  }
+  EXPECT_GT(legacy_total.dropped_at_destination, 0u);
+  EXPECT_GT(legacy_total.delivered, 0u);  // partial deployment
+
+  // Teardown half the club; the rest keeps functioning.
+  for (std::size_t i = kDases / 2; i < kDases; ++i) system.undeploy(order[i]);
+  for (std::size_t i = 0; i < kDases / 2; ++i) {
+    EXPECT_EQ(system.controller(order[i])->peer_count(), kDases / 2 - 1);
+  }
+  const auto after =
+      system.run_attack(AttackType::kDirect, order[1], order[0], 25);
+  EXPECT_EQ(after.delivered, 0u);  // both still deployed and invoked
+}
+
+TEST(ScaleTest, ControlPlaneMessageVolumeIsQuadraticNotWorse) {
+  DiscsSystem::Config cfg;
+  cfg.internet.num_ases = 128;
+  cfg.internet.num_prefixes = 1280;
+  cfg.internet.seed = 7;
+  cfg.seed = 3;
+  DiscsSystem system(cfg);
+  const auto order = system.dataset().ases_by_space_desc();
+
+  for (std::size_t i = 0; i < 12; ++i) system.deploy(order[i]);
+  system.settle();
+  const auto stats = system.channel().stats();
+  // Peering full mesh of n=12: request/accept/key/ack per direction pair —
+  // bounded by a small constant times n^2.
+  const std::size_t pairs = 12 * 11 / 2;
+  EXPECT_LE(stats.messages, pairs * 10);
+  EXPECT_GE(stats.messages, pairs * 3);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,97 @@
+#include "crypto/cmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace discs {
+namespace {
+
+Block128 block(std::initializer_list<unsigned> bytes) {
+  Block128 b{};
+  std::size_t i = 0;
+  for (unsigned v : bytes) b[i++] = static_cast<std::uint8_t>(v);
+  return b;
+}
+
+// RFC 4493 test vectors all use this key and message prefix.
+const Key128 kRfcKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const std::array<std::uint8_t, 64> kRfcMsg = {
+    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+    0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03,
+    0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51, 0x30,
+    0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19,
+    0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b,
+    0x17, 0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10};
+
+TEST(AesCmacTest, Rfc4493EmptyMessage) {
+  const AesCmac cmac(kRfcKey);
+  EXPECT_EQ(cmac.mac({}),
+            block({0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3,
+                   0x7d, 0x12, 0x9b, 0x75, 0x67, 0x46}));
+}
+
+TEST(AesCmacTest, Rfc4493SixteenBytes) {
+  const AesCmac cmac(kRfcKey);
+  EXPECT_EQ(cmac.mac(std::span(kRfcMsg).subspan(0, 16)),
+            block({0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b,
+                   0xdd, 0x9d, 0xd0, 0x4a, 0x28, 0x7c}));
+}
+
+TEST(AesCmacTest, Rfc4493FortyBytes) {
+  const AesCmac cmac(kRfcKey);
+  EXPECT_EQ(cmac.mac(std::span(kRfcMsg).subspan(0, 40)),
+            block({0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca,
+                   0x32, 0x61, 0x14, 0x97, 0xc8, 0x27}));
+}
+
+TEST(AesCmacTest, Rfc4493SixtyFourBytes) {
+  const AesCmac cmac(kRfcKey);
+  EXPECT_EQ(cmac.mac(kRfcMsg),
+            block({0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49,
+                   0x74, 0x17, 0x79, 0x36, 0x3c, 0xfe}));
+}
+
+TEST(AesCmacTest, TruncationTakesMostSignificantBits) {
+  const AesCmac cmac(kRfcKey);
+  // Full MAC for the empty message begins 0xbb1d6929 e9593728...
+  // Top 29 bits of 0xbb1d6929...: 0xbb1d6929e9593728 >> 35.
+  EXPECT_EQ(cmac.mac_truncated({}, 29), 0xbb1d6929e9593728ull >> 35);
+  EXPECT_EQ(cmac.mac_truncated({}, 32), 0xbb1d6929ull);
+  EXPECT_EQ(cmac.mac_truncated({}, 1), 1ull);
+  EXPECT_EQ(cmac.mac_truncated({}, 64), 0xbb1d6929e9593728ull);
+}
+
+TEST(AesCmacTest, TruncatedMarksFitWidth) {
+  const AesCmac cmac(derive_key128(77));
+  std::vector<std::uint8_t> msg(21);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = std::uint8_t(i);
+  EXPECT_LT(cmac.mac_truncated(msg, kIpv4MarkBits), 1ull << kIpv4MarkBits);
+  EXPECT_LT(cmac.mac_truncated(msg, kIpv6MarkBits), 1ull << kIpv6MarkBits);
+}
+
+TEST(AesCmacTest, DifferentKeysProduceDifferentMacs) {
+  std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_NE(AesCmac(derive_key128(1)).mac(msg),
+            AesCmac(derive_key128(2)).mac(msg));
+}
+
+TEST(AesCmacTest, MessageSensitivity) {
+  const AesCmac cmac(derive_key128(9));
+  std::vector<std::uint8_t> a(21, 0), b(21, 0);
+  b[20] = 1;  // single trailing byte differs
+  EXPECT_NE(cmac.mac(a), cmac.mac(b));
+  // Length extension with zero bytes must also change the MAC.
+  std::vector<std::uint8_t> c(22, 0);
+  EXPECT_NE(cmac.mac(a), cmac.mac(c));
+}
+
+TEST(DeriveKey128Test, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(derive_key128(5), derive_key128(5));
+  EXPECT_NE(derive_key128(5), derive_key128(6));
+}
+
+}  // namespace
+}  // namespace discs

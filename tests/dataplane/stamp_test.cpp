@@ -1,0 +1,207 @@
+#include "dataplane/stamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+Ipv4Packet v4_packet() {
+  auto p = Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
+                            *Ipv4Address::parse("192.0.2.9"), IpProto::kUdp,
+                            {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  p.header.flags = 0b010;  // DF — must survive stamping
+  p.header.refresh_checksum();
+  return p;
+}
+
+Ipv6Packet v6_packet(std::size_t payload = 16) {
+  return Ipv6Packet::make(*Ipv6Address::parse("2001:db8::1"),
+                          *Ipv6Address::parse("2001:db8:f::2"), 17,
+                          std::vector<std::uint8_t>(payload, 0x5a));
+}
+
+TEST(Ipv4StampTest, StampWritesMarkAndKeepsChecksumValid) {
+  const AesCmac mac(derive_key128(1));
+  auto p = v4_packet();
+  ipv4_stamp(p, mac);
+  EXPECT_EQ(ipv4_read_mark(p), ipv4_mark(p, mac));
+  EXPECT_TRUE(p.checksum_valid());
+  EXPECT_EQ(p.header.flags, 0b010);  // flag bits preserved
+}
+
+TEST(Ipv4StampTest, MarkIs29Bits) {
+  const AesCmac mac(derive_key128(2));
+  for (int i = 0; i < 50; ++i) {
+    auto p = v4_packet();
+    p.payload[0] = static_cast<std::uint8_t>(i);
+    p.header.refresh_checksum();
+    EXPECT_LT(ipv4_mark(p, mac), 1u << 29);
+  }
+}
+
+TEST(Ipv4StampTest, VerifyAcceptsAndErases) {
+  const AesCmac mac(derive_key128(1));
+  Xoshiro256 rng(7);
+  auto p = v4_packet();
+  ipv4_stamp(p, mac);
+  EXPECT_EQ(ipv4_verify(p, mac, nullptr, rng), VerifyResult::kValid);
+  EXPECT_TRUE(p.checksum_valid());
+  // The mark has been randomized: re-verification must (overwhelmingly
+  // likely) fail.
+  EXPECT_EQ(ipv4_verify(p, mac, nullptr, rng), VerifyResult::kInvalid);
+}
+
+TEST(Ipv4StampTest, VerifyRejectsWrongKey) {
+  const AesCmac good(derive_key128(1));
+  const AesCmac bad(derive_key128(2));
+  Xoshiro256 rng(7);
+  auto p = v4_packet();
+  ipv4_stamp(p, good);
+  EXPECT_EQ(ipv4_verify(p, bad, nullptr, rng), VerifyResult::kInvalid);
+  // A failed verify must not modify the packet.
+  EXPECT_EQ(ipv4_read_mark(p), ipv4_mark(p, good));
+}
+
+TEST(Ipv4StampTest, VerifyAcceptsGraceKeyDuringRekey) {
+  const AesCmac old_mac(derive_key128(1));
+  const AesCmac new_mac(derive_key128(2));
+  Xoshiro256 rng(7);
+  auto p = v4_packet();
+  ipv4_stamp(p, old_mac);  // stamped before the re-key switch
+  EXPECT_EQ(ipv4_verify(p, new_mac, &old_mac, rng), VerifyResult::kValid);
+}
+
+TEST(Ipv4StampTest, VerifyRejectsTamperedPayload) {
+  const AesCmac mac(derive_key128(1));
+  Xoshiro256 rng(7);
+  auto p = v4_packet();
+  ipv4_stamp(p, mac);
+  p.payload[3] ^= 0xff;  // in-flight modification of a MAC'd byte
+  EXPECT_EQ(ipv4_verify(p, mac, nullptr, rng), VerifyResult::kInvalid);
+}
+
+TEST(Ipv4StampTest, EraseRandomizesMarkAndKeepsChecksum) {
+  const AesCmac mac(derive_key128(1));
+  Xoshiro256 rng(7);
+  auto p = v4_packet();
+  ipv4_stamp(p, mac);
+  auto q = p;
+  ipv4_erase(q, rng);
+  EXPECT_TRUE(q.checksum_valid());
+  EXPECT_NE(ipv4_read_mark(q), ipv4_read_mark(p));
+}
+
+TEST(Ipv4StampTest, MarkDependsOnKeyAndPacket) {
+  const AesCmac k1(derive_key128(1));
+  const AesCmac k2(derive_key128(2));
+  auto a = v4_packet();
+  auto b = v4_packet();
+  b.payload[3] = 0x77;  // within the 8 MAC'd payload bytes
+  auto c = v4_packet();
+  c.payload[9] = 0x77;  // beyond the 8 MAC'd bytes: mark must not change
+  EXPECT_NE(ipv4_mark(a, k1), ipv4_mark(a, k2));
+  EXPECT_NE(ipv4_mark(a, k1), ipv4_mark(b, k1));
+  EXPECT_EQ(ipv4_mark(a, k1), ipv4_mark(c, k1));
+}
+
+TEST(Ipv6StampTest, StampInsertsOptionAndUpdatesChain) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet();
+  const auto before = p.wire_size();
+  const auto outcome = ipv6_stamp(p, mac, 1500);
+  EXPECT_TRUE(outcome.stamped);
+  EXPECT_FALSE(outcome.too_big);
+  ASSERT_TRUE(p.dest_opts.has_value());
+  EXPECT_EQ(p.header.next_header, kNextHeaderDestOpts);
+  EXPECT_EQ(p.wire_size(), before + 8);  // paper: at most 8 bytes growth
+  EXPECT_EQ(ipv6_read_mark(p), ipv6_mark(p, mac));
+  // Serialized form must still parse.
+  EXPECT_TRUE(Ipv6Packet::parse(p.serialize()).has_value());
+}
+
+TEST(Ipv6StampTest, StampIntoExistingDestOptsAddsOnlyTheOption) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet();
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({0x05, {1, 2, 3, 4}});  // some other option
+  p.dest_opts = dopt;
+  p.refresh_chain();
+  const auto before = p.wire_size();
+  ASSERT_TRUE(ipv6_stamp(p, mac, 1500).stamped);
+  EXPECT_EQ(p.dest_opts->options.size(), 2u);
+  EXPECT_EQ(p.wire_size(), before + 8);
+}
+
+TEST(Ipv6StampTest, MtuExceededReportsTooBigAndLeavesPacketAlone) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet(1452);  // 40 header + 1452 payload = 1492; +8 > 1496
+  const auto original = p;
+  const auto outcome = ipv6_stamp(p, mac, 1496);
+  EXPECT_FALSE(outcome.stamped);
+  EXPECT_TRUE(outcome.too_big);
+  EXPECT_EQ(p, original);
+}
+
+TEST(Ipv6StampTest, VerifyAcceptsRemovesOptionAndHeader) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet();
+  const auto original = p;
+  ASSERT_TRUE(ipv6_stamp(p, mac, 1500).stamped);
+  EXPECT_EQ(ipv6_verify(p, mac, nullptr), VerifyResult::kValid);
+  // The whole destination-options header disappears when the DISCS option
+  // was its only content (paper §V-F).
+  EXPECT_EQ(p, original);
+}
+
+TEST(Ipv6StampTest, VerifyKeepsForeignOptions) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet();
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({0x05, {9}});
+  p.dest_opts = dopt;
+  p.refresh_chain();
+  ASSERT_TRUE(ipv6_stamp(p, mac, 1500).stamped);
+  EXPECT_EQ(ipv6_verify(p, mac, nullptr), VerifyResult::kValid);
+  ASSERT_TRUE(p.dest_opts.has_value());
+  ASSERT_EQ(p.dest_opts->options.size(), 1u);
+  EXPECT_EQ(p.dest_opts->options[0].type, 0x05);
+}
+
+TEST(Ipv6StampTest, VerifyRejectsWrongKeyAndAbsentMark) {
+  const AesCmac good(derive_key128(3));
+  const AesCmac bad(derive_key128(4));
+  auto p = v6_packet();
+  ASSERT_TRUE(ipv6_stamp(p, good, 1500).stamped);
+  EXPECT_EQ(ipv6_verify(p, bad, nullptr), VerifyResult::kInvalid);
+  auto unmarked = v6_packet();
+  EXPECT_EQ(ipv6_verify(unmarked, good, nullptr), VerifyResult::kAbsent);
+}
+
+TEST(Ipv6StampTest, GraceKeyAcceptedDuringRekey) {
+  const AesCmac old_mac(derive_key128(3));
+  const AesCmac new_mac(derive_key128(5));
+  auto p = v6_packet();
+  ASSERT_TRUE(ipv6_stamp(p, old_mac, 1500).stamped);
+  EXPECT_EQ(ipv6_verify(p, new_mac, &old_mac), VerifyResult::kValid);
+}
+
+TEST(Ipv6StampTest, EraseWithoutJudging) {
+  const AesCmac mac(derive_key128(3));
+  auto p = v6_packet();
+  const auto original = p;
+  ASSERT_TRUE(ipv6_stamp(p, mac, 1500).stamped);
+  ipv6_erase(p);
+  EXPECT_EQ(p, original);
+  ipv6_erase(p);  // idempotent on unmarked packets
+  EXPECT_EQ(p, original);
+}
+
+TEST(Ipv6StampTest, MarkIs32BitsAndKeyDependent) {
+  const AesCmac k1(derive_key128(1));
+  const AesCmac k2(derive_key128(2));
+  const auto p = v6_packet();
+  EXPECT_NE(ipv6_mark(p, k1), ipv6_mark(p, k2));
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,164 @@
+#include "dataplane/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* text) { return *Prefix4::parse(text); }
+Ipv4Address ip(const char* text) { return *Ipv4Address::parse(text); }
+
+TEST(Pfx2AsTableTest, LongestPrefixWins) {
+  Pfx2AsTable t;
+  t.add(pfx("10.0.0.0/8"), 1);
+  t.add(pfx("10.1.0.0/16"), 2);
+  EXPECT_EQ(t.lookup(ip("10.1.2.3")), 2u);
+  EXPECT_EQ(t.lookup(ip("10.2.2.3")), 1u);
+  EXPECT_EQ(t.lookup(ip("11.0.0.1")), kNoAs);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Pfx2AsTableTest, SupportsIpv6) {
+  Pfx2AsTable t;
+  t.add(*Prefix6::parse("2001:db8::/32"), 7);
+  EXPECT_EQ(t.lookup(*Ipv6Address::parse("2001:db8::1")), 7u);
+  EXPECT_EQ(t.lookup(*Ipv6Address::parse("2001:db9::1")), kNoAs);
+}
+
+TEST(KeyTableTest, SetAndFind) {
+  KeyTable t;
+  t.set_key(9, derive_key128(1));
+  const auto* entry = t.find(9);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->active, derive_key128(1));
+  EXPECT_FALSE(entry->previous.has_value());
+  EXPECT_EQ(t.find(10), nullptr);
+  EXPECT_TRUE(t.has_key(9));
+}
+
+TEST(KeyTableTest, RekeyRetainsPreviousUntilFinished) {
+  KeyTable t;
+  t.set_key(9, derive_key128(1));
+  t.set_key(9, derive_key128(2));
+  const auto* entry = t.find(9);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->active, derive_key128(2));
+  ASSERT_TRUE(entry->previous.has_value());
+  EXPECT_EQ(*entry->previous, derive_key128(1));
+  ASSERT_TRUE(entry->previous_mac.has_value());
+
+  t.finish_rekey(9);
+  EXPECT_FALSE(t.find(9)->previous.has_value());
+  EXPECT_FALSE(t.find(9)->previous_mac.has_value());
+}
+
+TEST(KeyTableTest, SetKeyWithoutRetentionDropsGraceKey) {
+  KeyTable t;
+  t.set_key(9, derive_key128(1));
+  t.set_key(9, derive_key128(2), /*retain_previous=*/false);
+  EXPECT_FALSE(t.find(9)->previous.has_value());
+}
+
+TEST(KeyTableTest, EraseRemovesPeer) {
+  KeyTable t;
+  t.set_key(9, derive_key128(1));
+  t.erase(9);
+  EXPECT_EQ(t.find(9), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(KeyTableTest, CachedMacMatchesFreshContext) {
+  KeyTable t;
+  const auto key = derive_key128(42);
+  t.set_key(9, key);
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  EXPECT_EQ(t.find(9)->active_mac.mac(msg), AesCmac(key).mac(msg));
+}
+
+TEST(FunctionTableTest, WindowGatesActivation) {
+  FunctionTable t(/*tolerance=*/0);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kDp, 100, 200);
+  EXPECT_EQ(t.lookup(ip("10.0.1.1"), 50).functions, 0);
+  EXPECT_TRUE(has_function(t.lookup(ip("10.0.1.1"), 100).functions,
+                           DefenseFunction::kDp));
+  EXPECT_TRUE(has_function(t.lookup(ip("10.0.1.1"), 199).functions,
+                           DefenseFunction::kDp));
+  EXPECT_EQ(t.lookup(ip("10.0.1.1"), 200).functions, 0);  // end exclusive
+  EXPECT_EQ(t.lookup(ip("10.1.0.1"), 150).functions, 0);  // other prefix
+}
+
+TEST(FunctionTableTest, CoveringPrefixesUnion) {
+  FunctionTable t(0);
+  t.install(pfx("10.0.0.0/8"), DefenseFunction::kDp, 0, 1000);
+  t.install(pfx("10.1.0.0/16"), DefenseFunction::kCdpStamp, 0, 1000);
+  const auto match = t.lookup(ip("10.1.2.3"), 500);
+  EXPECT_TRUE(has_function(match.functions, DefenseFunction::kDp));
+  EXPECT_TRUE(has_function(match.functions, DefenseFunction::kCdpStamp));
+  // Outside the nested /16 only DP applies.
+  EXPECT_EQ(t.lookup(ip("10.2.0.1"), 500).functions,
+            to_mask(DefenseFunction::kDp));
+}
+
+TEST(FunctionTableTest, OverlappingWindowsMerge) {
+  FunctionTable t(0);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kSp, 100, 200);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kSp, 150, 400);  // re-invoke
+  EXPECT_EQ(t.window_count(), 1u);
+  EXPECT_TRUE(has_function(t.lookup(ip("10.0.0.1"), 399).functions,
+                           DefenseFunction::kSp));
+}
+
+TEST(FunctionTableTest, DisjointWindowsCoexist) {
+  FunctionTable t(0);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kSp, 100, 200);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kSp, 300, 400);
+  EXPECT_EQ(t.window_count(), 2u);
+  EXPECT_EQ(t.lookup(ip("10.0.0.1"), 250).functions, 0);
+  EXPECT_TRUE(has_function(t.lookup(ip("10.0.0.1"), 350).functions,
+                           DefenseFunction::kSp));
+}
+
+TEST(FunctionTableTest, ToleranceIntervalsFlagEraseOnly) {
+  FunctionTable t(/*tolerance=*/10);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kCdpVerify, 100, 200);
+  EXPECT_TRUE(t.lookup(ip("10.0.0.1"), 105).erase_only);   // head interval
+  EXPECT_FALSE(t.lookup(ip("10.0.0.1"), 150).erase_only);  // steady state
+  EXPECT_TRUE(t.lookup(ip("10.0.0.1"), 195).erase_only);   // tail interval
+}
+
+TEST(FunctionTableTest, ToleranceOnlyAppliesToCryptoVerify) {
+  FunctionTable t(10);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kDp, 100, 200);
+  EXPECT_FALSE(t.lookup(ip("10.0.0.1"), 105).erase_only);
+}
+
+TEST(FunctionTableTest, ExpireDropsFinishedWindows) {
+  FunctionTable t(0);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kDp, 100, 200);
+  t.install(pfx("10.0.0.0/16"), DefenseFunction::kSp, 100, 500);
+  t.expire(300);
+  EXPECT_EQ(t.window_count(), 1u);
+  EXPECT_TRUE(has_function(t.lookup(ip("10.0.0.1"), 400).functions,
+                           DefenseFunction::kSp));
+}
+
+TEST(FunctionTableTest, Ipv6PrefixesSupported) {
+  FunctionTable t(0);
+  t.install(*Prefix6::parse("2001:db8::/32"), DefenseFunction::kCspVerify, 0, 100);
+  EXPECT_TRUE(has_function(
+      t.lookup(*Ipv6Address::parse("2001:db8::5"), 50).functions,
+      DefenseFunction::kCspVerify));
+  EXPECT_EQ(t.lookup(*Ipv6Address::parse("2001:db9::5"), 50).functions, 0);
+}
+
+TEST(FunctionSetTest, MaskHelpers) {
+  FunctionSet set = 0;
+  set |= to_mask(DefenseFunction::kDp);
+  set |= to_mask(DefenseFunction::kCspStamp);
+  EXPECT_TRUE(has_function(set, DefenseFunction::kDp));
+  EXPECT_TRUE(has_function(set, DefenseFunction::kCspStamp));
+  EXPECT_FALSE(has_function(set, DefenseFunction::kSp));
+}
+
+}  // namespace
+}  // namespace discs

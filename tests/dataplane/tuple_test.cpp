@@ -1,0 +1,156 @@
+// Tuple-generation truth table (paper §V-B) and Table I conformance at the
+// tuple level.
+#include "dataplane/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+constexpr AsNumber kLocal = 100;   // this router's AS
+constexpr AsNumber kVictim = 200;  // peer under attack
+constexpr AsNumber kPeerB = 300;   // another peer
+constexpr AsNumber kStranger = 400;
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+Ipv4Address ip(const char* t) { return *Ipv4Address::parse(t); }
+
+// Address plan: local = 10/8, victim = 20/8 (victim subnet 20.1/16),
+// peer B = 30/8, stranger = 40/8.
+class TupleTest : public ::testing::Test {
+ protected:
+  TupleTest() : gen_(tables_, kLocal) {
+    tables_.pfx2as.add(pfx("10.0.0.0/8"), kLocal);
+    tables_.pfx2as.add(pfx("20.0.0.0/8"), kVictim);
+    tables_.pfx2as.add(pfx("30.0.0.0/8"), kPeerB);
+    tables_.pfx2as.add(pfx("40.0.0.0/8"), kStranger);
+    tables_.key_s.set_key(kVictim, derive_key128(1));
+    tables_.key_s.set_key(kPeerB, derive_key128(2));
+    tables_.key_v.set_key(kVictim, derive_key128(3));
+    tables_.key_v.set_key(kPeerB, derive_key128(4));
+  }
+
+  RouterTables tables_;
+  TupleGenerator gen_;
+  const SimTime now_ = 1000;
+};
+
+TEST_F(TupleTest, NoFunctionsNoAction) {
+  const auto in = gen_.in_tuple(ip("20.0.0.1"), ip("10.0.0.1"), now_);
+  EXPECT_FALSE(in.verify);
+  const auto out = gen_.out_tuple(ip("10.0.0.1"), ip("20.0.0.1"), now_);
+  EXPECT_FALSE(out.drop);
+  EXPECT_FALSE(out.stamp);
+}
+
+// Table I row "DP-filter | out | dst in v | if src not in local, drop".
+TEST_F(TupleTest, DpDropsSpoofedSourceOnly) {
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kDp, 0, 2000);
+  // Spoofed: source claims the victim's own space.
+  EXPECT_TRUE(gen_.out_tuple(ip("20.1.2.3"), ip("20.1.0.9"), now_).drop);
+  // Spoofed: source claims a stranger.
+  EXPECT_TRUE(gen_.out_tuple(ip("40.0.0.1"), ip("20.1.0.9"), now_).drop);
+  // Genuine: source is local.
+  EXPECT_FALSE(gen_.out_tuple(ip("10.0.0.1"), ip("20.1.0.9"), now_).drop);
+  // Other destinations unaffected.
+  EXPECT_FALSE(gen_.out_tuple(ip("40.0.0.1"), ip("30.0.0.9"), now_).drop);
+}
+
+// Table I row "CDP-stamp | out | dst in v | stamp".
+TEST_F(TupleTest, CdpStampsTowardVictim) {
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kCdpStamp, 0, 2000);
+  const auto out = gen_.out_tuple(ip("10.0.0.1"), ip("20.1.0.9"), now_);
+  EXPECT_TRUE(out.stamp);
+  ASSERT_NE(out.key_s, nullptr);
+  EXPECT_EQ(out.key_s->active, derive_key128(1));  // Key-S(victim)
+  // Destination outside the protected subnet: no stamp.
+  EXPECT_FALSE(gen_.out_tuple(ip("10.0.0.1"), ip("20.2.0.9"), now_).stamp);
+}
+
+// Table I row "CDP-verify | in | dst in v | if src in peer, verify".
+TEST_F(TupleTest, CdpVerifyOnlyForPeerSources) {
+  tables_.in_dst.install(pfx("10.1.0.0/16"), DefenseFunction::kCdpVerify, 0, 2000);
+  const auto from_peer = gen_.in_tuple(ip("30.0.0.1"), ip("10.1.0.1"), now_);
+  EXPECT_TRUE(from_peer.verify);
+  ASSERT_NE(from_peer.key_v, nullptr);
+  EXPECT_EQ(from_peer.key_v->active, derive_key128(4));  // Key-V(peer B)
+  // Source maps to a non-peer: verify flag set but no key -> router passes.
+  const auto from_stranger = gen_.in_tuple(ip("40.0.0.1"), ip("10.1.0.1"), now_);
+  EXPECT_TRUE(from_stranger.verify);
+  EXPECT_EQ(from_stranger.key_v, nullptr);
+}
+
+// Table I row "SP-filter | out | src in v | drop".
+TEST_F(TupleTest, SpDropsPacketsClaimingVictimSource) {
+  tables_.out_src.install(pfx("20.1.0.0/16"), DefenseFunction::kSp, 0, 2000);
+  EXPECT_TRUE(gen_.out_tuple(ip("20.1.2.3"), ip("40.0.0.1"), now_).drop);
+  EXPECT_FALSE(gen_.out_tuple(ip("20.2.0.1"), ip("40.0.0.1"), now_).drop);
+  EXPECT_FALSE(gen_.out_tuple(ip("10.0.0.1"), ip("40.0.0.1"), now_).drop);
+}
+
+// Table I row "CSP-stamp | out | src in v | if dst in peer, stamp".
+TEST_F(TupleTest, CspStampsOnlyTowardPeers) {
+  // Executed by the victim AS itself; model a victim-side generator.
+  RouterTables victim_tables;
+  victim_tables.pfx2as.add(pfx("20.0.0.0/8"), kVictim);
+  victim_tables.pfx2as.add(pfx("30.0.0.0/8"), kPeerB);
+  victim_tables.pfx2as.add(pfx("40.0.0.0/8"), kStranger);
+  victim_tables.key_s.set_key(kPeerB, derive_key128(9));
+  victim_tables.out_src.install(pfx("20.1.0.0/16"), DefenseFunction::kCspStamp,
+                                0, 2000);
+  TupleGenerator victim_gen(victim_tables, kVictim);
+
+  const auto to_peer = victim_gen.out_tuple(ip("20.1.0.1"), ip("30.0.0.1"), now_);
+  EXPECT_TRUE(to_peer.stamp);
+  ASSERT_NE(to_peer.key_s, nullptr);
+  EXPECT_EQ(to_peer.key_s->active, derive_key128(9));
+  // Destination is not a peer: Key-S lookup fails -> no stamp.
+  EXPECT_FALSE(victim_gen.out_tuple(ip("20.1.0.1"), ip("40.0.0.1"), now_).stamp);
+}
+
+// Table I row "CSP-verify | in | src in v | verify".
+TEST_F(TupleTest, CspVerifyUsesVictimKey) {
+  tables_.in_src.install(pfx("20.1.0.0/16"), DefenseFunction::kCspVerify, 0, 2000);
+  const auto in = gen_.in_tuple(ip("20.1.0.1"), ip("10.0.0.1"), now_);
+  EXPECT_TRUE(in.verify);
+  ASSERT_NE(in.key_v, nullptr);
+  EXPECT_EQ(in.key_v->active, derive_key128(3));  // Key-V(victim)
+}
+
+TEST_F(TupleTest, DropBeatsStamp) {
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kDp, 0, 2000);
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kCdpStamp, 0, 2000);
+  const auto spoofed = gen_.out_tuple(ip("40.0.0.1"), ip("20.1.0.9"), now_);
+  EXPECT_TRUE(spoofed.drop);
+  EXPECT_FALSE(spoofed.stamp);
+  const auto genuine = gen_.out_tuple(ip("10.0.0.1"), ip("20.1.0.9"), now_);
+  EXPECT_FALSE(genuine.drop);
+  EXPECT_TRUE(genuine.stamp);
+}
+
+TEST_F(TupleTest, EraseOnlyPropagatesFromToleranceWindow) {
+  RouterTables tables;
+  tables.pfx2as.add(pfx("30.0.0.0/8"), kPeerB);
+  tables.key_v.set_key(kPeerB, derive_key128(4));
+  tables.in_dst = FunctionTable(/*tolerance=*/100);
+  tables.in_dst.install(pfx("10.1.0.0/16"), DefenseFunction::kCdpVerify, 1000,
+                        5000);
+  TupleGenerator gen(tables, kLocal);
+  EXPECT_TRUE(gen.in_tuple(ip("30.0.0.1"), ip("10.1.0.1"), 1050).erase_only);
+  EXPECT_FALSE(gen.in_tuple(ip("30.0.0.1"), ip("10.1.0.1"), 3000).erase_only);
+  EXPECT_TRUE(gen.in_tuple(ip("30.0.0.1"), ip("10.1.0.1"), 4950).erase_only);
+}
+
+TEST_F(TupleTest, ExpiredWindowsProduceNoAction) {
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kDp, 0, 500);
+  EXPECT_FALSE(gen_.out_tuple(ip("40.0.0.1"), ip("20.1.0.9"), now_).drop);
+}
+
+TEST_F(TupleTest, UnroutedSourceTreatedAsNonLocal) {
+  tables_.out_dst.install(pfx("20.1.0.0/16"), DefenseFunction::kDp, 0, 2000);
+  // 99/8 is not in Pfx2AS at all -> certainly not local -> drop.
+  EXPECT_TRUE(gen_.out_tuple(ip("99.0.0.1"), ip("20.1.0.9"), now_).drop);
+}
+
+}  // namespace
+}  // namespace discs

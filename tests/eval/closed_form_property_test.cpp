@@ -1,0 +1,140 @@
+// Property tests: the O(1) closed forms in eval/deployment must equal
+// brute-force triple summation over random small internets, for random
+// deployment sets — for every metric.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eval/deployment.hpp"
+#include "eval/flowsim.hpp"
+
+namespace discs {
+namespace {
+
+struct World {
+  std::vector<double> r;               // ratios, sum to 1
+  std::vector<bool> deployed;          // D membership per index
+  double s1 = 0, s2 = 0;
+};
+
+World random_world(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  World w;
+  w.r.resize(n);
+  double sum = 0;
+  for (auto& x : w.r) {
+    x = rng.uniform() + 0.01;
+    // Occasionally spike an AS to make the distribution lumpy.
+    if (rng.chance(0.2)) x *= 10;
+    sum += x;
+  }
+  for (auto& x : w.r) x /= sum;
+  w.deployed.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.deployed[i] = rng.chance(0.4);
+    if (w.deployed[i]) {
+      w.s1 += w.r[i];
+      w.s2 += w.r[i] * w.r[i];
+    }
+  }
+  return w;
+}
+
+class ClosedFormProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosedFormProperty, EffectivenessMatchesBruteForce) {
+  const World w = random_world(GetParam(), 12);
+  const std::size_t n = w.r.size();
+
+  DeploymentState state(w.r);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w.deployed[i]) state.deploy(i);
+  }
+
+  // Brute force: always-on semantics (see eval/deployment.hpp).
+  double brute = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (a == v) continue;
+        const bool end_leg = w.deployed[a] && i != a;
+        const bool crypto_leg =
+            w.deployed[v] && w.deployed[i] && a != i && i != v;
+        if (end_leg || crypto_leg) brute += w.r[a] * w.r[i] * w.r[v];
+      }
+    }
+  }
+  EXPECT_NEAR(state.effectiveness(), brute, 1e-12);
+}
+
+TEST_P(ClosedFormProperty, AverageIncentivesMatchBruteForce) {
+  const World w = random_world(GetParam() ^ 0x5a5a, 12);
+  const std::size_t n = w.r.size();
+
+  DeploymentState state(w.r);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w.deployed[i]) state.deploy(i);
+  }
+
+  // Brute-force per-victim incentives, averaged over LASes weighted by r_v.
+  double num_dp = 0, num_cdp = 0, num_both = 0, den = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (w.deployed[v]) continue;
+    double inc_dp = 0, inc_cdp = 0, inc_both = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a == v) continue;  // flows from the victim itself are intra-AS
+        const double p = w.r[a] * w.r[i];
+        const bool dp = w.deployed[a] && i != a;
+        const bool cdp = w.deployed[i] && a != i && i != v;
+        inc_dp += dp ? p : 0;
+        inc_cdp += cdp ? p : 0;
+        inc_both += (dp || cdp) ? p : 0;
+      }
+    }
+    num_dp += w.r[v] * inc_dp;
+    num_cdp += w.r[v] * inc_cdp;
+    num_both += w.r[v] * inc_both;
+    den += w.r[v];
+  }
+  ASSERT_GT(den, 0.0);
+
+  // Note the closed forms' exclusions are exact here: a == v and i == v
+  // collisions with a, i in D cannot occur because v is never deployed.
+  EXPECT_NEAR(state.avg_incentive_dp(), num_dp / den, 1e-12);
+  EXPECT_NEAR(state.avg_incentive_cdp(), num_cdp / den, 1e-12);
+  EXPECT_NEAR(state.avg_incentive_dp_cdp(), num_both / den, 1e-12);
+}
+
+TEST_P(ClosedFormProperty, FlowPredicateAgreesWithBruteForcePredicate) {
+  const World w = random_world(GetParam() ^ 0x77, 10);
+  const std::size_t n = w.r.size();
+  std::unordered_set<AsNumber> deployed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w.deployed[i]) deployed.insert(static_cast<AsNumber>(i + 1));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const SpoofFlow flow{static_cast<AsNumber>(a + 1),
+                             static_cast<AsNumber>(i + 1),
+                             static_cast<AsNumber>(v + 1), AttackType::kDirect};
+        const bool end_leg = a != v && w.deployed[a] && i != a;
+        const bool crypto_leg = a != v && w.deployed[v] && w.deployed[i] &&
+                                a != i && i != v;
+        EXPECT_EQ(discs_filters_flow(flow, deployed, InvocationModel::kAlwaysOn),
+                  end_leg || crypto_leg);
+        EXPECT_EQ(discs_filters_flow(flow, deployed, InvocationModel::kOnDemand),
+                  w.deployed[v] && (end_leg || crypto_leg));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace discs

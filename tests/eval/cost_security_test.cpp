@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/cost.hpp"
+#include "eval/security.hpp"
+#include "topology/synthetic.hpp"
+
+namespace discs {
+namespace {
+
+// §VI-C.1 quotes: 1.6 MB AS table, 31.5 MB prefix table, 430 MB SSL,
+// 463.1 MB total; 6.1 rekeys/min, 1.1 invocations/min, 147 conn/s,
+// ~7.3% CPU, 1.76 Mbps — at 43k ASes / 442k prefixes.
+TEST(ControllerCostTest, ReproducesPaperNumbers) {
+  const auto cost = controller_cost(43000, 442000);
+  EXPECT_NEAR(cost.as_table_mb, 1.6, 0.1);
+  EXPECT_NEAR(cost.prefix_table_mb, 31.5, 1.0);
+  EXPECT_NEAR(cost.ssl_sessions_mb, 430, 15);
+  EXPECT_NEAR(cost.total_mb, 463.1, 15);
+  EXPECT_NEAR(cost.rekeys_per_minute, 6.1, 0.3);
+  EXPECT_NEAR(cost.invocations_per_minute, 1.1, 0.05);
+  EXPECT_NEAR(cost.ssl_conns_per_second_under_attack, 147, 5);
+  EXPECT_NEAR(cost.cpu_utilization, 0.073, 0.005);
+  EXPECT_NEAR(cost.bandwidth_mbps, 1.76, 0.1);
+}
+
+TEST(ControllerCostTest, ScalesLinearlyInAsCount) {
+  const auto half = controller_cost(21500, 442000);
+  const auto full = controller_cost(43000, 442000);
+  EXPECT_NEAR(half.ssl_sessions_mb * 2, full.ssl_sessions_mb, 1e-9);
+  EXPECT_NEAR(half.rekeys_per_minute * 2, full.rekeys_per_minute, 1e-9);
+}
+
+// §VI-C.2 quotes: 3.5 MB SRAM, 43k*32b CAM, 8 / 5.33 Mpps and
+// 26.25 / 18.33 Gbps for IPv4 / IPv6 on a 2 Gbps CMAC core.
+TEST(RouterCostTest, ReproducesPaperNumbers) {
+  const auto cost = router_cost(43000, 442000);
+  EXPECT_NEAR(cost.sram_mb, 3.5, 0.2);
+  EXPECT_NEAR(cost.cam_kb, 43000 * 32 / 8 / 1024.0, 0.01);
+  EXPECT_NEAR(cost.hw_mpps_ipv4, 8.0, 0.5);
+  EXPECT_NEAR(cost.hw_mpps_ipv6, 5.33, 0.3);
+  EXPECT_NEAR(cost.hw_gbps_ipv4, 26.25, 1.5);
+  EXPECT_NEAR(cost.hw_gbps_ipv6, 18.33, 1.0);
+}
+
+TEST(NetworkOverheadTest, MatchesPaperAt400BytePayload) {
+  const auto overhead = network_overhead(400);
+  EXPECT_DOUBLE_EQ(overhead.ipv4_goodput_loss, 0.0);
+  EXPECT_NEAR(overhead.ipv6_goodput_loss, 0.016, 0.003);
+}
+
+TEST(NetworkOverheadTest, ShrinksWithLargerPayloads) {
+  EXPECT_GT(network_overhead(100).ipv6_goodput_loss,
+            network_overhead(1400).ipv6_goodput_loss);
+}
+
+// §VI-E1: 2^28 expected packets for IPv4 (29-bit marks), 2^31 for IPv6
+// (32-bit); halved while two keys verify during a re-key.
+TEST(ForgeryModelTest, ExpectedAttemptsMatchPaper) {
+  EXPECT_NEAR(forgery_expected_attempts(29, 1), double(1u << 28), 1.0);
+  EXPECT_NEAR(forgery_expected_attempts(32, 1), double(1ull << 31), 1.0);
+  EXPECT_NEAR(forgery_expected_attempts(29, 2), double(1u << 27), 1.0);
+  EXPECT_NEAR(forgery_expected_attempts(32, 2), double(1u << 30), 1.0);
+}
+
+TEST(ForgeryTrialsTest, MeasuredRateMatchesExpectedRate) {
+  // 12-bit marks keep the experiment tractable: expected rate 1/4096.
+  const auto result = run_forgery_trials(12, 400000, 1, 99);
+  EXPECT_NEAR(result.success_rate, result.expected_rate,
+              3 * std::sqrt(result.expected_rate / 400000));  // ~3 sigma
+  EXPECT_GT(result.successes, 0u);
+}
+
+TEST(ForgeryTrialsTest, RekeyWindowDoublesSuccessRate) {
+  const auto one = run_forgery_trials(10, 300000, 1, 7);
+  const auto two = run_forgery_trials(10, 300000, 2, 7);
+  EXPECT_NEAR(two.success_rate / one.success_rate, 2.0, 0.5);
+}
+
+TEST(KeyLeakageTest, ExposureMatchesClosedForm) {
+  InternetDataset ds({
+      {*Prefix4::parse("8.0.0.0/7"), {1}},    // r = 0.5
+      {*Prefix4::parse("10.0.0.0/8"), {2}},   // r = 0.25
+      {*Prefix4::parse("12.0.0.0/9"), {3}},   // r = 0.125
+      {*Prefix4::parse("12.128.0.0/9"), {4}}, // r = 0.125
+  });
+  // D = {1, 2}; AS 2's keys leak. S1 = 0.75, peers_mass = 0.5,
+  // outside = 0.25 -> 2 * 0.25 * 0.5 * 0.25 = 0.0625.
+  EXPECT_DOUBLE_EQ(key_leakage_exposure(ds, {1, 2}, 2), 0.0625);
+  // Leaking a larger AS exposes more (|D| = 3 breaks the two-member
+  // symmetry: 2*0.5*0.375*0.125 vs 2*0.25*0.625*0.125).
+  EXPECT_GT(key_leakage_exposure(ds, {1, 2, 3}, 1),
+            key_leakage_exposure(ds, {1, 2, 3}, 2));
+  // Leaking a non-deployer exposes nothing.
+  EXPECT_DOUBLE_EQ(key_leakage_exposure(ds, {1, 2}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace discs

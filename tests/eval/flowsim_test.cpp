@@ -1,0 +1,113 @@
+#include "eval/flowsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/deployment.hpp"
+#include "topology/synthetic.hpp"
+
+namespace discs {
+namespace {
+
+TEST(DiscsFiltersFlowTest, TruthTable) {
+  const std::unordered_set<AsNumber> deployed{1, 2, 3};
+  // v not deployed -> never filtered.
+  EXPECT_FALSE(discs_filters_flow({1, 2, 9, AttackType::kDirect}, deployed));
+  // v deployed, agent deployed, i != a -> end-based filter fires.
+  EXPECT_TRUE(discs_filters_flow({1, 9, 2, AttackType::kDirect}, deployed));
+  // v deployed, innocent deployed, a != i -> crypto filter fires.
+  EXPECT_TRUE(discs_filters_flow({9, 1, 2, AttackType::kDirect}, deployed));
+  // neither a nor i deployed -> passes.
+  EXPECT_FALSE(discs_filters_flow({8, 9, 2, AttackType::kDirect}, deployed));
+  // agent == victim -> intra-AS, out of scope.
+  EXPECT_FALSE(discs_filters_flow({2, 1, 2, AttackType::kDirect}, deployed));
+  // agent spoofing its own AS space evades both legs.
+  EXPECT_FALSE(discs_filters_flow({9, 9, 2, AttackType::kDirect}, deployed));
+  // reflection flows use the identical predicate (role symmetry).
+  EXPECT_TRUE(discs_filters_flow({1, 9, 2, AttackType::kReflection}, deployed));
+}
+
+TEST(FlowSimTest, EmptyDeploymentFiltersNothing) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 200;
+  cfg.num_prefixes = 2000;
+  const auto ds = generate_dataset(cfg);
+  const auto result = simulate_effectiveness(ds, {}, AttackType::kDirect,
+                                             5000, 1);
+  EXPECT_EQ(result.filtered, 0u);
+  EXPECT_DOUBLE_EQ(result.fraction(), 0.0);
+}
+
+TEST(FlowSimTest, MonteCarloMatchesClosedFormEffectiveness) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 500;
+  cfg.num_prefixes = 5000;
+  const auto ds = generate_dataset(cfg);
+
+  // Deploy the 50 largest ASes.
+  const auto order = deployment_order(ds, DeploymentStrategy::kOptimal, 0);
+  auto state = DeploymentState::from_dataset(ds);
+  std::unordered_set<AsNumber> deployed;
+  for (std::size_t i = 0; i < 50; ++i) {
+    state.deploy(order[i]);
+    deployed.insert(ds.as_numbers()[order[i]]);
+  }
+
+  const auto mc = simulate_effectiveness(ds, deployed, AttackType::kDirect,
+                                         200000, 7);
+  // Sampler conditions on distinct (a, i, v); renormalize the closed form
+  // by the collision-free probability, which is within a few permil of 1.
+  EXPECT_NEAR(mc.fraction(), state.effectiveness(), 0.02);
+
+  const auto mc_refl = simulate_effectiveness(ds, deployed,
+                                              AttackType::kReflection, 200000, 8);
+  EXPECT_NEAR(mc_refl.fraction(), mc.fraction(), 0.01);
+}
+
+TEST(FlowSimTest, MonteCarloMatchesClosedFormIncentive) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 400;
+  cfg.num_prefixes = 4000;
+  const auto ds = generate_dataset(cfg);
+  const auto order = deployment_order(ds, DeploymentStrategy::kOptimal, 0);
+
+  std::unordered_set<AsNumber> deployed;
+  double s1 = 0, s2 = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const AsNumber as = ds.as_numbers()[order[i]];
+    deployed.insert(as);
+    s1 += ds.ratio(as);
+    s2 += ds.ratio(as) * ds.ratio(as);
+  }
+  // Pick a mid-sized LAS as the victim.
+  AsNumber victim = kNoAs;
+  for (std::size_t i = 100; i < 400; ++i) {
+    const AsNumber as = ds.as_numbers()[order[i]];
+    if (!deployed.contains(as)) {
+      victim = as;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoAs);
+  const double r_v = ds.ratio(victim);
+
+  const auto mc = simulate_incentive(ds, deployed, victim,
+                                     AttackType::kDirect, 200000, 9);
+  // Closed form inc_DP+CDP(D, v) = (S1-S2) + S1(1 - r_v - S1); the sampler
+  // conditions on distinct roles, matching the formula's exclusions.
+  const double closed = (s1 - s2) + s1 * (1.0 - r_v - s1);
+  EXPECT_NEAR(mc.fraction(), closed, 0.02);
+}
+
+TEST(FlowSimTest, DeterministicUnderSeed) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 100;
+  cfg.num_prefixes = 1000;
+  const auto ds = generate_dataset(cfg);
+  const std::unordered_set<AsNumber> deployed{1, 2, 3, 4, 5};
+  const auto a = simulate_effectiveness(ds, deployed, AttackType::kDirect, 1000, 3);
+  const auto b = simulate_effectiveness(ds, deployed, AttackType::kDirect, 1000, 3);
+  EXPECT_EQ(a.filtered, b.filtered);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "eval/load.hpp"
+#include "eval/report.hpp"
+#include "topology/synthetic.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+
+TEST(CurveSetTest, AddChecksAxes) {
+  CurveSet curves;
+  curves.title = "t";
+  curves.x_label = "deployers";
+  DeploymentCurve a{{1, 2, 3}, {0.1, 0.2, 0.3}};
+  DeploymentCurve b{{1, 2, 3}, {0.4, 0.5, 0.6}};
+  DeploymentCurve mismatched{{1, 2}, {0.4, 0.5}};
+  curves.add("a", a);
+  curves.add("b", b);
+  EXPECT_THROW(curves.add("bad", mismatched), std::invalid_argument);
+  EXPECT_EQ(curves.series.size(), 2u);
+}
+
+TEST(ReportTest, CsvFormat) {
+  CurveSet curves;
+  curves.x_label = "n";
+  curves.add("optimal", {{1, 2}, {0.5, 0.75}});
+  curves.add("random", {{1, 2}, {0.1, 0.2}});
+  std::ostringstream out;
+  write_csv(out, curves);
+  EXPECT_EQ(out.str(), "n,optimal,random\n1,0.5,0.1\n2,0.75,0.2\n");
+}
+
+TEST(ReportTest, GnuplotFormat) {
+  CurveSet curves;
+  curves.title = "Figure 6b";
+  curves.x_label = "deployers";
+  curves.add("optimal", {{5}, {0.5}});
+  std::ostringstream out;
+  write_gnuplot(out, curves);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# Figure 6b"), std::string::npos);
+  EXPECT_NE(text.find("5\t0.5"), std::string::npos);
+}
+
+TEST(ReportTest, WritesArtifactsToDisk) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "discs_report_test").string();
+  std::filesystem::remove_all(dir);
+  CurveSet curves;
+  curves.title = "t";
+  curves.x_label = "x";
+  curves.add("s", {{1}, {2.0}});
+  const auto csv_path = write_artifacts(dir, "fig_test", curves);
+  EXPECT_TRUE(std::filesystem::exists(csv_path));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fig_test.dat"));
+  std::ifstream in(csv_path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,s");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LoadModelTest, SingleVictimLoadMatchesFormula) {
+  InternetDataset ds({
+      {pfx("8.0.0.0/7"), {1}},    // r = 0.5
+      {pfx("10.0.0.0/8"), {2}},   // r = 0.25
+      {pfx("12.0.0.0/8"), {3}},   // r = 0.25
+  });
+  // Protect AS 2 (r = 0.25): load = 2*0.25 - 0.0625.
+  EXPECT_DOUBLE_EQ(processing_load_fraction(ds, {2}), 0.4375);
+  // Duplicates don't double-count.
+  EXPECT_DOUBLE_EQ(processing_load_fraction(ds, {2, 2}), 0.4375);
+  // Protecting everything processes everything.
+  EXPECT_DOUBLE_EQ(processing_load_fraction(ds, {1, 2, 3}), 1.0);
+  // Protecting nothing processes nothing — the on-demand baseline.
+  EXPECT_DOUBLE_EQ(processing_load_fraction(ds, {}), 0.0);
+}
+
+TEST(LoadModelTest, OnDemandLoadIsTinyAtPaperScale) {
+  // At snapshot scale with the paper's 1611 attacks/day and 24 h durations,
+  // the expected concurrently protected mass is small: on-demand processing
+  // touches a small fraction of global traffic, versus 100% for always-on
+  // methods — §IV-E's cost claim quantified.
+  SyntheticConfig cfg;
+  cfg.num_ases = 4000;
+  cfg.num_prefixes = 40000;
+  const auto ds = generate_dataset(cfg);
+  const double load = expected_on_demand_load(ds, 1611, 24);
+  EXPECT_GT(load, 0.0);
+  EXPECT_LT(load, 0.6);  // far from the always-on 1.0 even with 1611 attacks
+  // Shorter attacks -> proportionally less load.
+  EXPECT_LT(expected_on_demand_load(ds, 1611, 1),
+            expected_on_demand_load(ds, 1611, 24));
+}
+
+}  // namespace
+}  // namespace discs

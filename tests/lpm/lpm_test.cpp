@@ -1,0 +1,207 @@
+#include "lpm/lpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx4(const char* text) { return *Prefix4::parse(text); }
+Ipv4Address ip4(const char* text) { return *Ipv4Address::parse(text); }
+Prefix6 pfx6(const char* text) { return *Prefix6::parse(text); }
+Ipv6Address ip6(const char* text) { return *Ipv6Address::parse(text); }
+
+TEST(BinaryTrieTest, EmptyLookupMisses) {
+  BinaryTrie<Ipv4Key, int> t;
+  EXPECT_FALSE(t.lookup(ip4("1.2.3.4")).has_value());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BinaryTrieTest, LongestMatchWins) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  t.insert(pfx4("10.1.0.0/16"), 16);
+  t.insert(pfx4("10.1.2.0/24"), 24);
+  EXPECT_EQ(t.lookup(ip4("10.1.2.3")), 24);
+  EXPECT_EQ(t.lookup(ip4("10.1.9.1")), 16);
+  EXPECT_EQ(t.lookup(ip4("10.9.9.9")), 8);
+  EXPECT_FALSE(t.lookup(ip4("11.0.0.1")).has_value());
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(BinaryTrieTest, DefaultRouteMatchesEverything) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("0.0.0.0/0"), 1);
+  EXPECT_EQ(t.lookup(ip4("255.255.255.255")), 1);
+  EXPECT_EQ(t.lookup(ip4("0.0.0.0")), 1);
+}
+
+TEST(BinaryTrieTest, HostRouteSupported) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  t.insert(pfx4("10.1.2.3/32"), 32);
+  EXPECT_EQ(t.lookup(ip4("10.1.2.3")), 32);
+  EXPECT_EQ(t.lookup(ip4("10.1.2.4")), 8);
+}
+
+TEST(BinaryTrieTest, InsertOverwritesSamePrefix) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 1);
+  t.insert(pfx4("10.0.0.0/8"), 2);
+  EXPECT_EQ(t.lookup(ip4("10.0.0.1")), 2);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BinaryTrieTest, FindExactDistinguishesLengths) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  ASSERT_NE(t.find_exact(pfx4("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*t.find_exact(pfx4("10.0.0.0/8")), 8);
+  EXPECT_EQ(t.find_exact(pfx4("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(t.find_exact(pfx4("11.0.0.0/8")), nullptr);
+}
+
+TEST(BinaryTrieTest, VisitMatchesReportsAllCoveringPrefixes) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("0.0.0.0/0"), 0);
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  t.insert(pfx4("10.1.0.0/16"), 16);
+  t.insert(pfx4("99.0.0.0/8"), 99);
+  std::vector<int> seen;
+  t.visit_matches(ip4("10.1.2.3"), [&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 8, 16}));
+}
+
+TEST(BinaryTrieTest, ClearEmptiesTheTable) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(ip4("10.0.0.1")).has_value());
+}
+
+TEST(BinaryTrieTest, Ipv6LongestMatch) {
+  BinaryTrie<Ipv6Key, int> t;
+  t.insert(pfx6("2001:db8::/32"), 32);
+  t.insert(pfx6("2001:db8:1::/48"), 48);
+  t.insert(pfx6("2001:db8:1:2::/64"), 64);
+  EXPECT_EQ(t.lookup(ip6("2001:db8:1:2::77")), 64);
+  EXPECT_EQ(t.lookup(ip6("2001:db8:1:3::1")), 48);
+  EXPECT_EQ(t.lookup(ip6("2001:db8:9::1")), 32);
+  EXPECT_FALSE(t.lookup(ip6("2001:db9::1")).has_value());
+}
+
+TEST(StrideTrieTest, LongestMatchWins) {
+  StrideTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  t.insert(pfx4("10.1.0.0/16"), 16);
+  t.insert(pfx4("10.1.2.0/24"), 24);
+  EXPECT_EQ(t.lookup(ip4("10.1.2.3")), 24);
+  EXPECT_EQ(t.lookup(ip4("10.1.9.1")), 16);
+  EXPECT_EQ(t.lookup(ip4("10.9.9.9")), 8);
+  EXPECT_FALSE(t.lookup(ip4("11.0.0.1")).has_value());
+}
+
+TEST(StrideTrieTest, NonByteAlignedPrefixExpansion) {
+  StrideTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/9"), 9);    // covers 10.0-10.127
+  t.insert(pfx4("10.128.0.0/9"), 90);  // covers 10.128-10.255
+  t.insert(pfx4("10.64.0.0/10"), 10);  // inside the first /9
+  EXPECT_EQ(t.lookup(ip4("10.0.0.1")), 9);
+  EXPECT_EQ(t.lookup(ip4("10.64.0.1")), 10);
+  EXPECT_EQ(t.lookup(ip4("10.127.0.1")), 10);
+  EXPECT_EQ(t.lookup(ip4("10.128.0.1")), 90);
+  EXPECT_EQ(t.lookup(ip4("10.255.0.1")), 90);
+}
+
+TEST(StrideTrieTest, ExpansionOrderIndependent) {
+  // Inserting the shorter prefix after the longer one must not clobber the
+  // longer one's expanded slots.
+  StrideTrie<Ipv4Key, int> a, b;
+  a.insert(pfx4("10.64.0.0/10"), 10);
+  a.insert(pfx4("10.0.0.0/9"), 9);
+  b.insert(pfx4("10.0.0.0/9"), 9);
+  b.insert(pfx4("10.64.0.0/10"), 10);
+  for (const char* probe : {"10.0.0.1", "10.64.0.1", "10.127.255.255"}) {
+    EXPECT_EQ(a.lookup(ip4(probe)), b.lookup(ip4(probe))) << probe;
+  }
+  EXPECT_EQ(a.lookup(ip4("10.64.0.1")), 10);
+}
+
+TEST(StrideTrieTest, DefaultRoute) {
+  StrideTrie<Ipv4Key, int> t;
+  t.insert(pfx4("0.0.0.0/0"), 1);
+  t.insert(pfx4("10.0.0.0/8"), 8);
+  EXPECT_EQ(t.lookup(ip4("9.9.9.9")), 1);
+  EXPECT_EQ(t.lookup(ip4("10.9.9.9")), 8);
+}
+
+// Property test: both engines must agree with a naive linear-scan oracle on
+// randomized rule sets and probes.
+class LpmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmPropertyTest, EnginesAgreeWithNaiveOracle) {
+  Xoshiro256 rng(GetParam());
+  std::vector<std::pair<Prefix4, int>> rules;
+  BinaryTrie<Ipv4Key, int> binary;
+  StrideTrie<Ipv4Key, int> stride;
+
+  for (int r = 0; r < 200; ++r) {
+    const unsigned len = static_cast<unsigned>(rng.below(33));
+    const Ipv4Address addr(static_cast<std::uint32_t>(rng.next()));
+    const Prefix4 p(addr, len);
+    const int value = r;
+    // Overwrite earlier duplicate rules, mirroring insert semantics.
+    std::erase_if(rules, [&](const auto& rule) { return rule.first == p; });
+    rules.emplace_back(p, value);
+    binary.insert(p, value);
+    stride.insert(p, value);
+  }
+
+  auto oracle = [&](Ipv4Address a) -> std::optional<int> {
+    std::optional<int> best;
+    unsigned best_len = 0;
+    for (const auto& [p, v] : rules) {
+      if (p.contains(a) && (!best || p.length() >= best_len)) {
+        if (!best || p.length() > best_len) {
+          best = v;
+          best_len = p.length();
+        }
+      }
+    }
+    return best;
+  };
+
+  for (int probe = 0; probe < 2000; ++probe) {
+    // Half the probes are random; half are perturbations of rule addresses
+    // so prefix boundaries get exercised.
+    Ipv4Address a(static_cast<std::uint32_t>(rng.next()));
+    if (probe % 2 == 0 && !rules.empty()) {
+      const auto& base = rules[rng.below(rules.size())].first;
+      a = Ipv4Address(base.address().bits() |
+                      static_cast<std::uint32_t>(rng.next() & 0xff));
+    }
+    const auto expected = oracle(a);
+    EXPECT_EQ(binary.lookup(a), expected) << a.to_string();
+    EXPECT_EQ(stride.lookup(a), expected) << a.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+TEST(LpmMemoryTest, ReportsNonZeroFootprint) {
+  BinaryTrie<Ipv4Key, int> t;
+  t.insert(pfx4("10.0.0.0/8"), 1);
+  EXPECT_GT(t.memory_bytes(), 0u);
+  StrideTrie<Ipv4Key, int> s;
+  s.insert(pfx4("10.0.0.0/8"), 1);
+  EXPECT_GT(s.memory_bytes(), t.memory_bytes());  // stride trades memory
+}
+
+}  // namespace
+}  // namespace discs

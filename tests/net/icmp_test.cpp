@@ -1,0 +1,137 @@
+#include "net/icmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace discs {
+namespace {
+
+Ipv6Address addr6(const char* text) { return *Ipv6Address::parse(text); }
+
+TEST(IcmpV4Test, TimeExceededQuotesOffendingHeader) {
+  auto offending = Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
+                                    *Ipv4Address::parse("192.0.2.1"),
+                                    IpProto::kUdp, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  offending.header.identification = 0x1234;
+  offending.header.refresh_checksum();
+
+  const auto te = build_time_exceeded_v4(offending, *Ipv4Address::parse("203.0.113.9"));
+  EXPECT_EQ(te.header.protocol, static_cast<std::uint8_t>(IpProto::kIcmp));
+  EXPECT_EQ(te.header.dst, offending.header.src);
+  ASSERT_EQ(te.payload.size(), 8u + 20u + 8u);
+  EXPECT_EQ(te.payload[0], kIcmpTimeExceeded);
+  // ICMP checksum over the body must validate to zero.
+  EXPECT_EQ(icmpv4_checksum(te.payload), 0);
+  // Quoted header carries the stamped identification field.
+  EXPECT_EQ(te.payload[8 + 4], 0x12);
+  EXPECT_EQ(te.payload[8 + 5], 0x34);
+  // Quoted payload is the first 8 bytes only.
+  EXPECT_EQ(te.payload[8 + 20], 1);
+  EXPECT_EQ(te.payload[8 + 27], 8);
+}
+
+TEST(IcmpV4Test, ScrubErasesQuotedMark) {
+  auto offending = Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
+                                    *Ipv4Address::parse("192.0.2.1"),
+                                    IpProto::kUdp, {1, 2, 3, 4});
+  // Pretend DISCS stamped a 29-bit mark across IPID + FragmentOffset.
+  offending.header.identification = 0xbeef;
+  offending.header.fragment_offset = 0x0777;
+  offending.header.refresh_checksum();
+
+  auto te = build_time_exceeded_v4(offending, *Ipv4Address::parse("203.0.113.9"));
+  ASSERT_TRUE(scrub_quoted_mark_v4(te));
+
+  // Mark bytes zeroed.
+  EXPECT_EQ(te.payload[8 + 4], 0);
+  EXPECT_EQ(te.payload[8 + 5], 0);
+  EXPECT_EQ(te.payload[8 + 6] & 0x1f, 0);
+  EXPECT_EQ(te.payload[8 + 7], 0);
+  // Both the quoted header checksum and the ICMP checksum remain valid.
+  const std::span<const std::uint8_t> quoted(te.payload.data() + 8, 20);
+  EXPECT_EQ(internet_checksum(quoted), 0);
+  EXPECT_EQ(icmpv4_checksum(te.payload), 0);
+}
+
+TEST(IcmpV4Test, ScrubPreservesFlagBits) {
+  auto offending = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2),
+                                    IpProto::kUdp, {});
+  offending.header.flags = 0b010;  // DF
+  offending.header.identification = 0x5555;
+  offending.header.refresh_checksum();
+  auto te = build_time_exceeded_v4(offending, Ipv4Address(3));
+  ASSERT_TRUE(scrub_quoted_mark_v4(te));
+  EXPECT_EQ(te.payload[8 + 6] >> 5, 0b010);
+}
+
+TEST(IcmpV4Test, ScrubIgnoresNonTimeExceeded) {
+  auto p = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2), IpProto::kUdp,
+                            {1, 2, 3});
+  EXPECT_FALSE(scrub_quoted_mark_v4(p));
+  auto echo = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2), IpProto::kIcmp,
+                               std::vector<std::uint8_t>(40, 0));
+  echo.payload[0] = 8;  // echo request
+  EXPECT_FALSE(scrub_quoted_mark_v4(echo));
+}
+
+TEST(IcmpV4Test, ScrubNoOpWhenNoMarkPresent) {
+  auto offending = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2),
+                                    IpProto::kUdp, {});
+  auto te = build_time_exceeded_v4(offending, Ipv4Address(3));
+  EXPECT_FALSE(scrub_quoted_mark_v4(te));
+}
+
+TEST(IcmpV6Test, TimeExceededRoundTripAndChecksum) {
+  auto offending = Ipv6Packet::make(addr6("2001:db8::1"), addr6("2001:db8::2"),
+                                    17, {1, 2, 3, 4});
+  const auto te = build_time_exceeded_v6(offending, addr6("2001:db8::99"));
+  EXPECT_EQ(te.upper_proto, static_cast<std::uint8_t>(IpProto::kIcmpV6));
+  EXPECT_EQ(te.header.dst, offending.header.src);
+  EXPECT_EQ(te.payload[0], kIcmpV6TimeExceeded);
+  EXPECT_EQ(icmpv6_checksum(te.header.src, te.header.dst, te.payload), 0);
+}
+
+TEST(IcmpV6Test, PacketTooBigCarriesMtu) {
+  auto offending = Ipv6Packet::make(addr6("::1"), addr6("::2"), 17,
+                                    std::vector<std::uint8_t>(64, 0xab));
+  const auto ptb = build_packet_too_big_v6(offending, addr6("::9"), 1492);
+  EXPECT_EQ(ptb.payload[0], kIcmpV6PacketTooBig);
+  const std::uint32_t mtu = (std::uint32_t{ptb.payload[4]} << 24) |
+                            (std::uint32_t{ptb.payload[5]} << 16) |
+                            (std::uint32_t{ptb.payload[6]} << 8) |
+                            ptb.payload[7];
+  EXPECT_EQ(mtu, 1492u);
+  EXPECT_EQ(icmpv6_checksum(ptb.header.src, ptb.header.dst, ptb.payload), 0);
+}
+
+TEST(IcmpV6Test, ScrubZeroesQuotedDiscsOption) {
+  auto offending = Ipv6Packet::make(addr6("2001:db8::1"), addr6("2001:db8::2"),
+                                    17, {1, 2, 3, 4});
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({kDiscsOptionType, {0xde, 0xad, 0xbe, 0xef}});
+  offending.dest_opts = dopt;
+  offending.refresh_chain();
+
+  auto te = build_time_exceeded_v6(offending, addr6("2001:db8::99"));
+  ASSERT_TRUE(scrub_quoted_mark_v6(te));
+
+  // Re-parse the quoted packet and confirm the option data is zeroed.
+  const std::span<const std::uint8_t> quoted(te.payload.data() + 8,
+                                             te.payload.size() - 8);
+  const auto inner = Ipv6Packet::parse(quoted);
+  ASSERT_TRUE(inner.has_value());
+  ASSERT_TRUE(inner->dest_opts.has_value());
+  EXPECT_EQ(inner->dest_opts->options[0].data,
+            (std::vector<std::uint8_t>{0, 0, 0, 0}));
+  EXPECT_EQ(icmpv6_checksum(te.header.src, te.header.dst, te.payload), 0);
+}
+
+TEST(IcmpV6Test, ScrubIgnoresUnmarkedQuotes) {
+  auto offending = Ipv6Packet::make(addr6("::1"), addr6("::2"), 17, {1, 2});
+  auto te = build_time_exceeded_v6(offending, addr6("::9"));
+  EXPECT_FALSE(scrub_quoted_mark_v6(te));
+}
+
+}  // namespace
+}  // namespace discs

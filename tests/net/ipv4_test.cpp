@@ -1,0 +1,152 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace discs {
+namespace {
+
+Ipv4Packet sample_packet() {
+  return Ipv4Packet::make(*Ipv4Address::parse("10.1.2.3"),
+                          *Ipv4Address::parse("192.0.2.77"), IpProto::kUdp,
+                          {0xca, 0xfe, 0xba, 0xbe, 1, 2, 3, 4, 5, 6});
+}
+
+TEST(ChecksumTest, Rfc1071KnownAnswer) {
+  // Example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x2ddf0 -> fold -> 0xddf2 -> complement -> 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(ChecksumTest, AllZeroDataGivesAllOnes) {
+  const std::uint8_t data[4] = {0, 0, 0, 0};
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(ChecksumTest, IncrementalUpdateMatchesRecomputation) {
+  std::uint8_t data[] = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00,
+                         0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                         0xc0, 0x00, 0x02, 0x01};
+  const std::uint16_t before = internet_checksum(data);
+  // Change the identification word from 0x1234 to 0xbeef.
+  const std::uint16_t updated =
+      incremental_checksum_update(before, 0x1234, 0xbeef);
+  data[4] = 0xbe;
+  data[5] = 0xef;
+  EXPECT_EQ(updated, internet_checksum(data));
+}
+
+TEST(ChecksumTest, IncrementalChainOfUpdates) {
+  std::uint8_t data[20] = {};
+  for (int i = 0; i < 20; ++i) data[i] = std::uint8_t(i * 7 + 1);
+  std::uint16_t sum = internet_checksum(data);
+  for (int w = 0; w < 10; ++w) {
+    const std::uint16_t old_word =
+        static_cast<std::uint16_t>((data[2 * w] << 8) | data[2 * w + 1]);
+    const std::uint16_t new_word = static_cast<std::uint16_t>(old_word ^ 0x5a5a);
+    sum = incremental_checksum_update(sum, old_word, new_word);
+    data[2 * w] = static_cast<std::uint8_t>(new_word >> 8);
+    data[2 * w + 1] = static_cast<std::uint8_t>(new_word & 0xff);
+    EXPECT_EQ(sum, internet_checksum(data));
+  }
+}
+
+TEST(Ipv4PacketTest, MakeProducesValidChecksumAndLength) {
+  const auto p = sample_packet();
+  EXPECT_TRUE(p.checksum_valid());
+  EXPECT_EQ(p.header.total_length, 30);
+}
+
+TEST(Ipv4PacketTest, SerializeParseRoundTrip) {
+  const auto p = sample_packet();
+  const auto wire = p.serialize();
+  ASSERT_EQ(wire.size(), 30u);
+  const auto q = Ipv4Packet::parse(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->header.src, p.header.src);
+  EXPECT_EQ(q->header.dst, p.header.dst);
+  EXPECT_EQ(q->header.protocol, p.header.protocol);
+  EXPECT_EQ(q->payload, p.payload);
+  EXPECT_TRUE(q->checksum_valid());
+}
+
+TEST(Ipv4PacketTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Packet::parse(std::vector<std::uint8_t>{}));
+  std::vector<std::uint8_t> short_input(10, 0);
+  EXPECT_FALSE(Ipv4Packet::parse(short_input));
+  auto wire = sample_packet().serialize();
+  wire[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Packet::parse(wire));
+  wire[0] = 0x46;  // IHL 6 (options) unsupported
+  EXPECT_FALSE(Ipv4Packet::parse(wire));
+}
+
+TEST(Ipv4PacketTest, ParseRejectsTotalLengthBeyondBuffer) {
+  auto wire = sample_packet().serialize();
+  wire[2] = 0x40;  // total_length = 0x401e, way past the buffer
+  EXPECT_FALSE(Ipv4Packet::parse(wire));
+}
+
+TEST(Ipv4PacketTest, FlagsAndFragmentOffsetRoundTrip) {
+  auto p = sample_packet();
+  p.header.flags = 0b010;  // DF
+  p.header.fragment_offset = 0x1abc;
+  p.header.refresh_checksum();
+  const auto q = Ipv4Packet::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->header.flags, 0b010);
+  EXPECT_EQ(q->header.fragment_offset, 0x1abc);
+}
+
+TEST(DiscsMsgV4Test, ContainsExpectedFields) {
+  const auto p = sample_packet();
+  const auto msg = discs_msg(p);
+  EXPECT_EQ(msg[0], 0x45);
+  EXPECT_EQ(msg[1], 0x00);
+  EXPECT_EQ(msg[2], 30);  // total length
+  EXPECT_EQ(msg[3], 0x00);
+  EXPECT_EQ(msg[4], 17);  // UDP
+  EXPECT_EQ(msg[5], 10);  // first src octet
+  EXPECT_EQ(msg[9], 192);  // first dst octet
+  EXPECT_EQ(msg[13], 0xca);  // first payload byte
+  EXPECT_EQ(msg[20], 0x04);  // eighth payload byte
+}
+
+TEST(DiscsMsgV4Test, ExcludesIpidAndFragmentOffset) {
+  auto p = sample_packet();
+  const auto before = discs_msg(p);
+  p.header.identification = 0xbeef;
+  p.header.fragment_offset = 0x0123;
+  EXPECT_EQ(discs_msg(p), before);
+}
+
+TEST(DiscsMsgV4Test, ShortPayloadZeroPadded) {
+  const auto p = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2),
+                                  IpProto::kTcp, {0xaa, 0xbb});
+  const auto msg = discs_msg(p);
+  EXPECT_EQ(msg[13], 0xaa);
+  EXPECT_EQ(msg[14], 0xbb);
+  for (std::size_t i = 15; i < 21; ++i) EXPECT_EQ(msg[i], 0);
+}
+
+TEST(DiscsMsgV4Test, DistinguishesNonIdenticalPackets) {
+  const auto a = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2),
+                                  IpProto::kUdp, {1, 2, 3});
+  const auto b = Ipv4Packet::make(Ipv4Address(1), Ipv4Address(2),
+                                  IpProto::kUdp, {1, 2, 4});
+  const auto c = Ipv4Packet::make(Ipv4Address(3), Ipv4Address(2),
+                                  IpProto::kUdp, {1, 2, 3});
+  EXPECT_NE(discs_msg(a), discs_msg(b));
+  EXPECT_NE(discs_msg(a), discs_msg(c));
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,170 @@
+#include "net/ipv6.hpp"
+
+#include <gtest/gtest.h>
+
+namespace discs {
+namespace {
+
+Ipv6Address addr6(const char* text) { return *Ipv6Address::parse(text); }
+
+Ipv6Packet sample_packet() {
+  return Ipv6Packet::make(addr6("2001:db8::1"), addr6("2001:db8:ffff::2"), 17,
+                          {9, 8, 7, 6, 5, 4, 3, 2, 1, 0});
+}
+
+TEST(Ipv6PacketTest, MakeSetsChainFields) {
+  const auto p = sample_packet();
+  EXPECT_EQ(p.header.payload_length, 10);
+  EXPECT_EQ(p.header.next_header, 17);
+  EXPECT_EQ(p.wire_size(), 50u);
+}
+
+TEST(Ipv6PacketTest, PlainSerializeParseRoundTrip) {
+  const auto p = sample_packet();
+  const auto wire = p.serialize();
+  ASSERT_EQ(wire.size(), p.wire_size());
+  const auto q = Ipv6Packet::parse(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Ipv6PacketTest, HeaderFieldsSurviveRoundTrip) {
+  auto p = sample_packet();
+  p.header.traffic_class = 0xb7;
+  p.header.flow_label = 0xabcde;
+  p.header.hop_limit = 3;
+  p.refresh_chain();
+  const auto q = Ipv6Packet::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->header.traffic_class, 0xb7);
+  EXPECT_EQ(q->header.flow_label, 0xabcdeu);
+  EXPECT_EQ(q->header.hop_limit, 3);
+}
+
+TEST(Ipv6PacketTest, DestOptsRoundTrip) {
+  auto p = sample_packet();
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({kDiscsOptionType, {0xde, 0xad, 0xbe, 0xef}});
+  p.dest_opts = dopt;
+  p.refresh_chain();
+  EXPECT_EQ(p.header.next_header, kNextHeaderDestOpts);
+  // 2 lead bytes + 6 option bytes = 8, no padding needed.
+  EXPECT_EQ(p.dest_opts->wire_size(), 8u);
+  EXPECT_EQ(p.header.payload_length, 18);
+
+  const auto q = Ipv6Packet::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+  ASSERT_TRUE(q->dest_opts.has_value());
+  ASSERT_EQ(q->dest_opts->options.size(), 1u);
+  EXPECT_EQ(q->dest_opts->options[0].type, kDiscsOptionType);
+}
+
+TEST(Ipv6PacketTest, DestOptsPaddingInsertedAndStripped) {
+  auto p = sample_packet();
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({0x05, {1, 2, 3}});  // 2+5 = 7 bytes -> 1 pad byte
+  p.dest_opts = dopt;
+  p.refresh_chain();
+  EXPECT_EQ(p.dest_opts->wire_size(), 8u);
+  const auto q = Ipv6Packet::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  ASSERT_TRUE(q->dest_opts.has_value());
+  // Padding options must not appear in the structured view.
+  EXPECT_EQ(q->dest_opts->options.size(), 1u);
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Ipv6PacketTest, FullChainOrderHbhDoptRouting) {
+  auto p = sample_packet();
+  p.hop_by_hop.assign(6, 0xaa);  // 2 + 6 = 8 bytes on the wire
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({kDiscsOptionType, {1, 2, 3, 4}});
+  p.dest_opts = dopt;
+  p.routing.assign(14, 0xbb);  // 2 + 14 = 16 bytes on the wire
+  p.refresh_chain();
+  EXPECT_EQ(p.header.next_header, kNextHeaderHopByHop);
+  EXPECT_EQ(p.header.payload_length, 8 + 8 + 16 + 10);
+
+  const auto q = Ipv6Packet::parse(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(Ipv6PacketTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Packet::parse(std::vector<std::uint8_t>{}));
+  std::vector<std::uint8_t> short_input(20, 0);
+  EXPECT_FALSE(Ipv6Packet::parse(short_input));
+  auto wire = sample_packet().serialize();
+  wire[0] = 0x45;  // version 4
+  EXPECT_FALSE(Ipv6Packet::parse(wire));
+}
+
+TEST(Ipv6PacketTest, ParseRejectsTruncatedExtensionHeader) {
+  auto p = sample_packet();
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({kDiscsOptionType, {1, 2, 3, 4}});
+  p.dest_opts = dopt;
+  p.refresh_chain();
+  auto wire = p.serialize();
+  wire.resize(Ipv6Header::kSize + 4);  // cut inside the extension header
+  // Shrink payload_length accordingly so the length check passes but the
+  // extension walk hits the truncation.
+  wire[4] = 0;
+  wire[5] = 4;
+  EXPECT_FALSE(Ipv6Packet::parse(wire));
+}
+
+TEST(Ipv6PacketTest, ParseRejectsOutOfOrderChain) {
+  // Hand-craft routing followed by hop-by-hop, which RFC order forbids and
+  // the parser rejects.
+  auto p = sample_packet();
+  p.routing.assign(6, 0);
+  p.refresh_chain();
+  auto wire = p.serialize();
+  // Rewrite: fixed header says routing, routing's next header says HBH, and
+  // append a fake HBH header.
+  wire[6] = kNextHeaderRouting;
+  wire[Ipv6Header::kSize] = kNextHeaderHopByHop;
+  std::vector<std::uint8_t> hbh = {17, 0, 0, 0, 0, 0, 0, 0};
+  hbh[1] = 0;  // 8 bytes total
+  wire.insert(wire.end() - 10, hbh.begin(), hbh.end());
+  wire[4] = 0;
+  wire[5] = static_cast<std::uint8_t>(8 + 8 + 10);
+  EXPECT_FALSE(Ipv6Packet::parse(wire));
+}
+
+TEST(DiscsMsgV6Test, LayoutAndExclusions) {
+  auto p = sample_packet();
+  const auto msg = discs_msg(p);
+  EXPECT_EQ(msg[0], 0x20);   // 2001:db8::1 first byte
+  EXPECT_EQ(msg[15], 0x01);  // last src byte
+  EXPECT_EQ(msg[16], 0x20);  // first dst byte
+  EXPECT_EQ(msg[32], 9);     // first payload byte
+  EXPECT_EQ(msg[39], 2);     // eighth payload byte
+
+  // Payload Length and Next Header are excluded: adding an extension header
+  // must not change the msg.
+  auto stamped = p;
+  DestinationOptionsHeader dopt;
+  dopt.options.push_back({kDiscsOptionType, {1, 2, 3, 4}});
+  stamped.dest_opts = dopt;
+  stamped.refresh_chain();
+  EXPECT_EQ(discs_msg(stamped), msg);
+}
+
+TEST(DiscsMsgV6Test, ShortPayloadZeroPadded) {
+  const auto p = Ipv6Packet::make(addr6("::1"), addr6("::2"), 6, {0x42});
+  const auto msg = discs_msg(p);
+  EXPECT_EQ(msg[32], 0x42);
+  for (std::size_t i = 33; i < 40; ++i) EXPECT_EQ(msg[i], 0);
+}
+
+TEST(DiscsOptionTypeTest, HighBitsAre001) {
+  // Paper §V-F: the first three bits of the option type must be "001" so
+  // legacy routers skip the option but may not drop the packet.
+  EXPECT_EQ(kDiscsOptionType >> 5, 0b001);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,155 @@
+// Parameterized fuzz suites: randomized packets must survive
+// serialize/parse round trips byte-exactly, and the parsers must never
+// crash or accept inconsistent structures on mutated wire data.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/ipv4.hpp"
+#include "net/ipv6.hpp"
+
+namespace discs {
+namespace {
+
+class PacketFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+Ipv4Packet random_v4(Xoshiro256& rng) {
+  auto p = Ipv4Packet::make(
+      Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+      Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+      rng.chance(0.5) ? IpProto::kUdp : IpProto::kTcp,
+      std::vector<std::uint8_t>(rng.below(64)));
+  for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.next());
+  p.header.ttl = static_cast<std::uint8_t>(rng.next());
+  p.header.dscp_ecn = static_cast<std::uint8_t>(rng.next());
+  p.header.identification = static_cast<std::uint16_t>(rng.next());
+  p.header.flags = static_cast<std::uint8_t>(rng.below(8));
+  p.header.fragment_offset = static_cast<std::uint16_t>(rng.next() & 0x1fff);
+  p.header.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + p.payload.size());
+  p.header.refresh_checksum();
+  return p;
+}
+
+Ipv6Packet random_v6(Xoshiro256& rng) {
+  std::array<std::uint8_t, 16> src{}, dst{};
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next());
+  // Upper-layer protocols only — 0/43/60 are extension-header numbers and
+  // would (correctly) be interpreted as part of the chain.
+  static constexpr std::uint8_t kUpperProtos[] = {6, 17, 58, 89, 132, 253};
+  auto p = Ipv6Packet::make(Ipv6Address(src), Ipv6Address(dst),
+                            kUpperProtos[rng.below(std::size(kUpperProtos))],
+                            std::vector<std::uint8_t>(rng.below(64)));
+  for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.next());
+  p.header.traffic_class = static_cast<std::uint8_t>(rng.next());
+  p.header.flow_label = static_cast<std::uint32_t>(rng.next()) & 0xfffff;
+  p.header.hop_limit = static_cast<std::uint8_t>(rng.next());
+
+  if (rng.chance(0.4)) {
+    p.hop_by_hop.assign(6 + 8 * rng.below(3), 0);
+    for (auto& b : p.hop_by_hop) b = static_cast<std::uint8_t>(rng.next());
+  }
+  if (rng.chance(0.5)) {
+    DestinationOptionsHeader dopt;
+    const std::size_t options = 1 + rng.below(3);
+    for (std::size_t k = 0; k < options; ++k) {
+      Ipv6Option opt;
+      // Avoid Pad1/PadN types: padding is synthesized, not user content.
+      opt.type = static_cast<std::uint8_t>(2 + rng.below(60));
+      opt.data.resize(rng.below(10));
+      for (auto& b : opt.data) b = static_cast<std::uint8_t>(rng.next());
+      dopt.options.push_back(std::move(opt));
+    }
+    p.dest_opts = std::move(dopt);
+  }
+  if (rng.chance(0.3)) {
+    p.routing.assign(6 + 8 * rng.below(2), 0);
+    for (auto& b : p.routing) b = static_cast<std::uint8_t>(rng.next());
+  }
+  p.refresh_chain();
+  return p;
+}
+
+TEST_P(PacketFuzz, Ipv4RoundTripIsExact) {
+  Xoshiro256 rng(GetParam());
+  for (int k = 0; k < 200; ++k) {
+    const auto p = random_v4(rng);
+    const auto wire = p.serialize();
+    const auto q = Ipv4Packet::parse(wire);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->serialize(), wire);
+    EXPECT_EQ(q->header.src, p.header.src);
+    EXPECT_EQ(q->header.flags, p.header.flags);
+    EXPECT_EQ(q->header.fragment_offset, p.header.fragment_offset);
+    EXPECT_EQ(q->payload, p.payload);
+    EXPECT_TRUE(q->checksum_valid());
+  }
+}
+
+TEST_P(PacketFuzz, Ipv6RoundTripIsExact) {
+  Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  for (int k = 0; k < 200; ++k) {
+    const auto p = random_v6(rng);
+    const auto wire = p.serialize();
+    ASSERT_EQ(wire.size(), p.wire_size());
+    const auto q = Ipv6Packet::parse(wire);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, p);
+    EXPECT_EQ(q->serialize(), wire);
+  }
+}
+
+TEST_P(PacketFuzz, Ipv4ParserRejectsOrAcceptsMutationsWithoutCrashing) {
+  Xoshiro256 rng(GetParam() ^ 0x1234);
+  for (int k = 0; k < 300; ++k) {
+    auto wire = random_v4(rng).serialize();
+    // Random byte mutations + truncation.
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      wire[rng.below(wire.size())] = static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.3)) wire.resize(rng.below(wire.size() + 1));
+    const auto parsed = Ipv4Packet::parse(wire);  // must not crash
+    if (parsed) {
+      // Anything accepted must re-serialize within the original buffer's
+      // prefix semantics (header + declared payload).
+      EXPECT_LE(parsed->serialize().size(), wire.size() + 0u);
+    }
+  }
+}
+
+TEST_P(PacketFuzz, Ipv6ParserNeverCrashesOnMutations) {
+  Xoshiro256 rng(GetParam() ^ 0x9999);
+  for (int k = 0; k < 300; ++k) {
+    auto wire = random_v6(rng).serialize();
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      wire[rng.below(wire.size())] = static_cast<std::uint8_t>(rng.next());
+    }
+    if (rng.chance(0.3)) wire.resize(rng.below(wire.size() + 1));
+    const auto parsed = Ipv6Packet::parse(wire);  // must not crash
+    if (parsed) {
+      // Accepted packets must round-trip consistently with themselves.
+      const auto rewire = parsed->serialize();
+      const auto again = Ipv6Packet::parse(rewire);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+TEST_P(PacketFuzz, RandomGarbageNeverCrashesEitherParser) {
+  Xoshiro256 rng(GetParam() ^ 0xfeed);
+  for (int k = 0; k < 500; ++k) {
+    std::vector<std::uint8_t> garbage(rng.below(120));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    (void)Ipv4Packet::parse(garbage);
+    (void)Ipv6Packet::parse(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,88 @@
+// Randomized stress for the event loop: interleaved schedules and cancels
+// must preserve the (time, insertion-order) execution invariant exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+namespace {
+
+class EventLoopStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventLoopStress, ExecutionOrderMatchesSpecification) {
+  Xoshiro256 rng(GetParam());
+  EventLoop loop;
+
+  struct Expected {
+    SimTime when;
+    std::uint64_t seq;  // global schedule order
+    int tag;
+  };
+  std::vector<Expected> expected;
+  std::vector<int> executed;
+  std::map<int, std::uint64_t> ids;
+  std::uint64_t seq = 0;
+
+  for (int tag = 0; tag < 500; ++tag) {
+    const SimTime when = rng.below(100);
+    ids[tag] = loop.schedule_at(when, [&executed, tag] { executed.push_back(tag); });
+    expected.push_back({when, seq++, tag});
+  }
+  // Cancel a random 30%.
+  std::vector<int> cancelled;
+  for (int tag = 0; tag < 500; ++tag) {
+    if (rng.chance(0.3)) {
+      EXPECT_TRUE(loop.cancel(ids[tag]));
+      cancelled.push_back(tag);
+    }
+  }
+  loop.run();
+
+  std::erase_if(expected, [&](const Expected& e) {
+    return std::find(cancelled.begin(), cancelled.end(), e.tag) != cancelled.end();
+  });
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.seq < b.seq;
+                   });
+  ASSERT_EQ(executed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(executed[i], expected[i].tag) << i;
+  }
+  // All cancels of already-run events must now fail.
+  for (const auto& [tag, id] : ids) EXPECT_FALSE(loop.cancel(id));
+}
+
+TEST_P(EventLoopStress, NestedSchedulingUnderRandomLoad) {
+  Xoshiro256 rng(GetParam() ^ 0xbeef);
+  EventLoop loop;
+  int executions = 0;
+  SimTime last_time = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++executions;
+    EXPECT_GE(loop.now(), last_time);  // time is monotone
+    last_time = loop.now();
+    if (depth <= 0) return;
+    const std::size_t children = rng.below(3);
+    for (std::size_t c = 0; c < children; ++c) {
+      loop.schedule(rng.below(50), [&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int root = 0; root < 50; ++root) {
+    loop.schedule(rng.below(1000), [&spawn] { spawn(4); });
+  }
+  loop.run();
+  EXPECT_GE(executions, 50);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventLoopStress,
+                         ::testing::Values(1, 7, 42, 1337));
+
+}  // namespace
+}  // namespace discs

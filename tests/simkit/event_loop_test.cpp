@@ -1,0 +1,107 @@
+#include "simkit/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace discs {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoopTest, EqualTimestampsFireInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule(7, [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  std::vector<SimTime> fire_times;
+  std::function<void()> tick = [&] {
+    fire_times.push_back(loop.now());
+    if (fire_times.size() < 3) loop.schedule(5, tick);
+  };
+  loop.schedule(5, tick);
+  loop.run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{5, 10, 15}));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.schedule(10, [&] { ++fired; });
+  loop.schedule(5, [&] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // double cancel
+  loop.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelAfterExecutionFails) {
+  EventLoop loop;
+  const auto id = loop.schedule(1, [] {});
+  loop.run();
+  EXPECT_FALSE(loop.cancel(id));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 20u);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000u);
+}
+
+TEST(EventLoopTest, ScheduleAtPastClampsToNow) {
+  EventLoop loop;
+  loop.run_until(100);
+  SimTime fired_at = 0;
+  loop.schedule_at(50, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventLoopTest, StepReturnsFalseOnEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.step());
+  int fired = 0;
+  loop.schedule(1, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, TimeConstantsAreConsistent) {
+  EXPECT_EQ(kSecond, 1000u * kMillisecond);
+  EXPECT_EQ(kMinute, 60u * kSecond);
+  EXPECT_EQ(kHour, 60u * kMinute);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,124 @@
+// IPv6 registry tests (§V-F control-plane support): ownership oracle,
+// origin resolution, and the synthetic v6 allocation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/synthetic.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx4(const char* t) { return *Prefix4::parse(t); }
+Prefix6 pfx6(const char* t) { return *Prefix6::parse(t); }
+Ipv6Address ip6(const char* t) { return *Ipv6Address::parse(t); }
+
+InternetDataset dual_stack() {
+  return InternetDataset(
+      {{pfx4("10.0.0.0/8"), {1}}, {pfx4("20.0.0.0/8"), {2}}},
+      {{pfx6("2001:db8:1::/48"), {1}},
+       {pfx6("2001:db8:2::/48"), {2}},
+       {pfx6("2001:db8:3::/48"), {1, 2}}});
+}
+
+TEST(DatasetV6Test, OriginResolution) {
+  const auto ds = dual_stack();
+  EXPECT_EQ(ds.origin_of(ip6("2001:db8:1::42")), 1u);
+  EXPECT_EQ(ds.origin_of(ip6("2001:db8:2::42")), 2u);
+  EXPECT_EQ(ds.origin_of(ip6("2001:db8:9::42")), kNoAs);
+}
+
+TEST(DatasetV6Test, OwnershipOracle) {
+  const auto ds = dual_stack();
+  EXPECT_TRUE(ds.owns(1, pfx6("2001:db8:1::/48")));
+  EXPECT_TRUE(ds.owns(1, pfx6("2001:db8:1:5::/64")));  // more specific
+  EXPECT_FALSE(ds.owns(2, pfx6("2001:db8:1::/48")));
+  EXPECT_FALSE(ds.owns(1, pfx6("2001:db8::/32")));  // broader than owned
+  EXPECT_FALSE(ds.owns(1, pfx6("2001:db9::/48")));  // unrouted
+  // MOAS v6 prefix: both co-owners pass the check.
+  EXPECT_TRUE(ds.owns(1, pfx6("2001:db8:3::/48")));
+  EXPECT_TRUE(ds.owns(2, pfx6("2001:db8:3::/48")));
+}
+
+TEST(DatasetV6Test, PrefixesOfAs) {
+  const auto ds = dual_stack();
+  EXPECT_EQ(ds.prefixes6_of(1).size(), 2u);  // own /48 + MOAS /48
+  EXPECT_EQ(ds.prefixes6_of(2).size(), 2u);
+  EXPECT_TRUE(ds.prefixes6_of(7).empty());
+}
+
+TEST(DatasetV6Test, V6DoesNotAffectSpaceRatios) {
+  const auto with_v6 = dual_stack();
+  const InternetDataset without_v6(
+      {{pfx4("10.0.0.0/8"), {1}}, {pfx4("20.0.0.0/8"), {2}}});
+  EXPECT_DOUBLE_EQ(with_v6.ratio(1), without_v6.ratio(1));
+  EXPECT_DOUBLE_EQ(with_v6.total_space(), without_v6.total_space());
+}
+
+TEST(DatasetV6Test, DuplicateV6PrefixesMergeOrigins) {
+  const InternetDataset ds({{pfx4("10.0.0.0/8"), {1}}},
+                           {{pfx6("2001:db8::/32"), {1}},
+                            {pfx6("2001:db8::/32"), {2}}});
+  EXPECT_EQ(ds.entries6().size(), 1u);
+  EXPECT_TRUE(ds.owns(1, pfx6("2001:db8::/32")));
+  EXPECT_TRUE(ds.owns(2, pfx6("2001:db8::/32")));
+}
+
+TEST(CaidaV6FormatTest, WriteLoadRoundTrip) {
+  const auto ds = dual_stack();
+  std::ostringstream out;
+  ds.write_caida6(out);
+  std::istringstream in(out.str());
+  const auto reloaded = InternetDataset::load_caida6(in);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().to_string();
+  EXPECT_EQ(*reloaded, ds.entries6());
+}
+
+TEST(CaidaV6FormatTest, ParsesRealFormatLines) {
+  std::istringstream in(
+      "# routeviews6 style\n"
+      "2001:200::\t32\t2500\n"
+      "2001:218::\t32\t2914_65001\n");
+  const auto entries = InternetDataset::load_caida6(in);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].prefix.to_string(), "2001:200::/32");
+  EXPECT_EQ((*entries)[1].origins, (std::vector<AsNumber>{2914, 65001}));
+}
+
+TEST(CaidaV6FormatTest, ReportsMalformedLines) {
+  std::istringstream bad_addr("zzzz::\t32\t1\n");
+  EXPECT_FALSE(InternetDataset::load_caida6(bad_addr).ok());
+  std::istringstream bad_len("2001:db8::\t200\t1\n");
+  EXPECT_FALSE(InternetDataset::load_caida6(bad_len).ok());
+  std::istringstream bad_origin("2001:db8::\t32\tAS1\n");
+  EXPECT_FALSE(InternetDataset::load_caida6(bad_origin).ok());
+}
+
+TEST(SyntheticV6Test, EveryAsGetsASlash32) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 300;
+  cfg.num_prefixes = 3000;
+  const auto ds = generate_dataset(cfg);
+  EXPECT_EQ(ds.entries6().size(), 300u);
+  for (AsNumber as : {AsNumber{1}, AsNumber{150}, AsNumber{300}}) {
+    const auto prefixes = ds.prefixes6_of(as);
+    ASSERT_EQ(prefixes.size(), 1u) << as;
+    EXPECT_EQ(prefixes[0].length(), 32u);
+    EXPECT_EQ(ds.origin_of(prefixes[0].address()), as);
+  }
+}
+
+TEST(SyntheticV6Test, AllocationsAreDisjoint) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 200;
+  cfg.num_prefixes = 2000;
+  const auto entries = generate_internet6(cfg);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_FALSE(entries[i - 1].prefix.covers(entries[i].prefix));
+    EXPECT_FALSE(entries[i].prefix.covers(entries[i - 1].prefix));
+  }
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,171 @@
+#include "topology/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* text) { return *Prefix4::parse(text); }
+Ipv4Address ip(const char* text) { return *Ipv4Address::parse(text); }
+
+TEST(InternetDatasetTest, SingleAsOwnsEverything) {
+  InternetDataset ds({{pfx("10.0.0.0/8"), {65001}}});
+  EXPECT_EQ(ds.as_count(), 1u);
+  EXPECT_DOUBLE_EQ(ds.address_space(65001), double(1 << 24));
+  EXPECT_DOUBLE_EQ(ds.ratio(65001), 1.0);
+  EXPECT_EQ(ds.origin_of(ip("10.1.2.3")), 65001u);
+  EXPECT_EQ(ds.origin_of(ip("11.0.0.1")), kNoAs);
+}
+
+TEST(InternetDatasetTest, MoreSpecificCarvesSpaceOut) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("10.1.0.0/16"), {2}},
+  });
+  EXPECT_DOUBLE_EQ(ds.address_space(1), double(1 << 24) - double(1 << 16));
+  EXPECT_DOUBLE_EQ(ds.address_space(2), double(1 << 16));
+  EXPECT_EQ(ds.origin_of(ip("10.1.0.5")), 2u);
+  EXPECT_EQ(ds.origin_of(ip("10.2.0.5")), 1u);
+}
+
+TEST(InternetDatasetTest, NestedGrandchildSubtractsFromChildOnly) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("10.1.0.0/16"), {2}},
+      {pfx("10.1.2.0/24"), {3}},
+  });
+  EXPECT_DOUBLE_EQ(ds.address_space(1), double(1 << 24) - double(1 << 16));
+  EXPECT_DOUBLE_EQ(ds.address_space(2), double(1 << 16) - 256.0);
+  EXPECT_DOUBLE_EQ(ds.address_space(3), 256.0);
+}
+
+TEST(InternetDatasetTest, MultiOriginSplitsSpaceEvenly) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/24"), {1, 2}},
+      {pfx("11.0.0.0/24"), {3}},
+  });
+  EXPECT_DOUBLE_EQ(ds.address_space(1), 128.0);
+  EXPECT_DOUBLE_EQ(ds.address_space(2), 128.0);
+  EXPECT_DOUBLE_EQ(ds.address_space(3), 256.0);
+  // LPM origin resolution reports the first origin; origins_of reports all.
+  EXPECT_EQ(ds.origin_of(ip("10.0.0.7")), 1u);
+  EXPECT_EQ(ds.origins_of(ip("10.0.0.7")), (std::vector<AsNumber>{1, 2}));
+}
+
+TEST(InternetDatasetTest, FullyShadowedAsGetsOneAddress) {
+  // AS 1's /24 is entirely covered by AS 2's two /25s -> effective space 0,
+  // manipulated to 1 (paper §VI-A2).
+  InternetDataset ds({
+      {pfx("10.0.0.0/24"), {1}},
+      {pfx("10.0.0.0/25"), {2}},
+      {pfx("10.0.0.128/25"), {2}},
+  });
+  EXPECT_DOUBLE_EQ(ds.address_space(1), 1.0);
+  EXPECT_DOUBLE_EQ(ds.address_space(2), 256.0);
+  EXPECT_DOUBLE_EQ(ds.total_space(), 257.0);
+}
+
+TEST(InternetDatasetTest, DuplicatePrefixesMergeOrigins) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/24"), {1}},
+      {pfx("10.0.0.0/24"), {2}},
+      {pfx("10.0.0.0/24"), {1}},
+  });
+  EXPECT_EQ(ds.prefix_count(), 1u);
+  EXPECT_DOUBLE_EQ(ds.address_space(1), 128.0);
+  EXPECT_DOUBLE_EQ(ds.address_space(2), 128.0);
+}
+
+TEST(InternetDatasetTest, OwnershipCheck) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("10.1.0.0/16"), {2}},
+  });
+  EXPECT_TRUE(ds.owns(1, pfx("10.2.0.0/16")));
+  EXPECT_TRUE(ds.owns(1, pfx("10.0.0.0/8")));
+  EXPECT_TRUE(ds.owns(2, pfx("10.1.128.0/17")));
+  EXPECT_FALSE(ds.owns(1, pfx("10.1.128.0/17")));  // carved out by AS 2
+  EXPECT_FALSE(ds.owns(2, pfx("10.2.0.0/16")));
+  EXPECT_FALSE(ds.owns(1, pfx("11.0.0.0/8")));     // unrouted
+}
+
+TEST(InternetDatasetTest, AsesBySpaceDescOrdersAndBreaksTies) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/16"), {5}},
+      {pfx("11.0.0.0/8"), {9}},
+      {pfx("12.0.0.0/16"), {3}},
+  });
+  EXPECT_EQ(ds.ases_by_space_desc(), (std::vector<AsNumber>{9, 3, 5}));
+}
+
+TEST(InternetDatasetTest, RejectsEmptyTable) {
+  EXPECT_THROW(InternetDataset({}), std::invalid_argument);
+}
+
+TEST(CaidaFormatTest, ParsesRealFormatLines) {
+  std::istringstream in(
+      "# typical routeviews prefix2as snapshot\n"
+      "1.0.0.0\t24\t13335\n"
+      "1.0.4.0\t22\t56203\n"
+      "1.1.8.0\t24\t4134_4847\n"
+      "\n"
+      "1.2.3.0\t24\t2497,7660\n");
+  auto ds = InternetDataset::load_caida(in);
+  ASSERT_TRUE(ds.ok()) << ds.error().to_string();
+  EXPECT_EQ(ds->prefix_count(), 4u);
+  EXPECT_EQ(ds->origin_of(*Ipv4Address::parse("1.0.0.77")), 13335u);
+  EXPECT_EQ(ds->origins_of(*Ipv4Address::parse("1.1.8.1")),
+            (std::vector<AsNumber>{4134, 4847}));
+  EXPECT_EQ(ds->origins_of(*Ipv4Address::parse("1.2.3.4")),
+            (std::vector<AsNumber>{2497, 7660}));
+}
+
+TEST(CaidaFormatTest, ReportsMalformedLines) {
+  std::istringstream bad_addr("1.0.0\t24\t13335\n");
+  auto r1 = InternetDataset::load_caida(bad_addr);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.error().message.find("line 1"), std::string::npos);
+
+  std::istringstream bad_len("1.0.0.0\t99\t13335\n");
+  EXPECT_FALSE(InternetDataset::load_caida(bad_len).ok());
+
+  std::istringstream bad_origin("1.0.0.0\t24\tAS13335\n");
+  EXPECT_FALSE(InternetDataset::load_caida(bad_origin).ok());
+
+  std::istringstream missing_fields("1.0.0.0 24 13335\n");
+  EXPECT_FALSE(InternetDataset::load_caida(missing_fields).ok());
+
+  std::istringstream empty("# only a comment\n");
+  EXPECT_FALSE(InternetDataset::load_caida(empty).ok());
+}
+
+TEST(CaidaFormatTest, WriteLoadRoundTrip) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("10.1.0.0/16"), {2, 7}},
+      {pfx("192.168.0.0/24"), {3}},
+  });
+  std::ostringstream out;
+  ds.write_caida(out);
+  std::istringstream in(out.str());
+  auto reload = InternetDataset::load_caida(in);
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->entries(), ds.entries());
+  EXPECT_DOUBLE_EQ(reload->total_space(), ds.total_space());
+}
+
+TEST(InternetDatasetTest, RatiosSumToOne) {
+  InternetDataset ds({
+      {pfx("10.0.0.0/8"), {1}},
+      {pfx("10.128.0.0/9"), {2}},
+      {pfx("20.0.0.0/16"), {3, 4}},
+  });
+  double sum = 0;
+  for (AsNumber as : ds.as_numbers()) sum += ds.ratio(as);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace discs

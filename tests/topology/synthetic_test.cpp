@@ -1,0 +1,116 @@
+#include "topology/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace discs {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig cfg;
+  cfg.num_ases = 500;
+  cfg.num_prefixes = 5000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const auto a = generate_internet(small_config());
+  const auto b = generate_internet(small_config());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate_internet(cfg);
+  cfg.seed = 8;
+  const auto b = generate_internet(cfg);
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticTest, EveryAsAppears) {
+  const auto cfg = small_config();
+  const auto ds = generate_dataset(cfg);
+  EXPECT_EQ(ds.as_count(), cfg.num_ases);
+  // ASNs are 1..N.
+  EXPECT_EQ(ds.as_numbers().front(), 1u);
+  EXPECT_EQ(ds.as_numbers().back(), cfg.num_ases);
+}
+
+TEST(SyntheticTest, PrefixCountNearTarget) {
+  const auto cfg = small_config();
+  const auto ds = generate_dataset(cfg);
+  EXPECT_GT(ds.prefix_count(), cfg.num_prefixes * 8 / 10);
+  EXPECT_LT(ds.prefix_count(), cfg.num_prefixes * 13 / 10);
+}
+
+TEST(SyntheticTest, PrefixLengthsWithinAnnouncementRange) {
+  for (const auto& e : generate_internet(small_config())) {
+    EXPECT_GE(e.prefix.length(), 8u);
+    EXPECT_LE(e.prefix.length(), 24u);
+  }
+}
+
+TEST(SyntheticTest, PrefixesAreDisjoint) {
+  auto entries = generate_internet(small_config());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.prefix < b.prefix; });
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_FALSE(entries[i - 1].prefix.covers(entries[i].prefix))
+        << entries[i - 1].prefix.to_string() << " covers "
+        << entries[i].prefix.to_string();
+  }
+}
+
+TEST(SyntheticTest, SpaceDistributionIsHeavyTailed) {
+  const auto ds = generate_dataset(small_config());
+  const auto order = ds.ases_by_space_desc();
+  double top10 = 0;
+  for (std::size_t i = 0; i < 10; ++i) top10 += ds.ratio(order[i]);
+  // 2% of the ASes must hold far more than 2% of the space.
+  EXPECT_GT(top10, 0.2);
+}
+
+TEST(SyntheticTest, MoasEntriesPresentAtConfiguredRate) {
+  auto cfg = small_config();
+  cfg.multi_origin_fraction = 0.2;
+  const auto entries = generate_internet(cfg);
+  std::size_t moas = 0;
+  for (const auto& e : entries) moas += e.origins.size() > 1;
+  const double rate = double(moas) / double(entries.size());
+  EXPECT_NEAR(rate, 0.2, 0.05);
+}
+
+TEST(SyntheticTest, RejectsDegenerateConfig) {
+  SyntheticConfig cfg;
+  cfg.num_ases = 0;
+  EXPECT_THROW(generate_internet(cfg), std::invalid_argument);
+  cfg.num_ases = 100;
+  cfg.num_prefixes = 10;
+  EXPECT_THROW(generate_internet(cfg), std::invalid_argument);
+}
+
+// Calibration guard: at full snapshot scale the cumulative space shares of
+// the largest ASes must sit near the values the paper's Figure 6 implies,
+// because every reproduced curve in §VI is a function of these shares.
+TEST(SyntheticTest, FullScaleCalibrationAnchors) {
+  SyntheticConfig cfg;  // defaults = full snapshot scale
+  const auto ds = generate_dataset(cfg);
+  EXPECT_EQ(ds.as_count(), 44036u);
+  const auto order = ds.ases_by_space_desc();
+  double cum = 0;
+  double c50 = 0, c200 = 0, c629 = 0;
+  for (std::size_t i = 0; i < 629; ++i) {
+    cum += ds.ratio(order[i]);
+    if (i + 1 == 50) c50 = cum;
+    if (i + 1 == 200) c200 = cum;
+    if (i + 1 == 629) c629 = cum;
+  }
+  EXPECT_NEAR(c50, 0.42, 0.06);
+  EXPECT_NEAR(c200, 0.65, 0.06);
+  EXPECT_NEAR(c629, 0.80, 0.06);
+}
+
+}  // namespace
+}  // namespace discs

@@ -1,0 +1,127 @@
+// Valley-free property test: every path the routing substrate produces must
+// follow Gao-Rexford export rules — a sequence of zero or more "up" edges
+// (customer->provider), at most one lateral peering edge, then zero or more
+// "down" edges (provider->customer). No path may carry traffic "through a
+// valley" (down or lateral, then up) because no AS transits for free.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace discs {
+namespace {
+
+enum class EdgeKind { kUp, kDown, kLateral, kNone };
+
+EdgeKind classify_edge(const AsGraph& g, AsNumber from, AsNumber to) {
+  const auto& providers = g.providers_of(from);
+  if (std::find(providers.begin(), providers.end(), to) != providers.end()) {
+    return EdgeKind::kUp;
+  }
+  const auto& customers = g.customers_of(from);
+  if (std::find(customers.begin(), customers.end(), to) != customers.end()) {
+    return EdgeKind::kDown;
+  }
+  const auto& peers = g.peers_of(from);
+  if (std::find(peers.begin(), peers.end(), to) != peers.end()) {
+    return EdgeKind::kLateral;
+  }
+  return EdgeKind::kNone;
+}
+
+::testing::AssertionResult is_valley_free(const AsGraph& g,
+                                          const std::vector<AsNumber>& path) {
+  // Phase 0: climbing. Phase 1: after the single lateral edge. Phase 2:
+  // descending. Transitions allowed: 0->0 (up), 0->1 (lateral), 0/1->2
+  // (down), 2->2 (down). Anything else is a valley.
+  int phase = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const EdgeKind kind = classify_edge(g, path[i - 1], path[i]);
+    switch (kind) {
+      case EdgeKind::kNone:
+        return ::testing::AssertionFailure()
+               << "no edge " << path[i - 1] << " -> " << path[i];
+      case EdgeKind::kUp:
+        if (phase != 0) {
+          return ::testing::AssertionFailure()
+                 << "valley: up edge after lateral/down at hop " << i;
+        }
+        break;
+      case EdgeKind::kLateral:
+        if (phase != 0) {
+          return ::testing::AssertionFailure()
+                 << "second lateral / lateral after down at hop " << i;
+        }
+        phase = 1;
+        break;
+      case EdgeKind::kDown:
+        phase = 2;
+        break;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class ValleyFreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValleyFreeProperty, AllSampledPathsAreValleyFree) {
+  std::vector<AsNumber> order(250);
+  std::iota(order.begin(), order.end(), 1);
+  GraphConfig cfg;
+  cfg.seed = GetParam();
+  cfg.extra_peering_fraction = 0.4;  // plenty of tempting shortcuts
+  const auto g = generate_graph(order, cfg);
+
+  Xoshiro256 rng(GetParam() ^ 0xface);
+  int checked = 0;
+  for (int k = 0; k < 600; ++k) {
+    const AsNumber s = 1 + static_cast<AsNumber>(rng.below(250));
+    const AsNumber d = 1 + static_cast<AsNumber>(rng.below(250));
+    if (s == d) continue;
+    const auto path = g.path(s, d);
+    if (path.empty()) continue;
+    ++checked;
+    EXPECT_TRUE(is_valley_free(g, path))
+        << "path " << s << " -> " << d << " (seed " << GetParam() << ")";
+  }
+  EXPECT_GT(checked, 500);
+}
+
+TEST_P(ValleyFreeProperty, RouteTypeConsistentWithFirstEdge) {
+  std::vector<AsNumber> order(120);
+  std::iota(order.begin(), order.end(), 1);
+  GraphConfig cfg;
+  cfg.seed = GetParam() + 5;
+  const auto g = generate_graph(order, cfg);
+
+  for (AsNumber dst = 1; dst <= 120; dst += 17) {
+    const auto table = g.routes_to(dst);
+    for (AsNumber src = 1; src <= 120; ++src) {
+      if (src == dst) continue;
+      const auto idx = g.index_of(src);
+      ASSERT_TRUE(idx.has_value());
+      const AsNumber hop = table.next_hop[*idx];
+      if (hop == kNoAs) continue;
+      const EdgeKind kind = classify_edge(g, src, hop);
+      switch (table.type[*idx]) {
+        case RouteType::kCustomer:
+          EXPECT_EQ(static_cast<int>(kind), static_cast<int>(EdgeKind::kDown));
+          break;
+        case RouteType::kPeer:
+          EXPECT_EQ(static_cast<int>(kind), static_cast<int>(EdgeKind::kLateral));
+          break;
+        case RouteType::kProvider:
+          EXPECT_EQ(static_cast<int>(kind), static_cast<int>(EdgeKind::kUp));
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValleyFreeProperty,
+                         ::testing::Values(1, 2, 3, 11, 29));
+
+}  // namespace
+}  // namespace discs
