@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_controller.dir/bench_cost_controller.cpp.o"
+  "CMakeFiles/bench_cost_controller.dir/bench_cost_controller.cpp.o.d"
+  "bench_cost_controller"
+  "bench_cost_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

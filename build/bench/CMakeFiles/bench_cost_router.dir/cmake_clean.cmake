@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_router.dir/bench_cost_router.cpp.o"
+  "CMakeFiles/bench_cost_router.dir/bench_cost_router.cpp.o.d"
+  "bench_cost_router"
+  "bench_cost_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

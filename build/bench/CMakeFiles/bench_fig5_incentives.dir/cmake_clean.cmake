@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_incentives.dir/bench_fig5_incentives.cpp.o"
+  "CMakeFiles/bench_fig5_incentives.dir/bench_fig5_incentives.cpp.o.d"
+  "bench_fig5_incentives"
+  "bench_fig5_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

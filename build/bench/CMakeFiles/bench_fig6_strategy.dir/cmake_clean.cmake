@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_strategy.dir/bench_fig6_strategy.cpp.o"
+  "CMakeFiles/bench_fig6_strategy.dir/bench_fig6_strategy.cpp.o.d"
+  "bench_fig6_strategy"
+  "bench_fig6_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

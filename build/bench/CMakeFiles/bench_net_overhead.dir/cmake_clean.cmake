@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_overhead.dir/bench_net_overhead.cpp.o"
+  "CMakeFiles/bench_net_overhead.dir/bench_net_overhead.cpp.o.d"
+  "bench_net_overhead"
+  "bench_net_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

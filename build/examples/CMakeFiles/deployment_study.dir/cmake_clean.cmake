@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_study.dir/deployment_study.cpp.o"
+  "CMakeFiles/deployment_study.dir/deployment_study.cpp.o.d"
+  "deployment_study"
+  "deployment_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_sim.dir/discs_sim.cpp.o"
+  "CMakeFiles/discs_sim.dir/discs_sim.cpp.o.d"
+  "discs_sim"
+  "discs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

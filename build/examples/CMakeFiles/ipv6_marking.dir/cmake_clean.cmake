@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv6_marking.dir/ipv6_marking.cpp.o"
+  "CMakeFiles/ipv6_marking.dir/ipv6_marking.cpp.o.d"
+  "ipv6_marking"
+  "ipv6_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv6_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

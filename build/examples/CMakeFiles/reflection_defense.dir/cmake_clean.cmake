@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflection_defense.dir/reflection_defense.cpp.o"
+  "CMakeFiles/reflection_defense.dir/reflection_defense.cpp.o.d"
+  "reflection_defense"
+  "reflection_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflection_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("net")
+subdirs("lpm")
+subdirs("topology")
+subdirs("bgp")
+subdirs("simkit")
+subdirs("dataplane")
+subdirs("control")
+subdirs("attack")
+subdirs("eval")
+subdirs("baselines")
+subdirs("core")

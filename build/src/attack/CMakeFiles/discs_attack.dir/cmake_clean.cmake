@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_attack.dir/traffic.cpp.o"
+  "CMakeFiles/discs_attack.dir/traffic.cpp.o.d"
+  "libdiscs_attack.a"
+  "libdiscs_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cpp" "src/baselines/CMakeFiles/discs_baselines.dir/baselines.cpp.o" "gcc" "src/baselines/CMakeFiles/discs_baselines.dir/baselines.cpp.o.d"
+  "/root/repo/src/baselines/hcf.cpp" "src/baselines/CMakeFiles/discs_baselines.dir/hcf.cpp.o" "gcc" "src/baselines/CMakeFiles/discs_baselines.dir/hcf.cpp.o.d"
+  "/root/repo/src/baselines/passport.cpp" "src/baselines/CMakeFiles/discs_baselines.dir/passport.cpp.o" "gcc" "src/baselines/CMakeFiles/discs_baselines.dir/passport.cpp.o.d"
+  "/root/repo/src/baselines/spm.cpp" "src/baselines/CMakeFiles/discs_baselines.dir/spm.cpp.o" "gcc" "src/baselines/CMakeFiles/discs_baselines.dir/spm.cpp.o.d"
+  "/root/repo/src/baselines/stackpi.cpp" "src/baselines/CMakeFiles/discs_baselines.dir/stackpi.cpp.o" "gcc" "src/baselines/CMakeFiles/discs_baselines.dir/stackpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/discs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/discs_baselines.dir/baselines.cpp.o.d"
+  "CMakeFiles/discs_baselines.dir/hcf.cpp.o"
+  "CMakeFiles/discs_baselines.dir/hcf.cpp.o.d"
+  "CMakeFiles/discs_baselines.dir/passport.cpp.o"
+  "CMakeFiles/discs_baselines.dir/passport.cpp.o.d"
+  "CMakeFiles/discs_baselines.dir/spm.cpp.o"
+  "CMakeFiles/discs_baselines.dir/spm.cpp.o.d"
+  "CMakeFiles/discs_baselines.dir/stackpi.cpp.o"
+  "CMakeFiles/discs_baselines.dir/stackpi.cpp.o.d"
+  "libdiscs_baselines.a"
+  "libdiscs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/discs_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/discs_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/simulator.cpp" "src/bgp/CMakeFiles/discs_bgp.dir/simulator.cpp.o" "gcc" "src/bgp/CMakeFiles/discs_bgp.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_bgp.dir/message.cpp.o"
+  "CMakeFiles/discs_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/discs_bgp.dir/simulator.cpp.o"
+  "CMakeFiles/discs_bgp.dir/simulator.cpp.o.d"
+  "libdiscs_bgp.a"
+  "libdiscs_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

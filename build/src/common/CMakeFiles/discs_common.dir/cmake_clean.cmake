@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/discs_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/discs_common.dir/types.cpp.o"
+  "CMakeFiles/discs_common.dir/types.cpp.o.d"
+  "libdiscs_common.a"
+  "libdiscs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

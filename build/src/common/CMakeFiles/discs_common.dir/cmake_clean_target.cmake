@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiscs_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/codec.cpp" "src/control/CMakeFiles/discs_control.dir/codec.cpp.o" "gcc" "src/control/CMakeFiles/discs_control.dir/codec.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/discs_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/discs_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/detector.cpp" "src/control/CMakeFiles/discs_control.dir/detector.cpp.o" "gcc" "src/control/CMakeFiles/discs_control.dir/detector.cpp.o.d"
+  "/root/repo/src/control/secure_channel.cpp" "src/control/CMakeFiles/discs_control.dir/secure_channel.cpp.o" "gcc" "src/control/CMakeFiles/discs_control.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/discs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_control.dir/codec.cpp.o"
+  "CMakeFiles/discs_control.dir/codec.cpp.o.d"
+  "CMakeFiles/discs_control.dir/controller.cpp.o"
+  "CMakeFiles/discs_control.dir/controller.cpp.o.d"
+  "CMakeFiles/discs_control.dir/detector.cpp.o"
+  "CMakeFiles/discs_control.dir/detector.cpp.o.d"
+  "CMakeFiles/discs_control.dir/secure_channel.cpp.o"
+  "CMakeFiles/discs_control.dir/secure_channel.cpp.o.d"
+  "libdiscs_control.a"
+  "libdiscs_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_core.dir/discs_system.cpp.o"
+  "CMakeFiles/discs_core.dir/discs_system.cpp.o.d"
+  "libdiscs_core.a"
+  "libdiscs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

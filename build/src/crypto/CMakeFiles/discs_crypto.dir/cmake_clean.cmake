@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/discs_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/discs_crypto.dir/cmac.cpp.o"
+  "CMakeFiles/discs_crypto.dir/cmac.cpp.o.d"
+  "libdiscs_crypto.a"
+  "libdiscs_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

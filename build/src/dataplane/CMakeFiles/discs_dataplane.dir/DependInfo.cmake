@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/router.cpp" "src/dataplane/CMakeFiles/discs_dataplane.dir/router.cpp.o" "gcc" "src/dataplane/CMakeFiles/discs_dataplane.dir/router.cpp.o.d"
+  "/root/repo/src/dataplane/stamp.cpp" "src/dataplane/CMakeFiles/discs_dataplane.dir/stamp.cpp.o" "gcc" "src/dataplane/CMakeFiles/discs_dataplane.dir/stamp.cpp.o.d"
+  "/root/repo/src/dataplane/tables.cpp" "src/dataplane/CMakeFiles/discs_dataplane.dir/tables.cpp.o" "gcc" "src/dataplane/CMakeFiles/discs_dataplane.dir/tables.cpp.o.d"
+  "/root/repo/src/dataplane/uplink.cpp" "src/dataplane/CMakeFiles/discs_dataplane.dir/uplink.cpp.o" "gcc" "src/dataplane/CMakeFiles/discs_dataplane.dir/uplink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_dataplane.dir/router.cpp.o"
+  "CMakeFiles/discs_dataplane.dir/router.cpp.o.d"
+  "CMakeFiles/discs_dataplane.dir/stamp.cpp.o"
+  "CMakeFiles/discs_dataplane.dir/stamp.cpp.o.d"
+  "CMakeFiles/discs_dataplane.dir/tables.cpp.o"
+  "CMakeFiles/discs_dataplane.dir/tables.cpp.o.d"
+  "CMakeFiles/discs_dataplane.dir/uplink.cpp.o"
+  "CMakeFiles/discs_dataplane.dir/uplink.cpp.o.d"
+  "libdiscs_dataplane.a"
+  "libdiscs_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cost.cpp" "src/eval/CMakeFiles/discs_eval.dir/cost.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/cost.cpp.o.d"
+  "/root/repo/src/eval/deployment.cpp" "src/eval/CMakeFiles/discs_eval.dir/deployment.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/deployment.cpp.o.d"
+  "/root/repo/src/eval/flowsim.cpp" "src/eval/CMakeFiles/discs_eval.dir/flowsim.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/flowsim.cpp.o.d"
+  "/root/repo/src/eval/load.cpp" "src/eval/CMakeFiles/discs_eval.dir/load.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/load.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/discs_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/security.cpp" "src/eval/CMakeFiles/discs_eval.dir/security.cpp.o" "gcc" "src/eval/CMakeFiles/discs_eval.dir/security.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/discs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

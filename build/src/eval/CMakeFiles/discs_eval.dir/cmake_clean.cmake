@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_eval.dir/cost.cpp.o"
+  "CMakeFiles/discs_eval.dir/cost.cpp.o.d"
+  "CMakeFiles/discs_eval.dir/deployment.cpp.o"
+  "CMakeFiles/discs_eval.dir/deployment.cpp.o.d"
+  "CMakeFiles/discs_eval.dir/flowsim.cpp.o"
+  "CMakeFiles/discs_eval.dir/flowsim.cpp.o.d"
+  "CMakeFiles/discs_eval.dir/load.cpp.o"
+  "CMakeFiles/discs_eval.dir/load.cpp.o.d"
+  "CMakeFiles/discs_eval.dir/report.cpp.o"
+  "CMakeFiles/discs_eval.dir/report.cpp.o.d"
+  "CMakeFiles/discs_eval.dir/security.cpp.o"
+  "CMakeFiles/discs_eval.dir/security.cpp.o.d"
+  "libdiscs_eval.a"
+  "libdiscs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

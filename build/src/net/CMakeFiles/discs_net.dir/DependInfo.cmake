@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/discs_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/discs_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/discs_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/discs_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/discs_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/discs_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/discs_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/discs_net.dir/ipv6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

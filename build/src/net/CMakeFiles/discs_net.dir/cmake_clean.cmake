@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_net.dir/checksum.cpp.o"
+  "CMakeFiles/discs_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/discs_net.dir/icmp.cpp.o"
+  "CMakeFiles/discs_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/discs_net.dir/ipv4.cpp.o"
+  "CMakeFiles/discs_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/discs_net.dir/ipv6.cpp.o"
+  "CMakeFiles/discs_net.dir/ipv6.cpp.o.d"
+  "libdiscs_net.a"
+  "libdiscs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_simkit.dir/event_loop.cpp.o"
+  "CMakeFiles/discs_simkit.dir/event_loop.cpp.o.d"
+  "libdiscs_simkit.a"
+  "libdiscs_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

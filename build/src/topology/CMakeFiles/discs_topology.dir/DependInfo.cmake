@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/dataset.cpp" "src/topology/CMakeFiles/discs_topology.dir/dataset.cpp.o" "gcc" "src/topology/CMakeFiles/discs_topology.dir/dataset.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/discs_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/discs_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/synthetic.cpp" "src/topology/CMakeFiles/discs_topology.dir/synthetic.cpp.o" "gcc" "src/topology/CMakeFiles/discs_topology.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

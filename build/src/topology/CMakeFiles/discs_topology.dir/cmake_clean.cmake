@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discs_topology.dir/dataset.cpp.o"
+  "CMakeFiles/discs_topology.dir/dataset.cpp.o.d"
+  "CMakeFiles/discs_topology.dir/graph.cpp.o"
+  "CMakeFiles/discs_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/discs_topology.dir/synthetic.cpp.o"
+  "CMakeFiles/discs_topology.dir/synthetic.cpp.o.d"
+  "libdiscs_topology.a"
+  "libdiscs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("net")
+subdirs("lpm")
+subdirs("topology")
+subdirs("bgp")
+subdirs("simkit")
+subdirs("control")
+subdirs("dataplane")
+subdirs("attack")
+subdirs("eval")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/hcf_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/hcf_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/passport_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/passport_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/spm_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/spm_test.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/stackpi_test.cpp.o"
+  "CMakeFiles/baselines_test.dir/stackpi_test.cpp.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/equivalence_test.cpp" "tests/bgp/CMakeFiles/bgp_test.dir/equivalence_test.cpp.o" "gcc" "tests/bgp/CMakeFiles/bgp_test.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/bgp/message_test.cpp" "tests/bgp/CMakeFiles/bgp_test.dir/message_test.cpp.o" "gcc" "tests/bgp/CMakeFiles/bgp_test.dir/message_test.cpp.o.d"
+  "/root/repo/tests/bgp/simulator_test.cpp" "tests/bgp/CMakeFiles/bgp_test.dir/simulator_test.cpp.o" "gcc" "tests/bgp/CMakeFiles/bgp_test.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/bgp/withdraw_test.cpp" "tests/bgp/CMakeFiles/bgp_test.dir/withdraw_test.cpp.o" "gcc" "tests/bgp/CMakeFiles/bgp_test.dir/withdraw_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/discs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

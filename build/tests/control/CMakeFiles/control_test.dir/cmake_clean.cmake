@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_test.dir/byzantine_test.cpp.o"
+  "CMakeFiles/control_test.dir/byzantine_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/codec_test.cpp.o"
+  "CMakeFiles/control_test.dir/codec_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/controller_test.cpp.o"
+  "CMakeFiles/control_test.dir/controller_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/detector_test.cpp.o"
+  "CMakeFiles/control_test.dir/detector_test.cpp.o.d"
+  "CMakeFiles/control_test.dir/secure_channel_test.cpp.o"
+  "CMakeFiles/control_test.dir/secure_channel_test.cpp.o.d"
+  "control_test"
+  "control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/discs_system_test.cpp" "tests/core/CMakeFiles/core_test.dir/discs_system_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/discs_system_test.cpp.o.d"
+  "/root/repo/tests/core/ipv6_system_test.cpp" "tests/core/CMakeFiles/core_test.dir/ipv6_system_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/ipv6_system_test.cpp.o.d"
+  "/root/repo/tests/core/multi_router_test.cpp" "tests/core/CMakeFiles/core_test.dir/multi_router_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/multi_router_test.cpp.o.d"
+  "/root/repo/tests/core/scale_test.cpp" "tests/core/CMakeFiles/core_test.dir/scale_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/scale_test.cpp.o.d"
+  "/root/repo/tests/core/undeploy_test.cpp" "tests/core/CMakeFiles/core_test.dir/undeploy_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_test.dir/undeploy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/discs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/discs_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/discs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/discs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

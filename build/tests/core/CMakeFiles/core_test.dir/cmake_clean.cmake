@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/discs_system_test.cpp.o"
+  "CMakeFiles/core_test.dir/discs_system_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/ipv6_system_test.cpp.o"
+  "CMakeFiles/core_test.dir/ipv6_system_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/multi_router_test.cpp.o"
+  "CMakeFiles/core_test.dir/multi_router_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/scale_test.cpp.o"
+  "CMakeFiles/core_test.dir/scale_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/undeploy_test.cpp.o"
+  "CMakeFiles/core_test.dir/undeploy_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

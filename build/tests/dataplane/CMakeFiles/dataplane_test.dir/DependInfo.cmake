@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataplane/pipeline_property_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/pipeline_property_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/pipeline_property_test.cpp.o.d"
+  "/root/repo/tests/dataplane/router_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/router_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/router_test.cpp.o.d"
+  "/root/repo/tests/dataplane/stamp_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/stamp_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/stamp_test.cpp.o.d"
+  "/root/repo/tests/dataplane/tables_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/tables_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/tables_test.cpp.o.d"
+  "/root/repo/tests/dataplane/tuple_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/tuple_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/tuple_test.cpp.o.d"
+  "/root/repo/tests/dataplane/uplink_test.cpp" "tests/dataplane/CMakeFiles/dataplane_test.dir/uplink_test.cpp.o" "gcc" "tests/dataplane/CMakeFiles/dataplane_test.dir/uplink_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

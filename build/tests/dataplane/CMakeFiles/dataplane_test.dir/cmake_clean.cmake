@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test.dir/pipeline_property_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/dataplane_test.dir/router_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/router_test.cpp.o.d"
+  "CMakeFiles/dataplane_test.dir/stamp_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/stamp_test.cpp.o.d"
+  "CMakeFiles/dataplane_test.dir/tables_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/tables_test.cpp.o.d"
+  "CMakeFiles/dataplane_test.dir/tuple_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/tuple_test.cpp.o.d"
+  "CMakeFiles/dataplane_test.dir/uplink_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/uplink_test.cpp.o.d"
+  "dataplane_test"
+  "dataplane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/closed_form_property_test.cpp" "tests/eval/CMakeFiles/eval_test.dir/closed_form_property_test.cpp.o" "gcc" "tests/eval/CMakeFiles/eval_test.dir/closed_form_property_test.cpp.o.d"
+  "/root/repo/tests/eval/cost_security_test.cpp" "tests/eval/CMakeFiles/eval_test.dir/cost_security_test.cpp.o" "gcc" "tests/eval/CMakeFiles/eval_test.dir/cost_security_test.cpp.o.d"
+  "/root/repo/tests/eval/deployment_test.cpp" "tests/eval/CMakeFiles/eval_test.dir/deployment_test.cpp.o" "gcc" "tests/eval/CMakeFiles/eval_test.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/eval/flowsim_test.cpp" "tests/eval/CMakeFiles/eval_test.dir/flowsim_test.cpp.o" "gcc" "tests/eval/CMakeFiles/eval_test.dir/flowsim_test.cpp.o.d"
+  "/root/repo/tests/eval/report_load_test.cpp" "tests/eval/CMakeFiles/eval_test.dir/report_load_test.cpp.o" "gcc" "tests/eval/CMakeFiles/eval_test.dir/report_load_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/discs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/discs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/discs_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discs_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/discs_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

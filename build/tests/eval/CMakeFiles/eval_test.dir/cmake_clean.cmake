@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/closed_form_property_test.cpp.o"
+  "CMakeFiles/eval_test.dir/closed_form_property_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/cost_security_test.cpp.o"
+  "CMakeFiles/eval_test.dir/cost_security_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/deployment_test.cpp.o"
+  "CMakeFiles/eval_test.dir/deployment_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/flowsim_test.cpp.o"
+  "CMakeFiles/eval_test.dir/flowsim_test.cpp.o.d"
+  "CMakeFiles/eval_test.dir/report_load_test.cpp.o"
+  "CMakeFiles/eval_test.dir/report_load_test.cpp.o.d"
+  "eval_test"
+  "eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

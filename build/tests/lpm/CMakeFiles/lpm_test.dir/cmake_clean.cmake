@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_test.dir/lpm_test.cpp.o"
+  "CMakeFiles/lpm_test.dir/lpm_test.cpp.o.d"
+  "lpm_test"
+  "lpm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

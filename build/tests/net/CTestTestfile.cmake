@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(net_test "/root/repo/build/tests/net/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/net/CMakeLists.txt;1;discs_add_test;/root/repo/tests/net/CMakeLists.txt;0;")

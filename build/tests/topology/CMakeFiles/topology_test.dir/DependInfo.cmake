@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/dataset6_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/dataset6_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/dataset6_test.cpp.o.d"
+  "/root/repo/tests/topology/dataset_property_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/dataset_property_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/dataset_property_test.cpp.o.d"
+  "/root/repo/tests/topology/dataset_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/dataset_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/dataset_test.cpp.o.d"
+  "/root/repo/tests/topology/graph_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/graph_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/topology/synthetic_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/synthetic_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/synthetic_test.cpp.o.d"
+  "/root/repo/tests/topology/valley_free_test.cpp" "tests/topology/CMakeFiles/topology_test.dir/valley_free_test.cpp.o" "gcc" "tests/topology/CMakeFiles/topology_test.dir/valley_free_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/discs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

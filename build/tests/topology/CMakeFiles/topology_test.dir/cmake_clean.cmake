@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_test.dir/dataset6_test.cpp.o"
+  "CMakeFiles/topology_test.dir/dataset6_test.cpp.o.d"
+  "CMakeFiles/topology_test.dir/dataset_property_test.cpp.o"
+  "CMakeFiles/topology_test.dir/dataset_property_test.cpp.o.d"
+  "CMakeFiles/topology_test.dir/dataset_test.cpp.o"
+  "CMakeFiles/topology_test.dir/dataset_test.cpp.o.d"
+  "CMakeFiles/topology_test.dir/graph_test.cpp.o"
+  "CMakeFiles/topology_test.dir/graph_test.cpp.o.d"
+  "CMakeFiles/topology_test.dir/synthetic_test.cpp.o"
+  "CMakeFiles/topology_test.dir/synthetic_test.cpp.o.d"
+  "CMakeFiles/topology_test.dir/valley_free_test.cpp.o"
+  "CMakeFiles/topology_test.dir/valley_free_test.cpp.o.d"
+  "topology_test"
+  "topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
