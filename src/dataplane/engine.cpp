@@ -1,0 +1,189 @@
+#include "dataplane/engine.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace discs {
+
+std::uint32_t flow_hash(Ipv4Address src, Ipv4Address dst) {
+  SplitMix64 mix((std::uint64_t{src.bits()} << 32) | dst.bits());
+  return static_cast<std::uint32_t>(mix.next());
+}
+
+std::uint32_t flow_hash(const Ipv6Address& src, const Ipv6Address& dst) {
+  // FNV-1a over both addresses, finalized through SplitMix64 so low bits are
+  // well distributed for the modulo shard pick.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : src.bytes()) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  for (std::uint8_t b : dst.bytes()) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  SplitMix64 mix(h);
+  return static_cast<std::uint32_t>(mix.next());
+}
+
+std::uint32_t flow_hash(const BatchPacket& packet) {
+  return std::visit(
+      [](const auto& p) { return flow_hash(p.header.src, p.header.dst); },
+      packet);
+}
+
+DataPlaneEngine::DataPlaneEngine(RouterTables& tables, AsNumber local_as,
+                                 EngineConfig config, ThreadPool* pool)
+    : tables_(&tables),
+      pool_(pool != nullptr ? pool : &ThreadPool::global()),
+      cache_enabled_(config.cache_slots > 0) {
+  const std::size_t n =
+      std::max<std::size_t>(1, config.shards == 0 ? pool_->size() : config.shards);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>(tables, local_as,
+                                         derive_seed(config.rng_seed, s),
+                                         config.external_mtu, config.cache_slots);
+    Shard* raw = shard.get();
+    // Shard routers report into shard-local buffers; drain_sinks() forwards
+    // them to the user sinks on the consumer thread after each batch.
+    raw->router.set_alarm_sink(
+        [raw](const AlarmSample& sample) { raw->alarms.push_back(sample); });
+    raw->router.set_icmp6_sink(
+        [raw](Ipv6Packet packet) { raw->icmp6.push_back(std::move(packet)); });
+    if (cache_enabled_) raw->router.set_lookup_cache(&raw->cache);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+template <bool kOutbound>
+std::vector<Verdict> DataPlaneEngine::process(PacketBatch& batch, SimTime now) {
+  std::vector<Verdict> verdicts(batch.size());
+  if (batch.empty()) return verdicts;
+  {
+    std::shared_lock lock(mutex_);
+    const std::size_t n = shards_.size();
+    for (auto& shard : shards_) shard->indices.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      shards_[flow_hash(batch[i]) % n]->indices.push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    auto run_shard = [&](std::size_t s) {
+      Shard& shard = *shards_[s];
+      for (const std::uint32_t idx : shard.indices) {
+        verdicts[idx] = std::visit(
+            [&](auto& packet) {
+              if constexpr (kOutbound) {
+                return shard.router.process_outbound(packet, now);
+              } else {
+                return shard.router.process_inbound(packet, now);
+              }
+            },
+            batch[idx]);
+      }
+    };
+    if (n == 1) {
+      run_shard(0);
+    } else {
+      pool_->parallel_for(0, n, run_shard);
+    }
+  }
+  drain_sinks();
+  return verdicts;
+}
+
+std::vector<Verdict> DataPlaneEngine::process_outbound(PacketBatch& batch,
+                                                       SimTime now) {
+  return process<true>(batch, now);
+}
+
+std::vector<Verdict> DataPlaneEngine::process_inbound(PacketBatch& batch,
+                                                      SimTime now) {
+  return process<false>(batch, now);
+}
+
+void DataPlaneEngine::drain_sinks() {
+  for (auto& shard : shards_) {
+    if (alarm_sink_) {
+      for (const AlarmSample& sample : shard->alarms) alarm_sink_(sample);
+    }
+    shard->alarms.clear();
+    if (icmp6_sink_) {
+      for (Ipv6Packet& packet : shard->icmp6) icmp6_sink_(std::move(packet));
+    }
+    shard->icmp6.clear();
+    if (traffic_observer_) {
+      for (const auto& [dst, t] : shard->observed) traffic_observer_(dst, t);
+    }
+    shard->observed.clear();
+  }
+}
+
+void DataPlaneEngine::update_tables(
+    const std::function<void(RouterTables&)>& mutate) {
+  std::unique_lock lock(mutex_);
+  mutate(*tables_);
+  for (auto& shard : shards_) shard->cache.invalidate();
+}
+
+void DataPlaneEngine::invalidate_caches() {
+  for (auto& shard : shards_) shard->cache.invalidate();
+}
+
+void DataPlaneEngine::set_alarm_mode(bool on) {
+  std::unique_lock lock(mutex_);
+  for (auto& shard : shards_) shard->router.set_alarm_mode(on);
+}
+
+void DataPlaneEngine::set_sampling_rate(std::uint32_t one_in_n) {
+  std::unique_lock lock(mutex_);
+  for (auto& shard : shards_) shard->router.set_sampling_rate(one_in_n);
+}
+
+void DataPlaneEngine::set_alarm_sink(
+    std::function<void(const AlarmSample&)> sink) {
+  std::unique_lock lock(mutex_);
+  alarm_sink_ = std::move(sink);
+}
+
+void DataPlaneEngine::set_icmp6_sink(std::function<void(Ipv6Packet)> sink) {
+  std::unique_lock lock(mutex_);
+  icmp6_sink_ = std::move(sink);
+}
+
+void DataPlaneEngine::set_traffic_observer(
+    std::function<void(Ipv4Address, SimTime)> observer) {
+  std::unique_lock lock(mutex_);
+  traffic_observer_ = std::move(observer);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    if (traffic_observer_) {
+      raw->router.set_traffic_observer([raw](Ipv4Address dst, SimTime t) {
+        raw->observed.emplace_back(dst, t);
+      });
+    } else {
+      raw->router.set_traffic_observer(nullptr);
+    }
+  }
+}
+
+RouterStats DataPlaneEngine::stats() const {
+  std::unique_lock lock(mutex_);
+  RouterStats total;
+  for (const auto& shard : shards_) total += shard->router.stats();
+  return total;
+}
+
+LpmLookupCache::Stats DataPlaneEngine::cache_stats() const {
+  std::unique_lock lock(mutex_);
+  LpmLookupCache::Stats total;
+  for (const auto& shard : shards_) total += shard->cache.stats();
+  return total;
+}
+
+AsNumber DataPlaneEngine::local_as() const {
+  return shards_.front()->router.local_as();
+}
+
+}  // namespace discs

@@ -1,0 +1,152 @@
+// The sharded batch data-plane engine: the scaling layer above
+// BorderRouter. A PacketBatch (mixed IPv4/IPv6) is partitioned by an
+// RSS-style flow hash onto N worker shards; each shard owns a BorderRouter
+// plus a small per-worker LPM lookup cache, and the per-shard RouterStats
+// merge into one aggregate via RouterStats::operator+=.
+//
+// Concurrency contract:
+//  * process_outbound/process_inbound are called from ONE consumer thread at
+//    a time; internally they fan the batch across the thread pool.
+//  * Table mutations (deploy/undeploy, re-keying, Pfx2AS refresh) must go
+//    through update_tables(), which serializes against in-flight batches
+//    with a writer lock and flushes every shard's LPM cache afterwards, so
+//    no batch ever sees a half-applied update or a stale cached verdict.
+//  * Sinks (alarm samples, ICMPv6 PTB, traffic observations) are collected
+//    per shard during the batch and drained on the calling thread after the
+//    parallel region — callbacks never run concurrently. Within one batch
+//    the drain order is shard-major, not arrival order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "dataplane/lpm_cache.hpp"
+#include "dataplane/router.hpp"
+
+namespace discs {
+
+/// One packet of either family inside a batch.
+using BatchPacket = std::variant<Ipv4Packet, Ipv6Packet>;
+
+/// A mixed IPv4/IPv6 batch. Index i of the verdict vector returned by the
+/// engine corresponds to packet i in insertion order.
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+
+  void reserve(std::size_t n) { packets_.reserve(n); }
+  void add(Ipv4Packet packet) { packets_.emplace_back(std::move(packet)); }
+  void add(Ipv6Packet packet) { packets_.emplace_back(std::move(packet)); }
+  void add(BatchPacket packet) { packets_.push_back(std::move(packet)); }
+  void clear() { packets_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+
+  [[nodiscard]] BatchPacket& operator[](std::size_t i) { return packets_[i]; }
+  [[nodiscard]] const BatchPacket& operator[](std::size_t i) const {
+    return packets_[i];
+  }
+
+  [[nodiscard]] auto begin() { return packets_.begin(); }
+  [[nodiscard]] auto end() { return packets_.end(); }
+  [[nodiscard]] auto begin() const { return packets_.begin(); }
+  [[nodiscard]] auto end() const { return packets_.end(); }
+
+ private:
+  std::vector<BatchPacket> packets_;
+};
+
+/// RSS-style flow hash: the same (src, dst) pair always lands on the same
+/// shard, so per-flow processing order survives sharding.
+[[nodiscard]] std::uint32_t flow_hash(Ipv4Address src, Ipv4Address dst);
+[[nodiscard]] std::uint32_t flow_hash(const Ipv6Address& src,
+                                      const Ipv6Address& dst);
+[[nodiscard]] std::uint32_t flow_hash(const BatchPacket& packet);
+
+struct EngineConfig {
+  std::size_t shards = 0;          // 0 = thread-pool size
+  std::size_t cache_slots = 1024;  // per-shard LPM cache; 0 disables it
+  std::uint64_t rng_seed = 1;
+  std::size_t external_mtu = 1500;
+};
+
+class DataPlaneEngine {
+ public:
+  /// `tables` must outlive the engine. The engine takes them non-const
+  /// because it is also the mutation gate: all updates flow through
+  /// update_tables(). `pool` defaults to ThreadPool::global().
+  DataPlaneEngine(RouterTables& tables, AsNumber local_as,
+                  EngineConfig config = {}, ThreadPool* pool = nullptr);
+
+  /// Processes a batch leaving / entering the local AS. Returns one verdict
+  /// per packet, aligned with batch indices. Packets are mutated in place
+  /// (stamping, mark erasure) exactly as BorderRouter would.
+  std::vector<Verdict> process_outbound(PacketBatch& batch, SimTime now);
+  std::vector<Verdict> process_inbound(PacketBatch& batch, SimTime now);
+
+  /// Applies `mutate` to the tables under the writer lock (waiting out any
+  /// in-flight batch) and flushes every shard's LPM cache. This is the only
+  /// safe way to change tables while the engine is live.
+  void update_tables(const std::function<void(RouterTables&)>& mutate);
+
+  /// Manually flushes every shard's LPM cache (update_tables already does;
+  /// this is the hook for table owners that mutate out-of-band while the
+  /// engine is known to be quiescent).
+  void invalidate_caches();
+
+  void set_alarm_mode(bool on);
+  void set_sampling_rate(std::uint32_t one_in_n);
+  void set_alarm_sink(std::function<void(const AlarmSample&)> sink);
+  void set_icmp6_sink(std::function<void(Ipv6Packet)> sink);
+  void set_traffic_observer(std::function<void(Ipv4Address, SimTime)> observer);
+
+  /// Per-shard RouterStats merged into one aggregate (cumulative since
+  /// construction). Blocks until any in-flight batch completes.
+  [[nodiscard]] RouterStats stats() const;
+  /// Summed per-shard LPM-cache hit/miss counters.
+  [[nodiscard]] LpmLookupCache::Stats cache_stats() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] AsNumber local_as() const;
+  /// Which shard a packet would be processed on.
+  [[nodiscard]] std::size_t shard_of(const BatchPacket& packet) const {
+    return flow_hash(packet) % shards_.size();
+  }
+
+ private:
+  struct Shard {
+    Shard(const RouterTables& tables, AsNumber local_as, std::uint64_t seed,
+          std::size_t mtu, std::size_t cache_slots)
+        : router(tables, local_as, seed, mtu),
+          cache(cache_slots == 0 ? 1 : cache_slots) {}
+
+    BorderRouter router;
+    LpmLookupCache cache;
+    std::vector<std::uint32_t> indices;  // batch scratch: packets of this shard
+    std::vector<AlarmSample> alarms;
+    std::vector<Ipv6Packet> icmp6;
+    std::vector<std::pair<Ipv4Address, SimTime>> observed;
+  };
+
+  template <bool kOutbound>
+  std::vector<Verdict> process(PacketBatch& batch, SimTime now);
+  void drain_sinks();
+
+  RouterTables* tables_;
+  ThreadPool* pool_;
+  mutable std::shared_mutex mutex_;  // shared: batch; unique: update/stats
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool cache_enabled_;
+  std::function<void(const AlarmSample&)> alarm_sink_;
+  std::function<void(Ipv6Packet)> icmp6_sink_;
+  std::function<void(Ipv4Address, SimTime)> traffic_observer_;
+};
+
+}  // namespace discs

@@ -1,0 +1,139 @@
+// A small direct-mapped cache in front of a router's LPM lookups: the
+// Pfx2AS table and the four function tables (In-Src, In-Dst, Out-Src,
+// Out-Dst). Real traffic is heavily flow-clustered, so a few hundred slots
+// absorb most trie walks on the hot path.
+//
+// Contract:
+//  * One cache per worker thread. Lookups mutate the cache (fills, hit
+//    counters) and are NOT thread-safe; `invalidate()` IS thread-safe and
+//    may be called from a control thread at any time.
+//  * Function-table results depend on the query time, so `now` is part of
+//    the cache key: a batch processed at one timestamp reuses entries, the
+//    next batch at a later timestamp re-walks the tries once per address.
+//  * The cache never watches the underlying tables. Whoever mutates them
+//    (deploy/undeploy, re-keying, Pfx2AS refresh) must call `invalidate()`
+//    afterwards — DataPlaneEngine::update_tables does this for its shards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/tables.hpp"
+
+namespace discs {
+
+class LpmLookupCache {
+ public:
+  /// Which underlying table a cached result came from.
+  enum class Table : std::uint8_t { kPfx2As = 0, kInSrc, kInDst, kOutSrc, kOutDst };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    Stats& operator+=(const Stats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      return *this;
+    }
+  };
+
+  /// `slots` is rounded up to a power of two.
+  explicit LpmLookupCache(std::size_t slots = 1024) {
+    std::size_t n = 1;
+    while (n < slots) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  /// Drops every entry in O(1) by bumping the generation tag; stale slots
+  /// simply stop matching. Safe to call concurrently with lookups.
+  void invalidate() { generation_.fetch_add(1, std::memory_order_release); }
+
+  /// Cached Pfx2AsTable::lookup.
+  template <typename Addr>
+  [[nodiscard]] AsNumber pfx2as(const Pfx2AsTable& table, const Addr& addr) {
+    auto [slot, hit] = probe(Table::kPfx2As, addr, /*now=*/0);
+    if (!hit) slot.as_value = table.lookup(addr);
+    return slot.as_value;
+  }
+
+  /// Cached FunctionTable::lookup; `which` distinguishes the four tables.
+  template <typename Addr>
+  [[nodiscard]] FunctionMatch functions(Table which, const FunctionTable& table,
+                                        const Addr& addr, SimTime now) {
+    auto [slot, hit] = probe(which, addr, now);
+    if (!hit) slot.fn_value = table.lookup(addr, now);
+    return slot.fn_value;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key_lo = 0;
+    std::uint64_t key_hi = 0;
+    SimTime now = 0;
+    std::uint64_t generation = 0;  // 0 = never filled; live generations start at 1
+    Table table = Table::kPfx2As;
+    bool is_v6 = false;
+    AsNumber as_value = kNoAs;
+    FunctionMatch fn_value;
+  };
+
+  static void key_of(Ipv4Address a, std::uint64_t& lo, std::uint64_t& hi,
+                     bool& v6) {
+    lo = a.bits();
+    hi = 0;
+    v6 = false;
+  }
+  static void key_of(const Ipv6Address& a, std::uint64_t& lo, std::uint64_t& hi,
+                     bool& v6) {
+    const auto& b = a.bytes();
+    lo = hi = 0;
+    for (int i = 0; i < 8; ++i) {
+      lo = (lo << 8) | b[i];
+      hi = (hi << 8) | b[8 + i];
+    }
+    v6 = true;
+  }
+
+  template <typename Addr>
+  std::pair<Slot&, bool> probe(Table which, const Addr& addr, SimTime now) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    std::uint64_t lo, hi;
+    bool v6;
+    key_of(addr, lo, hi, v6);
+    const std::uint64_t tag =
+        static_cast<std::uint64_t>(which) | (v6 ? 0x10u : 0u);
+    SplitMix64 mix(lo ^ (hi * 0x9e3779b97f4a7c15ull) ^ (tag << 56) ^
+                   (now * 0xff51afd7ed558ccdull));
+    Slot& slot = slots_[mix.next() & mask_];
+    const bool hit = slot.generation == gen && slot.table == which &&
+                     slot.is_v6 == v6 && slot.key_lo == lo &&
+                     slot.key_hi == hi && slot.now == now;
+    if (hit) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      slot.key_lo = lo;
+      slot.key_hi = hi;
+      slot.now = now;
+      slot.generation = gen;
+      slot.table = which;
+      slot.is_v6 = v6;
+    }
+    return {slot, hit};
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> generation_{1};
+  Stats stats_;
+};
+
+}  // namespace discs

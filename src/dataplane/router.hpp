@@ -48,6 +48,29 @@ struct RouterStats {
   std::uint64_t in_erased_tolerance = 0;
   std::uint64_t in_passed_unverified = 0;
   std::uint64_t icmp_scrubbed = 0;
+
+  /// Field-wise accumulation, used to merge per-shard counters into batch
+  /// aggregates (DataPlaneEngine) and by the bench reports.
+  RouterStats& operator+=(const RouterStats& other) {
+    out_processed += other.out_processed;
+    out_dropped += other.out_dropped;
+    out_stamped += other.out_stamped;
+    out_too_big += other.out_too_big;
+    fragments_stamped += other.fragments_stamped;
+    in_processed += other.in_processed;
+    in_verified += other.in_verified;
+    in_spoof_dropped += other.in_spoof_dropped;
+    in_spoof_sampled += other.in_spoof_sampled;
+    in_erased_tolerance += other.in_erased_tolerance;
+    in_passed_unverified += other.in_passed_unverified;
+    icmp_scrubbed += other.icmp_scrubbed;
+    return *this;
+  }
+
+  friend RouterStats operator+(RouterStats lhs, const RouterStats& rhs) {
+    return lhs += rhs;
+  }
+  friend bool operator==(const RouterStats&, const RouterStats&) = default;
 };
 
 class BorderRouter {
@@ -86,6 +109,11 @@ class BorderRouter {
   void set_traffic_observer(std::function<void(Ipv4Address, SimTime)> observer) {
     traffic_observer_ = std::move(observer);
   }
+
+  /// Installs a per-worker LPM lookup cache in front of the table lookups
+  /// (engine shards use this); nullptr removes it. The cache must only ever
+  /// be driven by this router's processing thread.
+  void set_lookup_cache(LpmLookupCache* cache) { tuples_.set_lookup_cache(cache); }
 
   /// Processes a packet leaving the local AS through this border router.
   Verdict process_outbound(Ipv4Packet& packet, SimTime now);

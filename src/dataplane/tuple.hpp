@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "dataplane/lpm_cache.hpp"
 #include "dataplane/tables.hpp"
 
 namespace discs {
@@ -42,20 +43,27 @@ class TupleGenerator {
   TupleGenerator(const RouterTables& tables, AsNumber local_as)
       : tables_(&tables), local_as_(local_as) {}
 
+  /// Routes all LPM lookups (Pfx2AS + the four function tables) through a
+  /// per-worker cache; nullptr restores direct lookups. The caller owns the
+  /// cache's lifetime and its invalidation when tables change.
+  void set_lookup_cache(LpmLookupCache* cache) { cache_ = cache; }
+
   /// §V-B in-tuple: verify? set iff CSP-verify ∈ In-Src(s) or
   /// CDP-verify ∈ In-Dst(d); key_v = Key-V(Pfx2AS(s)).
   template <typename Addr>
   [[nodiscard]] InTuple in_tuple(const Addr& src, const Addr& dst,
                                  SimTime now) const {
     InTuple tuple;
-    const FunctionMatch src_match = tables_->in_src.lookup(src, now);
-    const FunctionMatch dst_match = tables_->in_dst.lookup(dst, now);
+    const FunctionMatch src_match =
+        functions(LpmLookupCache::Table::kInSrc, tables_->in_src, src, now);
+    const FunctionMatch dst_match =
+        functions(LpmLookupCache::Table::kInDst, tables_->in_dst, dst, now);
     const bool csp = has_function(src_match.functions, DefenseFunction::kCspVerify);
     const bool cdp = has_function(dst_match.functions, DefenseFunction::kCdpVerify);
     if (!csp && !cdp) return tuple;
     tuple.verify = true;
     tuple.erase_only = (csp && src_match.erase_only) || (cdp && dst_match.erase_only);
-    tuple.key_v = tables_->key_v.find(tables_->pfx2as.lookup(src));
+    tuple.key_v = tables_->key_v.find(origin_as(src));
     return tuple;
   }
 
@@ -67,15 +75,17 @@ class TupleGenerator {
   [[nodiscard]] OutTuple out_tuple(const Addr& src, const Addr& dst,
                                    SimTime now) const {
     OutTuple tuple;
-    const FunctionMatch src_match = tables_->out_src.lookup(src, now);
-    const FunctionMatch dst_match = tables_->out_dst.lookup(dst, now);
+    const FunctionMatch src_match =
+        functions(LpmLookupCache::Table::kOutSrc, tables_->out_src, src, now);
+    const FunctionMatch dst_match =
+        functions(LpmLookupCache::Table::kOutDst, tables_->out_dst, dst, now);
     const bool sp = has_function(src_match.functions, DefenseFunction::kSp);
     const bool dp = has_function(dst_match.functions, DefenseFunction::kDp);
-    if ((sp || dp) && tables_->pfx2as.lookup(src) != local_as_) {
+    if ((sp || dp) && origin_as(src) != local_as_) {
       tuple.drop = true;
       return tuple;  // dropped packets are never stamped
     }
-    const KeyTable::Entry* key = tables_->key_s.find(tables_->pfx2as.lookup(dst));
+    const KeyTable::Entry* key = tables_->key_s.find(origin_as(dst));
     const bool csp_stamp =
         has_function(src_match.functions, DefenseFunction::kCspStamp) &&
         key != nullptr;
@@ -93,8 +103,22 @@ class TupleGenerator {
   [[nodiscard]] AsNumber local_as() const { return local_as_; }
 
  private:
+  template <typename Addr>
+  [[nodiscard]] FunctionMatch functions(LpmLookupCache::Table which,
+                                        const FunctionTable& table,
+                                        const Addr& addr, SimTime now) const {
+    return cache_ != nullptr ? cache_->functions(which, table, addr, now)
+                             : table.lookup(addr, now);
+  }
+  template <typename Addr>
+  [[nodiscard]] AsNumber origin_as(const Addr& addr) const {
+    return cache_ != nullptr ? cache_->pfx2as(tables_->pfx2as, addr)
+                             : tables_->pfx2as.lookup(addr);
+  }
+
   const RouterTables* tables_;
   AsNumber local_as_;
+  LpmLookupCache* cache_ = nullptr;
 };
 
 }  // namespace discs

@@ -1,0 +1,160 @@
+// LpmLookupCache unit tests: hit/miss accounting, invalidate-on-update, the
+// time component of function-table keys, and the longest-prefix tie cases
+// from tests/lpm/lpm_test.cpp replayed through the cache.
+#include "dataplane/lpm_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx4(const char* text) { return *Prefix4::parse(text); }
+Ipv4Address ip4(const char* text) { return *Ipv4Address::parse(text); }
+Prefix6 pfx6(const char* text) { return *Prefix6::parse(text); }
+Ipv6Address ip6(const char* text) { return *Ipv6Address::parse(text); }
+
+TEST(LpmCacheTest, MissThenHitReturnsSameValue) {
+  Pfx2AsTable table;
+  table.add(pfx4("10.0.0.0/8"), 100);
+  LpmLookupCache cache(64);
+
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.1.2.3")), 100u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.1.2.3")), 100u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LpmCacheTest, LongestPrefixTiesMatchDirectLookup) {
+  // The nesting exercised in lpm_test.cpp: /8, /16, /24 plus a host route
+  // and a default route — cached answers must equal direct LPM answers.
+  Pfx2AsTable table;
+  table.add(pfx4("0.0.0.0/0"), 1);
+  table.add(pfx4("10.0.0.0/8"), 8);
+  table.add(pfx4("10.1.0.0/16"), 16);
+  table.add(pfx4("10.1.2.0/24"), 24);
+  table.add(pfx4("10.1.2.3/32"), 32);
+  LpmLookupCache cache(64);
+
+  for (const char* probe : {"10.1.2.3", "10.1.2.4", "10.1.9.1", "10.9.9.9",
+                            "11.0.0.1", "255.255.255.255"}) {
+    // Twice: once filling, once served from the cache.
+    EXPECT_EQ(cache.pfx2as(table, ip4(probe)), table.lookup(ip4(probe))) << probe;
+    EXPECT_EQ(cache.pfx2as(table, ip4(probe)), table.lookup(ip4(probe))) << probe;
+  }
+}
+
+TEST(LpmCacheTest, Ipv6LongestPrefixTiesMatchDirectLookup) {
+  Pfx2AsTable table;
+  table.add(pfx6("2001:db8::/32"), 32);
+  table.add(pfx6("2001:db8:1::/48"), 48);
+  table.add(pfx6("2001:db8:1:2::/64"), 64);
+  LpmLookupCache cache(64);
+
+  for (const char* probe :
+       {"2001:db8:1:2::77", "2001:db8:1:3::1", "2001:db8:9::1", "2001:db9::1"}) {
+    EXPECT_EQ(cache.pfx2as(table, ip6(probe)), table.lookup(ip6(probe))) << probe;
+    EXPECT_EQ(cache.pfx2as(table, ip6(probe)), table.lookup(ip6(probe))) << probe;
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(LpmCacheTest, StaleUntilInvalidatedThenFresh) {
+  Pfx2AsTable table;
+  table.add(pfx4("10.0.0.0/8"), 100);
+  LpmLookupCache cache(64);
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.1.2.3")), 100u);
+
+  // A more specific prefix lands in the table behind the cache's back: the
+  // cache keeps serving the old answer (that's the documented contract)...
+  table.add(pfx4("10.1.0.0/16"), 200);
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.1.2.3")), 100u);
+
+  // ...until the owner of the update invalidates it.
+  cache.invalidate();
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.1.2.3")), 200u);
+}
+
+TEST(LpmCacheTest, FunctionLookupKeyedByTableAndTime) {
+  FunctionTable in_dst(/*tolerance=*/0);
+  in_dst.install(pfx4("20.0.0.0/8"), DefenseFunction::kCdpVerify, 100, 200);
+  LpmLookupCache cache(64);
+
+  const auto t150 = cache.functions(LpmLookupCache::Table::kInDst, in_dst,
+                                    ip4("20.0.0.1"), 150);
+  EXPECT_TRUE(has_function(t150.functions, DefenseFunction::kCdpVerify));
+
+  // Same address at a different time is a distinct key: the window has
+  // closed and the cache must not replay the t=150 answer.
+  const auto t250 = cache.functions(LpmLookupCache::Table::kInDst, in_dst,
+                                    ip4("20.0.0.1"), 250);
+  EXPECT_FALSE(has_function(t250.functions, DefenseFunction::kCdpVerify));
+
+  // Same address, same time, *different table id* must also miss.
+  FunctionTable in_src(/*tolerance=*/0);
+  const auto other = cache.functions(LpmLookupCache::Table::kInSrc, in_src,
+                                     ip4("20.0.0.1"), 150);
+  EXPECT_EQ(other.functions, 0);
+}
+
+TEST(LpmCacheTest, FunctionInvalidateOnDeploy) {
+  FunctionTable out_dst(/*tolerance=*/0);
+  LpmLookupCache cache(64);
+  const SimTime now = 50;
+
+  EXPECT_EQ(cache
+                .functions(LpmLookupCache::Table::kOutDst, out_dst,
+                           ip4("20.0.0.1"), now)
+                .functions,
+            0);
+
+  out_dst.install(pfx4("20.0.0.0/8"), DefenseFunction::kDp, 0, 1000);
+  cache.invalidate();
+  EXPECT_TRUE(has_function(cache
+                               .functions(LpmLookupCache::Table::kOutDst,
+                                          out_dst, ip4("20.0.0.1"), now)
+                               .functions,
+                           DefenseFunction::kDp));
+}
+
+TEST(LpmCacheTest, SingleSlotCacheEvictsButStaysCorrect) {
+  Pfx2AsTable table;
+  table.add(pfx4("10.0.0.0/8"), 10);
+  table.add(pfx4("20.0.0.0/8"), 20);
+  LpmLookupCache cache(1);
+  ASSERT_EQ(cache.slot_count(), 1u);
+
+  // Alternating addresses thrash the single slot; answers stay correct.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(cache.pfx2as(table, ip4("10.0.0.1")), 10u);
+    EXPECT_EQ(cache.pfx2as(table, ip4("20.0.0.1")), 20u);
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 16u);
+}
+
+TEST(LpmCacheTest, V4AndV6KeysDoNotCollide) {
+  // An IPv6 address whose 16 bytes encode the same (lo, hi) key words as an
+  // IPv4 address must not be confused with it (the is_v6 discriminator):
+  // 0:0:a00:1:: has key_lo == 0x0a000001 == 10.0.0.1 and key_hi == 0.
+  Pfx2AsTable table;
+  table.add(pfx4("10.0.0.0/8"), 4);
+  table.add(pfx6("::/0"), 6);
+  LpmLookupCache cache(64);
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.0.0.1")), 4u);
+  EXPECT_EQ(cache.pfx2as(table, ip6("0:0:a00:1::")), 6u);
+  EXPECT_EQ(cache.pfx2as(table, ip4("10.0.0.1")), 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);  // the v6 probe evicted nothing
+}
+
+TEST(LpmCacheTest, SlotCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(LpmLookupCache(1).slot_count(), 1u);
+  EXPECT_EQ(LpmLookupCache(3).slot_count(), 4u);
+  EXPECT_EQ(LpmLookupCache(1000).slot_count(), 1024u);
+}
+
+}  // namespace
+}  // namespace discs

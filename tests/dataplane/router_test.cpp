@@ -295,5 +295,54 @@ TEST_F(RouterPairTest, StatsCountersaccount) {
   EXPECT_EQ(peer_router_.stats().out_dropped, 1u);
 }
 
+TEST(RouterStatsTest, MergeSumsEveryField) {
+  RouterStats a;
+  a.out_processed = 1;
+  a.out_dropped = 2;
+  a.out_stamped = 3;
+  a.out_too_big = 4;
+  a.fragments_stamped = 5;
+  a.in_processed = 6;
+  a.in_verified = 7;
+  a.in_spoof_dropped = 8;
+  a.in_spoof_sampled = 9;
+  a.in_erased_tolerance = 10;
+  a.in_passed_unverified = 11;
+  a.icmp_scrubbed = 12;
+
+  RouterStats b;
+  b.out_processed = 100;
+  b.out_dropped = 200;
+  b.out_stamped = 300;
+  b.out_too_big = 400;
+  b.fragments_stamped = 500;
+  b.in_processed = 600;
+  b.in_verified = 700;
+  b.in_spoof_dropped = 800;
+  b.in_spoof_sampled = 900;
+  b.in_erased_tolerance = 1000;
+  b.in_passed_unverified = 1100;
+  b.icmp_scrubbed = 1200;
+
+  RouterStats sum = a;
+  sum += b;
+  EXPECT_EQ(sum.out_processed, 101u);
+  EXPECT_EQ(sum.out_dropped, 202u);
+  EXPECT_EQ(sum.out_stamped, 303u);
+  EXPECT_EQ(sum.out_too_big, 404u);
+  EXPECT_EQ(sum.fragments_stamped, 505u);
+  EXPECT_EQ(sum.in_processed, 606u);
+  EXPECT_EQ(sum.in_verified, 707u);
+  EXPECT_EQ(sum.in_spoof_dropped, 808u);
+  EXPECT_EQ(sum.in_spoof_sampled, 909u);
+  EXPECT_EQ(sum.in_erased_tolerance, 1010u);
+  EXPECT_EQ(sum.in_passed_unverified, 1111u);
+  EXPECT_EQ(sum.icmp_scrubbed, 1212u);
+
+  // The free operator+ composes and merging a default adds nothing.
+  EXPECT_EQ(a + b, sum);
+  EXPECT_EQ(sum + RouterStats{}, sum);
+}
+
 }  // namespace
 }  // namespace discs
