@@ -126,23 +126,30 @@ double run_engine(Workload& w, bool outbound, std::size_t workers,
   return best;
 }
 
-void sweep(Workload& w, bool outbound, ThreadPool& pool) {
+void sweep(Workload& w, bool outbound, ThreadPool& pool,
+           bench::JsonWriter& json) {
+  const char* section = outbound ? "outbound" : "inbound";
   bench::header(outbound ? "outbound (stamp-heavy), packets/sec"
                          : "inbound (verify-heavy), packets/sec");
   const double serial = run_serial(w, outbound);
   std::printf("  %-28s %12.0f pkt/s   speedup %5.2fx\n", "serial BorderRouter",
               serial, 1.0);
+  json.metric(section, "serial_pkts_per_sec", serial);
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     const double rate = run_engine(w, outbound, workers, pool);
     std::printf("  %-25s %2zu %12.0f pkt/s   speedup %5.2fx\n",
                 "engine, workers =", workers, rate, rate / serial);
+    json.metric(section,
+                "engine_w" + std::to_string(workers) + "_pkts_per_sec", rate);
+    json.metric(section, "engine_w" + std::to_string(workers) + "_speedup",
+                rate / serial);
   }
 }
 
 /// Cache effectiveness needs flow locality: packets drawn from a small pool
 /// of (src, dst) pairs, as a real edge link would see, instead of the
 /// uniformly random addresses of the scaling sweep.
-void cache_section(Workload& w, ThreadPool& pool) {
+void cache_section(Workload& w, ThreadPool& pool, bench::JsonWriter& json) {
   constexpr std::size_t kFlows = 512;
   Xoshiro256 rng(42);
   std::vector<std::pair<Ipv4Address, Ipv4Address>> flows;
@@ -190,13 +197,19 @@ void cache_section(Workload& w, ThreadPool& pool) {
                 lookups == 0 ? 0.0
                              : 100.0 * static_cast<double>(cache.hits) /
                                    static_cast<double>(lookups));
+    const std::string key = slots == 0 ? "off" : "slots1024";
+    json.metric("lpm_cache", key + "_pkts_per_sec", best);
+    json.metric("lpm_cache", key + "_hit_rate",
+                lookups == 0 ? 0.0
+                             : static_cast<double>(cache.hits) /
+                                   static_cast<double>(lookups));
   }
 }
 
 }  // namespace
 }  // namespace discs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace discs;
   bench::header("sharded batch data-plane engine");
   bench::note("workload: 131072 IPv4 packets/rep, 2x1025-prefix Pfx2AS, "
@@ -207,8 +220,10 @@ int main() {
               std::thread::hardware_concurrency());
   Workload w;
   ThreadPool pool(8);
-  sweep(w, /*outbound=*/true, pool);
-  sweep(w, /*outbound=*/false, pool);
-  cache_section(w, pool);
+  bench::JsonWriter json("engine");
+  sweep(w, /*outbound=*/true, pool, json);
+  sweep(w, /*outbound=*/false, pool, json);
+  cache_section(w, pool, json);
+  json.write(argc > 1 ? argv[1] : "results/bench_engine.json");
   return 0;
 }

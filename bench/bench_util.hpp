@@ -31,4 +31,61 @@ inline void curve(const std::string& name, const std::vector<std::size_t>& xs,
   }
 }
 
+/// Machine-readable companion to the console tables: collects
+/// section/key/value metrics and writes them as one JSON document
+/// (results/bench_*.json), so a driver can diff runs without scraping the
+/// printf output. Sections and keys keep insertion order.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void metric(const std::string& section, const std::string& key,
+              double value) {
+    entries_.push_back({section, key, value});
+  }
+
+  /// Writes the document; returns false (and prints a note) when the path
+  /// is not writable. Typical path: "results/bench_<name>.json" from the
+  /// repository root.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("  # json: could not open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    std::vector<std::string> sections;
+    for (const Entry& e : entries_) {
+      bool seen = false;
+      for (const std::string& s : sections) seen = seen || s == e.section;
+      if (!seen) sections.push_back(e.section);
+    }
+    for (std::size_t si = 0; si < sections.size(); ++si) {
+      std::fprintf(f, "%s\n    \"%s\": {", si == 0 ? "" : ",",
+                   sections[si].c_str());
+      bool first = true;
+      for (const Entry& e : entries_) {
+        if (e.section != sections[si]) continue;
+        std::fprintf(f, "%s\n      \"%s\": %.10g", first ? "" : ",",
+                     e.key.c_str(), e.value);
+        first = false;
+      }
+      std::fprintf(f, "\n    }");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("  # json: wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    double value;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace discs::bench

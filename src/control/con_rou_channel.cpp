@@ -1,0 +1,87 @@
+#include "control/con_rou_channel.hpp"
+
+#include <utility>
+
+namespace discs {
+
+ConRouChannel::ConRouChannel(EventLoop& loop, DataPlaneEngine& engine,
+                             SimTime latency, SimTime expiry_grace)
+    : loop_(&loop),
+      engine_(&engine),
+      latency_(latency),
+      expiry_grace_(expiry_grace) {}
+
+ConRouChannel::~ConRouChannel() {
+  for (const auto& [id, event] : pending_) loop_->cancel(event);
+  pending_.clear();
+}
+
+ConRouChannel::DeliveryId ConRouChannel::submit_after(SimTime extra_delay,
+                                                      TableTransaction txn) {
+  ++stats_.submitted;
+  const DeliveryId id = next_id_++;
+  const SimTime delay = latency_ + extra_delay;
+  if (delay == 0) {
+    // Synchronous fast path: no loop interaction, so threads that must not
+    // touch the EventLoop can still drive table updates.
+    deliver(txn, loop_->now(), /*is_sweep=*/false);
+    return id;
+  }
+  const std::uint64_t event = loop_->schedule(
+      delay, [this, id, txn = std::move(txn)] {
+        pending_.erase(id);
+        deliver(txn, loop_->now(), /*is_sweep=*/false);
+      });
+  pending_.emplace(id, event);
+  return id;
+}
+
+TableEpoch ConRouChannel::submit_immediate(const TableTransaction& txn) {
+  ++stats_.submitted;
+  ++next_id_;
+  deliver(txn, loop_->now(), /*is_sweep=*/false);
+  return stats_.last_epoch;
+}
+
+bool ConRouChannel::cancel(DeliveryId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  loop_->cancel(it->second);
+  pending_.erase(it);
+  ++stats_.canceled;
+  return true;
+}
+
+void ConRouChannel::cancel_all() {
+  for (const auto& [id, event] : pending_) {
+    loop_->cancel(event);
+    ++stats_.canceled;
+  }
+  pending_.clear();
+}
+
+void ConRouChannel::deliver(const TableTransaction& txn, SimTime now,
+                            bool is_sweep) {
+  stats_.last_epoch = engine_->apply(txn, now);
+  ++stats_.delivered;
+  stats_.ops_delivered += txn.size();
+  if (is_sweep) ++stats_.expiry_sweeps;
+  // Windows installed relative to delivery time get a physical removal
+  // scheduled once the longest of them (plus grace) has lapsed.
+  if (const SimTime max_end = txn.max_relative_end(); max_end > 0) {
+    schedule_sweep(max_end + expiry_grace_);
+  }
+}
+
+void ConRouChannel::schedule_sweep(SimTime delay) {
+  const DeliveryId id = next_id_++;
+  const std::uint64_t event = loop_->schedule(delay, [this, id] {
+    pending_.erase(id);
+    TableTransaction sweep;
+    sweep.expire_functions();
+    deliver(sweep, loop_->now(), /*is_sweep=*/true);
+  });
+  pending_.emplace(id, event);
+}
+
+}  // namespace discs

@@ -1,0 +1,100 @@
+// The con-rou channel (paper §IV-B, Fig. 2): the secure controller→router
+// path a DAS controller uses to install tables on its border routers. PR 2
+// models it as a delivery queue in front of the DataPlaneEngine: the
+// controller submits TableTransactions, the channel holds each one for the
+// configured latency, then applies it atomically through
+// DataPlaneEngine::apply (one writer-lock acquisition and one cache
+// generation bump per transaction).
+//
+// Expiry is the channel's job too: a transaction that installs
+// duration-relative function windows gets a matching `expire_functions`
+// sweep scheduled at delivery_time + max_duration + grace, so windows are
+// physically removed shortly after they stop matching — no lazy time checks
+// left behind. The grace defaults to the verify tolerance so a sweep never
+// races a window still inside its tail tolerance interval; sweeps are
+// idempotent and harmless when re-invocation extended the window (the
+// extended window simply survives until its own sweep).
+//
+// Latency 0 delivers synchronously on the submitting thread. This keeps the
+// channel usable from threads that must not touch the EventLoop (the batch
+// send path under TSan) and preserves the pre-PR-2 behaviour that a
+// zero-latency controller's installs are visible immediately.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dataplane/engine.hpp"
+#include "dataplane/transaction.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+class ConRouChannel {
+ public:
+  /// Identifies one submitted transaction; usable in cancel() until the
+  /// transaction is delivered.
+  using DeliveryId = std::uint64_t;
+
+  struct Stats {
+    std::uint64_t submitted = 0;      // transactions handed to the channel
+    std::uint64_t delivered = 0;      // applied to the engine (incl. sweeps)
+    std::uint64_t canceled = 0;       // withdrawn before delivery
+    std::uint64_t ops_delivered = 0;  // individual table ops applied
+    std::uint64_t expiry_sweeps = 0;  // auto-scheduled expire_functions txns
+    TableEpoch last_epoch = 0;        // epoch of the latest applied txn
+  };
+
+  ConRouChannel(EventLoop& loop, DataPlaneEngine& engine, SimTime latency,
+                SimTime expiry_grace = 2 * kSecond);
+  /// Cancels everything still in flight so no loop callback outlives the
+  /// channel.
+  ~ConRouChannel();
+
+  ConRouChannel(const ConRouChannel&) = delete;
+  ConRouChannel& operator=(const ConRouChannel&) = delete;
+
+  /// Submits a transaction for delivery after the channel latency.
+  DeliveryId submit(TableTransaction txn) { return submit_after(0, std::move(txn)); }
+
+  /// Submits with an extra delay on top of the latency (two-phase re-keying
+  /// schedules its grace-drop this way).
+  DeliveryId submit_after(SimTime extra_delay, TableTransaction txn);
+
+  /// Bypasses the latency entirely and applies the transaction now,
+  /// returning the resulting epoch (shutdown teardown path).
+  TableEpoch submit_immediate(const TableTransaction& txn);
+
+  /// Withdraws a pending transaction. Returns false when it was already
+  /// delivered (or never existed) — delivery wins the race by design, like
+  /// a message already on the wire.
+  bool cancel(DeliveryId id);
+
+  /// Withdraws every pending transaction, including scheduled expiry sweeps.
+  void cancel_all();
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] bool is_pending(DeliveryId id) const {
+    return pending_.contains(id);
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] SimTime latency() const { return latency_; }
+  [[nodiscard]] SimTime expiry_grace() const { return expiry_grace_; }
+  [[nodiscard]] DataPlaneEngine& engine() { return *engine_; }
+
+ private:
+  /// Applies `txn` at time `now` and schedules the matching expiry sweep
+  /// for any duration-relative windows it installed.
+  void deliver(const TableTransaction& txn, SimTime now, bool is_sweep);
+  void schedule_sweep(SimTime delay);
+
+  EventLoop* loop_;
+  DataPlaneEngine* engine_;
+  SimTime latency_;
+  SimTime expiry_grace_;
+  DeliveryId next_id_ = 1;
+  std::unordered_map<DeliveryId, std::uint64_t> pending_;  // id -> loop event
+  Stats stats_;
+};
+
+}  // namespace discs

@@ -35,25 +35,13 @@ Controller::Controller(ControllerConfig config, EventLoop& loop,
       loop_(&loop),
       network_(&network),
       rpki_(&rpki),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      tables_(config_.tolerance) {
   if (config_.as == kNoAs) {
     throw std::invalid_argument("Controller: AS number required");
   }
   if (config_.controller_name.empty()) {
     config_.controller_name = "controller.as" + std::to_string(config_.as);
-  }
-  tables_.in_src = FunctionTable(config_.tolerance);
-  tables_.in_dst = FunctionTable(config_.tolerance);
-  tables_.out_src = FunctionTable(config_.tolerance);
-  tables_.out_dst = FunctionTable(config_.tolerance);
-
-  // Install the RPKI-derived prefix-to-AS mapping on the router (§V-A) and
-  // remember our own prefixes, both address families.
-  for (const auto& entry : rpki_->entries()) {
-    tables_.pfx2as.add(entry.prefix, entry.origins.front());
-  }
-  for (const auto& entry : rpki_->entries6()) {
-    tables_.pfx2as.add(entry.prefix, entry.origins.front());
   }
   local_prefixes_ = rpki_->prefixes_of(config_.as);
   local_prefixes6_ = rpki_->prefixes6_of(config_.as);
@@ -66,6 +54,29 @@ Controller::Controller(ControllerConfig config, EventLoop& loop,
     routers_.back()->set_alarm_sink(
         [this](const AlarmSample& sample) { on_alarm_sample(sample); });
   }
+  EngineConfig engine_config = config_.engine;
+  if (engine_config.rng_seed == EngineConfig{}.rng_seed) {
+    engine_config.rng_seed = derive_seed(config_.seed, 0xe791e);
+  }
+  engine_ = std::make_unique<DataPlaneEngine>(tables_, config_.as, engine_config);
+  engine_->set_alarm_sink(
+      [this](const AlarmSample& sample) { on_alarm_sample(sample); });
+  con_rou_ = std::make_unique<ConRouChannel>(*loop_, *engine_,
+                                             config_.con_rou_latency,
+                                             /*expiry_grace=*/config_.tolerance);
+
+  // Deployment-time provisioning: push the RPKI-derived prefix-to-AS
+  // mapping (§V-A) to the routers as the bootstrap transaction, then seal
+  // the tables — from here on, TableTransactions are the only write path.
+  TableTransaction bootstrap;
+  for (const auto& entry : rpki_->entries()) {
+    bootstrap.map_prefix(entry.prefix, entry.origins.front());
+  }
+  for (const auto& entry : rpki_->entries6()) {
+    bootstrap.map_prefix(entry.prefix, entry.origins.front());
+  }
+  con_rou_->submit_immediate(bootstrap);
+  tables_.seal();
 
   network_->attach(config_.as,
                    [this](const Envelope& envelope) { handle(envelope); });
@@ -159,7 +170,9 @@ void Controller::negotiate_key(AsNumber peer, bool rekey) {
     // Two-phase: keep stamping with the old key until the peer acks.
     info.pending_key = key;
   } else {
-    tables_.key_s.set_key(peer, key, /*retain_previous=*/false);
+    TableTransaction txn;
+    txn.set_stamp_key(peer, key, /*retain_previous=*/false);
+    track_delivery(peer, con_rou_->submit(std::move(txn)));
   }
   network_->send(config_.as, peer, KeyInstall{key, info.tx_key_serial, rekey});
 }
@@ -168,15 +181,17 @@ void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
   if (!is_peer(from)) return;  // keys only from established peers
   // key_{from,us}: we verify traffic stamped by `from` with it. During a
   // re-key the old key stays valid (grace) until traffic switches over.
-  tables_.key_v.set_key(from, msg.key, /*retain_previous=*/msg.rekey);
+  TableTransaction install;
+  install.set_verify_key(from, msg.key, /*retain_previous=*/msg.rekey);
+  track_delivery(from, con_rou_->submit(std::move(install)));
   network_->send(config_.as, from, KeyInstallAck{msg.serial});
   if (msg.rekey) {
     // Drop the grace key once the sender has certainly switched: one full
-    // round trip after our ack is a conservative bound in this model.
-    const AsNumber peer = from;
-    loop_->schedule(2 * kSecond, [this, peer] {
-      tables_.key_v.finish_rekey(peer);
-    });
+    // round trip after our ack is a conservative bound in this model. The
+    // grace-drop rides the channel too (an in-flight teardown withdraws it).
+    TableTransaction finish;
+    finish.finish_rekey(from);
+    track_delivery(from, con_rou_->submit_after(2 * kSecond, std::move(finish)));
   }
 }
 
@@ -184,8 +199,10 @@ void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg)
   auto it = peers_.find(from);
   if (it == peers_.end() || msg.serial != it->second.tx_key_serial) return;
   if (it->second.pending_key) {
-    tables_.key_s.set_key(from, *it->second.pending_key,
-                          /*retain_previous=*/false);
+    TableTransaction commit;
+    commit.set_stamp_key(from, *it->second.pending_key,
+                         /*retain_previous=*/false);
+    track_delivery(from, con_rou_->submit(std::move(commit)));
     it->second.pending_key.reset();
     ++stats_.rekeys_completed;
   }
@@ -210,7 +227,7 @@ std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
   for (const auto& triple : triples) {
     execute_victim_functions(triple);
   }
-  for (auto& r : routers_) r->set_alarm_mode(alarm_mode);
+  set_alarm_mode_everywhere(alarm_mode);
   std::size_t asked = 0;
   for (const auto& [as, info] : peers_) {
     if (info.state != PeerState::kPeered) continue;
@@ -254,65 +271,66 @@ std::size_t Controller::invoke_ddos_defense_all(bool spoofed_source,
 }
 
 void Controller::execute_victim_functions(const InvocationTriple& triple) {
-  // Tables reach the routers one con-rou latency later (§IV-B Fig. 2); the
-  // window starts when the routers actually hold it.
-  if (config_.con_rou_latency > 0) {
-    loop_->schedule(config_.con_rou_latency,
-                    [this, triple] { execute_victim_functions_now(triple); });
-    return;
-  }
-  execute_victim_functions_now(triple);
-}
-
-void Controller::execute_victim_functions_now(const InvocationTriple& triple) {
-  const SimTime start = loop_->now();
-  const SimTime end = start + triple.duration;
+  // The transaction carries durations, not absolute windows: the channel
+  // delivers it one con-rou latency later (§IV-B Fig. 2) and the windows
+  // start when the routers actually hold the entries.
+  TableTransaction txn;
   std::visit(
       [&](const auto& prefix) {
+        const AnyPrefix target(prefix);
         for (const auto& exp : kExpansions) {
           if (!has_invokable(triple.functions, exp.function)) continue;
           if (exp.victim_in_dst) {
-            tables_.in_dst.install(prefix, *exp.victim_in_dst, start, end);
+            txn.install_function(FunctionDirection::kInDst, target,
+                                 *exp.victim_in_dst, triple.duration);
           }
           if (exp.victim_out_src) {
-            tables_.out_src.install(prefix, *exp.victim_out_src, start, end);
+            txn.install_function(FunctionDirection::kOutSrc, target,
+                                 *exp.victim_out_src, triple.duration);
           }
         }
       },
       triple.victim_prefix);
+  if (!txn.empty()) con_rou_->submit(std::move(txn));
 }
 
 void Controller::execute_peer_functions(AsNumber victim,
                                         const InvocationTriple& triple) {
-  if (config_.con_rou_latency > 0) {
-    loop_->schedule(config_.con_rou_latency, [this, victim, triple] {
-      execute_peer_functions_now(victim, triple);
-    });
-    return;
-  }
-  execute_peer_functions_now(victim, triple);
-}
-
-void Controller::execute_peer_functions_now(AsNumber /*victim*/,
-                                            const InvocationTriple& triple) {
-  const SimTime start = loop_->now();
-  const SimTime end = start + triple.duration;
+  TableTransaction txn;
   std::visit(
       [&](const auto& prefix) {
+        const AnyPrefix target(prefix);
         for (const auto& exp : kExpansions) {
           if (!has_invokable(triple.functions, exp.function)) continue;
           if (exp.peer_out_dst) {
-            tables_.out_dst.install(prefix, *exp.peer_out_dst, start, end);
+            txn.install_function(FunctionDirection::kOutDst, target,
+                                 *exp.peer_out_dst, triple.duration);
           }
           if (exp.peer_out_src) {
-            tables_.out_src.install(prefix, *exp.peer_out_src, start, end);
+            txn.install_function(FunctionDirection::kOutSrc, target,
+                                 *exp.peer_out_src, triple.duration);
           }
           if (exp.peer_in_src) {
-            tables_.in_src.install(prefix, *exp.peer_in_src, start, end);
+            txn.install_function(FunctionDirection::kInSrc, target,
+                                 *exp.peer_in_src, triple.duration);
           }
         }
       },
       triple.victim_prefix);
+  if (!txn.empty()) track_delivery(victim, con_rou_->submit(std::move(txn)));
+}
+
+void Controller::track_delivery(AsNumber peer, ConRouChannel::DeliveryId id) {
+  if (!con_rou_->is_pending(id)) return;  // delivered synchronously
+  auto& ids = pending_deliveries_[peer];
+  // Opportunistic prune so a long-lived peering doesn't accumulate ids of
+  // long-delivered transactions.
+  if (ids.size() >= 16) {
+    std::erase_if(ids, [this](ConRouChannel::DeliveryId old) {
+      return !con_rou_->is_pending(old);
+    });
+  }
+  ids.push_back(id);
 }
 
 void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) {
@@ -337,7 +355,7 @@ void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) 
     ++accepted;
   }
   if (msg.alarm_mode) {
-    for (auto& r : routers_) r->set_alarm_mode(true);
+    set_alarm_mode_everywhere(true);
   }
   if (accepted == msg.triples.size()) {
     network_->send(config_.as, from, InvocationAccept{accepted});
@@ -347,14 +365,19 @@ void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) 
   }
 }
 
+void Controller::set_alarm_mode_everywhere(bool on) {
+  for (auto& r : routers_) r->set_alarm_mode(on);
+  engine_->set_alarm_mode(on);
+}
+
 void Controller::handle_alarm_quit(AsNumber from) {
   if (!is_peer(from)) return;
   // Leave alarm mode: identified spoofing traffic is dropped again.
-  for (auto& r : routers_) r->set_alarm_mode(false);
+  set_alarm_mode_everywhere(false);
 }
 
 void Controller::request_drop_mode() {
-  for (auto& r : routers_) r->set_alarm_mode(false);
+  set_alarm_mode_everywhere(false);
   for (const auto& [as, info] : peers_) {
     if (info.state == PeerState::kPeered) {
       network_->send(config_.as, as, AlarmQuit{});
@@ -370,16 +393,16 @@ void Controller::enable_auto_defense(std::size_t threshold_packets,
   cfg.window = window;
   cfg.holddown = holddown;
   detector_ = std::make_unique<RateDetector>(local_prefixes_, cfg);
-  for (auto& router : routers_) {
-    router->set_traffic_observer([this](Ipv4Address dst, SimTime now) {
-      const auto overwhelmed = detector_->observe(dst, now);
-      if (!overwhelmed) return;
-      ++stats_.detector_triggers;
-      // d-DDoS playbook: the prefix's inbound rate exploded, so invoke
-      // DP+CDP at every peer for it.
-      invoke_ddos_defense(*overwhelmed, /*spoofed_source=*/false);
-    });
-  }
+  const auto observer = [this](Ipv4Address dst, SimTime now) {
+    const auto overwhelmed = detector_->observe(dst, now);
+    if (!overwhelmed) return;
+    ++stats_.detector_triggers;
+    // d-DDoS playbook: the prefix's inbound rate exploded, so invoke
+    // DP+CDP at every peer for it.
+    invoke_ddos_defense(*overwhelmed, /*spoofed_source=*/false);
+  };
+  for (auto& router : routers_) router->set_traffic_observer(observer);
+  engine_->set_traffic_observer(observer);
 }
 
 void Controller::on_alarm_sample(const AlarmSample& sample) {
@@ -396,8 +419,18 @@ void Controller::on_alarm_sample(const AlarmSample& sample) {
 }
 
 void Controller::forget_peer(AsNumber peer) {
-  tables_.key_s.erase(peer);
-  tables_.key_v.erase(peer);
+  // Withdraw whatever is still riding the con-rou channel for this peer
+  // (key installs, grace-drops, invocation installs it requested), then
+  // revoke its keys immediately — teardown is a security action and must
+  // not lose the race against an in-flight install.
+  if (const auto it = pending_deliveries_.find(peer);
+      it != pending_deliveries_.end()) {
+    for (const ConRouChannel::DeliveryId id : it->second) con_rou_->cancel(id);
+    pending_deliveries_.erase(it);
+  }
+  TableTransaction revoke;
+  revoke.erase_peer(peer);
+  con_rou_->submit_immediate(revoke);
   peers_.erase(peer);
 }
 
@@ -416,8 +449,14 @@ void Controller::shutdown() {
     }
   }
   peers_.clear();
-  tables_.key_s = KeyTable{};
-  tables_.key_v = KeyTable{};
+  // Withdraw every in-flight transaction (the controller may be destroyed
+  // right after this call, so nothing of ours may stay on the loop) and
+  // wipe the key material synchronously.
+  pending_deliveries_.clear();
+  con_rou_->cancel_all();
+  TableTransaction wipe;
+  wipe.clear_keys();
+  con_rou_->submit_immediate(wipe);
   network_->detach(config_.as);
 }
 
@@ -438,21 +477,8 @@ std::size_t Controller::peer_count() const { return peers().size(); }
 
 RouterStats Controller::total_router_stats() const {
   RouterStats total;
-  for (const auto& r : routers_) {
-    const RouterStats& s = r->stats();
-    total.out_processed += s.out_processed;
-    total.out_dropped += s.out_dropped;
-    total.out_stamped += s.out_stamped;
-    total.out_too_big += s.out_too_big;
-    total.fragments_stamped += s.fragments_stamped;
-    total.in_processed += s.in_processed;
-    total.in_verified += s.in_verified;
-    total.in_spoof_dropped += s.in_spoof_dropped;
-    total.in_spoof_sampled += s.in_spoof_sampled;
-    total.in_erased_tolerance += s.in_erased_tolerance;
-    total.in_passed_unverified += s.in_passed_unverified;
-    total.icmp_scrubbed += s.icmp_scrubbed;
-  }
+  for (const auto& r : routers_) total += r->stats();
+  total += engine_->stats();
   return total;
 }
 

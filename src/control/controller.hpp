@@ -6,9 +6,13 @@
 //   4. invokes / executes defense functions on demand (§IV-E)
 //   5. runs alarm mode and a threshold attack detector (§IV-F)
 //
-// The controller owns its AS's RouterTables and the BorderRouter bound to
-// them (the iBGP "controller pushes tables to routers" step is a direct
-// write in the simulator; the paper assumes the con-rou channel is secure).
+// The controller owns its AS's RouterTables, the BorderRouters bound to
+// them, and the sharded DataPlaneEngine over the same tables. Tables are
+// sealed at construction: every mutation the controller decides (key
+// install, re-key, invocation, teardown, expiry) is expressed as a
+// TableTransaction and delivered through the ConRouChannel, which models
+// the secure con-rou path of §IV-B and applies each transaction atomically
+// at the engine.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,7 @@
 
 #include "bgp/message.hpp"
 #include "common/rng.hpp"
+#include "control/con_rou_channel.hpp"
 #include "control/detector.hpp"
 #include "control/secure_channel.hpp"
 #include "dataplane/router.hpp"
@@ -55,6 +60,10 @@ struct ControllerConfig {
   /// routers this much later than the controller decides them. Contributes
   /// to the asynchronization the §IV-E1 tolerance intervals absorb.
   SimTime con_rou_latency = 0;
+  /// The DAS's sharded batch data-plane engine (the fast path driven by
+  /// DiscsSystem::send_batch). Seed is derived from `seed` when left at the
+  /// EngineConfig default.
+  EngineConfig engine{};
   std::uint64_t seed = 1;
 };
 
@@ -163,17 +172,37 @@ class Controller {
   }
 
   /// The DAS's border routers. router() is the first (single-router DASes
-  /// are the common case); router(i) addresses a specific one; an interface
-  /// (e.g. the neighbor AS hash) selects which router a packet traverses.
+  /// are the common case).
+  ///
+  /// router(index) contract: `index` is an *interface selector*, not a
+  /// bounds-checked array position — it deliberately wraps modulo
+  /// router_count(), so any stable per-neighbor value (e.g. the neighbor AS
+  /// number) picks a consistent router. Callers with a neighbor AS in hand
+  /// should use router_for_interface() instead of hashing by hand.
   [[nodiscard]] BorderRouter& router() { return *routers_.front(); }
   [[nodiscard]] const BorderRouter& router() const { return *routers_.front(); }
   [[nodiscard]] BorderRouter& router(std::size_t index) {
     return *routers_[index % routers_.size()];
   }
+  /// The border router handling the interface toward `neighbor` (the AS the
+  /// packet arrives from / leaves toward).
+  [[nodiscard]] BorderRouter& router_for_interface(AsNumber neighbor) {
+    return router(static_cast<std::size_t>(neighbor));
+  }
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
-  [[nodiscard]] RouterTables& tables() { return tables_; }
+  /// Read-only view of the table set; mutations only happen through the
+  /// transaction pipeline (the tables are sealed).
+  [[nodiscard]] const RouterTables& tables() const { return tables_; }
 
-  /// Aggregated counters across all border routers.
+  /// The sharded batch engine over this DAS's tables (fast path) and the
+  /// con-rou channel delivering transactions to it.
+  [[nodiscard]] DataPlaneEngine& engine() { return *engine_; }
+  [[nodiscard]] const DataPlaneEngine& engine() const { return *engine_; }
+  [[nodiscard]] ConRouChannel& con_rou() { return *con_rou_; }
+  [[nodiscard]] const ConRouChannel& con_rou() const { return *con_rou_; }
+
+  /// Aggregated counters across all border routers *and* the engine's
+  /// shards (serial path + batch path merged via RouterStats::operator+=).
   [[nodiscard]] RouterStats total_router_stats() const;
 
   /// Controller-side counters for the cost evaluation.
@@ -213,14 +242,19 @@ class Controller {
   /// Generates and ships key_{us,peer}; first key or re-key.
   void negotiate_key(AsNumber peer, bool rekey);
 
-  /// Installs the peer-side table entries for an accepted triple (after the
-  /// con-rou latency when configured).
+  /// Submits the peer-side table transaction for an accepted triple; the
+  /// channel delivers it after the con-rou latency. Tracked under the
+  /// victim's AS so teardown can withdraw it in flight.
   void execute_peer_functions(AsNumber victim, const InvocationTriple& triple);
-  void execute_peer_functions_now(AsNumber victim, const InvocationTriple& triple);
 
-  /// Installs the victim-side table entries for our own invocation.
+  /// Submits the victim-side table transaction for our own invocation.
   void execute_victim_functions(const InvocationTriple& triple);
-  void execute_victim_functions_now(const InvocationTriple& triple);
+
+  /// Remembers an undelivered transaction tied to `peer`, so forget_peer
+  /// can withdraw it before it reaches the routers.
+  void track_delivery(AsNumber peer, ConRouChannel::DeliveryId id);
+
+  void set_alarm_mode_everywhere(bool on);
 
   void schedule_rekey_timer();
 
@@ -232,10 +266,16 @@ class Controller {
 
   RouterTables tables_;
   std::vector<std::unique_ptr<BorderRouter>> routers_;
+  std::unique_ptr<DataPlaneEngine> engine_;
+  std::unique_ptr<ConRouChannel> con_rou_;
   std::vector<Prefix4> local_prefixes_;
   std::vector<Prefix6> local_prefixes6_;
 
   std::map<AsNumber, PeerInfo> peers_;
+  /// Transactions submitted but possibly undelivered, keyed by the peer
+  /// they concern (withdrawn on teardown).
+  std::unordered_map<AsNumber, std::vector<ConRouChannel::DeliveryId>>
+      pending_deliveries_;
   std::unique_ptr<RateDetector> detector_;
   Stats stats_;
 

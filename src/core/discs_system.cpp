@@ -1,6 +1,8 @@
 #include "core/discs_system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace discs {
 
@@ -112,7 +114,8 @@ DeliveryResult DiscsSystem::send_impl(AsNumber origin_as, Packet& packet) {
   // DISCS free of inherent false positives). Multi-router DASes pick the
   // border router facing the next/previous hop on the AS path.
   if (auto* source = controller(origin_as); source != nullptr && origin_as != dst_as) {
-    BorderRouter& egress = source->router(result.path.size() > 1 ? result.path[1] : 0);
+    BorderRouter& egress = source->router_for_interface(
+        result.path.size() > 1 ? result.path[1] : 0);
     result.source_verdict = egress.process_outbound(packet, loop_.now());
     if (is_drop(result.source_verdict)) {
       result.outcome = DeliveryOutcome::kDroppedAtSource;
@@ -122,7 +125,7 @@ DeliveryResult DiscsSystem::send_impl(AsNumber origin_as, Packet& packet) {
   // Legacy and transit ASes forward the packet unmodified.
   if (auto* destination = controller(dst_as);
       destination != nullptr && origin_as != dst_as) {
-    BorderRouter& ingress = destination->router(
+    BorderRouter& ingress = destination->router_for_interface(
         result.path.size() > 1 ? result.path[result.path.size() - 2] : 0);
     result.destination_verdict = ingress.process_inbound(packet, loop_.now());
     if (is_drop(result.destination_verdict)) {
@@ -142,41 +145,170 @@ DeliveryResult DiscsSystem::send_packet(AsNumber origin_as, Ipv6Packet& packet) 
   return send_impl(origin_as, packet);
 }
 
+std::vector<DeliveryResult> DiscsSystem::send_batch(AsNumber origin_as,
+                                                    PacketBatch& batch) {
+  return send_batch(origin_as, batch, loop_.now());
+}
+
+std::vector<DeliveryResult> DiscsSystem::send_batch(AsNumber origin_as,
+                                                    PacketBatch& batch,
+                                                    SimTime now) {
+  std::vector<DeliveryResult> results(batch.size());
+  if (batch.empty()) return results;
+  const bool origin_routable = graph_.contains(origin_as);
+
+  // AS-level paths resolved once per destination AS within the batch (the
+  // graph computes a path in O(V+E); a batch shares few destinations).
+  std::unordered_map<AsNumber, std::vector<AsNumber>> paths;
+  const auto path_to = [&](AsNumber dst) -> const std::vector<AsNumber>& {
+    const auto [it, inserted] = paths.try_emplace(dst);
+    if (inserted) it->second = graph_.path(origin_as, dst);
+    return it->second;
+  };
+
+  std::vector<std::uint32_t> live;  // routable packets, in batch order
+  live.reserve(batch.size());
+  std::vector<AsNumber> dst_of(batch.size(), kNoAs);
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    const AsNumber dst = std::visit(
+        [&](const auto& p) { return dataset_.origin_of(p.header.dst); },
+        batch[i]);
+    if (dst == kNoAs || !origin_routable || !graph_.contains(dst)) {
+      results[i].outcome = DeliveryOutcome::kUnroutable;
+      continue;
+    }
+    const auto& path = path_to(dst);
+    if (path.empty()) {
+      results[i].outcome = DeliveryOutcome::kUnroutable;
+      continue;
+    }
+    results[i].path = path;
+    dst_of[i] = dst;
+    live.push_back(i);
+  }
+
+  // Outbound stage: one sharded engine pass at the origin DAS (intra-AS
+  // traffic never crosses a border and skips both stages).
+  if (Controller* source = controller(origin_as); source != nullptr) {
+    PacketBatch out;
+    std::vector<std::uint32_t> out_idx;
+    out.reserve(live.size());
+    out_idx.reserve(live.size());
+    for (const std::uint32_t i : live) {
+      if (dst_of[i] == origin_as) continue;
+      out.add(std::move(batch[i]));
+      out_idx.push_back(i);
+    }
+    const std::vector<Verdict> verdicts =
+        source->engine().process_outbound(out, now);
+    for (std::size_t j = 0; j < out_idx.size(); ++j) {
+      const std::uint32_t i = out_idx[j];
+      batch[i] = std::move(out[j]);  // hand the stamped packet back
+      results[i].source_verdict = verdicts[j];
+      if (is_drop(verdicts[j])) {
+        results[i].outcome = DeliveryOutcome::kDroppedAtSource;
+      }
+    }
+  }
+
+  // Inbound stage: survivors partitioned by destination DAS, one engine
+  // pass per DAS.
+  std::unordered_map<AsNumber,
+                     std::pair<PacketBatch, std::vector<std::uint32_t>>>
+      by_dst;
+  for (const std::uint32_t i : live) {
+    if (results[i].outcome == DeliveryOutcome::kDroppedAtSource) continue;
+    const AsNumber dst = dst_of[i];
+    if (dst == origin_as || controller(dst) == nullptr) continue;  // delivered
+    auto& [sub, idx] = by_dst[dst];
+    sub.add(std::move(batch[i]));
+    idx.push_back(i);
+  }
+  for (auto& [dst, group] : by_dst) {
+    auto& [sub, idx] = group;
+    const std::vector<Verdict> verdicts =
+        controller(dst)->engine().process_inbound(sub, now);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::uint32_t i = idx[j];
+      batch[i] = std::move(sub[j]);
+      results[i].destination_verdict = verdicts[j];
+      if (is_drop(verdicts[j])) {
+        results[i].outcome = DeliveryOutcome::kDroppedAtDestination;
+      }
+    }
+  }
+  return results;
+}
+
+Ipv4Packet DiscsSystem::sample_attack_packet(AttackType type,
+                                             AsNumber agent_as,
+                                             AsNumber victim_as) {
+  SpoofFlow flow = sampler_.sample_flow(type);
+  flow.agent = agent_as;
+  flow.victim = victim_as;
+  while (true) {
+    while (flow.innocent == flow.agent || flow.innocent == flow.victim) {
+      flow.innocent = sampler_.sample_as();
+    }
+    Ipv4Packet packet = sampler_.attack_packet(flow);
+    // MOAS prefixes can map a role's sampled address into the agent's own
+    // AS, turning the flow intra-AS (it would never cross a border);
+    // resample those so every reported packet is a real inter-AS attack.
+    const AsNumber dst_as = dataset_.origin_of(packet.header.dst);
+    if (dst_as != agent_as && dst_as != kNoAs) return packet;
+    flow.innocent = sampler_.sample_as();
+  }
+}
+
+namespace {
+
+void count_outcome(AttackReport& report, DeliveryOutcome outcome) {
+  ++report.packets_sent;
+  switch (outcome) {
+    case DeliveryOutcome::kDroppedAtSource:
+      ++report.dropped_at_source;
+      break;
+    case DeliveryOutcome::kDroppedAtDestination:
+      ++report.dropped_at_destination;
+      break;
+    case DeliveryOutcome::kDelivered:
+      ++report.delivered;
+      break;
+    case DeliveryOutcome::kUnroutable:
+      break;
+  }
+}
+
+}  // namespace
+
 AttackReport DiscsSystem::run_attack(AttackType type, AsNumber agent_as,
                                      AsNumber victim_as, std::size_t packets) {
   AttackReport report;
   for (std::size_t k = 0; k < packets; ++k) {
-    SpoofFlow flow = sampler_.sample_flow(type);
-    flow.agent = agent_as;
-    flow.victim = victim_as;
-    Ipv4Packet packet;
-    while (true) {
-      while (flow.innocent == flow.agent || flow.innocent == flow.victim) {
-        flow.innocent = sampler_.sample_as();
-      }
-      packet = sampler_.attack_packet(flow);
-      // MOAS prefixes can map a role's sampled address into the agent's own
-      // AS, turning the flow intra-AS (it would never cross a border);
-      // resample those so every reported packet is a real inter-AS attack.
-      const AsNumber dst_as = dataset_.origin_of(packet.header.dst);
-      if (dst_as != agent_as && dst_as != kNoAs) break;
-      flow.innocent = sampler_.sample_as();
+    Ipv4Packet packet = sample_attack_packet(type, agent_as, victim_as);
+    count_outcome(report, send_packet(agent_as, packet).outcome);
+  }
+  return report;
+}
+
+AttackReport DiscsSystem::run_attack_batched(AttackType type, AsNumber agent_as,
+                                             AsNumber victim_as,
+                                             std::size_t packets,
+                                             std::size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  AttackReport report;
+  std::size_t remaining = packets;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, batch_size);
+    PacketBatch batch;
+    batch.reserve(chunk);
+    for (std::size_t k = 0; k < chunk; ++k) {
+      batch.add(sample_attack_packet(type, agent_as, victim_as));
     }
-    const DeliveryResult result = send_packet(agent_as, packet);
-    ++report.packets_sent;
-    switch (result.outcome) {
-      case DeliveryOutcome::kDroppedAtSource:
-        ++report.dropped_at_source;
-        break;
-      case DeliveryOutcome::kDroppedAtDestination:
-        ++report.dropped_at_destination;
-        break;
-      case DeliveryOutcome::kDelivered:
-        ++report.delivered;
-        break;
-      case DeliveryOutcome::kUnroutable:
-        break;
+    for (const DeliveryResult& result : send_batch(agent_as, batch)) {
+      count_outcome(report, result.outcome);
     }
+    remaining -= chunk;
   }
   return report;
 }

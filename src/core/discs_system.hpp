@@ -111,10 +111,32 @@ class DiscsSystem {
   DeliveryResult send_packet(AsNumber origin_as, Ipv4Packet& packet);
   DeliveryResult send_packet(AsNumber origin_as, Ipv6Packet& packet);
 
+  /// Batch fast path: sends a whole PacketBatch from `origin_as` through
+  /// the per-DAS DataPlaneEngines (sharded outbound at the source, sharded
+  /// inbound per destination DAS), instead of one BorderRouter call per
+  /// packet. Packets are mutated in place exactly like send_packet; the
+  /// result vector is aligned with batch indices. AS-level paths are
+  /// computed once per destination AS within the batch.
+  std::vector<DeliveryResult> send_batch(AsNumber origin_as, PacketBatch& batch);
+
+  /// Same, with an explicit timestamp instead of loop().now() — for callers
+  /// on threads that must not touch the EventLoop while it may be observed
+  /// elsewhere. Control-plane transactions interleave safely: they apply
+  /// under the engines' writer locks.
+  std::vector<DeliveryResult> send_batch(AsNumber origin_as, PacketBatch& batch,
+                                         SimTime now);
+
   /// Scripted spoofing attack: `packets` attack packets of `type` from
   /// agents inside `agent_as` against victim AS owning `victim`.
   AttackReport run_attack(AttackType type, AsNumber agent_as, AsNumber victim_as,
                           std::size_t packets);
+
+  /// run_attack through the batch fast path: samples the identical packet
+  /// stream (same sampler state evolution), sends it in `batch_size` chunks
+  /// via send_batch, and aggregates the same report.
+  AttackReport run_attack_batched(AttackType type, AsNumber agent_as,
+                                  AsNumber victim_as, std::size_t packets,
+                                  std::size_t batch_size = 512);
 
   // ---- introspection ----
 
@@ -131,6 +153,11 @@ class DiscsSystem {
 
   template <typename Packet>
   DeliveryResult send_impl(AsNumber origin_as, Packet& packet);
+
+  /// Samples the next attack packet (shared by run_attack and
+  /// run_attack_batched so both consume the sampler stream identically).
+  Ipv4Packet sample_attack_packet(AttackType type, AsNumber agent_as,
+                                  AsNumber victim_as);
 
   Config config_;
   InternetDataset dataset_;

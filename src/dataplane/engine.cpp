@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "dataplane/transaction.hpp"
 
 namespace discs {
 
@@ -125,6 +126,13 @@ void DataPlaneEngine::update_tables(
   std::unique_lock lock(mutex_);
   mutate(*tables_);
   for (auto& shard : shards_) shard->cache.invalidate();
+}
+
+TableEpoch DataPlaneEngine::apply(const TableTransaction& txn, SimTime now) {
+  std::unique_lock lock(mutex_);
+  const TableEpoch epoch = txn.apply(*tables_, now);
+  for (auto& shard : shards_) shard->cache.invalidate();
+  return epoch;
 }
 
 void DataPlaneEngine::invalidate_caches() {

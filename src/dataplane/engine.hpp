@@ -31,6 +31,8 @@
 
 namespace discs {
 
+class TableTransaction;
+
 /// One packet of either family inside a batch.
 using BatchPacket = std::variant<Ipv4Packet, Ipv6Packet>;
 
@@ -95,6 +97,12 @@ class DataPlaneEngine {
   /// in-flight batch) and flushes every shard's LPM cache. This is the only
   /// safe way to change tables while the engine is live.
   void update_tables(const std::function<void(RouterTables&)>& mutate);
+
+  /// Applies a TableTransaction atomically: writer lock, every op in order,
+  /// one epoch bump, one cache-generation flush. Returns the new table
+  /// epoch. This is the con-rou delivery endpoint — on sealed tables it is
+  /// the only mutation path that does not abort.
+  TableEpoch apply(const TableTransaction& txn, SimTime now);
 
   /// Manually flushes every shard's LPM cache (update_tables already does;
   /// this is the hook for table owners that mutate out-of-band while the

@@ -1,10 +1,23 @@
 #include "dataplane/tables.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace discs {
 
+namespace detail {
+void table_write_violation(const char* table) {
+  std::fprintf(stderr,
+               "discs: direct write to sealed %s outside a TableTransaction; "
+               "route the mutation through the con-rou pipeline\n",
+               table);
+  std::abort();
+}
+}  // namespace detail
+
 void KeyTable::set_key(AsNumber peer, const Key128& key, bool retain_previous) {
+  detail::check_guard(guard_, "key table");
   const auto it = entries_.find(peer);
   if (it == entries_.end()) {
     entries_.emplace(peer, Entry(key));
@@ -22,6 +35,7 @@ void KeyTable::set_key(AsNumber peer, const Key128& key, bool retain_previous) {
 }
 
 void KeyTable::finish_rekey(AsNumber peer) {
+  detail::check_guard(guard_, "key table");
   const auto it = entries_.find(peer);
   if (it != entries_.end()) {
     it->second.previous.reset();
@@ -37,6 +51,7 @@ const KeyTable::Entry* KeyTable::find(AsNumber peer) const {
 template <typename Lpm, typename Prefix>
 void FunctionTable::install_impl(Lpm& lpm, const Prefix& prefix,
                                  DefenseFunction f, SimTime start, SimTime end) {
+  detail::check_guard(guard_, "function table");
   std::uint32_t index;
   if (const std::uint32_t* existing = lpm.find_exact(prefix)) {
     index = *existing;
@@ -96,6 +111,7 @@ FunctionMatch FunctionTable::lookup(const Ipv6Address& addr, SimTime now) const 
 }
 
 void FunctionTable::expire(SimTime now) {
+  detail::check_guard(guard_, "function table");
   for (auto& entry : entries_) {
     std::erase_if(entry.windows,
                   [now](const FunctionWindow& w) { return w.end <= now; });

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,6 +19,55 @@
 #include "simkit/event_loop.hpp"
 
 namespace discs {
+
+class TableTransaction;
+
+/// Monotonic counter stamped onto a RouterTables by every applied
+/// TableTransaction. Epochs give teardown/undeploy tests a total order to
+/// assert against: state is orphan-free iff the highest-epoch transaction
+/// that mentioned a peer was the one erasing it.
+using TableEpoch = std::uint64_t;
+
+/// Writer discipline for a RouterTables (PR 2): once `seal()` has been
+/// called, the sub-tables refuse direct mutation unless a TableTransaction
+/// application holds the write scope open. Unsealed tables (test fixtures,
+/// benches) mutate freely. The check is always on — it costs one pointer
+/// test per *mutation*, never per packet — and violations abort with a
+/// diagnostic rather than silently diverging router state.
+class TableWriteGuard {
+ public:
+  void seal() { sealed_ = true; }
+  [[nodiscard]] bool sealed() const { return sealed_; }
+  [[nodiscard]] bool write_allowed() const { return !sealed_ || depth_ > 0; }
+
+  /// RAII write scope; opened only by TableTransaction::apply (which runs
+  /// under the engine's writer lock, so `depth_` needs no synchronization).
+  class Scope {
+   public:
+    explicit Scope(TableWriteGuard& guard) : guard_(&guard) { ++guard_->depth_; }
+    ~Scope() { --guard_->depth_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TableWriteGuard* guard_;
+  };
+
+ private:
+  bool sealed_ = false;
+  int depth_ = 0;
+};
+
+namespace detail {
+/// Aborts with a diagnostic; out-of-line so the inline check stays tiny.
+[[noreturn]] void table_write_violation(const char* table);
+
+inline void check_guard(const TableWriteGuard* guard, const char* table) {
+  if (guard != nullptr && !guard->write_allowed()) {
+    table_write_violation(table);
+  }
+}
+}  // namespace detail
 
 /// The four defense functions, split into their per-direction operations
 /// exactly as Table I anatomizes them.
@@ -44,8 +94,14 @@ using FunctionSet = std::uint8_t;
 /// router-resident projection of the controller's RPKI-derived mapping.
 class Pfx2AsTable {
  public:
-  void add(const Prefix4& prefix, AsNumber as) { v4_.insert(prefix, as); }
-  void add(const Prefix6& prefix, AsNumber as) { v6_.insert(prefix, as); }
+  void add(const Prefix4& prefix, AsNumber as) {
+    detail::check_guard(guard_, "pfx2as");
+    v4_.insert(prefix, as);
+  }
+  void add(const Prefix6& prefix, AsNumber as) {
+    detail::check_guard(guard_, "pfx2as");
+    v6_.insert(prefix, as);
+  }
 
   [[nodiscard]] AsNumber lookup(Ipv4Address addr) const {
     return v4_.lookup(addr).value_or(kNoAs);
@@ -60,8 +116,10 @@ class Pfx2AsTable {
   }
 
  private:
+  friend struct RouterTables;
   Lpm4<AsNumber> v4_;
   Lpm6<AsNumber> v6_;
+  const TableWriteGuard* guard_ = nullptr;
 };
 
 /// Key table: maps a peer AS to its 128-bit key. During re-keying the
@@ -80,6 +138,16 @@ class KeyTable {
     std::optional<AesCmac> previous_mac;
   };
 
+  KeyTable() = default;
+  /// Copies carry the entries but never the guard binding: a copy is a
+  /// standalone table, and assignment into a guarded slot is a write.
+  KeyTable(const KeyTable& other) : entries_(other.entries_) {}
+  KeyTable& operator=(const KeyTable& other) {
+    detail::check_guard(guard_, "key table");
+    entries_ = other.entries_;
+    return *this;
+  }
+
   /// Installs/overwrites the key for `peer`. When a key already exists it
   /// is retained as `previous` (the re-keying grace key) unless
   /// `retain_previous` is false.
@@ -89,7 +157,16 @@ class KeyTable {
   void finish_rekey(AsNumber peer);
 
   /// Removes the peer entirely (peering torn down or key leaked).
-  void erase(AsNumber peer) { entries_.erase(peer); }
+  void erase(AsNumber peer) {
+    detail::check_guard(guard_, "key table");
+    entries_.erase(peer);
+  }
+
+  /// Drops every key (controller shutdown / undeploy).
+  void clear() {
+    detail::check_guard(guard_, "key table");
+    entries_.clear();
+  }
 
   [[nodiscard]] const Entry* find(AsNumber peer) const;
   [[nodiscard]] bool has_key(AsNumber peer) const {
@@ -98,7 +175,9 @@ class KeyTable {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
+  friend struct RouterTables;
   std::unordered_map<AsNumber, Entry> entries_;
+  const TableWriteGuard* guard_ = nullptr;
 };
 
 /// One invocation window of a defense function over a prefix.
@@ -124,6 +203,23 @@ class FunctionTable {
   /// Tolerance interval applied at both ends of every crypto-verify window.
   explicit FunctionTable(SimTime tolerance = 2 * kSecond)
       : tolerance_(tolerance) {}
+
+  // Moves carry the data but never the guard binding (the source's guard
+  // stays with its RouterTables); move-assignment into a guarded slot is a
+  // write and checks the guard.
+  FunctionTable(FunctionTable&& other) noexcept
+      : tolerance_(other.tolerance_),
+        v4_(std::move(other.v4_)),
+        v6_(std::move(other.v6_)),
+        entries_(std::move(other.entries_)) {}
+  FunctionTable& operator=(FunctionTable&& other) noexcept {
+    detail::check_guard(guard_, "function table");
+    tolerance_ = other.tolerance_;
+    v4_ = std::move(other.v4_);
+    v6_ = std::move(other.v6_);
+    entries_ = std::move(other.entries_);
+    return *this;
+  }
 
   /// Installs a window; overlapping windows for the same prefix+function
   /// extend each other (re-invocation with a longer duration).
@@ -154,15 +250,41 @@ class FunctionTable {
   template <typename Lpm, typename Addr>
   FunctionMatch lookup_impl(const Lpm& lpm, const Addr& addr, SimTime now) const;
 
+  friend struct RouterTables;
   SimTime tolerance_;
   // Values are indices into entries_ so windows can be mutated after insert.
   Lpm4<std::uint32_t> v4_;
   Lpm6<std::uint32_t> v6_;
   std::vector<Entry> entries_;
+  const TableWriteGuard* guard_ = nullptr;
 };
 
 /// The full table set of one border router.
+///
+/// Sub-tables are born unguarded so tests and benches can populate them
+/// directly. A controller calls `seal()` once its bootstrap transaction is
+/// applied; from then on the only mutation path is TableTransaction::apply
+/// (any other write aborts — see TableWriteGuard).
 struct RouterTables {
+  RouterTables() { bind_guards(); }
+  /// Constructs all four function tables with the given tolerance interval.
+  explicit RouterTables(SimTime tolerance)
+      : in_src(tolerance),
+        in_dst(tolerance),
+        out_src(tolerance),
+        out_dst(tolerance) {
+    bind_guards();
+  }
+  RouterTables(const RouterTables&) = delete;
+  RouterTables& operator=(const RouterTables&) = delete;
+
+  /// Freezes the tables: all further writes must come through a
+  /// TableTransaction.
+  void seal() { guard_.seal(); }
+  [[nodiscard]] bool sealed() const { return guard_.sealed(); }
+  /// Epoch of the last transaction applied (0 = none yet).
+  [[nodiscard]] TableEpoch applied_epoch() const { return epoch_; }
+
   Pfx2AsTable pfx2as;
   KeyTable key_s;  // stamping keys: key_{local,peer}
   KeyTable key_v;  // verification keys: key_{peer,local}
@@ -170,6 +292,22 @@ struct RouterTables {
   FunctionTable in_dst;
   FunctionTable out_src;
   FunctionTable out_dst;
+
+ private:
+  friend class TableTransaction;
+
+  void bind_guards() {
+    pfx2as.guard_ = &guard_;
+    key_s.guard_ = &guard_;
+    key_v.guard_ = &guard_;
+    in_src.guard_ = &guard_;
+    in_dst.guard_ = &guard_;
+    out_src.guard_ = &guard_;
+    out_dst.guard_ = &guard_;
+  }
+
+  TableWriteGuard guard_;
+  TableEpoch epoch_ = 0;
 };
 
 }  // namespace discs

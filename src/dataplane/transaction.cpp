@@ -1,0 +1,142 @@
+#include "dataplane/transaction.hpp"
+
+#include <algorithm>
+
+namespace discs {
+
+TableTransaction& TableTransaction::map_prefix(const Prefix4& prefix,
+                                               AsNumber as) {
+  ops_.push_back(MapPrefixOp{AnyPrefix(prefix), as});
+  return *this;
+}
+
+TableTransaction& TableTransaction::map_prefix(const Prefix6& prefix,
+                                               AsNumber as) {
+  ops_.push_back(MapPrefixOp{AnyPrefix(prefix), as});
+  return *this;
+}
+
+TableTransaction& TableTransaction::set_stamp_key(AsNumber peer,
+                                                  const Key128& key,
+                                                  bool retain_previous) {
+  ops_.push_back(SetKeyOp{true, peer, key, retain_previous});
+  return *this;
+}
+
+TableTransaction& TableTransaction::set_verify_key(AsNumber peer,
+                                                   const Key128& key,
+                                                   bool retain_previous) {
+  ops_.push_back(SetKeyOp{false, peer, key, retain_previous});
+  return *this;
+}
+
+TableTransaction& TableTransaction::finish_rekey(AsNumber peer, bool stamping) {
+  ops_.push_back(FinishRekeyOp{peer, stamping});
+  return *this;
+}
+
+TableTransaction& TableTransaction::erase_peer(AsNumber peer) {
+  ops_.push_back(ErasePeerOp{peer});
+  return *this;
+}
+
+TableTransaction& TableTransaction::clear_keys() {
+  ops_.push_back(ClearKeysOp{});
+  return *this;
+}
+
+TableTransaction& TableTransaction::install_function(FunctionDirection dir,
+                                                     const AnyPrefix& prefix,
+                                                     DefenseFunction f,
+                                                     SimTime duration) {
+  ops_.push_back(InstallOp{dir, prefix, f, /*relative=*/true, 0, duration});
+  return *this;
+}
+
+TableTransaction& TableTransaction::install_function_window(
+    FunctionDirection dir, const AnyPrefix& prefix, DefenseFunction f,
+    SimTime start, SimTime end) {
+  ops_.push_back(InstallOp{dir, prefix, f, /*relative=*/false, start, end});
+  return *this;
+}
+
+TableTransaction& TableTransaction::expire_functions() {
+  ops_.push_back(ExpireOp{});
+  return *this;
+}
+
+SimTime TableTransaction::max_relative_end() const {
+  SimTime max_end = 0;
+  for (const Op& op : ops_) {
+    if (const auto* install = std::get_if<InstallOp>(&op);
+        install != nullptr && install->relative) {
+      max_end = std::max(max_end, install->end);
+    }
+  }
+  return max_end;
+}
+
+bool TableTransaction::installs_functions() const {
+  return std::any_of(ops_.begin(), ops_.end(), [](const Op& op) {
+    return std::holds_alternative<InstallOp>(op);
+  });
+}
+
+namespace {
+
+FunctionTable& direction_table(RouterTables& tables, FunctionDirection dir) {
+  switch (dir) {
+    case FunctionDirection::kInSrc:
+      return tables.in_src;
+    case FunctionDirection::kInDst:
+      return tables.in_dst;
+    case FunctionDirection::kOutSrc:
+      return tables.out_src;
+    case FunctionDirection::kOutDst:
+      return tables.out_dst;
+  }
+  return tables.in_src;  // unreachable
+}
+
+}  // namespace
+
+TableEpoch TableTransaction::apply(RouterTables& tables, SimTime now) const {
+  const TableWriteGuard::Scope scope(tables.guard_);
+  for (const Op& op : ops_) {
+    std::visit(
+        [&](const auto& o) {
+          using O = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<O, MapPrefixOp>) {
+            std::visit([&](const auto& p) { tables.pfx2as.add(p, o.as); },
+                       o.prefix);
+          } else if constexpr (std::is_same_v<O, SetKeyOp>) {
+            (o.stamping ? tables.key_s : tables.key_v)
+                .set_key(o.peer, o.key, o.retain_previous);
+          } else if constexpr (std::is_same_v<O, FinishRekeyOp>) {
+            (o.stamping ? tables.key_s : tables.key_v).finish_rekey(o.peer);
+          } else if constexpr (std::is_same_v<O, ErasePeerOp>) {
+            tables.key_s.erase(o.peer);
+            tables.key_v.erase(o.peer);
+          } else if constexpr (std::is_same_v<O, ClearKeysOp>) {
+            tables.key_s.clear();
+            tables.key_v.clear();
+          } else if constexpr (std::is_same_v<O, InstallOp>) {
+            const SimTime start = o.relative ? now : o.start;
+            const SimTime end = o.relative ? now + o.end : o.end;
+            FunctionTable& table = direction_table(tables, o.dir);
+            std::visit(
+                [&](const auto& p) { table.install(p, o.function, start, end); },
+                o.prefix);
+          } else if constexpr (std::is_same_v<O, ExpireOp>) {
+            tables.in_src.expire(now);
+            tables.in_dst.expire(now);
+            tables.out_src.expire(now);
+            tables.out_dst.expire(now);
+          }
+        },
+        op);
+  }
+  return ++tables.epoch_;
+}
+
+}  // namespace discs

@@ -1,0 +1,274 @@
+// ConRouChannel delivery semantics (latency, FIFO, cancellation, expiry
+// sweeps) plus the controller-level teardown races the channel makes
+// testable: a peering torn down while its transactions are still in flight
+// must leave no orphaned keys or invocation windows behind.
+#include "control/con_rou_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/controller.hpp"
+#include "crypto/cmac.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+
+class ConRouChannelTest : public ::testing::Test {
+ protected:
+  ConRouChannelTest() : engine_(tables_, 1) { tables_.seal(); }
+
+  TableTransaction key_txn(AsNumber peer, std::uint64_t seed,
+                           bool retain = false) {
+    TableTransaction txn;
+    txn.set_verify_key(peer, derive_key128(seed), retain);
+    return txn;
+  }
+
+  RouterTables tables_;
+  DataPlaneEngine engine_;
+  EventLoop loop_;
+};
+
+TEST_F(ConRouChannelTest, ZeroLatencyDeliversSynchronously) {
+  ConRouChannel channel(loop_, engine_, /*latency=*/0);
+  channel.submit(key_txn(5, 1));
+  // No loop interaction needed: the tables changed on the submitting thread.
+  EXPECT_TRUE(tables_.key_v.has_key(5));
+  EXPECT_EQ(channel.pending(), 0u);
+  EXPECT_EQ(channel.stats().submitted, 1u);
+  EXPECT_EQ(channel.stats().delivered, 1u);
+  EXPECT_EQ(channel.stats().last_epoch, tables_.applied_epoch());
+}
+
+TEST_F(ConRouChannelTest, LatencyHoldsDeliveryBack) {
+  ConRouChannel channel(loop_, engine_, 50 * kMillisecond);
+  const auto id = channel.submit(key_txn(5, 1));
+  EXPECT_TRUE(channel.is_pending(id));
+  EXPECT_FALSE(tables_.key_v.has_key(5));
+
+  loop_.run_until(40 * kMillisecond);
+  EXPECT_FALSE(tables_.key_v.has_key(5));  // still on the wire
+  loop_.run_until(60 * kMillisecond);
+  EXPECT_TRUE(tables_.key_v.has_key(5));
+  EXPECT_FALSE(channel.is_pending(id));
+  EXPECT_EQ(channel.stats().ops_delivered, 1u);
+}
+
+TEST_F(ConRouChannelTest, DeliveryIsFifoAtEqualTimestamps) {
+  ConRouChannel channel(loop_, engine_, 10 * kMillisecond);
+  channel.submit(key_txn(5, 1));
+  channel.submit(key_txn(5, 2, /*retain=*/true));  // re-key arrives second
+  loop_.run_until(kSecond);
+  const KeyTable::Entry* entry = tables_.key_v.find(5);
+  ASSERT_NE(entry, nullptr);
+  // FIFO: the re-key applied last, so seed-2 is active and seed-1 the grace
+  // key. Reversed delivery would leave seed-1 active with no grace key.
+  EXPECT_EQ(entry->active, derive_key128(2));
+  ASSERT_TRUE(entry->previous.has_value());
+  EXPECT_EQ(*entry->previous, derive_key128(1));
+}
+
+TEST_F(ConRouChannelTest, CancelWithdrawsBeforeDelivery) {
+  ConRouChannel channel(loop_, engine_, 50 * kMillisecond);
+  const auto id = channel.submit(key_txn(5, 1));
+  EXPECT_TRUE(channel.cancel(id));
+  loop_.run_until(kSecond);
+  EXPECT_FALSE(tables_.key_v.has_key(5));
+  EXPECT_EQ(channel.stats().canceled, 1u);
+  EXPECT_EQ(channel.stats().delivered, 0u);
+  // Delivery already happened -> cancel loses the race by design.
+  ConRouChannel instant(loop_, engine_, 0);
+  const auto delivered_id = instant.submit(key_txn(6, 2));
+  EXPECT_FALSE(instant.cancel(delivered_id));
+}
+
+TEST_F(ConRouChannelTest, SubmitAfterAddsExtraDelay) {
+  ConRouChannel channel(loop_, engine_, 10 * kMillisecond);
+  channel.submit_after(kSecond, key_txn(5, 1));
+  loop_.run_until(kSecond);  // latency alone would have delivered by now
+  EXPECT_FALSE(tables_.key_v.has_key(5));
+  loop_.run_until(kSecond + 20 * kMillisecond);
+  EXPECT_TRUE(tables_.key_v.has_key(5));
+}
+
+TEST_F(ConRouChannelTest, SubmitImmediateBypassesLatency) {
+  ConRouChannel channel(loop_, engine_, kHour);
+  const TableEpoch epoch = channel.submit_immediate(key_txn(5, 1));
+  EXPECT_TRUE(tables_.key_v.has_key(5));
+  EXPECT_EQ(epoch, tables_.applied_epoch());
+  EXPECT_EQ(channel.pending(), 0u);
+}
+
+TEST_F(ConRouChannelTest, RelativeInstallGetsAnExpirySweep) {
+  ConRouChannel channel(loop_, engine_, 10 * kMillisecond,
+                        /*expiry_grace=*/2 * kSecond);
+  TableTransaction txn;
+  txn.install_function(FunctionDirection::kOutDst, AnyPrefix(pfx("10.0.0.0/8")),
+                       DefenseFunction::kDp, kMinute);
+  channel.submit(std::move(txn));
+  loop_.run_until(kSecond);
+  EXPECT_EQ(tables_.out_dst.window_count(), 1u);
+  EXPECT_EQ(channel.pending(), 1u);  // the scheduled sweep
+
+  // Window ends at delivery + 1 min; the sweep fires one grace later and
+  // physically removes it.
+  loop_.run_until(kMinute + 3 * kSecond);
+  EXPECT_EQ(tables_.out_dst.window_count(), 0u);
+  EXPECT_EQ(channel.stats().expiry_sweeps, 1u);
+  EXPECT_EQ(channel.pending(), 0u);
+}
+
+TEST_F(ConRouChannelTest, CancelAllClearsTransactionsAndSweeps) {
+  ConRouChannel channel(loop_, engine_, 10 * kMillisecond);
+  TableTransaction txn;
+  txn.install_function(FunctionDirection::kOutDst, AnyPrefix(pfx("10.0.0.0/8")),
+                       DefenseFunction::kDp, kMinute);
+  channel.submit(std::move(txn));
+  loop_.run_until(kSecond);         // delivered; sweep now pending
+  channel.submit(key_txn(5, 1));    // second txn still in flight
+  EXPECT_EQ(channel.pending(), 2u);
+  channel.cancel_all();
+  EXPECT_EQ(channel.pending(), 0u);
+  loop_.run_until(kHour);
+  EXPECT_FALSE(tables_.key_v.has_key(5));
+  EXPECT_EQ(tables_.out_dst.window_count(), 1u);  // sweep withdrawn
+}
+
+// ---- controller-level teardown/undeploy races (ISSUE satellite) ----
+
+class TeardownRaceTest : public ::testing::Test {
+ protected:
+  TeardownRaceTest()
+      : rpki_({{pfx("10.0.0.0/8"), {1}},
+               {pfx("20.0.0.0/8"), {2}}}),
+        net_(loop_, 10 * kMillisecond) {}
+
+  std::unique_ptr<Controller> make_controller(AsNumber as,
+                                              ControllerConfig extra = {}) {
+    ControllerConfig cfg = extra;
+    cfg.as = as;
+    cfg.seed = as * 1000 + 7;
+    return std::make_unique<Controller>(cfg, loop_, net_, rpki_);
+  }
+
+  void flood_ads(std::vector<Controller*> controllers) {
+    for (Controller* a : controllers) {
+      for (Controller* b : controllers) {
+        if (a != b) b->discover(a->advertisement());
+      }
+    }
+    loop_.run_until(loop_.now() + 30 * kSecond);
+  }
+
+  /// The orphan-freedom invariant: after the loop drains, the channel is
+  /// empty and the tables' epoch is exactly the last transaction the channel
+  /// applied — nothing mutated them behind the pipeline's back.
+  static void expect_settled(Controller& c) {
+    EXPECT_EQ(c.con_rou().pending(), 0u);
+    EXPECT_EQ(c.tables().applied_epoch(), c.con_rou().stats().last_epoch);
+  }
+
+  InternetDataset rpki_;
+  EventLoop loop_;
+  ConConNetwork net_;
+};
+
+TEST_F(TeardownRaceTest, TeardownWithdrawsInFlightInvocation) {
+  ControllerConfig slow;
+  slow.con_rou_latency = 100 * kMillisecond;
+  auto c1 = make_controller(1);        // victim
+  auto c2 = make_controller(2, slow);  // peer with a slow con-rou path
+  flood_ads({c1.get(), c2.get()});
+
+  ASSERT_EQ(c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false), 1u);
+  // Let the invocation message reach AS 2 (10 ms) but tear the peering down
+  // before its table transaction survives the 100 ms con-rou latency.
+  loop_.run_until(loop_.now() + 50 * kMillisecond);
+  ASSERT_GE(c2->con_rou().pending(), 1u);
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+
+  c2->tear_down_peering(1, "conflict of interest");
+  loop_.run_until(loop_.now() + 5 * kSecond);
+
+  // The in-flight install was withdrawn: no orphaned windows, no keys, and
+  // the epoch accounts for every applied transaction.
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+  EXPECT_EQ(c2->tables().out_src.window_count(), 0u);
+  EXPECT_FALSE(c2->tables().key_s.has_key(1));
+  EXPECT_FALSE(c2->tables().key_v.has_key(1));
+  EXPECT_GE(c2->con_rou().stats().canceled, 1u);
+  expect_settled(*c2);
+  // The other side processed the teardown message symmetrically.
+  EXPECT_FALSE(c1->tables().key_s.has_key(2));
+  EXPECT_FALSE(c1->tables().key_v.has_key(2));
+  EXPECT_FALSE(c1->is_peer(2));
+}
+
+TEST_F(TeardownRaceTest, TeardownMidRekeyLeavesNoOrphanedKeys) {
+  ControllerConfig slow;
+  slow.con_rou_latency = 100 * kMillisecond;
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2, slow);
+  flood_ads({c1.get(), c2.get()});
+  ASSERT_TRUE(c2->tables().key_v.has_key(1));
+
+  // Start a re-key toward AS 2; its new-verify-key transaction and the
+  // +2 s finish_rekey are now queued behind AS 2's con-rou latency.
+  c1->rekey_all_peers();
+  loop_.run_until(loop_.now() + 50 * kMillisecond);
+  ASSERT_GE(c2->con_rou().pending(), 1u);
+
+  c1->tear_down_peering(2, "policy");
+  loop_.run_until(loop_.now() + 10 * kSecond);
+
+  EXPECT_FALSE(c1->tables().key_s.has_key(2));
+  EXPECT_FALSE(c1->tables().key_v.has_key(2));
+  EXPECT_FALSE(c2->tables().key_s.has_key(1));
+  EXPECT_FALSE(c2->tables().key_v.has_key(1));
+  expect_settled(*c1);
+  expect_settled(*c2);
+}
+
+TEST_F(TeardownRaceTest, ShutdownCancelsEverythingInFlight) {
+  ControllerConfig slow;
+  slow.con_rou_latency = 100 * kMillisecond;
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2, slow);
+  flood_ads({c1.get(), c2.get()});
+
+  // An invocation is mid-flight toward AS 2's routers when AS 2 leaves the
+  // collaboration entirely.
+  c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false);
+  loop_.run_until(loop_.now() + 50 * kMillisecond);
+  c2->shutdown();
+
+  EXPECT_EQ(c2->con_rou().pending(), 0u);
+  EXPECT_EQ(c2->tables().key_s.size(), 0u);
+  EXPECT_EQ(c2->tables().key_v.size(), 0u);
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+  loop_.run_until(loop_.now() + 5 * kSecond);
+  // Nothing resurrects state after shutdown.
+  EXPECT_EQ(c2->tables().key_v.size(), 0u);
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+  expect_settled(*c2);
+}
+
+TEST_F(TeardownRaceTest, EpochTracksChannelOnTheHappyPath) {
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2);
+  flood_ads({c1.get(), c2.get()});
+  c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false);
+  // Drain past the default 24 h invocation plus the expiry grace so both
+  // channels have fired their sweeps and hold nothing in flight.
+  loop_.run_until(loop_.now() + 25 * kHour);
+  expect_settled(*c1);
+  expect_settled(*c2);
+  EXPECT_GT(c1->tables().applied_epoch(), 0u);
+  // The sweeps physically removed the lapsed windows on both sides.
+  EXPECT_EQ(c1->tables().in_dst.window_count(), 0u);
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+}
+
+}  // namespace
+}  // namespace discs

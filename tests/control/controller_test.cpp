@@ -90,7 +90,9 @@ TEST_F(ControlPlaneTest, InvocationInstallsBothSides) {
 
   EXPECT_EQ(c1->invoke_ddos_defense(pfx("10.1.0.0/16"), /*spoofed_source=*/false),
             1u);
-  loop_.run();
+  // Bounded drain: the con-rou channel schedules the invocation's expiry
+  // sweep at window end, so run() would fast-forward past the window.
+  loop_.run_until(loop_.now() + kSecond);
 
   const SimTime now = loop_.now() + kMinute;
   // Peer side: DP + CDP-stamp on Out-Dst.
@@ -107,7 +109,7 @@ TEST_F(ControlPlaneTest, EndToEndPacketFiltering) {
   auto c2 = make_controller(2);  // collaborating peer
   flood_ads({c1.get(), c2.get()});
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);  // bounded: expiry sweep is queued
   const SimTime now = loop_.now() + kMinute;
 
   // Genuine packet from AS 2 to the victim: stamped at 2, verified at 1.
@@ -132,7 +134,7 @@ TEST_F(ControlPlaneTest, SpoofedSourceDefenseUsesSpCsp) {
   auto c2 = make_controller(2);  // peer (potential reflector host)
   flood_ads({c1.get(), c2.get()});
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), /*spoofed_source=*/true);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);  // bounded: expiry sweep is queued
   const SimTime now = loop_.now() + kMinute;
 
   // Victim stamps its genuine outbound toward the peer (CSP-stamp).
@@ -175,12 +177,19 @@ TEST_F(ControlPlaneTest, InvocationExpiresAfterDuration) {
   auto c2 = make_controller(2);
   flood_ads({c1.get(), c2.get()});
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false, kHour);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);  // bounded: expiry sweep is queued
 
   const SimTime active = loop_.now() + kMinute;
   const SimTime expired = loop_.now() + 2 * kHour;
   EXPECT_NE(c2->tables().out_dst.lookup(ip("10.1.0.1"), active).functions, 0);
   EXPECT_EQ(c2->tables().out_dst.lookup(ip("10.1.0.1"), expired).functions, 0);
+
+  // Expiry is physical, not just a lazy time check: the channel scheduled a
+  // remove-transaction at window end + grace, so draining the loop leaves
+  // zero windows installed on either side.
+  loop_.run();
+  EXPECT_EQ(c2->tables().out_dst.window_count(), 0u);
+  EXPECT_EQ(c1->tables().in_dst.window_count(), 0u);
 }
 
 TEST_F(ControlPlaneTest, ReinvocationExtendsDuration) {
@@ -188,12 +197,18 @@ TEST_F(ControlPlaneTest, ReinvocationExtendsDuration) {
   auto c2 = make_controller(2);
   flood_ads({c1.get(), c2.get()});
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false, kHour);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);
   // Attack persists: re-invoke with a longer duration (§IV-E1).
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false, 3 * kHour);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);
   const SimTime later = loop_.now() + 2 * kHour;
   EXPECT_NE(c2->tables().out_dst.lookup(ip("10.1.0.1"), later).functions, 0);
+
+  // The first invocation's sweep fires around hour 1, mid-way through the
+  // extended window — it must be a no-op (the merged window's end moved).
+  loop_.run_until(loop_.now() + kHour + kMinute);
+  EXPECT_NE(
+      c2->tables().out_dst.lookup(ip("10.1.0.1"), loop_.now()).functions, 0);
 }
 
 TEST_F(ControlPlaneTest, RekeyKeepsTrafficFlowing) {
@@ -201,7 +216,7 @@ TEST_F(ControlPlaneTest, RekeyKeepsTrafficFlowing) {
   auto c2 = make_controller(2);
   flood_ads({c1.get(), c2.get()});
   c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);  // bounded: expiry sweep is queued
   const SimTime t1 = loop_.now() + kMinute;
 
   // Packet stamped under the original key...
@@ -222,7 +237,7 @@ TEST_F(ControlPlaneTest, RekeyKeepsTrafficFlowing) {
   EXPECT_GE(c1->router().stats().in_verified, 1u);
 
   // Once the grace window closes the old key is purged from the table.
-  loop_.run();
+  loop_.run_until(loop_.now() + 5 * kSecond);
   EXPECT_FALSE(c1->tables().key_v.find(2)->previous.has_value());
 
   // New packets use the new key and verify too.
@@ -259,7 +274,7 @@ TEST_F(ControlPlaneTest, AlarmModeDetectorTriggersDropMode) {
                    invoke_mask(InvokableFunction::kCdp),
                kHour}},
              /*alarm_mode=*/true);
-  loop_.run();
+  loop_.run_until(loop_.now() + kSecond);  // bounded: expiry sweep is queued
   EXPECT_TRUE(c1->router().alarm_mode());
 
   // A stream of forged packets (claiming peer AS 2) hits the victim, well

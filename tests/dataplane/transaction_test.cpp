@@ -1,0 +1,204 @@
+// TableTransaction semantics: batched atomic application, epoch stamping,
+// duration-relative windows, and the sealed-tables writer discipline.
+#include "dataplane/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/cmac.hpp"
+#include "dataplane/engine.hpp"
+
+namespace discs {
+namespace {
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+Ipv4Address ip(const char* t) { return *Ipv4Address::parse(t); }
+
+TEST(TableTransactionTest, AppliesAllOpsAtomicallyAndBumpsEpochOnce) {
+  RouterTables tables;
+  EXPECT_EQ(tables.applied_epoch(), 0u);
+
+  TableTransaction txn;
+  txn.map_prefix(pfx("10.0.0.0/8"), 100)
+      .set_stamp_key(200, derive_key128(1))
+      .set_verify_key(200, derive_key128(2))
+      .install_function(FunctionDirection::kOutDst, AnyPrefix(pfx("10.1.0.0/16")),
+                        DefenseFunction::kDp, kHour);
+  EXPECT_EQ(txn.size(), 4u);
+  EXPECT_FALSE(txn.empty());
+
+  const TableEpoch epoch = txn.apply(tables, 5 * kSecond);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(tables.applied_epoch(), 1u);
+
+  EXPECT_EQ(tables.pfx2as.lookup(ip("10.9.9.9")), 100u);
+  EXPECT_TRUE(tables.key_s.has_key(200));
+  EXPECT_TRUE(tables.key_v.has_key(200));
+  // Duration-relative window resolves against apply-time `now`.
+  EXPECT_NE(tables.out_dst.lookup(ip("10.1.0.1"), 5 * kSecond + kMinute).functions,
+            0);
+  EXPECT_EQ(tables.out_dst.lookup(ip("10.1.0.1"), 5 * kSecond + 2 * kHour).functions,
+            0);
+}
+
+TEST(TableTransactionTest, EpochIsMonotonicAcrossTransactions) {
+  RouterTables tables;
+  for (TableEpoch expected = 1; expected <= 5; ++expected) {
+    TableTransaction txn;
+    txn.set_stamp_key(expected, derive_key128(expected));
+    EXPECT_EQ(txn.apply(tables, 0), expected);
+  }
+  EXPECT_EQ(tables.applied_epoch(), 5u);
+  // Even an empty transaction is an observable table generation.
+  EXPECT_EQ(TableTransaction{}.apply(tables, 0), 6u);
+}
+
+TEST(TableTransactionTest, RekeyOpsKeepAndDropGraceKey) {
+  RouterTables tables;
+  const Key128 old_key = derive_key128(7);
+  const Key128 new_key = derive_key128(8);
+
+  TableTransaction install;
+  install.set_verify_key(300, old_key);
+  install.apply(tables, 0);
+
+  TableTransaction rekey;
+  rekey.set_verify_key(300, new_key, /*retain_previous=*/true);
+  rekey.apply(tables, kSecond);
+  ASSERT_NE(tables.key_v.find(300), nullptr);
+  EXPECT_EQ(tables.key_v.find(300)->active, new_key);
+  ASSERT_TRUE(tables.key_v.find(300)->previous.has_value());
+  EXPECT_EQ(*tables.key_v.find(300)->previous, old_key);
+
+  TableTransaction finish;
+  finish.finish_rekey(300);
+  finish.apply(tables, 3 * kSecond);
+  EXPECT_FALSE(tables.key_v.find(300)->previous.has_value());
+}
+
+TEST(TableTransactionTest, ErasePeerAndClearKeysHitBothTables) {
+  RouterTables tables;
+  TableTransaction setup;
+  setup.set_stamp_key(1, derive_key128(1))
+      .set_verify_key(1, derive_key128(2))
+      .set_stamp_key(2, derive_key128(3))
+      .set_verify_key(2, derive_key128(4));
+  setup.apply(tables, 0);
+
+  TableTransaction erase;
+  erase.erase_peer(1);
+  erase.apply(tables, 0);
+  EXPECT_FALSE(tables.key_s.has_key(1));
+  EXPECT_FALSE(tables.key_v.has_key(1));
+  EXPECT_TRUE(tables.key_s.has_key(2));
+
+  TableTransaction wipe;
+  wipe.clear_keys();
+  wipe.apply(tables, 0);
+  EXPECT_EQ(tables.key_s.size(), 0u);
+  EXPECT_EQ(tables.key_v.size(), 0u);
+}
+
+TEST(TableTransactionTest, ExpireFunctionsRemovesLapsedWindows) {
+  RouterTables tables;
+  TableTransaction install;
+  install
+      .install_function_window(FunctionDirection::kInDst,
+                               AnyPrefix(pfx("10.0.0.0/8")),
+                               DefenseFunction::kCdpVerify, 0, kMinute)
+      .install_function_window(FunctionDirection::kInDst,
+                               AnyPrefix(pfx("20.0.0.0/8")),
+                               DefenseFunction::kCdpVerify, 0, kHour);
+  install.apply(tables, 0);
+  EXPECT_EQ(tables.in_dst.window_count(), 2u);
+
+  TableTransaction sweep;
+  sweep.expire_functions();
+  sweep.apply(tables, 2 * kMinute);
+  EXPECT_EQ(tables.in_dst.window_count(), 1u);  // only the kHour window left
+}
+
+TEST(TableTransactionTest, MaxRelativeEndAndInstallIntrospection) {
+  TableTransaction txn;
+  EXPECT_EQ(txn.max_relative_end(), 0u);
+  EXPECT_FALSE(txn.installs_functions());
+
+  txn.install_function(FunctionDirection::kInSrc, AnyPrefix(pfx("10.0.0.0/8")),
+                       DefenseFunction::kCspVerify, kMinute);
+  txn.install_function(FunctionDirection::kOutSrc, AnyPrefix(pfx("10.0.0.0/8")),
+                       DefenseFunction::kCspStamp, kHour);
+  // Absolute windows don't contribute: their expiry is the caller's problem.
+  txn.install_function_window(FunctionDirection::kOutDst,
+                              AnyPrefix(pfx("10.0.0.0/8")), DefenseFunction::kDp,
+                              0, 10 * kHour);
+  EXPECT_EQ(txn.max_relative_end(), kHour);
+  EXPECT_TRUE(txn.installs_functions());
+}
+
+TEST(TableTransactionTest, Ipv6PrefixesRouteToTheRightTables) {
+  RouterTables tables;
+  const Prefix6 p6 = *Prefix6::parse("2001:db8::/32");
+  TableTransaction txn;
+  txn.map_prefix(p6, 900).install_function(
+      FunctionDirection::kInDst, AnyPrefix(p6), DefenseFunction::kCdpVerify,
+      kHour);
+  txn.apply(tables, 0);
+  const Ipv6Address addr = *Ipv6Address::parse("2001:db8::1");
+  EXPECT_EQ(tables.pfx2as.lookup(addr), 900u);
+  EXPECT_NE(tables.in_dst.lookup(addr, kMinute).functions, 0);
+}
+
+TEST(TableTransactionTest, SealedTablesStillAcceptTransactions) {
+  RouterTables tables;
+  tables.seal();
+  ASSERT_TRUE(tables.sealed());
+  TableTransaction txn;
+  txn.set_stamp_key(7, derive_key128(7));
+  EXPECT_EQ(txn.apply(tables, 0), 1u);
+  EXPECT_TRUE(tables.key_s.has_key(7));
+}
+
+using TableWriteGuardDeathTest = ::testing::Test;
+
+TEST(TableWriteGuardDeathTest, DirectWriteToSealedTablesAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RouterTables tables;
+  tables.seal();
+  EXPECT_DEATH(tables.key_s.set_key(1, derive_key128(1)), "sealed");
+  EXPECT_DEATH(tables.pfx2as.add(pfx("10.0.0.0/8"), 1), "sealed");
+  EXPECT_DEATH(
+      tables.in_dst.install(pfx("10.0.0.0/8"), DefenseFunction::kCdpVerify, 0,
+                            kHour),
+      "sealed");
+  EXPECT_DEATH(tables.in_dst.expire(0), "sealed");
+}
+
+TEST(TableWriteGuardDeathTest, UnsealedTablesMutateFreely) {
+  RouterTables tables;  // test fixtures and benches rely on this
+  tables.key_s.set_key(1, derive_key128(1));
+  tables.pfx2as.add(pfx("10.0.0.0/8"), 1);
+  tables.in_dst.install(pfx("10.0.0.0/8"), DefenseFunction::kCdpVerify, 0, kHour);
+  EXPECT_TRUE(tables.key_s.has_key(1));
+}
+
+TEST(TableTransactionTest, EngineAppliesTransactionUnderWriterLock) {
+  RouterTables tables;
+  tables.pfx2as.add(pfx("10.0.0.0/8"), 100);
+  tables.seal();
+  DataPlaneEngine engine(tables, 100);
+
+  TableTransaction txn;
+  txn.install_function(FunctionDirection::kOutDst, AnyPrefix(pfx("10.0.0.0/8")),
+                       DefenseFunction::kDp, kHour);
+  const TableEpoch epoch = engine.apply(txn, kSecond);
+  EXPECT_EQ(epoch, tables.applied_epoch());
+
+  // The installed function is live for batches immediately after apply.
+  PacketBatch batch;
+  batch.add(Ipv4Packet::make(ip("20.0.0.1"), ip("10.0.0.5"), IpProto::kUdp, {}));
+  const auto verdicts = engine.process_outbound(batch, kSecond + kMinute);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0], Verdict::kDropFiltered);  // src not local under kDp
+}
+
+}  // namespace
+}  // namespace discs
