@@ -1,0 +1,183 @@
+// Microbench for the pluggable AES-128/CMAC backend layer: single-block
+// encryption, the mac21/mac40 single-shot fast paths, and the pipelined
+// mac_truncated_batch() entry point, measured per available backend
+// (reference / ttable / aesni). Prints ops/sec plus the speedup of each
+// backend over the byte-wise reference — the §VI-C.2 per-packet mark cost
+// is one mac21 (IPv4) or mac40 (IPv6) call.
+//
+// Usage: bench_crypto [--smoke] [output.json]
+//   --smoke: 1 repetition and small iteration counts (CI sanity leg).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "crypto/aes_backend.hpp"
+#include "crypto/cmac.hpp"
+
+namespace discs {
+namespace {
+
+int g_reps = 3;
+std::size_t g_iters = 1 << 19;  // single-shot ops per timed pass
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-reps ops/sec for one pass function.
+template <typename Pass>
+double best_rate(std::size_t ops_per_pass, Pass&& pass) {
+  double best = 0;
+  for (int rep = 0; rep < g_reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    best = std::max(best,
+                    static_cast<double>(ops_per_pass) / seconds_since(t0));
+  }
+  return best;
+}
+
+/// Single-block encryption, chained (output feeds the next input) so the
+/// timed loop cannot be hoisted or overlapped: this is the latency-bound
+/// serial rate a per-packet code path sees.
+double bench_block(const Aes128& cipher) {
+  Block128 block{};
+  double rate = best_rate(g_iters, [&] {
+    for (std::size_t i = 0; i < g_iters; ++i) block = cipher.encrypt(block);
+  });
+  if (block[0] == 0xff) std::printf(" ");  // defeat dead-code elimination
+  return rate;
+}
+
+/// encrypt_batch over 8 independent chained lanes: the throughput-bound
+/// rate the batch pipeline sees.
+double bench_block_batch(const Aes128& cipher) {
+  constexpr std::size_t kLanes = 8;
+  std::vector<Block128> blocks(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) blocks[l][0] = std::uint8_t(l);
+  const Aes128* ciphers[kLanes];
+  Block128* ptrs[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    ciphers[l] = &cipher;
+    ptrs[l] = &blocks[l];
+  }
+  const std::size_t passes = g_iters / kLanes;
+  double rate = best_rate(passes * kLanes, [&] {
+    for (std::size_t i = 0; i < passes; ++i) {
+      Aes128::encrypt_batch(ciphers, ptrs, kLanes);
+    }
+  });
+  if (blocks[0][0] == 0xff) std::printf(" ");
+  return rate;
+}
+
+/// Serial truncated MACs over `len`-byte messages (the per-packet path).
+double bench_mac(const AesCmac& cmac, std::size_t len, unsigned bits) {
+  std::vector<std::uint8_t> msg(len, 0x5a);
+  std::uint64_t sink = 0;
+  double rate = best_rate(g_iters, [&] {
+    for (std::size_t i = 0; i < g_iters; ++i) {
+      msg[0] = static_cast<std::uint8_t>(i);
+      sink ^= cmac.mac_truncated(msg, bits);
+    }
+  });
+  if (sink == 0x12345678u) std::printf(" ");
+  return rate;
+}
+
+/// mac_truncated_batch over a full scratch vector per pass (the data-plane
+/// batch path).
+double bench_mac_batch(const AesCmac& cmac, std::size_t len, unsigned bits) {
+  constexpr std::size_t kBatch = 4096;
+  std::vector<CmacWork> work(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    work[i].cmac = &cmac;
+    work[i].len = static_cast<std::uint8_t>(len);
+    work[i].bits = static_cast<std::uint8_t>(bits);
+    for (std::size_t j = 0; j < len; ++j) {
+      work[i].msg[j] = static_cast<std::uint8_t>(i + j);
+    }
+  }
+  const std::size_t passes = std::max<std::size_t>(1, g_iters / kBatch);
+  std::uint64_t sink = 0;
+  double rate = best_rate(passes * kBatch, [&] {
+    for (std::size_t p = 0; p < passes; ++p) {
+      mac_truncated_batch(work);
+      sink ^= work[0].result;
+    }
+  });
+  if (sink == 0x12345678u) std::printf(" ");
+  return rate;
+}
+
+}  // namespace
+}  // namespace discs
+
+int main(int argc, char** argv) {
+  using namespace discs;
+  const char* out = "results/bench_crypto.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_reps = 1;
+      g_iters = 1 << 13;
+    } else {
+      out = argv[i];
+    }
+  }
+
+  const Aes128 cipher(derive_key128(1));
+  const AesCmac cmac(derive_key128(2));
+
+  bench::header("AES-128 / AES-CMAC backend microbench");
+  bench::note("ops/sec, best of " + std::to_string(g_reps) + " reps of " +
+              std::to_string(g_iters) + " ops; mac21 = IPv4 mark msg, "
+              "mac40 = IPv6 mark msg");
+  bench::JsonWriter json("crypto");
+
+  std::map<std::string, std::map<std::string, double>> rates;
+  for (AesBackend backend :
+       {AesBackend::kReference, AesBackend::kTtable, AesBackend::kAesni}) {
+    if (!aes_backend_available(backend)) {
+      bench::note(std::string(to_string(backend)) +
+                  ": not available on this machine");
+      continue;
+    }
+    set_aes_backend(backend);
+    const std::string name = to_string(backend);
+    auto& r = rates[name];
+    r["aes_block"] = bench_block(cipher);
+    r["aes_block_batch8"] = bench_block_batch(cipher);
+    r["mac21"] = bench_mac(cmac, 21, kIpv4MarkBits);
+    r["mac40"] = bench_mac(cmac, 40, kIpv6MarkBits);
+    r["mac21_batch"] = bench_mac_batch(cmac, 21, kIpv4MarkBits);
+    r["mac40_batch"] = bench_mac_batch(cmac, 40, kIpv6MarkBits);
+
+    std::printf("\n  [%s]\n", name.c_str());
+    for (const auto& [key, rate] : r) {
+      std::printf("    %-18s %14.0f ops/s\n", key.c_str(), rate);
+      json.metric(name, key + "_ops_per_sec", rate);
+    }
+  }
+
+  if (rates.count("reference") != 0) {
+    bench::header("speedup over reference backend (21-byte msg = IPv4 mark)");
+    const double ref = rates["reference"]["mac21"];
+    for (const auto& [name, r] : rates) {
+      if (name == "reference") continue;
+      const double serial = r.at("mac21") / ref;
+      const double batched = r.at("mac21_batch") / ref;
+      std::printf("  %-10s serial %6.1fx   batched %6.1fx\n", name.c_str(),
+                  serial, batched);
+      json.metric("speedup", name + "_mac21_vs_reference", serial);
+      json.metric("speedup", name + "_mac21_batch_vs_reference", batched);
+    }
+  }
+
+  json.write(out);
+  return 0;
+}

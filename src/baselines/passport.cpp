@@ -1,5 +1,8 @@
 #include "baselines/passport.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace discs {
 
 void PassportEndpoint::set_key(AsNumber peer, const Key128& key) {
@@ -16,15 +19,29 @@ std::uint64_t PassportEndpoint::compute_mac(const Ipv4Packet& packet,
 
 std::size_t PassportEndpoint::stamp(
     PassportPacket& pp, const std::vector<AsNumber>& path_ases) const {
-  std::size_t computed = 0;
+  // One MAC per on-path peer over the same msg, each under a different key:
+  // independent CBC chains, so one batch flush pipelines them all.
+  const auto msg = discs_msg(pp.packet);
+  std::vector<CmacWork> work;
+  std::vector<AsNumber> slots;
+  work.reserve(path_ases.size());
+  slots.reserve(path_ases.size());
   for (AsNumber as : path_ases) {
     if (as == local_as_) continue;
     const auto it = keys_.find(as);
     if (it == keys_.end()) continue;  // legacy hop: no slot
-    pp.shim.push_back({as, compute_mac(pp.packet, it->second)});
-    ++computed;
+    CmacWork& w = work.emplace_back();
+    w.cmac = &it->second;
+    w.len = static_cast<std::uint8_t>(msg.size());
+    w.bits = 64;
+    std::copy(msg.begin(), msg.end(), w.msg.begin());
+    slots.push_back(as);
   }
-  return computed;
+  mac_truncated_batch(work);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    pp.shim.push_back({slots[i], work[i].result});
+  }
+  return work.size();
 }
 
 PassportVerdict PassportEndpoint::verify(PassportPacket& pp,

@@ -1,5 +1,9 @@
 #include "crypto/aes128.hpp"
 
+#include <algorithm>
+
+#include "crypto/aes_backend.hpp"
+
 namespace discs {
 namespace {
 
@@ -36,10 +40,165 @@ constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
+// ---- reference backend: byte-wise S-box + explicit MixColumns ----
+
+void reference_encrypt1(const std::uint8_t* rk, std::uint8_t* s) {
+  // State is column-major in FIPS-197, but since we store it as the flat
+  // 16-byte block (s[row + 4*col] == byte[4*col + row]) we can operate on
+  // byte indices directly: byte i sits at (row = i % 4, col = i / 4).
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
+  };
+  auto sub_bytes = [&] {
+    for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+  };
+  auto shift_rows = [&] {
+    // Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+    std::uint8_t t = s[1];
+    s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+    std::swap(s[2], s[10]);
+    std::swap(s[6], s[14]);
+    t = s[15];
+    s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      const int o = 4 * c;
+      const std::uint8_t a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
+      const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+      s[o] ^= all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1));
+      s[o + 1] ^= all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2));
+      s[o + 2] ^= all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3));
+      s[o + 3] ^= all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+// ---- T-table backend: SubBytes+ShiftRows+MixColumns fused into four
+// 256-entry 32-bit tables (generated from the S-box at compile time) ----
+
+constexpr std::array<std::uint32_t, 256> make_te(int rot) {
+  std::array<std::uint32_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[static_cast<std::size_t>(i)];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    // Te0[x] packs the MixColumns contribution of column byte 0:
+    // (2S, S, S, 3S) MSB-first; Te1..Te3 are byte rotations of it.
+    const std::uint32_t base = (std::uint32_t{s2} << 24) |
+                               (std::uint32_t{s} << 16) |
+                               (std::uint32_t{s} << 8) | s3;
+    const unsigned r = static_cast<unsigned>(8 * rot);
+    t[static_cast<std::size_t>(i)] =
+        rot == 0 ? base : ((base >> r) | (base << (32 - r)));
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTe0 = make_te(0);
+constexpr std::array<std::uint32_t, 256> kTe1 = make_te(1);
+constexpr std::array<std::uint32_t, 256> kTe2 = make_te(2);
+constexpr std::array<std::uint32_t, 256> kTe3 = make_te(3);
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | p[3];
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void ttable_encrypt1(const std::uint8_t* rk, std::uint8_t* block) {
+  std::uint32_t s0 = load_be32(block) ^ load_be32(rk);
+  std::uint32_t s1 = load_be32(block + 4) ^ load_be32(rk + 4);
+  std::uint32_t s2 = load_be32(block + 8) ^ load_be32(rk + 8);
+  std::uint32_t s3 = load_be32(block + 12) ^ load_be32(rk + 12);
+  for (int round = 1; round <= 9; ++round) {
+    const std::uint8_t* k = rk + 16 * round;
+    const std::uint32_t t0 = kTe0[s0 >> 24] ^ kTe1[(s1 >> 16) & 0xff] ^
+                             kTe2[(s2 >> 8) & 0xff] ^ kTe3[s3 & 0xff] ^
+                             load_be32(k);
+    const std::uint32_t t1 = kTe0[s1 >> 24] ^ kTe1[(s2 >> 16) & 0xff] ^
+                             kTe2[(s3 >> 8) & 0xff] ^ kTe3[s0 & 0xff] ^
+                             load_be32(k + 4);
+    const std::uint32_t t2 = kTe0[s2 >> 24] ^ kTe1[(s3 >> 16) & 0xff] ^
+                             kTe2[(s0 >> 8) & 0xff] ^ kTe3[s1 & 0xff] ^
+                             load_be32(k + 8);
+    const std::uint32_t t3 = kTe0[s3 >> 24] ^ kTe1[(s0 >> 16) & 0xff] ^
+                             kTe2[(s1 >> 8) & 0xff] ^ kTe3[s2 & 0xff] ^
+                             load_be32(k + 12);
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+  const std::uint8_t* k = rk + 160;
+  store_be32(block, ((std::uint32_t{kSbox[s0 >> 24]} << 24) |
+                     (std::uint32_t{kSbox[(s1 >> 16) & 0xff]} << 16) |
+                     (std::uint32_t{kSbox[(s2 >> 8) & 0xff]} << 8) |
+                     kSbox[s3 & 0xff]) ^
+                        load_be32(k));
+  store_be32(block + 4, ((std::uint32_t{kSbox[s1 >> 24]} << 24) |
+                         (std::uint32_t{kSbox[(s2 >> 16) & 0xff]} << 16) |
+                         (std::uint32_t{kSbox[(s3 >> 8) & 0xff]} << 8) |
+                         kSbox[s0 & 0xff]) ^
+                            load_be32(k + 4));
+  store_be32(block + 8, ((std::uint32_t{kSbox[s2 >> 24]} << 24) |
+                         (std::uint32_t{kSbox[(s3 >> 16) & 0xff]} << 16) |
+                         (std::uint32_t{kSbox[(s0 >> 8) & 0xff]} << 8) |
+                         kSbox[s1 & 0xff]) ^
+                            load_be32(k + 8));
+  store_be32(block + 12, ((std::uint32_t{kSbox[s3 >> 24]} << 24) |
+                          (std::uint32_t{kSbox[(s0 >> 16) & 0xff]} << 16) |
+                          (std::uint32_t{kSbox[(s1 >> 8) & 0xff]} << 8) |
+                          kSbox[s2 & 0xff]) ^
+                             load_be32(k + 12));
+}
+
+// Portable backends have no cross-block pipelining to exploit; the batch
+// entry point is a plain loop.
+template <void (*Encrypt1)(const std::uint8_t*, std::uint8_t*)>
+void serial_encrypt_batch(const std::uint8_t* const* rks,
+                          std::uint8_t* const* blocks, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Encrypt1(rks[i], blocks[i]);
+}
+
 }  // namespace
 
+namespace detail {
+
+const AesOps& reference_ops() {
+  static constexpr AesOps ops = {reference_encrypt1,
+                                 serial_encrypt_batch<reference_encrypt1>};
+  return ops;
+}
+
+const AesOps& ttable_ops() {
+  static constexpr AesOps ops = {ttable_encrypt1,
+                                 serial_encrypt_batch<ttable_encrypt1>};
+  return ops;
+}
+
+}  // namespace detail
+
 Aes128::Aes128(const Key128& key) {
-  // Key expansion (FIPS-197 §5.2) specialized to Nk=4, Nr=10.
+  // Key expansion (FIPS-197 §5.2) specialized to Nk=4, Nr=10. All backends
+  // consume this same byte layout (AES-NI loads it as unaligned __m128i).
   for (int i = 0; i < 16; ++i) round_keys_[static_cast<std::size_t>(i)] = key[static_cast<std::size_t>(i)];
   for (int i = 4; i < 44; ++i) {
     std::uint8_t t0 = round_keys_[static_cast<std::size_t>(4 * (i - 1))];
@@ -66,51 +225,25 @@ Aes128::Aes128(const Key128& key) {
 }
 
 Block128 Aes128::encrypt(const Block128& plaintext) const {
-  // State is column-major in FIPS-197, but since we store it as the flat
-  // 16-byte block (s[row + 4*col] == byte[4*col + row]) we can operate on
-  // byte indices directly: byte i sits at (row = i % 4, col = i / 4).
-  Block128 s = plaintext;
+  Block128 out = plaintext;
+  detail::aes_ops().encrypt1(round_keys_.data(), out.data());
+  return out;
+}
 
-  auto add_round_key = [&](int round) {
-    for (int i = 0; i < 16; ++i) {
-      s[static_cast<std::size_t>(i)] ^= round_keys_[static_cast<std::size_t>(16 * round + i)];
+void Aes128::encrypt_batch(const Aes128* const* ciphers,
+                           Block128* const* blocks, std::size_t n) {
+  const detail::AesOps& ops = detail::aes_ops();
+  constexpr std::size_t kChunk = 16;
+  const std::uint8_t* rks[kChunk];
+  std::uint8_t* ptrs[kChunk];
+  for (std::size_t at = 0; at < n; at += kChunk) {
+    const std::size_t m = std::min(kChunk, n - at);
+    for (std::size_t i = 0; i < m; ++i) {
+      rks[i] = ciphers[at + i]->round_keys_.data();
+      ptrs[i] = blocks[at + i]->data();
     }
-  };
-  auto sub_bytes = [&] {
-    for (auto& b : s) b = kSbox[b];
-  };
-  auto shift_rows = [&] {
-    // Row r (bytes r, r+4, r+8, r+12) rotates left by r.
-    std::uint8_t t = s[1];
-    s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
-    std::swap(s[2], s[10]);
-    std::swap(s[6], s[14]);
-    t = s[15];
-    s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
-  };
-  auto mix_columns = [&] {
-    for (int c = 0; c < 4; ++c) {
-      const std::size_t o = static_cast<std::size_t>(4 * c);
-      const std::uint8_t a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
-      const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
-      s[o] ^= all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1));
-      s[o + 1] ^= all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2));
-      s[o + 2] ^= all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3));
-      s[o + 3] ^= all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0));
-    }
-  };
-
-  add_round_key(0);
-  for (int round = 1; round <= 9; ++round) {
-    sub_bytes();
-    shift_rows();
-    mix_columns();
-    add_round_key(round);
+    ops.encrypt_batch(rks, ptrs, m);
   }
-  sub_bytes();
-  shift_rows();
-  add_round_key(10);
-  return s;
 }
 
 }  // namespace discs

@@ -1,10 +1,12 @@
 // AES-128 block cipher (FIPS-197), encryption direction only — AES-CMAC
 // (the only consumer in DISCS) never needs the inverse cipher.
 //
-// This is a portable byte-oriented implementation: the S-box lookup plus an
-// explicit MixColumns using xtime(). It favours clarity and constant table
-// size over bit-sliced speed; the router cost bench (bench_cost_router)
-// reports its measured throughput next to the paper's hardware-core figures.
+// The round keys are expanded once, byte-wise, at construction; the actual
+// block encryption dispatches through the pluggable backend layer
+// (crypto/aes_backend.hpp): byte-wise reference, portable T-tables, or
+// AES-NI, selected at runtime. encrypt_batch() pipelines independent blocks
+// through the AES-NI unit — the hot entry point for the data plane's
+// batched stamp/verify passes.
 #pragma once
 
 #include <array>
@@ -26,6 +28,13 @@ class Aes128 {
 
   /// Encrypts one 16-byte block (ECB single block; modes are built on top).
   [[nodiscard]] Block128 encrypt(const Block128& plaintext) const;
+
+  /// Encrypts n independent blocks in place, block i under ciphers[i]. The
+  /// AES-NI backend keeps up to 8 blocks in flight; portable backends fall
+  /// back to a serial loop. Pointers may repeat (several blocks under one
+  /// cipher) but blocks must be distinct.
+  static void encrypt_batch(const Aes128* const* ciphers,
+                            Block128* const* blocks, std::size_t n);
 
  private:
   // 11 round keys of 16 bytes each (AES-128 = 10 rounds + initial).

@@ -1,0 +1,90 @@
+#include "crypto/aes_backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace discs {
+namespace {
+
+const detail::AesOps* ops_for(AesBackend backend) {
+  switch (backend) {
+    case AesBackend::kReference:
+      return &detail::reference_ops();
+    case AesBackend::kTtable:
+      return &detail::ttable_ops();
+    case AesBackend::kAesni:
+      return detail::aesni_ops();
+  }
+  return nullptr;
+}
+
+/// Best supported backend, honoring a DISCS_AES_BACKEND override. An
+/// unknown or unsupported override falls through to auto-detection.
+AesBackend detect() {
+  if (const char* forced = std::getenv("DISCS_AES_BACKEND")) {
+    if (std::strcmp(forced, "reference") == 0) return AesBackend::kReference;
+    if (std::strcmp(forced, "ttable") == 0) return AesBackend::kTtable;
+    if (std::strcmp(forced, "aesni") == 0 &&
+        detail::aesni_ops() != nullptr) {
+      return AesBackend::kAesni;
+    }
+  }
+  return detail::aesni_ops() != nullptr ? AesBackend::kAesni
+                                        : AesBackend::kTtable;
+}
+
+struct Selection {
+  std::atomic<const detail::AesOps*> ops;
+  std::atomic<AesBackend> backend;
+
+  Selection() {
+    const AesBackend chosen = detect();
+    backend.store(chosen, std::memory_order_relaxed);
+    ops.store(ops_for(chosen), std::memory_order_relaxed);
+  }
+};
+
+Selection& selection() {
+  static Selection s;
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(AesBackend backend) {
+  switch (backend) {
+    case AesBackend::kReference:
+      return "reference";
+    case AesBackend::kTtable:
+      return "ttable";
+    case AesBackend::kAesni:
+      return "aesni";
+  }
+  return "?";
+}
+
+bool aes_backend_available(AesBackend backend) {
+  return ops_for(backend) != nullptr;
+}
+
+AesBackend aes_backend() {
+  return selection().backend.load(std::memory_order_relaxed);
+}
+
+bool set_aes_backend(AesBackend backend) {
+  const detail::AesOps* ops = ops_for(backend);
+  if (ops == nullptr) return false;
+  selection().backend.store(backend, std::memory_order_relaxed);
+  selection().ops.store(ops, std::memory_order_relaxed);
+  return true;
+}
+
+namespace detail {
+
+const AesOps& aes_ops() {
+  return *selection().ops.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace discs

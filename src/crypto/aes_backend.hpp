@@ -1,0 +1,66 @@
+// The pluggable AES-128 backend layer. Three implementations of the block
+// encryption share the byte-wise FIPS-197 key schedule that Aes128 expands
+// at construction:
+//
+//   kReference  byte-wise S-box + xtime() MixColumns — the always-available
+//               reference implementation every other backend is tested
+//               against (crypto_test cross-backend suite).
+//   kTtable     portable 32-bit T-table lookups (4 tables x 1 KiB), ~4-8x
+//               the reference on any architecture.
+//   kAesni      AES-NI (__m128i) rounds behind a runtime CPUID check; the
+//               batch entry point keeps up to 8 independent blocks in
+//               flight to cover the aesenc latency.
+//
+// Selection happens once, at first use: the best supported backend wins
+// unless the DISCS_AES_BACKEND environment variable ("reference", "ttable",
+// "aesni") forces one. set_aes_backend() overrides programmatically (tests,
+// benches). Switching is safe at any time — all backends consume the same
+// expanded round keys — but it is a process-global knob, not a per-cipher
+// one, so don't flip it concurrently with an in-flight measurement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace discs {
+
+enum class AesBackend : std::uint8_t { kReference, kTtable, kAesni };
+
+/// Human-readable backend name ("reference", "ttable", "aesni").
+[[nodiscard]] const char* to_string(AesBackend backend);
+
+/// True when the backend can run on this machine (reference and T-table
+/// always can; AES-NI requires x86 with the AES extension).
+[[nodiscard]] bool aes_backend_available(AesBackend backend);
+
+/// The backend currently dispatched to by Aes128::encrypt / encrypt_batch.
+[[nodiscard]] AesBackend aes_backend();
+
+/// Forces a backend; returns false (and leaves the selection unchanged)
+/// when it is not available on this machine.
+bool set_aes_backend(AesBackend backend);
+
+namespace detail {
+
+/// One backend's entry points. `rk` is the 176-byte expanded key schedule;
+/// blocks are encrypted in place. encrypt_batch processes n independent
+/// (schedule, block) pairs — the AES-NI backend pipelines them.
+struct AesOps {
+  void (*encrypt1)(const std::uint8_t* rk, std::uint8_t* block);
+  void (*encrypt_batch)(const std::uint8_t* const* rks,
+                        std::uint8_t* const* blocks, std::size_t n);
+};
+
+/// The dispatch table of the currently selected backend.
+[[nodiscard]] const AesOps& aes_ops();
+
+/// Defined in aes128.cpp.
+[[nodiscard]] const AesOps& reference_ops();
+[[nodiscard]] const AesOps& ttable_ops();
+/// Defined in aes_ni.cpp; nullptr when the CPU (or the target architecture)
+/// lacks AES-NI.
+[[nodiscard]] const AesOps* aesni_ops();
+
+}  // namespace detail
+
+}  // namespace discs

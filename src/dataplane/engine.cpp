@@ -1,6 +1,7 @@
 #include "dataplane/engine.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/rng.hpp"
 #include "dataplane/transaction.hpp"
@@ -70,18 +71,15 @@ std::vector<Verdict> DataPlaneEngine::process(PacketBatch& batch, SimTime now) {
       shards_[flow_hash(batch[i]) % n]->indices.push_back(
           static_cast<std::uint32_t>(i));
     }
+    const std::span<BatchPacket> packets(batch.data(), batch.size());
     auto run_shard = [&](std::size_t s) {
       Shard& shard = *shards_[s];
-      for (const std::uint32_t idx : shard.indices) {
-        verdicts[idx] = std::visit(
-            [&](auto& packet) {
-              if constexpr (kOutbound) {
-                return shard.router.process_outbound(packet, now);
-              } else {
-                return shard.router.process_inbound(packet, now);
-              }
-            },
-            batch[idx]);
+      if constexpr (kOutbound) {
+        shard.router.process_outbound_batch(packets, shard.indices, verdicts,
+                                            now);
+      } else {
+        shard.router.process_inbound_batch(packets, shard.indices, verdicts,
+                                           now);
       }
     };
     if (n == 1) {

@@ -33,8 +33,8 @@ namespace discs {
 
 class TableTransaction;
 
-/// One packet of either family inside a batch.
-using BatchPacket = std::variant<Ipv4Packet, Ipv6Packet>;
+// BatchPacket (the variant unit of work) lives in dataplane/router.hpp next
+// to the batch entry points that consume it.
 
 /// A mixed IPv4/IPv6 batch. Index i of the verdict vector returned by the
 /// engine corresponds to packet i in insertion order.
@@ -55,6 +55,9 @@ class PacketBatch {
   [[nodiscard]] const BatchPacket& operator[](std::size_t i) const {
     return packets_[i];
   }
+
+  [[nodiscard]] BatchPacket* data() { return packets_.data(); }
+  [[nodiscard]] const BatchPacket* data() const { return packets_.data(); }
 
   [[nodiscard]] auto begin() { return packets_.begin(); }
   [[nodiscard]] auto end() { return packets_.end(); }

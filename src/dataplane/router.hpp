@@ -5,6 +5,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <variant>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "dataplane/stamp.hpp"
@@ -13,6 +16,9 @@
 #include "net/icmp.hpp"
 
 namespace discs {
+
+/// One packet of either family inside a batch (the engine's unit of work).
+using BatchPacket = std::variant<Ipv4Packet, Ipv6Packet>;
 
 /// What the router decided to do with a packet.
 enum class Verdict : std::uint8_t {
@@ -123,6 +129,20 @@ class BorderRouter {
   Verdict process_inbound(Ipv4Packet& packet, SimTime now);
   Verdict process_inbound(Ipv6Packet& packet, SimTime now);
 
+  /// Batched counterparts over `packets[indices...]`: phase A walks the
+  /// packets in `indices` order collecting deferred AES-CMAC work, one
+  /// mac_truncated_batch() flush pipelines every mark computation through
+  /// the crypto backend (AES-NI keeps up to 8 CBC chains in flight), phase
+  /// B applies verdicts and side effects in the same order. Verdicts,
+  /// stats, RNG consumption and sink emission order are identical to
+  /// calling the per-packet entry points in `indices` order.
+  void process_outbound_batch(std::span<BatchPacket> packets,
+                              std::span<const std::uint32_t> indices,
+                              std::span<Verdict> verdicts, SimTime now);
+  void process_inbound_batch(std::span<BatchPacket> packets,
+                             std::span<const std::uint32_t> indices,
+                             std::span<Verdict> verdicts, SimTime now);
+
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
   [[nodiscard]] AsNumber local_as() const { return tuples_.local_as(); }
 
@@ -133,6 +153,25 @@ class BorderRouter {
   /// Applies the verify/erase decision; returns the verdict contribution.
   Verdict apply_verify(Ipv4Packet& packet, const InTuple& tuple);
   Verdict apply_verify(Ipv6Packet& packet, const InTuple& tuple);
+
+  /// The §V-C spoof consequence shared by the serial and batch paths:
+  /// count, report, and decide pass (alarm mode) vs drop.
+  Verdict spoof_consequence(const AlarmSample& sample);
+
+  // Batch-pipeline scratch (one packet that still needs phase B, and its
+  // deferred MAC slot when one was queued). Kept as members so repeated
+  // batches reuse the allocations.
+  struct PendingOut {
+    std::uint32_t idx;
+    std::uint32_t work;
+    bool fragmented;  // IPv4 §V-E collateral accounting
+  };
+  struct PendingIn {
+    std::uint32_t idx;
+    std::int32_t work;  // -1: no MAC queued (erase-only/unverified/absent)
+    InTuple tuple;
+    bool mark_absent;  // IPv6 packet with no DISCS option
+  };
 
   void report_spoof(const AlarmSample& sample) {
     if (!alarm_sink_) return;
@@ -150,6 +189,9 @@ class BorderRouter {
   std::function<void(Ipv6Packet)> icmp6_sink_;
   std::function<void(Ipv4Address, SimTime)> traffic_observer_;
   RouterStats stats_;
+  std::vector<CmacWork> mac_work_;
+  std::vector<PendingOut> pending_out_;
+  std::vector<PendingIn> pending_in_;
 };
 
 }  // namespace discs

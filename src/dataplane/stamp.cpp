@@ -33,8 +33,21 @@ std::uint32_t ipv4_mark(const Ipv4Packet& packet, const AesCmac& mac) {
   return static_cast<std::uint32_t>(mac.mac_truncated(msg, kIpv4MarkBits));
 }
 
+void ipv4_mark_work(const Ipv4Packet& packet, const AesCmac& mac,
+                    CmacWork& work) {
+  const auto msg = discs_msg(packet);
+  work.cmac = &mac;
+  work.len = static_cast<std::uint8_t>(msg.size());
+  work.bits = kIpv4MarkBits;
+  std::copy(msg.begin(), msg.end(), work.msg.begin());
+}
+
 void ipv4_stamp(Ipv4Packet& packet, const AesCmac& mac) {
   ipv4_write_mark(packet, ipv4_mark(packet, mac));
+}
+
+void ipv4_stamp_precomputed(Ipv4Packet& packet, std::uint32_t mark) {
+  ipv4_write_mark(packet, mark);
 }
 
 std::uint32_t ipv4_read_mark(const Ipv4Packet& packet) {
@@ -49,8 +62,15 @@ void ipv4_erase(Ipv4Packet& packet, Xoshiro256& rng) {
 
 VerifyResult ipv4_verify(Ipv4Packet& packet, const AesCmac& mac,
                          const AesCmac* grace_mac, Xoshiro256& rng) {
+  return ipv4_verify_precomputed(packet, ipv4_mark(packet, mac), grace_mac,
+                                 rng);
+}
+
+VerifyResult ipv4_verify_precomputed(Ipv4Packet& packet, std::uint32_t expected,
+                                     const AesCmac* grace_mac,
+                                     Xoshiro256& rng) {
   const std::uint32_t carried = ipv4_read_mark(packet);
-  const bool ok = carried == ipv4_mark(packet, mac) ||
+  const bool ok = carried == expected ||
                   (grace_mac != nullptr && carried == ipv4_mark(packet, *grace_mac));
   if (!ok) return VerifyResult::kInvalid;
   ipv4_erase(packet, rng);
@@ -62,24 +82,48 @@ std::uint32_t ipv6_mark(const Ipv6Packet& packet, const AesCmac& mac) {
   return static_cast<std::uint32_t>(mac.mac_truncated(msg, kIpv6MarkBits));
 }
 
+void ipv6_mark_work(const Ipv6Packet& packet, const AesCmac& mac,
+                    CmacWork& work) {
+  const auto msg = discs_msg(packet);
+  work.cmac = &mac;
+  work.len = static_cast<std::uint8_t>(msg.size());
+  work.bits = kIpv6MarkBits;
+  std::copy(msg.begin(), msg.end(), work.msg.begin());
+}
+
+bool ipv6_stamp_would_exceed(const Ipv6Packet& packet, std::size_t mtu) {
+  // Size delta, computed arithmetically instead of stamping a deep copy:
+  // a fresh destination-options header costs one 8-byte unit; an existing
+  // one grows by 8 only when the 6-byte DISCS option overflows its
+  // trailing padding.
+  std::size_t delta = 8;
+  if (packet.dest_opts) {
+    std::size_t content = 2;  // NextHeader + HdrExtLen lead bytes
+    for (const auto& opt : packet.dest_opts->options) {
+      content += 2 + opt.data.size();
+    }
+    const auto round8 = [](std::size_t n) { return (n + 7) / 8 * 8; };
+    delta = round8(content + 6) - round8(content);
+  }
+  return packet.wire_size() + delta > mtu;
+}
+
 Ipv6StampOutcome ipv6_stamp(Ipv6Packet& packet, const AesCmac& mac,
                             std::size_t mtu) {
-  const std::uint32_t mark = ipv6_mark(packet, mac);
-  // Compute the grown size before mutating: +8 when a fresh destination
-  // options header is needed, +8 when the existing one has no room (a 6-byte
-  // option always forces a new 8-byte unit), judged via wire_size delta.
-  Ipv6Packet trial = packet;
-  if (!trial.dest_opts) trial.dest_opts.emplace();
-  trial.dest_opts->options.push_back(
+  if (ipv6_stamp_would_exceed(packet, mtu)) {
+    return {.stamped = false, .too_big = true};
+  }
+  ipv6_stamp_precomputed(packet, ipv6_mark(packet, mac));
+  return {.stamped = true, .too_big = false};
+}
+
+void ipv6_stamp_precomputed(Ipv6Packet& packet, std::uint32_t mark) {
+  if (!packet.dest_opts) packet.dest_opts.emplace();
+  packet.dest_opts->options.push_back(
       {kDiscsOptionType,
        {static_cast<std::uint8_t>(mark >> 24), static_cast<std::uint8_t>(mark >> 16),
         static_cast<std::uint8_t>(mark >> 8), static_cast<std::uint8_t>(mark)}});
-  trial.refresh_chain();
-  if (trial.wire_size() > mtu) {
-    return {.stamped = false, .too_big = true};
-  }
-  packet = std::move(trial);
-  return {.stamped = true, .too_big = false};
+  packet.refresh_chain();
 }
 
 std::optional<std::uint32_t> ipv6_read_mark(const Ipv6Packet& packet) {
@@ -105,9 +149,15 @@ void ipv6_erase(Ipv6Packet& packet) {
 
 VerifyResult ipv6_verify(Ipv6Packet& packet, const AesCmac& mac,
                          const AesCmac* grace_mac) {
+  if (!ipv6_read_mark(packet)) return VerifyResult::kAbsent;
+  return ipv6_verify_precomputed(packet, ipv6_mark(packet, mac), grace_mac);
+}
+
+VerifyResult ipv6_verify_precomputed(Ipv6Packet& packet, std::uint32_t expected,
+                                     const AesCmac* grace_mac) {
   const auto carried = ipv6_read_mark(packet);
   if (!carried) return VerifyResult::kAbsent;
-  const bool ok = *carried == ipv6_mark(packet, mac) ||
+  const bool ok = *carried == expected ||
                   (grace_mac != nullptr && *carried == ipv6_mark(packet, *grace_mac));
   if (!ok) return VerifyResult::kInvalid;
   ipv6_erase(packet);

@@ -34,9 +34,18 @@ enum class VerifyResult : std::uint8_t {
 [[nodiscard]] std::uint32_t ipv4_mark(const Ipv4Packet& packet,
                                       const AesCmac& mac);
 
+/// Fills `work` with the deferred mark computation for `packet` (29-bit
+/// truncation over the 21-byte msg); after mac_truncated_batch() the
+/// result equals ipv4_mark(packet, mac).
+void ipv4_mark_work(const Ipv4Packet& packet, const AesCmac& mac,
+                    CmacWork& work);
+
 /// Writes the mark into IPID + Fragment Offset, preserving the flag bits,
 /// and updates the header checksum incrementally.
 void ipv4_stamp(Ipv4Packet& packet, const AesCmac& mac);
+
+/// ipv4_stamp with a mark computed earlier (batch pipeline phase B).
+void ipv4_stamp_precomputed(Ipv4Packet& packet, std::uint32_t mark);
 
 /// Reads the embedded 29-bit mark.
 [[nodiscard]] std::uint32_t ipv4_read_mark(const Ipv4Packet& packet);
@@ -46,6 +55,14 @@ void ipv4_stamp(Ipv4Packet& packet, const AesCmac& mac);
 [[nodiscard]] VerifyResult ipv4_verify(Ipv4Packet& packet, const AesCmac& mac,
                                        const AesCmac* grace_mac,
                                        Xoshiro256& rng);
+
+/// ipv4_verify with the active key's mark computed earlier; the grace key
+/// (rare: only during a re-key window, and only on an active-key mismatch)
+/// is still evaluated inline, exactly as the serial path would.
+[[nodiscard]] VerifyResult ipv4_verify_precomputed(Ipv4Packet& packet,
+                                                   std::uint32_t expected,
+                                                   const AesCmac* grace_mac,
+                                                   Xoshiro256& rng);
 
 /// Erase-only path (tolerance intervals): randomizes the mark fields without
 /// judging them.
@@ -57,6 +74,11 @@ void ipv4_erase(Ipv4Packet& packet, Xoshiro256& rng);
 [[nodiscard]] std::uint32_t ipv6_mark(const Ipv6Packet& packet,
                                       const AesCmac& mac);
 
+/// Fills `work` with the deferred mark computation for `packet` (32-bit
+/// truncation over the 40-byte msg).
+void ipv6_mark_work(const Ipv6Packet& packet, const AesCmac& mac,
+                    CmacWork& work);
+
 /// Result of an IPv6 stamping attempt.
 struct Ipv6StampOutcome {
   bool stamped = false;
@@ -65,10 +87,19 @@ struct Ipv6StampOutcome {
   bool too_big = false;
 };
 
+/// True when inserting the DISCS option would push the packet past `mtu`.
+/// Pure arithmetic over the extension-chain sizes — no mutation, no copy.
+[[nodiscard]] bool ipv6_stamp_would_exceed(const Ipv6Packet& packet,
+                                           std::size_t mtu);
+
 /// Inserts the DISCS destination option (creating the extension header when
 /// absent) and fixes Payload Length / Next Header chaining.
 [[nodiscard]] Ipv6StampOutcome ipv6_stamp(Ipv6Packet& packet, const AesCmac& mac,
                                           std::size_t mtu);
+
+/// Inserts the option carrying a precomputed mark, without the MTU check
+/// (batch pipeline phase B — the size was checked in phase A).
+void ipv6_stamp_precomputed(Ipv6Packet& packet, std::uint32_t mark);
 
 /// Reads the embedded mark; nullopt when no DISCS option is present.
 [[nodiscard]] std::optional<std::uint32_t> ipv6_read_mark(const Ipv6Packet& packet);
@@ -77,6 +108,12 @@ struct Ipv6StampOutcome {
 /// header when it becomes empty).
 [[nodiscard]] VerifyResult ipv6_verify(Ipv6Packet& packet, const AesCmac& mac,
                                        const AesCmac* grace_mac);
+
+/// ipv6_verify with the active key's mark computed earlier (the caller
+/// already established that a mark is present).
+[[nodiscard]] VerifyResult ipv6_verify_precomputed(Ipv6Packet& packet,
+                                                   std::uint32_t expected,
+                                                   const AesCmac* grace_mac);
 
 /// Erase-only path: removes the option without judging it.
 void ipv6_erase(Ipv6Packet& packet);

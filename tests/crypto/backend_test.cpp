@@ -1,0 +1,236 @@
+// Cross-backend equivalence suite: every available AES backend must agree
+// with the byte-wise reference implementation bit-for-bit — on the FIPS-197
+// block KAT, the RFC 4493 CMAC KATs, randomized messages of every length
+// the CMAC padding logic distinguishes, and the fixed-length / batched fast
+// paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/aes_backend.hpp"
+#include "crypto/cmac.hpp"
+
+namespace discs {
+namespace {
+
+std::vector<AesBackend> available_backends() {
+  std::vector<AesBackend> backends;
+  for (AesBackend b :
+       {AesBackend::kReference, AesBackend::kTtable, AesBackend::kAesni}) {
+    if (aes_backend_available(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+/// Forces a backend for the duration of a scope, restoring the previous
+/// selection on exit — keeps test ordering irrelevant.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(AesBackend backend) : saved_(aes_backend()) {
+    EXPECT_TRUE(set_aes_backend(backend));
+  }
+  ~ScopedBackend() { set_aes_backend(saved_); }
+
+ private:
+  AesBackend saved_;
+};
+
+Block128 block(std::initializer_list<unsigned> bytes) {
+  Block128 b{};
+  std::size_t i = 0;
+  for (unsigned v : bytes) b[i++] = static_cast<std::uint8_t>(v);
+  return b;
+}
+
+const Key128 kRfcKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const std::array<std::uint8_t, 64> kRfcMsg = {
+    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+    0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03,
+    0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51, 0x30,
+    0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19,
+    0x1a, 0x0a, 0x52, 0xef, 0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b,
+    0x17, 0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10};
+
+TEST(AesBackendTest, SelectionRoundTrips) {
+  const AesBackend original = aes_backend();
+  for (AesBackend b : available_backends()) {
+    EXPECT_TRUE(set_aes_backend(b));
+    EXPECT_EQ(aes_backend(), b);
+  }
+  EXPECT_TRUE(set_aes_backend(original));
+}
+
+TEST(AesBackendTest, UnavailableBackendIsRejected) {
+  if (aes_backend_available(AesBackend::kAesni)) GTEST_SKIP();
+  const AesBackend before = aes_backend();
+  EXPECT_FALSE(set_aes_backend(AesBackend::kAesni));
+  EXPECT_EQ(aes_backend(), before);  // selection unchanged on failure
+}
+
+TEST(AesBackendTest, ReferenceAndTtableAlwaysAvailable) {
+  EXPECT_TRUE(aes_backend_available(AesBackend::kReference));
+  EXPECT_TRUE(aes_backend_available(AesBackend::kTtable));
+}
+
+TEST(AesBackendTest, Fips197BlockKatOnEveryBackend) {
+  // FIPS-197 appendix C.1.
+  Key128 key{};
+  Block128 pt{};
+  for (unsigned i = 0; i < 16; ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+    pt[i] = static_cast<std::uint8_t>((i << 4) | i);  // 00 11 22 ... ff
+  }
+  const Block128 expected =
+      block({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7,
+             0x80, 0x70, 0xb4, 0xc5, 0x5a});
+  const Aes128 cipher(key);
+  for (AesBackend b : available_backends()) {
+    ScopedBackend scope(b);
+    EXPECT_EQ(cipher.encrypt(pt), expected) << to_string(b);
+  }
+}
+
+TEST(AesBackendTest, Rfc4493KatsOnEveryBackend) {
+  const AesCmac cmac(kRfcKey);
+  const struct {
+    std::size_t len;
+    Block128 expected;
+  } kats[] = {
+      {0, block({0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59, 0x37, 0x28, 0x7f, 0xa3,
+                 0x7d, 0x12, 0x9b, 0x75, 0x67, 0x46})},
+      {16, block({0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d, 0x41, 0x44, 0xf7, 0x9b,
+                  0xdd, 0x9d, 0xd0, 0x4a, 0x28, 0x7c})},
+      {40, block({0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a, 0xe6, 0x30, 0x30, 0xca,
+                  0x32, 0x61, 0x14, 0x97, 0xc8, 0x27})},
+      {64, block({0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b, 0x9d, 0x92, 0xfc, 0x49,
+                  0x74, 0x17, 0x79, 0x36, 0x3c, 0xfe})},
+  };
+  for (AesBackend b : available_backends()) {
+    ScopedBackend scope(b);
+    for (const auto& kat : kats) {
+      EXPECT_EQ(cmac.mac(std::span(kRfcMsg).subspan(0, kat.len)), kat.expected)
+          << to_string(b) << " len=" << kat.len;
+    }
+  }
+}
+
+TEST(AesBackendTest, BackendsAgreeOnAllLengths) {
+  // Randomized messages of every length 0..64: covers empty, partial-final
+  // (K2 path), exact-multiple (K1 path) and the mac21/mac40 dispatch sizes.
+  Xoshiro256 rng(0x5eedULL);
+  for (std::size_t len = 0; len <= 64; ++len) {
+    const AesCmac cmac(derive_key128(rng.next()));
+    std::vector<std::uint8_t> msg(len);
+    for (auto& byte : msg) byte = static_cast<std::uint8_t>(rng.next());
+
+    Block128 want{};
+    {
+      ScopedBackend scope(AesBackend::kReference);
+      want = cmac.mac(msg);
+    }
+    for (AesBackend b : available_backends()) {
+      ScopedBackend scope(b);
+      EXPECT_EQ(cmac.mac(msg), want) << to_string(b) << " len=" << len;
+    }
+  }
+}
+
+TEST(AesBackendTest, FixedLengthFastPathsMatchGeneric) {
+  Xoshiro256 rng(0xf00dULL);
+  for (int round = 0; round < 32; ++round) {
+    const AesCmac cmac(derive_key128(rng.next()));
+    std::array<std::uint8_t, 40> buf{};
+    for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.next());
+    for (AesBackend b : available_backends()) {
+      ScopedBackend scope(b);
+      EXPECT_EQ(cmac.mac21(std::span(buf).first<21>()),
+                cmac.mac(std::span(buf).first(21)))
+          << to_string(b);
+      EXPECT_EQ(cmac.mac40(std::span(buf)), cmac.mac(buf)) << to_string(b);
+    }
+  }
+}
+
+TEST(AesBackendTest, BatchMatchesSerialOnEveryBackend) {
+  // Mixed keys, lengths (21/40/odd sizes incl. 0) and truncation widths in
+  // one batch; sizes sweep 0..19 so every partial final wave shape of the
+  // 8-lane pipeline is exercised.
+  Xoshiro256 rng(0xbadcULL);
+  std::vector<AesCmac> keys;
+  keys.reserve(4);
+  for (int k = 0; k < 4; ++k) keys.emplace_back(derive_key128(rng.next()));
+
+  for (std::size_t n = 0; n <= 19; ++n) {
+    std::vector<CmacWork> work(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      CmacWork& w = work[i];
+      w.cmac = &keys[rng.below(keys.size())];
+      const std::size_t lens[] = {0, 1, 15, 16, 17, 21, 32, 40};
+      w.len = static_cast<std::uint8_t>(lens[rng.below(std::size(lens))]);
+      w.bits = static_cast<std::uint8_t>(1 + rng.below(64));
+      for (std::size_t j = 0; j < w.len; ++j) {
+        w.msg[j] = static_cast<std::uint8_t>(rng.next());
+      }
+    }
+    for (AesBackend b : available_backends()) {
+      ScopedBackend scope(b);
+      std::vector<CmacWork> copy = work;
+      mac_truncated_batch(copy);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t serial = work[i].cmac->mac_truncated(
+            std::span(work[i].msg).first(work[i].len), work[i].bits);
+        EXPECT_EQ(copy[i].result, serial)
+            << to_string(b) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AesBackendTest, EncryptBatchMatchesSingleBlocks) {
+  Xoshiro256 rng(0xc0deULL);
+  std::vector<Aes128> ciphers;
+  ciphers.reserve(3);
+  for (int k = 0; k < 3; ++k) {
+    Key128 key{};
+    for (auto& byte : key) byte = static_cast<std::uint8_t>(rng.next());
+    ciphers.emplace_back(key);
+  }
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{24}}) {
+    std::vector<Block128> blocks(n);
+    std::vector<const Aes128*> which(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& byte : blocks[i]) byte = static_cast<std::uint8_t>(rng.next());
+      which[i] = &ciphers[i % ciphers.size()];
+    }
+    for (AesBackend b : available_backends()) {
+      ScopedBackend scope(b);
+      std::vector<Block128> batched = blocks;
+      std::vector<Block128*> ptrs(n);
+      for (std::size_t i = 0; i < n; ++i) ptrs[i] = &batched[i];
+      Aes128::encrypt_batch(which.data(), ptrs.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batched[i], which[i]->encrypt(blocks[i]))
+            << to_string(b) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(AesBackendTest, TruncationWidthsClampIntoContract) {
+  // The documented contract: bits in [1, 64]; 64 returns the full top word.
+  const AesCmac cmac(kRfcKey);
+  EXPECT_EQ(cmac.mac_truncated({}, 64), 0xbb1d6929e9593728ull);
+  EXPECT_EQ(cmac.mac_truncated({}, 1), 1ull);
+  for (unsigned bits = 1; bits <= 64; ++bits) {
+    if (bits < 64) {
+      EXPECT_LT(cmac.mac_truncated({}, bits), 1ull << bits) << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace discs
