@@ -5,8 +5,9 @@
 namespace discs {
 namespace {
 
-constexpr std::uint8_t kMagic[4] = {'D', 'C', 'S', '1'};
-constexpr std::size_t kHeaderSize = 16;
+constexpr std::uint8_t kMagic[4] = {'D', 'C', 'S', '2'};
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::uint8_t kFlagAckRequested = 1u << 0;
 
 // ---- primitive writers ----
 
@@ -129,9 +130,11 @@ MessageType message_type(const ControlMessage& message) {
         else if constexpr (std::is_same_v<T, InvocationAccept>) return MessageType::kInvocationAccept;
         else if constexpr (std::is_same_v<T, InvocationReject>) return MessageType::kInvocationReject;
         else if constexpr (std::is_same_v<T, AlarmQuit>) return MessageType::kAlarmQuit;
+        else if constexpr (std::is_same_v<T, PeeringTeardown>) return MessageType::kPeeringTeardown;
+        else if constexpr (std::is_same_v<T, DeliveryAck>) return MessageType::kDeliveryAck;
         else {
-          static_assert(std::is_same_v<T, PeeringTeardown>);
-          return MessageType::kPeeringTeardown;
+          static_assert(std::is_same_v<T, RekeyComplete>);
+          return MessageType::kRekeyComplete;
         }
       },
       message);
@@ -141,24 +144,31 @@ std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
   std::vector<std::uint8_t> out;
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
   put_u8(out, static_cast<std::uint8_t>(message_type(envelope.message)));
-  put_u8(out, 0);   // flags
+  put_u8(out, envelope.ack_requested ? kFlagAckRequested : 0);  // flags
   put_u16(out, 0);  // reserved
   put_u32(out, envelope.from);
   put_u32(out, envelope.to);
+  put_u64(out, envelope.seq);
 
   std::visit(
       [&](const auto& body) {
         using T = std::decay_t<decltype(body)>;
         if constexpr (std::is_same_v<T, PeeringReject> ||
-                      std::is_same_v<T, InvocationReject> ||
                       std::is_same_v<T, PeeringTeardown>) {
           put_string(out, body.reason);
+        } else if constexpr (std::is_same_v<T, InvocationReject>) {
+          put_string(out, body.reason);
+          put_u64(out, body.request_seq);
         } else if constexpr (std::is_same_v<T, KeyInstall>) {
           out.insert(out.end(), body.key.begin(), body.key.end());
           put_u64(out, body.serial);
           put_u8(out, body.rekey ? 1 : 0);
         } else if constexpr (std::is_same_v<T, KeyInstallAck>) {
           put_u64(out, body.serial);
+        } else if constexpr (std::is_same_v<T, RekeyComplete>) {
+          put_u64(out, body.serial);
+        } else if constexpr (std::is_same_v<T, DeliveryAck>) {
+          put_u64(out, body.acked_seq);
         } else if constexpr (std::is_same_v<T, InvocationRequest>) {
           put_u8(out, body.alarm_mode ? 1 : 0);
           put_u16(out, static_cast<std::uint16_t>(body.triples.size()));
@@ -169,6 +179,7 @@ std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
           }
         } else if constexpr (std::is_same_v<T, InvocationAccept>) {
           put_u32(out, static_cast<std::uint32_t>(body.accepted_triples));
+          put_u64(out, body.request_seq);
         }
         // PeeringRequest / PeeringAccept / AlarmQuit: empty body.
       },
@@ -182,11 +193,14 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> wire) {
 
   Reader r{wire, 4};
   const std::uint8_t type = r.u8();
-  (void)r.u8();   // flags
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~kFlagAckRequested) != 0) return std::nullopt;  // unknown flags
   (void)r.u16();  // reserved
   Envelope envelope;
+  envelope.ack_requested = (flags & kFlagAckRequested) != 0;
   envelope.from = r.u32();
   envelope.to = r.u32();
+  envelope.seq = r.u64();
 
   switch (static_cast<MessageType>(type)) {
     case MessageType::kPeeringRequest:
@@ -211,6 +225,12 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> wire) {
     case MessageType::kKeyInstallAck:
       envelope.message = KeyInstallAck{r.u64()};
       break;
+    case MessageType::kRekeyComplete:
+      envelope.message = RekeyComplete{r.u64()};
+      break;
+    case MessageType::kDeliveryAck:
+      envelope.message = DeliveryAck{r.u64()};
+      break;
     case MessageType::kInvocationRequest: {
       InvocationRequest body;
       body.alarm_mode = r.u8() != 0;
@@ -227,12 +247,20 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> wire) {
       envelope.message = std::move(body);
       break;
     }
-    case MessageType::kInvocationAccept:
-      envelope.message = InvocationAccept{r.u32()};
+    case MessageType::kInvocationAccept: {
+      InvocationAccept body;
+      body.accepted_triples = r.u32();
+      body.request_seq = r.u64();
+      envelope.message = body;
       break;
-    case MessageType::kInvocationReject:
-      envelope.message = InvocationReject{r.string()};
+    }
+    case MessageType::kInvocationReject: {
+      InvocationReject body;
+      body.reason = r.string();
+      body.request_seq = r.u64();
+      envelope.message = std::move(body);
       break;
+    }
     case MessageType::kAlarmQuit:
       envelope.message = AlarmQuit{};
       break;

@@ -2,10 +2,14 @@
 // ControlMessage encodes to a self-describing byte string and back. The
 // simulator's channel moves C++ objects for speed; this codec exists so the
 // protocol is implementable outside the simulator (and its tests pin the
-// format): a 16-byte common header followed by a type-specific body.
+// format): a 24-byte common header followed by a type-specific body.
 //
-//   header: magic "DCS1" (4) | type (1) | flags (1) | reserved (2) |
-//           from AS (4) | to AS (4)
+//   header: magic "DCS2" (4) | type (1) | flags (1) | reserved (2) |
+//           from AS (4) | to AS (4) | sequence number (8)
+//
+// Flags bit 0 = ack requested (the sender retransmits until a DeliveryAck
+// for this sequence number arrives). "DCS2" supersedes the pre-reliability
+// "DCS1" format, whose header lacked the sequence number.
 //
 // All integers are big-endian. Strings are length-prefixed (u16).
 #pragma once
@@ -39,6 +43,8 @@ enum class MessageType : std::uint8_t {
   kInvocationReject = 8,
   kAlarmQuit = 9,
   kPeeringTeardown = 10,
+  kDeliveryAck = 11,
+  kRekeyComplete = 12,
 };
 
 /// The type code a message variant encodes to.

@@ -36,6 +36,7 @@ Controller::Controller(ControllerConfig config, EventLoop& loop,
       network_(&network),
       rpki_(&rpki),
       rng_(config_.seed),
+      link_(loop, network, config_.as, config_.reliability),
       tables_(config_.tolerance) {
   if (config_.as == kNoAs) {
     throw std::invalid_argument("Controller: AS number required");
@@ -78,6 +79,9 @@ Controller::Controller(ControllerConfig config, EventLoop& loop,
   con_rou_->submit_immediate(bootstrap);
   tables_.seal();
 
+  link_.set_failure_handler([this](AsNumber peer, AckToken token) {
+    handle_delivery_failure(peer, token);
+  });
   network_->attach(config_.as,
                    [this](const Envelope& envelope) { handle(envelope); });
   schedule_rekey_timer();
@@ -110,11 +114,16 @@ void Controller::discover(const DiscsAd& ad) {
     if (info.state != PeerState::kDiscovered) return;
     info.state = PeerState::kRequested;
     ++stats_.peering_requests_sent;
-    network_->send(config_.as, target, PeeringRequest{});
+    link_.send_reliable(target, PeeringRequest{}, AckToken::kPeeringRequest);
   });
 }
 
 void Controller::handle(const Envelope& envelope) {
+  // The link consumes DeliveryAcks, answers ack requests, and suppresses
+  // duplicates; only first sightings reach the protocol handlers. Handlers
+  // stay idempotent anyway: retransmits of an ancient seq can outlive the
+  // dedup window, and raw (seq 0) senders bypass dedup entirely.
+  if (link_.on_receive(envelope) != ReceiveAction::kFresh) return;
   std::visit(
       [&](const auto& body) {
         using T = std::decay_t<decltype(body)>;
@@ -123,20 +132,28 @@ void Controller::handle(const Envelope& envelope) {
         } else if constexpr (std::is_same_v<T, PeeringAccept>) {
           handle_peering_accept(envelope.from);
         } else if constexpr (std::is_same_v<T, PeeringReject>) {
+          link_.settle_token(envelope.from, AckToken::kPeeringRequest);
           peers_[envelope.from].state = PeerState::kRejected;
         } else if constexpr (std::is_same_v<T, KeyInstall>) {
           handle_key_install(envelope.from, body);
         } else if constexpr (std::is_same_v<T, KeyInstallAck>) {
           handle_key_install_ack(envelope.from, body);
+        } else if constexpr (std::is_same_v<T, RekeyComplete>) {
+          handle_rekey_complete(envelope.from, body);
         } else if constexpr (std::is_same_v<T, InvocationRequest>) {
-          handle_invocation(envelope.from, body);
+          handle_invocation(envelope.from, body, envelope.seq);
+        } else if constexpr (std::is_same_v<T, InvocationAccept> ||
+                             std::is_same_v<T, InvocationReject>) {
+          // Informational (rejects are counted by the peer that rejected),
+          // but the echoed seq settles our request's retransmit timer
+          // earlier than the DeliveryAck would under loss.
+          link_.settle_seq(envelope.from, body.request_seq);
         } else if constexpr (std::is_same_v<T, AlarmQuit>) {
           handle_alarm_quit(envelope.from);
         } else if constexpr (std::is_same_v<T, PeeringTeardown>) {
           handle_teardown(envelope.from);
         }
-        // InvocationAccept/Reject are informational; rejects are counted by
-        // the peer that rejected.
+        // DeliveryAck never gets here (consumed by the link).
       },
       envelope.message);
 }
@@ -146,17 +163,25 @@ void Controller::handle_peering_request(AsNumber from) {
   auto& info = peers_[from];
   if (config_.blacklist.contains(from)) {
     info.state = PeerState::kRejected;
-    network_->send(config_.as, from, PeeringReject{"blacklisted"});
+    link_.send_reliable(from, PeeringReject{"blacklisted"});
+    return;
+  }
+  if (info.state == PeerState::kPeered) {
+    // Duplicate / retransmitted request: re-accept so the peer can finish
+    // its side, but do NOT regenerate the key — a gratuitous negotiate_key
+    // here would bump tx_key_serial and orphan any in-flight re-key ack.
+    link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept);
     return;
   }
   info.state = PeerState::kPeered;
-  network_->send(config_.as, from, PeeringAccept{});
+  link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept);
   negotiate_key(from, /*rekey=*/false);
 }
 
 void Controller::handle_peering_accept(AsNumber from) {
+  link_.settle_token(from, AckToken::kPeeringRequest);
   auto& info = peers_[from];
-  if (info.state == PeerState::kPeered) return;
+  if (info.state == PeerState::kPeered) return;  // duplicate accept
   info.state = PeerState::kPeered;
   negotiate_key(from, /*rekey=*/false);
 }
@@ -174,30 +199,50 @@ void Controller::negotiate_key(AsNumber peer, bool rekey) {
     txn.set_stamp_key(peer, key, /*retain_previous=*/false);
     track_delivery(peer, con_rou_->submit(std::move(txn)));
   }
-  network_->send(config_.as, peer, KeyInstall{key, info.tx_key_serial, rekey});
+  link_.send_reliable(peer, KeyInstall{key, info.tx_key_serial, rekey},
+                      AckToken::kKeyInstall);
 }
 
 void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
-  if (!is_peer(from)) return;  // keys only from established peers
+  const auto it = peers_.find(from);
+  if (it == peers_.end()) return;  // keys only from known DASes
+  auto& info = it->second;
+  if (info.state == PeerState::kRequested) {
+    // Implicit accept: a KeyInstall proves the peer took our request even
+    // though the PeeringAccept was lost or is still in flight behind it.
+    link_.settle_token(from, AckToken::kPeeringRequest);
+    info.state = PeerState::kPeered;
+    negotiate_key(from, /*rekey=*/false);
+  }
+  if (info.state != PeerState::kPeered) return;
+
+  // Serial gating makes the handler idempotent under duplication and
+  // reordering: never step backwards, and a replay of the current serial
+  // only needs its (possibly lost) ack repeated.
+  if (msg.serial < info.rx_key_serial) return;  // stale reordered install
+  if (msg.serial == info.rx_key_serial) {
+    link_.send_reliable(from, KeyInstallAck{msg.serial},
+                        AckToken::kKeyInstallAck);
+    return;
+  }
+  info.rx_key_serial = msg.serial;
   // key_{from,us}: we verify traffic stamped by `from` with it. During a
-  // re-key the old key stays valid (grace) until traffic switches over.
+  // re-key the old key stays valid (grace) until the sender confirms the
+  // switch-over with RekeyComplete — a fixed timer here would blackhole
+  // traffic whenever our ack is lost and the sender keeps the old key.
   TableTransaction install;
   install.set_verify_key(from, msg.key, /*retain_previous=*/msg.rekey);
   track_delivery(from, con_rou_->submit(std::move(install)));
-  network_->send(config_.as, from, KeyInstallAck{msg.serial});
-  if (msg.rekey) {
-    // Drop the grace key once the sender has certainly switched: one full
-    // round trip after our ack is a conservative bound in this model. The
-    // grace-drop rides the channel too (an in-flight teardown withdraws it).
-    TableTransaction finish;
-    finish.finish_rekey(from);
-    track_delivery(from, con_rou_->submit_after(2 * kSecond, std::move(finish)));
-  }
+  link_.send_reliable(from, KeyInstallAck{msg.serial}, AckToken::kKeyInstallAck);
 }
 
 void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg) {
   auto it = peers_.find(from);
-  if (it == peers_.end() || msg.serial != it->second.tx_key_serial) return;
+  if (it == peers_.end()) return;
+  // Any ack proves the accept chain reached the peer.
+  link_.settle_token(from, AckToken::kPeeringAccept);
+  if (msg.serial != it->second.tx_key_serial) return;  // stale ack
+  link_.settle_token(from, AckToken::kKeyInstall);
   if (it->second.pending_key) {
     TableTransaction commit;
     commit.set_stamp_key(from, *it->second.pending_key,
@@ -205,7 +250,35 @@ void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg)
     track_delivery(from, con_rou_->submit(std::move(commit)));
     it->second.pending_key.reset();
     ++stats_.rekeys_completed;
+    // Third phase: tell the verifier we switched, releasing its grace key.
+    link_.send_reliable(from, RekeyComplete{msg.serial},
+                        AckToken::kRekeyComplete);
   }
+}
+
+void Controller::handle_rekey_complete(AsNumber from, const RekeyComplete& msg) {
+  const auto it = peers_.find(from);
+  if (it == peers_.end() || it->second.state != PeerState::kPeered) return;
+  if (msg.serial != it->second.rx_key_serial) return;  // stale / reordered
+  // The stamper committed the new key; after a short drain for packets
+  // already in flight with the old stamp, drop the grace key. The drop
+  // rides the con-rou channel too (an in-flight teardown withdraws it).
+  TableTransaction finish;
+  finish.finish_rekey(from);
+  track_delivery(from, con_rou_->submit_after(2 * kSecond, std::move(finish)));
+}
+
+void Controller::handle_delivery_failure(AsNumber peer, AckToken token) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return;  // e.g. an abandoned teardown notice
+  if (token == AckToken::kPeeringRequest &&
+      it->second.state == PeerState::kRequested) {
+    // Half-open peering: fall back so a later Ad (or re-discovery) retries.
+    it->second.state = PeerState::kDiscovered;
+  }
+  // Other tokens need no rollback: a failed KeyInstall leaves the pending
+  // key parked (the peer's grace key keeps old-stamp traffic verifiable),
+  // and a failed RekeyComplete just delays the peer's grace-key drop.
 }
 
 void Controller::rekey_all_peers() {
@@ -232,7 +305,9 @@ std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
   for (const auto& [as, info] : peers_) {
     if (info.state != PeerState::kPeered) continue;
     ++stats_.invocations_sent;
-    network_->send(config_.as, as, InvocationRequest{triples, alarm_mode});
+    // Reliable with no token: settled by the DeliveryAck or by the
+    // Accept/Reject echoing our sequence number, whichever arrives first.
+    link_.send_reliable(as, InvocationRequest{triples, alarm_mode});
     ++asked;
   }
   return asked;
@@ -333,10 +408,11 @@ void Controller::track_delivery(AsNumber peer, ConRouChannel::DeliveryId id) {
   ids.push_back(id);
 }
 
-void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) {
+void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg,
+                                   std::uint64_t request_seq) {
   ++stats_.invocations_received;
   if (!is_peer(from)) {
-    network_->send(config_.as, from, InvocationReject{"not a peer"});
+    link_.send(from, InvocationReject{"not a peer", request_seq});
     return;
   }
   // Ownership check (§IV-E3): every requested prefix must belong to the
@@ -357,11 +433,13 @@ void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg) 
   if (msg.alarm_mode) {
     set_alarm_mode_everywhere(true);
   }
+  // Responses are fire-and-forget: they double as the request's ack (seq
+  // echo), and a lost response is repaired by the requester's retransmit.
   if (accepted == msg.triples.size()) {
-    network_->send(config_.as, from, InvocationAccept{accepted});
+    link_.send(from, InvocationAccept{accepted, request_seq});
   } else {
-    network_->send(config_.as, from,
-                   InvocationReject{"ownership check failed for some prefixes"});
+    link_.send(from, InvocationReject{"ownership check failed for some prefixes",
+                                      request_seq});
   }
 }
 
@@ -380,7 +458,7 @@ void Controller::request_drop_mode() {
   set_alarm_mode_everywhere(false);
   for (const auto& [as, info] : peers_) {
     if (info.state == PeerState::kPeered) {
-      network_->send(config_.as, as, AlarmQuit{});
+      link_.send_reliable(as, AlarmQuit{});
     }
   }
   drop_mode_requested_ = true;
@@ -431,6 +509,9 @@ void Controller::forget_peer(AsNumber peer) {
   TableTransaction revoke;
   revoke.erase_peer(peer);
   con_rou_->submit_immediate(revoke);
+  // Stop retransmitting toward the ex-peer. Sequence counters and dedup
+  // state survive inside the link on purpose (see ReliableLink::forget_peer).
+  link_.forget_peer(peer);
   peers_.erase(peer);
 }
 
@@ -438,20 +519,25 @@ void Controller::handle_teardown(AsNumber from) { forget_peer(from); }
 
 void Controller::tear_down_peering(AsNumber peer, std::string reason) {
   if (!peers_.contains(peer)) return;
-  network_->send(config_.as, peer, PeeringTeardown{std::move(reason)});
+  // Forget first (cancels in-flight retransmits toward the peer), then ship
+  // the notice reliably — revocation is a security action worth retrying.
   forget_peer(peer);
+  link_.send_reliable(peer, PeeringTeardown{std::move(reason)});
 }
 
 void Controller::shutdown() {
   for (const auto& [as, info] : peers_) {
     if (info.state == PeerState::kPeered) {
-      network_->send(config_.as, as, PeeringTeardown{"undeploying"});
+      // Best-effort: we are about to detach, so acks could never reach us
+      // and a retransmit timer would outlive the controller.
+      link_.send(as, PeeringTeardown{"undeploying"});
     }
   }
   peers_.clear();
-  // Withdraw every in-flight transaction (the controller may be destroyed
-  // right after this call, so nothing of ours may stay on the loop) and
-  // wipe the key material synchronously.
+  // Withdraw every in-flight transaction and retransmit timer (the
+  // controller may be destroyed right after this call, so nothing of ours
+  // may stay on the loop) and wipe the key material synchronously.
+  link_.cancel_all();
   pending_deliveries_.clear();
   con_rou_->cancel_all();
   TableTransaction wipe;

@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "control/con_rou_channel.hpp"
 #include "control/detector.hpp"
+#include "control/reliable.hpp"
 #include "control/secure_channel.hpp"
 #include "dataplane/router.hpp"
 #include "topology/dataset.hpp"
@@ -64,6 +65,10 @@ struct ControllerConfig {
   /// DiscsSystem::send_batch). Seed is derived from `seed` when left at the
   /// EngineConfig default.
   EngineConfig engine{};
+  /// Retransmission / dedup parameters of this controller's ReliableLink
+  /// (the con-con channel may drop, duplicate, and reorder — §IV-B's SSL
+  /// channels guarantee secrecy, not delivery).
+  ReliabilityConfig reliability{};
   std::uint64_t seed = 1;
 };
 
@@ -201,6 +206,11 @@ class Controller {
   [[nodiscard]] ConRouChannel& con_rou() { return *con_rou_; }
   [[nodiscard]] const ConRouChannel& con_rou() const { return *con_rou_; }
 
+  /// The reliability layer fronting this controller's con-con sends
+  /// (retransmit timers, dedup state, delivery-failure counters).
+  [[nodiscard]] ReliableLink& link() { return link_; }
+  [[nodiscard]] const ReliableLink& link() const { return link_; }
+
   /// Aggregated counters across all border routers *and* the engine's
   /// shards (serial path + batch path merged via RouterStats::operator+=).
   [[nodiscard]] RouterStats total_router_stats() const;
@@ -224,6 +234,7 @@ class Controller {
     PeerState state = PeerState::kDiscovered;
     std::string controller_name;
     std::uint64_t tx_key_serial = 0;  // last key serial we sent them
+    std::uint64_t rx_key_serial = 0;  // last key serial we installed from them
     std::optional<Key128> pending_key;  // new stamping key awaiting ack
   };
 
@@ -232,9 +243,16 @@ class Controller {
   void handle_peering_accept(AsNumber from);
   void handle_key_install(AsNumber from, const KeyInstall& msg);
   void handle_key_install_ack(AsNumber from, const KeyInstallAck& msg);
-  void handle_invocation(AsNumber from, const InvocationRequest& msg);
+  void handle_rekey_complete(AsNumber from, const RekeyComplete& msg);
+  void handle_invocation(AsNumber from, const InvocationRequest& msg,
+                         std::uint64_t request_seq);
   void handle_alarm_quit(AsNumber from);
   void handle_teardown(AsNumber from);
+
+  /// ReliableLink gave up on a message after the retry cap: roll back any
+  /// protocol state that is now half-open (e.g. an unanswered peering
+  /// request returns to kDiscovered so a later Ad can retry it).
+  void handle_delivery_failure(AsNumber peer, AckToken token);
 
   /// Drops peer state + keys locally (shared by both teardown directions).
   void forget_peer(AsNumber peer);
@@ -263,6 +281,7 @@ class Controller {
   ConConNetwork* network_;
   const InternetDataset* rpki_;
   Xoshiro256 rng_;
+  ReliableLink link_;
 
   RouterTables tables_;
   std::vector<std::unique_ptr<BorderRouter>> routers_;

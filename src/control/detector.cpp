@@ -22,10 +22,15 @@ std::optional<Prefix4> RateDetector::observe(Ipv4Address dst, SimTime now) {
   const auto idx = index_.lookup(dst);
   if (!idx) return std::nullopt;
   State& state = states_[*idx];
+  if (now < state.quiet_until) {
+    // Hold-down: samples are discarded, not accumulated — otherwise the
+    // first packet after quiet_until would instantly re-trigger on the
+    // backlog and the hold-down would suppress nothing.
+    return std::nullopt;
+  }
   state.arrivals.push_back(now);
   trim(state, now);
-  if (now < state.quiet_until ||
-      state.arrivals.size() < config_.threshold_packets) {
+  if (state.arrivals.size() < config_.threshold_packets) {
     return std::nullopt;
   }
   state.quiet_until = now + config_.holddown;

@@ -73,6 +73,14 @@ struct KeyInstallAck {
   std::uint64_t serial = 0;
 };
 
+/// Sender confirms it committed the new stamping key for `serial`: the
+/// receiver may now drop the grace key (third phase of re-keying under a
+/// lossy channel — without it a lost KeyInstallAck would leave the sender
+/// stamping the old key after the receiver dropped it).
+struct RekeyComplete {
+  std::uint64_t serial = 0;
+};
+
 struct InvocationRequest {
   std::vector<InvocationTriple> triples;
   /// Alarm mode: execute the functions but sample instead of dropping.
@@ -81,10 +89,14 @@ struct InvocationRequest {
 
 struct InvocationAccept {
   std::size_t accepted_triples = 0;
+  /// Envelope sequence number of the InvocationRequest this answers; lets
+  /// the invoker settle its retransmit timer (0 = unknown/legacy sender).
+  std::uint64_t request_seq = 0;
 };
 
 struct InvocationReject {
   std::string reason;
+  std::uint64_t request_seq = 0;
 };
 
 /// Victim asks peers to leave alarm mode and start dropping (§IV-F).
@@ -97,16 +109,32 @@ struct PeeringTeardown {
   std::string reason;
 };
 
+/// Link-level acknowledgement: confirms receipt of the envelope carrying
+/// sequence number `acked_seq` from us. Sent automatically by the
+/// reliability layer for any envelope that requests it; never itself
+/// acknowledged. Protocol responses (PeeringAccept, KeyInstallAck, ...)
+/// settle retransmission earlier when they arrive first.
+struct DeliveryAck {
+  std::uint64_t acked_seq = 0;
+};
+
 using ControlMessage =
     std::variant<PeeringRequest, PeeringAccept, PeeringReject, KeyInstall,
                  KeyInstallAck, InvocationRequest, InvocationAccept,
-                 InvocationReject, AlarmQuit, PeeringTeardown>;
+                 InvocationReject, AlarmQuit, PeeringTeardown, DeliveryAck,
+                 RekeyComplete>;
 
 /// A routed control-plane message.
 struct Envelope {
   AsNumber from = kNoAs;
   AsNumber to = kNoAs;
   ControlMessage message;
+  /// Per (from -> to) monotonically increasing sequence number assigned by
+  /// the sender's reliability layer; retransmissions reuse it verbatim so
+  /// the receiver can deduplicate. 0 = unsequenced (legacy / raw senders).
+  std::uint64_t seq = 0;
+  /// True when the sender arms a retransmit timer and expects a DeliveryAck.
+  bool ack_requested = false;
 };
 
 /// Approximate serialized size in bytes, used for bandwidth accounting in

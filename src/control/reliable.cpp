@@ -1,0 +1,156 @@
+#include "control/reliable.hpp"
+
+#include <algorithm>
+
+namespace discs {
+
+void ReliableLink::send_reliable(AsNumber to, ControlMessage message,
+                                 AckToken token) {
+  if (token != AckToken::kNone) {
+    // A newer send of the same kind supersedes the old one: stop
+    // retransmitting a message the protocol has moved past.
+    settle_token(to, token);
+  }
+  Envelope envelope{self_, to, std::move(message)};
+  envelope.seq = ++next_seq_[to];
+  envelope.ack_requested = true;
+
+  const PendingKey key{to, envelope.seq};
+  Pending& p = pending_[key];
+  p.envelope = envelope;
+  p.token = token;
+  p.attempts = 1;
+  p.rto = config_.initial_rto;
+  if (token != AckToken::kNone) token_index_[{to, token}] = envelope.seq;
+
+  ++stats_.reliable_sends;
+  net_->send(std::move(envelope));
+  arm_timer(key);
+}
+
+void ReliableLink::send(AsNumber to, ControlMessage message) {
+  Envelope envelope{self_, to, std::move(message)};
+  envelope.seq = ++next_seq_[to];
+  net_->send(std::move(envelope));
+}
+
+ReceiveAction ReliableLink::on_receive(const Envelope& envelope) {
+  if (const auto* ack = std::get_if<DeliveryAck>(&envelope.message)) {
+    ++stats_.acks_received;
+    settle_seq(envelope.from, ack->acked_seq);
+    return ReceiveAction::kConsumed;
+  }
+
+  if (envelope.ack_requested && envelope.seq != 0) {
+    // Ack even duplicates: a retransmission usually means our previous
+    // DeliveryAck was lost. DeliveryAcks are unsequenced fire-and-forget.
+    ++stats_.acks_sent;
+    net_->send(Envelope{self_, envelope.from, DeliveryAck{envelope.seq}});
+  }
+
+  if (envelope.seq == 0) return ReceiveAction::kFresh;  // raw sender: no dedup
+
+  PeerRx& rx = rx_[envelope.from];
+  if (std::holds_alternative<PeeringRequest>(envelope.message)) {
+    // A peering request (re)starts the conversation. Resetting the dedup
+    // state lets a restarted peer — whose counters began again at 1 —
+    // get through instead of being swallowed as ancient duplicates; the
+    // peering handler is idempotent, so replays of the request are safe.
+    rx = PeerRx{};
+    record_seq(rx, envelope.seq);
+    return ReceiveAction::kFresh;
+  }
+  if (!record_seq(rx, envelope.seq)) {
+    ++stats_.duplicates_suppressed;
+    return ReceiveAction::kDuplicate;
+  }
+  return ReceiveAction::kFresh;
+}
+
+bool ReliableLink::record_seq(PeerRx& rx, std::uint64_t seq) {
+  if (seq <= rx.floor || rx.ahead.contains(seq)) return false;
+  rx.ahead.insert(seq);
+  // Compress: pull the floor up through any now-contiguous run.
+  auto it = rx.ahead.begin();
+  while (it != rx.ahead.end() && *it == rx.floor + 1) {
+    rx.floor = *it;
+    it = rx.ahead.erase(it);
+  }
+  // Bound memory: beyond the window, forget the oldest gap (messages below
+  // the new floor are treated as seen; with a sane window this only drops
+  // seqs that were lost long ago anyway).
+  while (rx.ahead.size() > config_.dedup_window) {
+    rx.floor = std::max(rx.floor, *rx.ahead.begin());
+    rx.ahead.erase(rx.ahead.begin());
+  }
+  return true;
+}
+
+void ReliableLink::settle_token(AsNumber peer, AckToken token) {
+  const auto idx = token_index_.find({peer, token});
+  if (idx == token_index_.end()) return;
+  const auto it = pending_.find({peer, idx->second});
+  if (it != pending_.end()) erase_pending(it);
+}
+
+void ReliableLink::settle_seq(AsNumber peer, std::uint64_t seq) {
+  if (seq == 0) return;
+  const auto it = pending_.find({peer, seq});
+  if (it != pending_.end()) erase_pending(it);
+}
+
+void ReliableLink::forget_peer(AsNumber peer) {
+  for (auto it = pending_.lower_bound({peer, 0});
+       it != pending_.end() && it->first.first == peer;) {
+    const auto next = std::next(it);
+    erase_pending(it);
+    it = next;
+  }
+}
+
+void ReliableLink::cancel_all() {
+  for (auto& [key, p] : pending_) loop_->cancel(p.timer);
+  pending_.clear();
+  token_index_.clear();
+}
+
+void ReliableLink::erase_pending(std::map<PendingKey, Pending>::iterator it) {
+  loop_->cancel(it->second.timer);
+  if (it->second.token != AckToken::kNone) {
+    const auto idx = token_index_.find({it->first.first, it->second.token});
+    // Only drop the index entry if it still points at this seq (a
+    // superseding send may have repointed it).
+    if (idx != token_index_.end() && idx->second == it->first.second) {
+      token_index_.erase(idx);
+    }
+  }
+  pending_.erase(it);
+}
+
+void ReliableLink::arm_timer(PendingKey key) {
+  Pending& p = pending_.at(key);
+  p.timer = loop_->schedule(p.rto, [this, key] { on_timeout(key); });
+}
+
+void ReliableLink::on_timeout(PendingKey key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // settled after the timer was queued
+  Pending& p = it->second;
+  if (p.attempts >= config_.max_retries) {
+    ++stats_.delivery_failures;
+    const AsNumber peer = key.first;
+    const AckToken token = p.token;
+    erase_pending(it);
+    if (on_failure_) on_failure_(peer, token);
+    return;
+  }
+  ++p.attempts;
+  ++stats_.retransmits;
+  p.rto = std::min(
+      static_cast<SimTime>(static_cast<double>(p.rto) * config_.backoff),
+      config_.max_rto);
+  net_->send(p.envelope);  // same seq + ack flag: receiver dedups
+  arm_timer(key);
+}
+
+}  // namespace discs

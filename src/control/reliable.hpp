@@ -1,0 +1,159 @@
+// Reliability layer for the con-con channel: per-peer sequence numbering,
+// link-level acknowledgements, retransmission with exponential backoff, and
+// receive-side deduplication. One ReliableLink fronts each controller's
+// view of the (possibly lossy) ConConNetwork.
+//
+// Protocol:
+//   * Every envelope a link sends carries a per-(self -> peer) monotonically
+//     increasing sequence number. Retransmissions reuse the number, so the
+//     receiver can suppress duplicates. Sequence 0 is reserved for raw
+//     senders that bypass the link (legacy tests, byzantine actors); it is
+//     never deduplicated or acknowledged.
+//   * A reliable send sets the envelope's ack_requested flag and arms a
+//     retransmit timer. The receiving link answers any ack-requested
+//     envelope with a DeliveryAck{seq} — including for suppressed
+//     duplicates, since a duplicate usually means the first ack was lost.
+//     DeliveryAcks are consumed by the link and never themselves
+//     acknowledged (no ack-of-ack recursion).
+//   * Natural protocol responses settle retransmission early: the
+//     controller calls settle_token() when, e.g., a KeyInstallAck arrives
+//     before the DeliveryAck for the KeyInstall it answers.
+//   * After max_retries unacknowledged transmissions the link gives up,
+//     bumps delivery_failures, and reports the loss to the owner's failure
+//     callback (which e.g. rolls a half-open peering back to kDiscovered).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "control/messages.hpp"
+#include "control/secure_channel.hpp"
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+struct ReliabilityConfig {
+  SimTime initial_rto = 200 * kMillisecond;  // first retransmit timeout
+  SimTime max_rto = 5 * kSecond;             // backoff ceiling
+  double backoff = 2.0;                      // rto multiplier per retry
+  int max_retries = 8;                       // transmissions before giving up
+  std::size_t dedup_window = 1024;           // out-of-order seqs remembered per peer
+};
+
+struct ReliabilityStats {
+  std::uint64_t reliable_sends = 0;    // distinct messages sent with a timer
+  std::uint64_t retransmits = 0;       // timer-driven re-sends
+  std::uint64_t delivery_failures = 0;  // messages abandoned at the retry cap
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t duplicates_suppressed = 0;
+};
+
+/// Names the in-flight message a pending retransmit timer belongs to, so a
+/// protocol-level response can settle it without knowing the sequence
+/// number, and so a newer send of the same kind replaces the older timer
+/// (e.g. a re-key's KeyInstall supersedes a still-unacked predecessor).
+/// kNone pendings are settled only by DeliveryAck (or the retry cap).
+enum class AckToken : std::uint8_t {
+  kNone,
+  kPeeringRequest,
+  kPeeringAccept,
+  kKeyInstall,
+  kKeyInstallAck,
+  kRekeyComplete,
+};
+
+/// What on_receive decided about an incoming envelope.
+enum class ReceiveAction : std::uint8_t {
+  kFresh,      // first sighting — process it
+  kDuplicate,  // already processed — drop (ack was re-sent if requested)
+  kConsumed,   // link-internal (DeliveryAck) — nothing for the controller
+};
+
+class ReliableLink {
+ public:
+  /// Called when a reliable send exhausts its retries.
+  using FailureHandler = std::function<void(AsNumber peer, AckToken token)>;
+
+  ReliableLink(EventLoop& loop, ConConNetwork& net, AsNumber self,
+               ReliabilityConfig config = {})
+      : loop_(&loop), net_(&net), self_(self), config_(config) {}
+  ~ReliableLink() { cancel_all(); }
+
+  ReliableLink(const ReliableLink&) = delete;
+  ReliableLink& operator=(const ReliableLink&) = delete;
+
+  void set_failure_handler(FailureHandler handler) {
+    on_failure_ = std::move(handler);
+  }
+
+  /// Sends with a retransmit timer. A pending send to the same peer with
+  /// the same non-kNone token is superseded (its timer cancelled silently).
+  void send_reliable(AsNumber to, ControlMessage message,
+                     AckToken token = AckToken::kNone);
+
+  /// Sends once, sequenced (so the receiver can dedup) but without a timer.
+  void send(AsNumber to, ControlMessage message);
+
+  /// Classifies an incoming envelope: consumes DeliveryAcks, answers
+  /// ack requests, and deduplicates. Call before any protocol handling.
+  ReceiveAction on_receive(const Envelope& envelope);
+
+  /// Settles the pending send named (peer, token), if any — a protocol
+  /// response proved delivery before the DeliveryAck did.
+  void settle_token(AsNumber peer, AckToken token);
+
+  /// Settles the pending send to `peer` carrying `seq` (0 is ignored) —
+  /// used when a response echoes the request's sequence number.
+  void settle_seq(AsNumber peer, std::uint64_t seq);
+
+  /// Cancels all pending timers toward `peer` (no failure callbacks).
+  /// Sequence counters and dedup state survive: a later re-peering must
+  /// not reuse sequence numbers the peer may remember.
+  void forget_peer(AsNumber peer);
+
+  /// Cancels every pending timer (shutdown path; no failure callbacks).
+  void cancel_all();
+
+  [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Envelope envelope;
+    AckToken token = AckToken::kNone;
+    int attempts = 1;  // transmissions so far
+    SimTime rto = 0;
+    std::uint64_t timer = 0;
+  };
+  /// Receive-side dedup per peer: every seq <= floor was seen; `ahead`
+  /// holds seen seqs above the floor (compressed when contiguous, evicted
+  /// from the bottom past dedup_window so memory stays bounded).
+  struct PeerRx {
+    std::uint64_t floor = 0;
+    std::set<std::uint64_t> ahead;
+  };
+  using PendingKey = std::pair<AsNumber, std::uint64_t>;  // (to, seq)
+
+  void arm_timer(PendingKey key);
+  void on_timeout(PendingKey key);
+  void erase_pending(std::map<PendingKey, Pending>::iterator it);
+  bool record_seq(PeerRx& rx, std::uint64_t seq);  // false = duplicate
+
+  EventLoop* loop_;
+  ConConNetwork* net_;
+  AsNumber self_;
+  ReliabilityConfig config_;
+  FailureHandler on_failure_;
+  std::unordered_map<AsNumber, std::uint64_t> next_seq_;
+  std::map<PendingKey, Pending> pending_;
+  std::map<std::pair<AsNumber, AckToken>, std::uint64_t> token_index_;
+  std::unordered_map<AsNumber, PeerRx> rx_;
+  ReliabilityStats stats_;
+};
+
+}  // namespace discs

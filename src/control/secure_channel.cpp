@@ -8,16 +8,24 @@ namespace discs {
 
 std::size_t wire_size(const ControlMessage& message) {
   // Single source of truth: the real codec (header endpoints do not affect
-  // the size — the common header is fixed at 16 bytes).
+  // the size — the common header is fixed at 24 bytes).
   return encode_envelope(Envelope{kNoAs, kNoAs, message}).size();
 }
 
-void ConConNetwork::send(AsNumber from, AsNumber to, ControlMessage message) {
+void ConConNetwork::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  lossless_ = fault_plan_.lossless();
+  fault_rng_ = Xoshiro256{fault_plan_.seed};
+  fault_stats_ = {};
+}
+
+void ConConNetwork::send(Envelope envelope) {
   const SimTime now = loop_->now();
+  sweep_sessions(now);
 
   // TLS session management: resume when the cache entry is still fresh,
   // otherwise a full handshake (cost + extra latency).
-  const PairKey key = pair_key(from, to);
+  const PairKey key = pair_key(envelope.from, envelope.to);
   SimTime extra_latency = 0;
   const auto it = session_expiry_.find(key);
   if (it != session_expiry_.end() && it->second > now) {
@@ -31,14 +39,82 @@ void ConConNetwork::send(AsNumber from, AsNumber to, ControlMessage message) {
   stats_.peak_concurrent_sessions =
       std::max(stats_.peak_concurrent_sessions, live_sessions(now));
 
+  // Accounting happens on the send side: the sender pays for bytes it puts
+  // on the wire whether or not the fault model delivers them.
   ++stats_.messages;
-  stats_.bytes += wire_size(message) + cost_.record_overhead_bytes;
+  stats_.bytes += wire_size(envelope.message) + cost_.record_overhead_bytes;
 
-  Envelope envelope{from, to, std::move(message)};
-  loop_->schedule(latency_ + extra_latency, [this, envelope = std::move(envelope)] {
+  if (lossless_) {
+    // Fast path: exactly-once, fixed latency, zero RNG draws — keeps
+    // FaultPlan{} byte-for-byte equivalent to the pre-fault channel.
+    schedule_delivery(std::move(envelope), latency_ + extra_latency);
+    return;
+  }
+
+  if (partitioned(envelope.from, envelope.to, now)) {
+    ++fault_stats_.partition_drops;
+    return;
+  }
+
+  // Draw order is fixed (duplicate, then per-copy drop, then per-copy
+  // jitter, then one reorder delay) so a plan replays identically.
+  int copies = 1;
+  if (fault_plan_.duplicate_probability > 0.0 &&
+      fault_rng_.chance(fault_plan_.duplicate_probability)) {
+    ++copies;
+    ++fault_stats_.duplicated;
+  }
+  SimTime reorder_delay = 0;
+  std::vector<SimTime> copy_delays;
+  for (int c = 0; c < copies; ++c) {
+    bool dropped = false;
+    if (fault_plan_.drop_probability > 0.0 &&
+        fault_rng_.chance(fault_plan_.drop_probability)) {
+      dropped = true;
+      ++fault_stats_.dropped;
+    }
+    SimTime jitter = 0;
+    if (fault_plan_.latency_jitter > 0) {
+      jitter = fault_rng_.below(fault_plan_.latency_jitter + 1);
+    }
+    if (!dropped) copy_delays.push_back(jitter);
+  }
+  if (fault_plan_.reorder_window > 0) {
+    reorder_delay = fault_rng_.below(fault_plan_.reorder_window + 1);
+  }
+  for (std::size_t c = 0; c < copy_delays.size(); ++c) {
+    Envelope copy = (c + 1 == copy_delays.size()) ? std::move(envelope) : envelope;
+    schedule_delivery(std::move(copy),
+                      latency_ + extra_latency + copy_delays[c] + reorder_delay);
+  }
+}
+
+void ConConNetwork::schedule_delivery(Envelope envelope, SimTime delay) {
+  loop_->schedule(delay, [this, envelope = std::move(envelope)] {
     const auto handler = handlers_.find(envelope.to);
     if (handler != handlers_.end()) handler->second(envelope);
   });
+}
+
+bool ConConNetwork::partitioned(AsNumber from, AsNumber to, SimTime now) const {
+  for (const auto& p : fault_plan_.partitions) {
+    const bool matches = (p.a == from && p.b == to) || (p.a == to && p.b == from);
+    if (matches && now >= p.start && now < p.end) return true;
+  }
+  return false;
+}
+
+void ConConNetwork::sweep_sessions(SimTime now) {
+  if (now < next_session_sweep_) return;
+  next_session_sweep_ = now + cost_.session_ttl;
+  for (auto it = session_expiry_.begin(); it != session_expiry_.end();) {
+    if (it->second <= now) {
+      ++stats_.sessions_expired;
+      it = session_expiry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::size_t ConConNetwork::live_sessions(SimTime now) const {

@@ -5,14 +5,21 @@
 //
 // Confidentiality/integrity are assumed (the simulator does not model an
 // on-path adversary inside the channel; §VI-E treats BGP security
-// separately), so "SSL" here is the cost model plus reliable delivery.
+// separately), so "SSL" here is the cost model plus delivery. Delivery is
+// *not* assumed reliable: a seeded FaultPlan can drop, duplicate, reorder,
+// jitter, and partition messages deterministically, modelling the lossy
+// inter-AS paths real controller traffic rides. The default FaultPlan is
+// lossless and reproduces exactly-once fixed-latency delivery bit-for-bit
+// (no RNG draws, identical scheduling, identical ChannelStats).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "control/messages.hpp"
 #include "simkit/event_loop.hpp"
 
@@ -24,6 +31,9 @@ struct ChannelStats {
   std::uint64_t handshakes = 0;      // full TLS handshakes performed
   std::uint64_t session_resumptions = 0;  // session-cache hits
   std::size_t peak_concurrent_sessions = 0;
+  std::uint64_t sessions_expired = 0;  // cache entries swept after the TTL
+
+  friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
 };
 
 /// Cost constants from the paper's cited benchmarks (§VI-C1).
@@ -33,6 +43,48 @@ struct ChannelCostModel {
   std::size_t per_session_memory_bytes = 10 * 1024;  // "less than 10kB" [39]
   SimTime handshake_latency = 2 * kMillisecond;
   SimTime session_ttl = 10 * kMinute;          // session cache lifetime
+};
+
+/// Deterministic, seeded fault model for the con-con channel. All faults
+/// are decided at send time from one RNG stream, so a given (plan, message
+/// sequence) replays identically. The default-constructed plan is lossless
+/// and draws nothing from the RNG.
+struct FaultPlan {
+  /// Each transmitted copy is independently lost with this probability.
+  double drop_probability = 0.0;
+  /// An extra copy of the message is transmitted with this probability
+  /// (both copies are then subject to drop/jitter independently).
+  double duplicate_probability = 0.0;
+  /// Uniform extra queueing delay in [0, reorder_window] drawn once per
+  /// message: messages sent within the window may overtake each other.
+  SimTime reorder_window = 0;
+  /// Uniform extra path latency in [0, latency_jitter] drawn per copy
+  /// (duplicates take independently jittered paths).
+  SimTime latency_jitter = 0;
+  /// Total outage between two ASes (both directions) during [start, end).
+  struct Partition {
+    AsNumber a = kNoAs;
+    AsNumber b = kNoAs;
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+  std::vector<Partition> partitions;
+  std::uint64_t seed = 0x5eed;
+
+  [[nodiscard]] bool lossless() const {
+    return drop_probability <= 0.0 && duplicate_probability <= 0.0 &&
+           reorder_window == 0 && latency_jitter == 0 && partitions.empty();
+  }
+};
+
+/// Counters for the faults actually injected (all zero under a lossless
+/// plan — pinned by the chaos suite's equivalence check).
+struct FaultStats {
+  std::uint64_t dropped = 0;          // copies lost to drop_probability
+  std::uint64_t duplicated = 0;       // extra copies transmitted
+  std::uint64_t partition_drops = 0;  // messages sent into a partition
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
 /// Star-free full-mesh message bus: any registered controller can message
@@ -49,14 +101,29 @@ class ConConNetwork {
   void attach(AsNumber as, Handler handler) { handlers_[as] = std::move(handler); }
   void detach(AsNumber as) { handlers_.erase(as); }
 
+  /// Installs the fault model (resets its RNG stream from plan.seed).
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
+
   /// Sends a message; silently dropped when the destination is not attached
   /// (the sender only learns through its own timeouts, like real networks).
-  void send(AsNumber from, AsNumber to, ControlMessage message);
+  void send(AsNumber from, AsNumber to, ControlMessage message) {
+    send(Envelope{from, to, std::move(message)});
+  }
+  /// Full-envelope variant used by the reliability layer (sequence number
+  /// and ack flag travel with the message; retransmissions reuse them).
+  void send(Envelope envelope);
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Number of currently live TLS sessions (cache entries not yet expired).
   [[nodiscard]] std::size_t live_sessions(SimTime now) const;
+  /// Session-cache entries held (live + not yet swept); bounded by the
+  /// periodic expiry sweep, unlike the pre-sweep cache that grew forever.
+  [[nodiscard]] std::size_t session_cache_size() const {
+    return session_expiry_.size();
+  }
 
  private:
   /// Session cache key: unordered controller pair.
@@ -65,12 +132,28 @@ class ConConNetwork {
     return a < b ? PairKey{a, b} : PairKey{b, a};
   }
 
+  /// True when `from` <-> `to` sits inside an active partition interval.
+  [[nodiscard]] bool partitioned(AsNumber from, AsNumber to, SimTime now) const;
+
+  /// Drops session-cache entries that expired before `now` (amortized: runs
+  /// at most once per TTL period, so stale entries linger < 2 TTLs and every
+  /// send stays O(live pairs), not O(pairs ever seen)).
+  void sweep_sessions(SimTime now);
+
+  /// Schedules one delivery attempt of `envelope` after `delay`.
+  void schedule_delivery(Envelope envelope, SimTime delay);
+
   EventLoop* loop_;
   SimTime latency_;
   ChannelCostModel cost_;
   std::unordered_map<AsNumber, Handler> handlers_;
   std::map<PairKey, SimTime> session_expiry_;
+  SimTime next_session_sweep_ = 0;
   ChannelStats stats_;
+  FaultPlan fault_plan_;
+  bool lossless_ = true;
+  Xoshiro256 fault_rng_{FaultPlan{}.seed};
+  FaultStats fault_stats_;
 };
 
 }  // namespace discs

@@ -15,7 +15,11 @@ DiscsSystem::DiscsSystem(InternetDataset dataset, Config config)
       graph_(generate_graph(dataset_.ases_by_space_desc(), config.graph)),
       channel_(loop_, config.channel_latency),
       bgp_(graph_),
-      sampler_(dataset_, derive_seed(config.seed, 0x7af)) {}
+      sampler_(dataset_, derive_seed(config.seed, 0x7af)) {
+  if (!config_.fault_plan.lossless()) {
+    channel_.set_fault_plan(config_.fault_plan);
+  }
+}
 
 Controller& DiscsSystem::deploy(AsNumber as) {
   if (const auto it = controllers_.find(as); it != controllers_.end()) {

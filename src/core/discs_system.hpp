@@ -66,6 +66,9 @@ class DiscsSystem {
                              .seed = 20121011};
     GraphConfig graph{};
     SimTime channel_latency = 20 * kMillisecond;
+    /// Fault model applied to the con-con channel (drop/duplicate/reorder/
+    /// partition). Lossless by default; the chaos suite dials it up.
+    FaultPlan fault_plan{};
     /// Template applied to every deployed controller (as/seed overridden).
     ControllerConfig controller{};
     std::uint64_t seed = 1;

@@ -35,7 +35,15 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!queue_.empty()) {
+    // Discard cancelled tombstones here instead of letting step() skip
+    // them: step() always runs one live event, and with tombstones at the
+    // queue front that event could lie beyond the deadline.
+    if (!live_ids_.contains(queue_.top().id)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
     step();
   }
   now_ = std::max(now_, deadline);

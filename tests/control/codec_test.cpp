@@ -72,16 +72,44 @@ TEST(CodecTest, InvocationRequestWithMixedFamilies) {
 }
 
 TEST(CodecTest, HeaderFormatIsPinned) {
-  const auto wire = encode_envelope(Envelope{0x01020304, 0x0a0b0c0d,
-                                             PeeringRequest{}});
-  ASSERT_EQ(wire.size(), 16u);
+  Envelope envelope{0x01020304, 0x0a0b0c0d, PeeringRequest{}};
+  envelope.seq = 0x1122334455667788ull;
+  envelope.ack_requested = true;
+  const auto wire = encode_envelope(envelope);
+  ASSERT_EQ(wire.size(), 24u);
   EXPECT_EQ(wire[0], 'D');
-  EXPECT_EQ(wire[3], '1');
+  EXPECT_EQ(wire[3], '2');
   EXPECT_EQ(wire[4], 1);  // kPeeringRequest
+  EXPECT_EQ(wire[5], 1);  // flags: ack requested
+  EXPECT_EQ(wire[6], 0);  // reserved
+  EXPECT_EQ(wire[7], 0);
   EXPECT_EQ(wire[8], 0x01);
   EXPECT_EQ(wire[11], 0x04);
   EXPECT_EQ(wire[12], 0x0a);
   EXPECT_EQ(wire[15], 0x0d);
+  EXPECT_EQ(wire[16], 0x11);  // seq, big-endian
+  EXPECT_EQ(wire[23], 0x88);
+
+  const auto back = decode_envelope(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, envelope.seq);
+  EXPECT_TRUE(back->ack_requested);
+}
+
+TEST(CodecTest, RejectsUnknownFlagBits) {
+  auto wire = encode_envelope(wrap(PeeringRequest{}));
+  wire[5] = 0x02;  // undefined flag bit
+  EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+TEST(CodecTest, ReliabilityMessagesRoundTrip) {
+  expect_round_trip(wrap(DeliveryAck{0xdeadbeefull}));
+  expect_round_trip(wrap(RekeyComplete{42}));
+  expect_round_trip(wrap(InvocationAccept{3, 77}));
+  expect_round_trip(wrap(InvocationReject{"nope", 78}));
+
+  const auto back = decode_envelope(encode_envelope(wrap(InvocationAccept{3, 77})));
+  EXPECT_EQ(std::get<InvocationAccept>(back->message).request_seq, 77u);
 }
 
 TEST(CodecTest, RejectsBadMagicUnknownTypeTruncationAndTrailing) {

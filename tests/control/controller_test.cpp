@@ -377,6 +377,93 @@ TEST_F(ControlPlaneTest, RediscoveryAfterPeeringIsIgnored) {
   EXPECT_TRUE(c1->is_peer(2));
 }
 
+TEST_F(ControlPlaneTest, DuplicatePeeringRequestDoesNotRenegotiateKeys) {
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2);
+  flood_ads({c1.get(), c2.get()});
+  ASSERT_TRUE(c1->is_peer(2));
+  const auto keys_before = c1->stats().keys_generated;
+  const auto stamp_before = c1->tables().key_s.find(2)->active;
+
+  // A duplicated / replayed PeeringRequest reaches the peered side twice
+  // (e.g. the sender's retransmit raced its own ack). The handler must
+  // re-accept idempotently — no fresh key negotiation, no serial churn.
+  net_.send(2, 1, PeeringRequest{});
+  net_.send(2, 1, PeeringRequest{});
+  loop_.run();
+
+  EXPECT_EQ(c1->stats().keys_generated, keys_before);
+  EXPECT_EQ(c1->tables().key_s.find(2)->active, stamp_before);
+  EXPECT_TRUE(c1->is_peer(2));
+  EXPECT_TRUE(c2->is_peer(1));
+  EXPECT_EQ(c1->tables().key_s.find(2)->active,
+            c2->tables().key_v.find(1)->active);
+  EXPECT_EQ(c1->link().pending_count(), 0u);
+}
+
+TEST_F(ControlPlaneTest, RekeySurvivesLostAcksAndKeepsGraceKeyUntilCommit) {
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2);
+  flood_ads({c1.get(), c2.get()});
+  c1->invoke_ddos_defense(pfx("10.1.0.0/16"), false);
+  loop_.run_until(loop_.now() + kSecond);
+
+  // Partition opens just after the KeyInstall leaves c2, swallowing the
+  // KeyInstallAck and every retransmission for three seconds.
+  const SimTime t0 = loop_.now();
+  FaultPlan plan;
+  plan.partitions = {{1, 2, t0 + 5 * kMillisecond, t0 + 3 * kSecond}};
+  net_.set_fault_plan(plan);
+  c2->rekey_all_peers();
+
+  // Well past the old fixed 2 s grace window, still inside the partition:
+  // c2 never saw an ack so it has not committed and still stamps with the
+  // old key — c1 must still hold the grace key to verify that traffic.
+  // (A timer-based grace drop fails exactly here.)
+  loop_.run_until(t0 + 2500 * kMillisecond);
+  EXPECT_EQ(c2->stats().rekeys_completed, 0u);
+  ASSERT_TRUE(c1->tables().key_v.find(2)->previous.has_value());
+  auto old_stamped =
+      Ipv4Packet::make(ip("20.0.0.5"), ip("10.1.0.1"), IpProto::kUdp, {1});
+  EXPECT_EQ(c2->router().process_outbound(old_stamped, loop_.now()),
+            Verdict::kPass);
+  EXPECT_EQ(c1->router().process_inbound(old_stamped, loop_.now()),
+            Verdict::kPass);
+
+  // The partition heals, a retransmission completes the handshake, and the
+  // RekeyComplete-gated grace drop finally fires.
+  loop_.run_until(t0 + 12 * kSecond);
+  EXPECT_EQ(c2->stats().rekeys_completed, 1u);
+  EXPECT_FALSE(c1->tables().key_v.find(2)->previous.has_value());
+  EXPECT_GT(net_.fault_stats().partition_drops, 0u);
+  EXPECT_GT(c1->link().stats().retransmits + c2->link().stats().retransmits,
+            0u);
+  EXPECT_EQ(c2->tables().key_s.find(1)->active,
+            c1->tables().key_v.find(2)->active);
+
+  auto fresh =
+      Ipv4Packet::make(ip("20.0.0.5"), ip("10.1.0.1"), IpProto::kUdp, {2});
+  EXPECT_EQ(c2->router().process_outbound(fresh, loop_.now()), Verdict::kPass);
+  EXPECT_EQ(c1->router().process_inbound(fresh, loop_.now()), Verdict::kPass);
+}
+
+TEST_F(ControlPlaneTest, UnreachablePeerRollsBackToDiscovered) {
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2);
+  // AS 2 is partitioned away for the whole retry budget: the peering
+  // request must exhaust its retransmissions, count a delivery failure,
+  // and roll AS 2 back to kDiscovered instead of wedging in kRequested.
+  FaultPlan plan;
+  plan.partitions = {{1, 2, 0, kHour}};
+  net_.set_fault_plan(plan);
+  c1->discover(c2->advertisement());
+  loop_.run_until(2 * kMinute);
+
+  EXPECT_EQ(c1->link().stats().delivery_failures, 1u);
+  EXPECT_EQ(c1->peer_state(2), PeerState::kDiscovered);
+  EXPECT_EQ(c1->link().pending_count(), 0u);
+}
+
 TEST_F(ControlPlaneTest, DetachedControllerStopsReceiving) {
   auto c1 = make_controller(1);
   auto c2 = make_controller(2);

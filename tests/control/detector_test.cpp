@@ -65,6 +65,45 @@ TEST(RateDetectorTest, HolddownSuppressesRefire) {
   EXPECT_EQ(fires, 2);
 }
 
+TEST(RateDetectorTest, HolddownDoesNotAccumulateSamples) {
+  // Window much longer than the holddown, so any samples recorded *during*
+  // the holddown would still be in-window when it ends. A single packet
+  // right after the quiet period must not re-fire off that stale backlog —
+  // observe() has to drop samples while held down, not just mute the
+  // trigger.
+  RateDetector::Config cfg;
+  cfg.threshold_packets = 10;
+  cfg.window = 2 * kMinute;
+  cfg.holddown = kMinute;
+  RateDetector detector({pfx("10.1.0.0/16")}, cfg);
+
+  SimTime t = kSecond;
+  int fires = 0;
+  for (int k = 0; k < 10; ++k) {
+    fires += detector.observe(ip("10.1.0.1"), t += kMillisecond).has_value();
+  }
+  ASSERT_EQ(fires, 1);
+  const SimTime quiet_until = t + kMinute;
+
+  // Heavy flood throughout the holddown: all suppressed, none recorded.
+  while (t < quiet_until - kSecond) {
+    EXPECT_FALSE(detector.observe(ip("10.1.0.1"), t += 100 * kMillisecond)
+                     .has_value());
+  }
+
+  // One packet after the holddown: far below threshold on its own, and the
+  // flood above must not count toward it.
+  EXPECT_FALSE(
+      detector.observe(ip("10.1.0.1"), quiet_until + kSecond).has_value());
+
+  // The detector is still alive: a genuine fresh burst re-fires.
+  t = quiet_until + 2 * kSecond;
+  for (int k = 0; k < 9; ++k) {
+    fires += detector.observe(ip("10.1.0.1"), t += kMillisecond).has_value();
+  }
+  EXPECT_EQ(fires, 2);  // 1 prior sample + 9 fresh = threshold
+}
+
 TEST(RateDetectorTest, PerPrefixIsolation) {
   RateDetector detector({pfx("10.1.0.0/16"), pfx("10.2.0.0/16")},
                         tight_config());

@@ -6,7 +6,7 @@ namespace discs {
 namespace {
 
 TEST(WireSizeTest, MatchesTheRealCodec) {
-  EXPECT_EQ(wire_size(PeeringRequest{}), 16u);  // header only
+  EXPECT_EQ(wire_size(PeeringRequest{}), 24u);  // header only
   EXPECT_GT(wire_size(KeyInstall{}), wire_size(KeyInstallAck{}));
   InvocationRequest inv;
   inv.triples.resize(3);  // v4 triples: family+addr+len+functions+duration
@@ -87,6 +87,101 @@ TEST(ConConNetworkTest, ByteAccountingIncludesOverheads) {
   net.send(1, 2, KeyInstall{});
   loop.run();
   EXPECT_EQ(net.stats().bytes, 1500u + wire_size(KeyInstall{}) + 29u);
+}
+
+TEST(ConConNetworkTest, SessionCacheStaysBoundedOverTime) {
+  EventLoop loop;
+  ChannelCostModel cost;
+  cost.session_ttl = kSecond;
+  ConConNetwork net(loop, 0, cost);
+  net.attach(1, [](const Envelope&) {});
+  // A churn of short-lived pairs: each second a different peer talks to
+  // AS 1, and dead sessions get swept instead of accumulating forever.
+  for (AsNumber as = 2; as <= 101; ++as) {
+    net.send(as, 1, PeeringRequest{});
+    loop.run_until(loop.now() + kSecond);
+  }
+  loop.run();
+  EXPECT_GT(net.stats().sessions_expired, 90u);
+  EXPECT_LE(net.session_cache_size(), 10u);
+  EXPECT_LE(net.live_sessions(loop.now()), net.session_cache_size());
+}
+
+TEST(ConConNetworkTest, CertainDropDeliversNothing) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  std::size_t received = 0;
+  net.attach(2, [&](const Envelope&) { ++received; });
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  net.set_fault_plan(plan);
+  for (int k = 0; k < 20; ++k) net.send(1, 2, PeeringRequest{});
+  loop.run();
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(net.fault_stats().dropped, 20u);
+  EXPECT_EQ(net.stats().messages, 20u);  // cost accounting is send-side
+}
+
+TEST(ConConNetworkTest, CertainDuplicationDeliversTwoCopies) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  std::size_t received = 0;
+  net.attach(2, [&](const Envelope&) { ++received; });
+  FaultPlan plan;
+  plan.duplicate_probability = 1.0;
+  net.set_fault_plan(plan);
+  net.send(1, 2, PeeringRequest{});
+  loop.run();
+  EXPECT_EQ(received, 2u);
+  EXPECT_EQ(net.fault_stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().messages, 1u);  // the duplicate is the fault's doing
+}
+
+TEST(ConConNetworkTest, PartitionBlocksBothDirectionsWithinWindow) {
+  EventLoop loop;
+  ConConNetwork net(loop);
+  std::size_t received = 0;
+  net.attach(1, [&](const Envelope&) { ++received; });
+  net.attach(2, [&](const Envelope&) { ++received; });
+  FaultPlan plan;
+  plan.partitions = {{1, 2, kSecond, 3 * kSecond}};
+  net.set_fault_plan(plan);
+
+  net.send(1, 2, PeeringRequest{});  // t=0: before the window, flows
+  loop.run_until(2 * kSecond);
+  net.send(1, 2, PeeringRequest{});  // t=2s: inside, both directions cut
+  net.send(2, 1, PeeringRequest{});
+  loop.run_until(4 * kSecond);
+  net.send(2, 1, PeeringRequest{});  // t=4s: healed
+  loop.run();
+
+  EXPECT_EQ(received, 2u);
+  EXPECT_EQ(net.fault_stats().partition_drops, 2u);
+}
+
+TEST(ConConNetworkTest, SameSeedReplaysTheSameFaultSchedule) {
+  const auto run_once = [] {
+    EventLoop loop;
+    ConConNetwork net(loop);
+    std::vector<SimTime> deliveries;
+    net.attach(2, [&](const Envelope&) { deliveries.push_back(loop.now()); });
+    FaultPlan plan;
+    plan.drop_probability = 0.3;
+    plan.duplicate_probability = 0.2;
+    plan.latency_jitter = 30 * kMillisecond;
+    plan.reorder_window = 20 * kMillisecond;
+    plan.seed = 1234;
+    net.set_fault_plan(plan);
+    for (int k = 0; k < 50; ++k) net.send(1, 2, PeeringRequest{});
+    loop.run();
+    return std::make_pair(deliveries, net.fault_stats());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_TRUE(a.second == b.second);
+  EXPECT_GT(a.second.dropped, 0u);
+  EXPECT_GT(a.second.duplicated, 0u);
 }
 
 TEST(ConConNetworkTest, TracksPeakConcurrentSessions) {
