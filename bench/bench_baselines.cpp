@@ -18,7 +18,9 @@
 
 using namespace discs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "baselines");
+  bench::JsonWriter json = bench::make_writer("baselines", args);
   SyntheticConfig internet;
   internet.num_ases = 2000;
   internet.num_prefixes = 20000;
@@ -83,15 +85,18 @@ int main() {
     das_on_path /= paths;
   }
   for (std::size_t m = 0; m < methods.size(); ++m) {
+    const std::string name = method_name(methods[m]);
+    const double eff_d = double(counts[m].direct) / kFlows;
+    const double eff_s = double(counts[m].reflect) / kFlows;
     std::printf("  %-10s %-12.4f %-12.4f %-12.4f %-12.4f %-10.2f %-9s %-8s\n",
-                method_name(methods[m]).c_str(),
+                name.c_str(),
                 method_incentive(methods[m], s1, s2, mean_rv, false),
                 method_incentive(methods[m], s1, s2, mean_rv, true),
-                double(counts[m].direct) / kFlows,
-                double(counts[m].reflect) / kFlows,
-                marks_per_packet(methods[m], das_on_path),
+                eff_d, eff_s, marks_per_packet(methods[m], das_on_path),
                 always_on(methods[m]) ? "yes" : "no",
                 requires_central_server(methods[m]) ? "yes" : "no");
+    json.metric("method_comparison", name + "_eff_direct", eff_d);
+    json.metric("method_comparison", name + "_eff_reflection", eff_s);
   }
 
   bench::header("uRPF under route asymmetry (paper: inherent false positives)");
@@ -128,6 +133,9 @@ int main() {
                 double(filtered) / kPathFlows, fp);
     std::printf("  feasible-path mode (RFC 3704 remedy): FP rate %.4f\n",
                 fp_feasible);
+    json.metric("urpf", "spoof_filter_rate", double(filtered) / kPathFlows);
+    json.metric("urpf", "strict_fp_rate", fp);
+    json.metric("urpf", "feasible_fp_rate", fp_feasible);
     bench::row("uRPF inherent FP present (1 = yes)", 1.0, fp > 0 ? 1.0 : 0.0);
     bench::row("feasible-path FP below strict (1 = yes)", 1.0,
                fp_feasible < fp ? 1.0 : 0.0);
@@ -177,6 +185,8 @@ int main() {
     std::printf("  spoof detection rate %.3f (misses equidistant agents); "
                 "route-change FP rate %.3f\n",
                 double(filtered) / double(total), double(fp) / double(fp_total));
+    json.metric("hcf", "detection_rate", double(filtered) / double(total));
+    json.metric("hcf", "route_change_fp_rate", double(fp) / double(fp_total));
   }
 
   bench::header("Passport per-packet cost vs DISCS (measured on the data planes)");
@@ -227,6 +237,10 @@ int main() {
                discs.served_fraction(TrafficClass::kVerified));
     bench::row("genuine traffic served, MEF (no inbound signal)", 0.10,
                mef.served_fraction(TrafficClass::kVerified));
+    json.metric("overload", "discs_genuine_served",
+                discs.served_fraction(TrafficClass::kVerified));
+    json.metric("overload", "mef_genuine_served",
+                mef.served_fraction(TrafficClass::kVerified));
   }
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

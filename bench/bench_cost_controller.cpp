@@ -12,7 +12,9 @@
 
 using namespace discs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "cost_controller");
+  bench::JsonWriter json = bench::make_writer("cost_controller", args);
   bench::header("Section VI-C.1 — controller cost model (43k ASes, 442k prefixes)");
   const auto cost = controller_cost(43000, 442000);
   bench::row("AS table memory", 1.6, cost.as_table_mb, "MB");
@@ -28,6 +30,12 @@ int main() {
   bench::row("CPU utilization (Atom @1.66GHz reference)", 0.073,
              cost.cpu_utilization);
   bench::row("control bandwidth under attack", 1.76, cost.bandwidth_mbps, "Mbps");
+  json.metric("cost_model", "total_memory_mb", cost.total_mb);
+  json.metric("cost_model", "rekeys_per_minute", cost.rekeys_per_minute);
+  json.metric("cost_model", "ssl_conns_per_second",
+              cost.ssl_conns_per_second_under_attack);
+  json.metric("cost_model", "cpu_utilization", cost.cpu_utilization);
+  json.metric("cost_model", "bandwidth_mbps", cost.bandwidth_mbps);
 
   // Live measurement: a victim with 200 peers invokes defense; count the
   // actual channel work the simulator performs.
@@ -40,6 +48,7 @@ int main() {
 
     EventLoop loop;
     ConConNetwork channel(loop, 10 * kMillisecond);
+    channel.bind_metrics(telemetry::MetricsRegistry::global());
     std::vector<std::unique_ptr<Controller>> controllers;
     for (AsNumber as = 1; as <= 201; ++as) {
       ControllerConfig cfg;
@@ -68,6 +77,13 @@ int main() {
                 static_cast<unsigned long long>(channel.stats().messages - before));
     std::printf("  peak concurrent TLS sessions: %zu\n",
                 channel.stats().peak_concurrent_sessions);
+    json.metric("measured", "peering_messages",
+                static_cast<double>(peering_stats.messages));
+    json.metric("measured", "peering_mb", double(peering_stats.bytes) / 1e6);
+    json.metric("measured", "handshakes",
+                static_cast<double>(peering_stats.handshakes));
+    json.metric("measured", "peak_concurrent_sessions",
+                static_cast<double>(channel.stats().peak_concurrent_sessions));
   }
 
   // On-demand vs always-on processing load (§IV-E quantified): with the
@@ -84,6 +100,8 @@ int main() {
                 100.0 * load1);
     bench::row("always-on methods (IF/uRPF/SPM/Passport)", 1.0, 1.0);
     bench::row("DISCS on-demand (paper's attack stats)", 0.0, load24);
+    json.metric("on_demand_load", "load_24h_invocations", load24);
+    json.metric("on_demand_load", "load_1h_invocations", load1);
   }
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

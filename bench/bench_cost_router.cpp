@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "dataplane/router.hpp"
@@ -89,6 +91,28 @@ BENCHMARK(BM_TupleGeneration);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This binary mixes the shared harness flags with google-benchmark's own
+  // (--benchmark_*): split argv so each parser only sees its flags.
+  std::vector<char*> ours{argv[0]};
+  std::vector<char*> bm{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      ours.push_back(argv[i]);
+    } else if ((a == "--trace" || a == "--metrics") && i + 1 < argc) {
+      ours.push_back(argv[i]);
+      ours.push_back(argv[++i]);
+    } else if (a.ends_with(".json")) {
+      ours.push_back(argv[i]);
+    } else {
+      bm.push_back(argv[i]);
+    }
+  }
+  int ours_argc = static_cast<int>(ours.size());
+  const bench::Args args =
+      bench::parse_args(ours_argc, ours.data(), "cost_router");
+  bench::JsonWriter json = bench::make_writer("cost_router", args);
+
   bench::header("Section VI-C.2 — router cost model (43k ASes, 442k prefixes)");
   const auto cost = router_cost(43000, 442000);
   bench::row("SRAM for Pfx2AS + function tables + keys", 3.5, cost.sram_mb, "MB");
@@ -98,6 +122,10 @@ int main(int argc, char** argv) {
   bench::row("hardware CMAC packet rate, IPv6", 5.33, cost.hw_mpps_ipv6, "Mpps");
   bench::row("line rate @400B payload, IPv4", 26.25, cost.hw_gbps_ipv4, "Gbps");
   bench::row("line rate @400B payload, IPv6", 18.33, cost.hw_gbps_ipv6, "Gbps");
+  json.metric("cost_model", "sram_mb", cost.sram_mb);
+  json.metric("cost_model", "cam_kb", cost.cam_kb);
+  json.metric("cost_model", "hw_mpps_ipv4", cost.hw_mpps_ipv4);
+  json.metric("cost_model", "hw_mpps_ipv6", cost.hw_mpps_ipv6);
 
   // Build the actual router tables at snapshot scale and report their real
   // heap footprint next to the paper's SRAM estimate.
@@ -111,12 +139,16 @@ int main(int argc, char** argv) {
     }
     std::printf("  Pfx2AS entries: %zu, binary-trie heap: %.1f MB\n",
                 table.size(), double(table.memory_bytes()) / (1024 * 1024));
+    json.metric("measured", "pfx2as_entries", static_cast<double>(table.size()));
+    json.metric("measured", "trie_heap_mb",
+                double(table.memory_bytes()) / (1024 * 1024));
     bench::note("(software tries trade memory for portability; ASIC SRAM/TCAM"
                 " packs the same data into the paper's 3.5 MB)");
   }
 
   std::printf("\n--- software AES-CMAC / stamping microbenchmarks ---\n");
-  benchmark::Initialize(&argc, argv);
+  int bm_argc = static_cast<int>(bm.size());
+  benchmark::Initialize(&bm_argc, bm.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

@@ -120,14 +120,10 @@ double bench_mac_batch(const AesCmac& cmac, std::size_t len, unsigned bits) {
 
 int main(int argc, char** argv) {
   using namespace discs;
-  const char* out = "results/bench_crypto.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      g_reps = 1;
-      g_iters = 1 << 13;
-    } else {
-      out = argv[i];
-    }
+  const bench::Args args = bench::parse_args(argc, argv, "crypto");
+  if (args.smoke) {
+    g_reps = 1;
+    g_iters = 1 << 13;
   }
 
   const Aes128 cipher(derive_key128(1));
@@ -137,7 +133,9 @@ int main(int argc, char** argv) {
   bench::note("ops/sec, best of " + std::to_string(g_reps) + " reps of " +
               std::to_string(g_iters) + " ops; mac21 = IPv4 mark msg, "
               "mac40 = IPv6 mark msg");
-  bench::JsonWriter json("crypto");
+  bench::JsonWriter json = bench::make_writer("crypto", args);
+  // This bench sweeps every backend rather than running under one.
+  json.label("backend", "all");
 
   std::map<std::string, std::map<std::string, double>> rates;
   for (AesBackend backend :
@@ -178,6 +176,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  json.write(out);
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

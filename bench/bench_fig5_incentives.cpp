@@ -14,7 +14,9 @@
 
 using namespace discs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "fig5_incentives");
+  bench::JsonWriter json = bench::make_writer("fig5_incentives", args);
   bench::header("Figure 5 — deployment incentives vs deployment ratio");
   bench::note("synthetic snapshot: 44036 ASes / ~442k prefixes, 50 random trials");
 
@@ -26,7 +28,7 @@ int main() {
   for (int pct = 0; pct <= 100; pct += 2) counts.push_back(n * pct / 100);
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
-  constexpr std::size_t kTrials = 50;
+  const std::size_t kTrials = args.smoke ? 5 : 50;
   const auto dp = run_random_trials(dataset, counts, CurveMetric::kIncentiveDp,
                                     kTrials, 1);
   const auto cdp = run_random_trials(dataset, counts, CurveMetric::kIncentiveCdp,
@@ -62,5 +64,9 @@ int main() {
   bench::row("incentive at 50% deployment", 0.6865, value_at(both, 0.50));
   bench::row("DP vs CDP curve gap at 50% (near-coincident)", 0.0,
              value_at(dp, 0.5) - value_at(cdp, 0.5));
-  return 0;
+  json.metric("anchors", "incentive_at_10pct", value_at(both, 0.10));
+  json.metric("anchors", "incentive_at_50pct", value_at(both, 0.50));
+  json.metric("anchors", "dp_cdp_gap_at_50pct",
+              value_at(dp, 0.5) - value_at(cdp, 0.5));
+  return bench::finish(json, args) ? 0 : 1;
 }

@@ -38,7 +38,10 @@ void print_three(const char* title, const std::vector<std::size_t>& counts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "fig6_strategy");
+  bench::JsonWriter json = bench::make_writer("fig6_strategy", args);
+  const std::size_t trials = args.smoke ? 5 : 50;
   const auto dataset = generate_dataset(SyntheticConfig{});
   const std::size_t n = dataset.as_count();
   const auto optimal_order =
@@ -55,7 +58,7 @@ int main() {
         std::pair{CurveMetric::kIncentiveDpCdp,
                   "Figure 6b — deployment incentives (whole process)"}}) {
     const auto uniform = run_uniform_deployment(n, whole, metric);
-    const auto random = run_random_trials(dataset, whole, metric, 50, 2);
+    const auto random = run_random_trials(dataset, whole, metric, trials, 2);
     const auto optimal = run_deployment(dataset, optimal_order, whole, metric);
     print_three(title_a, whole, uniform, random, optimal);
   }
@@ -68,7 +71,8 @@ int main() {
   const auto uniform_early =
       run_uniform_deployment(n, early, CurveMetric::kIncentiveDpCdp);
   const auto random_early =
-      run_random_trials(dataset, early, CurveMetric::kIncentiveDpCdp, 50, 2);
+      run_random_trials(dataset, early, CurveMetric::kIncentiveDpCdp, trials,
+                        2);
   const auto optimal_early = run_deployment(dataset, optimal_order, early,
                                             CurveMetric::kIncentiveDpCdp);
   print_three("Figure 6c — deployment incentives (early stage)", early,
@@ -86,5 +90,8 @@ int main() {
                                                              1e-9;
   }
   bench::row("dominance holds (1 = yes)", 1.0, dominance ? 1.0 : 0.0);
-  return 0;
+  json.metric("anchors", "incentive_50_largest", at_count(optimal_early, 50));
+  json.metric("anchors", "incentive_200_largest", at_count(optimal_early, 200));
+  json.metric("anchors", "dominance_holds", dominance ? 1.0 : 0.0);
+  return bench::finish(json, args) ? 0 : 1;
 }

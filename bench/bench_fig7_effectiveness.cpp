@@ -31,7 +31,11 @@ double at_count(const DeploymentCurve& curve, std::size_t count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "fig7_effectiveness");
+  bench::JsonWriter json = bench::make_writer("fig7_effectiveness", args);
+  const std::size_t trials = args.smoke ? 5 : 50;
+  const std::size_t mc_flows = args.smoke ? 50000 : 500000;
   const auto dataset = generate_dataset(SyntheticConfig{});
   const std::size_t n = dataset.as_count();
   const auto optimal_order =
@@ -44,7 +48,7 @@ int main() {
     const auto uniform =
         run_uniform_deployment(n, whole, CurveMetric::kEffectiveness);
     const auto random = run_random_trials(dataset, whole,
-                                          CurveMetric::kEffectiveness, 50, 3);
+                                          CurveMetric::kEffectiveness, trials, 3);
     const auto optimal = run_deployment(dataset, optimal_order, whole,
                                         CurveMetric::kEffectiveness);
     bench::header("Figure 7a — global spoofing reduction (whole process)");
@@ -64,7 +68,7 @@ int main() {
   const auto uniform_early =
       run_uniform_deployment(n, early, CurveMetric::kEffectiveness);
   const auto random_early = run_random_trials(
-      dataset, early, CurveMetric::kEffectiveness, 50, 3);
+      dataset, early, CurveMetric::kEffectiveness, trials, 3);
   const auto optimal_early = run_deployment(dataset, optimal_order, early,
                                             CurveMetric::kEffectiveness);
 
@@ -105,15 +109,20 @@ int main() {
       deployed.insert(dataset.as_numbers()[optimal_order[i]]);
     }
     const auto mc_d = simulate_effectiveness(dataset, deployed,
-                                             AttackType::kDirect, 500000, 11);
+                                             AttackType::kDirect, mc_flows, 11);
     const auto mc_s = simulate_effectiveness(
-        dataset, deployed, AttackType::kReflection, 500000, 12);
+        dataset, deployed, AttackType::kReflection, mc_flows, 12);
     bench::header("Closed form vs flow-level Monte Carlo (50 largest)");
     bench::row("closed form", state.effectiveness(), state.effectiveness());
     bench::row("Monte Carlo, d-DDoS (500k flows)", state.effectiveness(),
                mc_d.fraction());
     bench::row("Monte Carlo, s-DDoS (500k flows)", state.effectiveness(),
                mc_s.fraction());
+    json.metric("monte_carlo", "closed_form", state.effectiveness());
+    json.metric("monte_carlo", "mc_direct", mc_d.fraction());
+    json.metric("monte_carlo", "mc_reflection", mc_s.fraction());
   }
-  return 0;
+  json.metric("anchors", "reduction_50_largest", at_count(optimal_early, 50));
+  json.metric("anchors", "reduction_629_largest", at_count(optimal_early, 629));
+  return bench::finish(json, args) ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 
 using namespace discs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "net_overhead");
+  bench::JsonWriter json = bench::make_writer("net_overhead", args);
   const AesCmac mac(derive_key128(1));
 
   bench::header("Section VI-C.2 — network overhead of stamping");
@@ -46,6 +48,9 @@ int main() {
   bench::row("IPv6 goodput decrease", 0.016, measured);
   bench::row("IPv4 goodput decrease", 0.0, 0.0);
   bench::row("model (eval/cost)", 0.016, network_overhead(400).ipv6_goodput_loss);
+  json.metric("anchors", "ipv6_goodput_loss_400b", measured);
+  json.metric("anchors", "ipv6_goodput_loss_model",
+              network_overhead(400).ipv6_goodput_loss);
 
   bench::header("MTU edge (paper: announce MTU-8 via ICMPv6 Packet Too Big)");
   auto big = Ipv6Packet::make(*Ipv6Address::parse("2001:db8::1"),
@@ -54,5 +59,6 @@ int main() {
   const auto outcome = ipv6_stamp(big, mac, 1500);
   bench::row("stamping 1496B packet at MTU 1500 -> too_big", 1.0,
              outcome.too_big ? 1.0 : 0.0);
-  return 0;
+  json.metric("anchors", "mtu_too_big", outcome.too_big ? 1.0 : 0.0);
+  return bench::finish(json, args) ? 0 : 1;
 }

@@ -15,7 +15,10 @@
 
 using namespace discs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv, "security");
+  bench::JsonWriter json = bench::make_writer("security", args);
+  const std::size_t forgery_attempts = args.smoke ? 200'000 : 2'000'000;
   bench::header("Section VI-E.1 — brute-force MAC forgery factors");
   bench::row("expected packets per hit, IPv4 (29-bit)", std::pow(2, 28),
              forgery_expected_attempts(29, 1));
@@ -28,13 +31,17 @@ int main() {
 
   bench::header("Empirical forgery trials against the real verifier");
   for (unsigned bits : {8u, 12u, 16u}) {
-    const auto single = run_forgery_trials(bits, 2'000'000, 1, 42);
-    const auto rekey = run_forgery_trials(bits, 2'000'000, 2, 42);
+    const auto single = run_forgery_trials(bits, forgery_attempts, 1, 42);
+    const auto rekey = run_forgery_trials(bits, forgery_attempts, 2, 42);
     std::printf(
         "  %2u-bit marks: measured rate %.3e (expected %.3e); rekey window "
         "%.3e (expected %.3e)\n",
         bits, single.success_rate, single.expected_rate, rekey.success_rate,
         rekey.expected_rate);
+    const std::string key = std::to_string(bits) + "bit";
+    json.metric("forgery", key + "_measured_rate", single.success_rate);
+    json.metric("forgery", key + "_expected_rate", single.expected_rate);
+    json.metric("forgery", key + "_rekey_measured_rate", rekey.success_rate);
   }
 
   bench::header("Section VI-E.2 — replay attacks (packet-level checks)");
@@ -65,6 +72,8 @@ int main() {
     (void)peer.process_inbound(te, kMinute);
     bench::row("TTL-exceeded echo scrubbed (1 = yes)", 1.0,
                peer.stats().icmp_scrubbed == 1 ? 1.0 : 0.0);
+    json.metric("replay", "ttl_exceeded_scrubbed",
+                peer.stats().icmp_scrubbed == 1 ? 1.0 : 0.0);
 
     // Captured-mark reuse on a modified packet must fail verification.
     auto forged = Ipv4Packet::make(*Ipv4Address::parse("10.0.0.1"),
@@ -73,8 +82,11 @@ int main() {
     forged.header.identification = static_cast<std::uint16_t>(mark >> 13);
     forged.header.fragment_offset = static_cast<std::uint16_t>(mark & 0x1fff);
     forged.header.refresh_checksum();
+    const double replay_dropped =
+        is_drop(victim.process_inbound(forged, kMinute)) ? 1.0 : 0.0;
     bench::row("replayed mark on different msg dropped (1 = yes)", 1.0,
-               is_drop(victim.process_inbound(forged, kMinute)) ? 1.0 : 0.0);
+               replay_dropped);
+    json.metric("replay", "mark_reuse_dropped", replay_dropped);
   }
 
   bench::header("Section VI-E.3 — key-leakage exposure (fraction of global spoofing re-enabled)");
@@ -91,6 +103,8 @@ int main() {
                 largest, median);
     bench::note("(damage is limited to traffic involving the leaked DAS and is"
                 " recovered by emergency re-keying, Controller::handle_key_leakage)");
+    json.metric("key_leakage", "largest_das_exposure", largest);
+    json.metric("key_leakage", "median_das_exposure", median);
   }
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

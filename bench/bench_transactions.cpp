@@ -21,7 +21,8 @@
 namespace discs {
 namespace {
 
-constexpr int kReps = 3;
+int g_reps = 3;          // 1 under --smoke
+std::size_t g_scale = 1;  // divides section workloads under --smoke
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -37,7 +38,7 @@ void table_update_section(bench::JsonWriter& json) {
 
   double per_entry = 0;
   double batched = 0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < g_reps; ++rep) {
     {
       RouterTables tables;
       DataPlaneEngine engine(tables, 1);
@@ -73,12 +74,12 @@ void table_update_section(bench::JsonWriter& json) {
 /// Small-transaction application rate: engine.apply directly and via a
 /// zero-latency channel (adds delivery bookkeeping + sweep scheduling).
 void txn_rate_section(bench::JsonWriter& json) {
-  constexpr std::size_t kTxns = 100000;
+  const std::size_t kTxns = 100000 / g_scale;
   bench::header("small-transaction rate (1 key op per txn)");
 
   double direct = 0;
   double channeled = 0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < g_reps; ++rep) {
     {
       RouterTables tables;
       tables.seal();
@@ -118,7 +119,7 @@ void txn_rate_section(bench::JsonWriter& json) {
 /// the same armed two-DAS topology (identically-seeded systems, identical
 /// sampler streams).
 void batch_path_section(bench::JsonWriter& json) {
-  constexpr std::size_t kPackets = 50000;
+  const std::size_t kPackets = 50000 / g_scale;
   bench::header("DiscsSystem attack traffic: serial vs batch path");
 
   const auto build = [] {
@@ -174,13 +175,18 @@ void batch_path_section(bench::JsonWriter& json) {
 
 int main(int argc, char** argv) {
   using namespace discs;
+  const bench::Args args = bench::parse_args(argc, argv, "transactions");
+  if (args.smoke) {
+    g_reps = 1;
+    g_scale = 10;
+  }
   bench::header("transactional table-update pipeline");
-  bench::note("best of 3 reps per section; single-threaded engine shards on "
+  bench::note("best of " + std::to_string(g_reps) +
+              " reps per section; single-threaded engine shards on "
               "a 1-core host measure pipeline overhead, not parallelism");
-  bench::JsonWriter json("transactions");
+  bench::JsonWriter json = bench::make_writer("transactions", args);
   table_update_section(json);
   txn_rate_section(json);
   batch_path_section(json);
-  json.write(argc > 1 ? argv[1] : "results/bench_transactions.json");
-  return 0;
+  return bench::finish(json, args) ? 0 : 1;
 }

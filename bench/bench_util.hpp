@@ -6,7 +6,13 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "crypto/aes_backend.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace discs::bench {
 
@@ -32,16 +38,33 @@ inline void curve(const std::string& name, const std::vector<std::size_t>& xs,
 }
 
 /// Machine-readable companion to the console tables: collects
-/// section/key/value metrics and writes them as one JSON document
-/// (results/bench_*.json), so a driver can diff runs without scraping the
-/// printf output. Sections and keys keep insertion order.
+/// section/key/value metrics plus string labels and writes them as one JSON
+/// document (results/bench_*.json), so a driver can diff runs without
+/// scraping the printf output. Sections, keys and labels keep insertion
+/// order. Every document carries a schema_version stamp so the driver can
+/// detect layout changes.
 class JsonWriter {
  public:
+  /// Bumped whenever the document layout changes (2 = labels object added).
+  static constexpr int kSchemaVersion = 2;
+
   explicit JsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
 
   void metric(const std::string& section, const std::string& key,
               double value) {
     entries_.push_back({section, key, value});
+  }
+
+  /// String metadata stamped into a top-level "labels" object (backend,
+  /// host facts, smoke flag). Setting an existing key overwrites it.
+  void label(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : labels_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    labels_.emplace_back(key, value);
   }
 
   /// Writes the document; returns false (and prints a note) when the path
@@ -53,7 +76,14 @@ class JsonWriter {
       std::printf("  # json: could not open %s for writing\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,",
+                 name_.c_str(), kSchemaVersion);
+    std::fprintf(f, "\n  \"labels\": {");
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                   labels_[i].first.c_str(), labels_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
     std::vector<std::string> sections;
     for (const Entry& e : entries_) {
       bool seen = false;
@@ -85,7 +115,69 @@ class JsonWriter {
     double value;
   };
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> labels_;
   std::vector<Entry> entries_;
 };
+
+/// Command line shared by the harness binaries:
+///   bench_x [--smoke] [--trace FILE] [--metrics FILE] [OUTPUT.json]
+/// --smoke shrinks workloads for the CI sanity leg; --trace/--metrics name
+/// the Chrome-trace and metrics-snapshot side files.
+struct Args {
+  bool smoke = false;
+  std::string trace_path;    // empty = no trace requested
+  std::string metrics_path;  // empty = no metrics snapshot requested
+  std::string output;        // the results/bench_<name>.json document
+};
+
+inline Args parse_args(int argc, char** argv, const std::string& bench_name) {
+  Args args;
+  args.output = "results/bench_" + bench_name + ".json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+    } else {
+      args.output = arg;
+    }
+  }
+  return args;
+}
+
+/// The one way bench mains create their results document: stamps the
+/// schema version plus the backend/env labels every bench_*.json carries,
+/// so the per-bench plumbing cannot drift.
+inline JsonWriter make_writer(const std::string& bench_name, const Args& args) {
+  JsonWriter json(bench_name);
+  json.label("backend", to_string(aes_backend()));
+  json.label("hardware_concurrency",
+             std::to_string(std::thread::hardware_concurrency()));
+  json.label("smoke", args.smoke ? "true" : "false");
+  return json;
+}
+
+/// Writes the results document and, when the flags asked for them, the
+/// metrics snapshot (--metrics, scraped from `registry` or the global one)
+/// and the Chrome trace (--trace, from `tracer`).
+inline bool finish(const JsonWriter& json, const Args& args,
+                   telemetry::MetricsRegistry* registry = nullptr,
+                   const telemetry::SimTracer* tracer = nullptr) {
+  bool ok = json.write(args.output);
+  if (!args.metrics_path.empty()) {
+    ok = telemetry::write_metrics_json(
+             registry != nullptr ? *registry
+                                 : telemetry::MetricsRegistry::global(),
+             args.metrics_path) &&
+         ok;
+  }
+  if (!args.trace_path.empty() && tracer != nullptr) {
+    ok = tracer->write(args.trace_path) && ok;
+  }
+  return ok;
+}
 
 }  // namespace discs::bench

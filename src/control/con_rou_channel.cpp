@@ -1,5 +1,6 @@
 #include "control/con_rou_channel.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace discs {
@@ -14,6 +15,7 @@ ConRouChannel::ConRouChannel(EventLoop& loop, DataPlaneEngine& engine,
 ConRouChannel::~ConRouChannel() {
   for (const auto& [id, event] : pending_) loop_->cancel(event);
   pending_.clear();
+  unbind_metrics();
 }
 
 ConRouChannel::DeliveryId ConRouChannel::submit_after(SimTime extra_delay,
@@ -62,7 +64,15 @@ void ConRouChannel::cancel_all() {
 
 void ConRouChannel::deliver(const TableTransaction& txn, SimTime now,
                             bool is_sweep) {
-  stats_.last_epoch = engine_->apply(txn, now);
+  if (apply_latency_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stats_.last_epoch = engine_->apply(txn, now);
+    apply_latency_->record(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+  } else {
+    stats_.last_epoch = engine_->apply(txn, now);
+  }
   ++stats_.delivered;
   stats_.ops_delivered += txn.size();
   if (is_sweep) ++stats_.expiry_sweeps;
@@ -82,6 +92,45 @@ void ConRouChannel::schedule_sweep(SimTime delay) {
     deliver(sweep, loop_->now(), /*is_sweep=*/true);
   });
   pending_.emplace(id, event);
+}
+
+void ConRouChannel::bind_metrics(telemetry::MetricsRegistry& registry,
+                                 telemetry::Labels labels) {
+  unbind_metrics();
+  apply_latency_ = &registry.histogram(
+      "discs_conrou_apply_latency_us", telemetry::Histogram::pow2_bounds(20),
+      "Wall-clock microseconds per DataPlaneEngine::apply of a delivered "
+      "transaction",
+      labels);
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<telemetry::Sample>& out) {
+        auto emit = [&](const char* name, double v, telemetry::MetricKind kind) {
+          out.push_back({name, v, labels, kind});
+        };
+        using enum telemetry::MetricKind;
+        emit("discs_conrou_submitted_total",
+             static_cast<double>(stats_.submitted), kCounter);
+        emit("discs_conrou_delivered_total",
+             static_cast<double>(stats_.delivered), kCounter);
+        emit("discs_conrou_canceled_total", static_cast<double>(stats_.canceled),
+             kCounter);
+        emit("discs_conrou_ops_delivered_total",
+             static_cast<double>(stats_.ops_delivered), kCounter);
+        emit("discs_conrou_expiry_sweeps_total",
+             static_cast<double>(stats_.expiry_sweeps), kCounter);
+        emit("discs_conrou_table_epoch", static_cast<double>(stats_.last_epoch),
+             kGauge);
+        emit("discs_conrou_pending", static_cast<double>(pending_.size()),
+             kGauge);
+      });
+  metrics_ = &registry;
+}
+
+void ConRouChannel::unbind_metrics() {
+  if (metrics_ != nullptr) metrics_->remove_collector(metrics_collector_);
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
+  apply_latency_ = nullptr;
 }
 
 }  // namespace discs

@@ -27,6 +27,7 @@
 #include "dataplane/engine.hpp"
 #include "dataplane/transaction.hpp"
 #include "simkit/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace discs {
 
@@ -82,6 +83,14 @@ class ConRouChannel {
   [[nodiscard]] SimTime expiry_grace() const { return expiry_grace_; }
   [[nodiscard]] DataPlaneEngine& engine() { return *engine_; }
 
+  /// Registers the channel's telemetry into `registry`: a native histogram
+  /// of the wall-clock microseconds DataPlaneEngine::apply spends per
+  /// delivered transaction, plus a pull-mode view over Stats and the
+  /// pending-delivery count. Re-binding replaces; the destructor unbinds.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    telemetry::Labels labels = {});
+  void unbind_metrics();
+
  private:
   /// Applies `txn` at time `now` and schedules the matching expiry sweep
   /// for any duration-relative windows it installed.
@@ -95,6 +104,9 @@ class ConRouChannel {
   DeliveryId next_id_ = 1;
   std::unordered_map<DeliveryId, std::uint64_t> pending_;  // id -> loop event
   Stats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
+  telemetry::Histogram* apply_latency_ = nullptr;
 };
 
 }  // namespace discs

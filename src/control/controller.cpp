@@ -114,6 +114,11 @@ void Controller::discover(const DiscsAd& ad) {
     if (info.state != PeerState::kDiscovered) return;
     info.state = PeerState::kRequested;
     ++stats_.peering_requests_sent;
+    if (tracer_ != nullptr) {
+      tracer_->async_begin("peering", "control", peering_span_id(target),
+                           loop_->now(), config_.as,
+                           {{"peer", static_cast<std::uint64_t>(target)}});
+    }
     link_.send_reliable(target, PeeringRequest{}, AckToken::kPeeringRequest);
   });
 }
@@ -133,7 +138,13 @@ void Controller::handle(const Envelope& envelope) {
           handle_peering_accept(envelope.from);
         } else if constexpr (std::is_same_v<T, PeeringReject>) {
           link_.settle_token(envelope.from, AckToken::kPeeringRequest);
-          peers_[envelope.from].state = PeerState::kRejected;
+          auto& info = peers_[envelope.from];
+          if (tracer_ != nullptr && info.state == PeerState::kRequested) {
+            tracer_->async_end("peering", "control",
+                               peering_span_id(envelope.from), loop_->now(),
+                               config_.as, {{"outcome", "rejected"}});
+          }
+          info.state = PeerState::kRejected;
         } else if constexpr (std::is_same_v<T, KeyInstall>) {
           handle_key_install(envelope.from, body);
         } else if constexpr (std::is_same_v<T, KeyInstallAck>) {
@@ -183,6 +194,10 @@ void Controller::handle_peering_accept(AsNumber from) {
   auto& info = peers_[from];
   if (info.state == PeerState::kPeered) return;  // duplicate accept
   info.state = PeerState::kPeered;
+  if (tracer_ != nullptr) {
+    tracer_->async_end("peering", "control", peering_span_id(from),
+                       loop_->now(), config_.as, {{"outcome", "peered"}});
+  }
   negotiate_key(from, /*rekey=*/false);
 }
 
@@ -194,6 +209,12 @@ void Controller::negotiate_key(AsNumber peer, bool rekey) {
   if (rekey) {
     // Two-phase: keep stamping with the old key until the peer acks.
     info.pending_key = key;
+    if (tracer_ != nullptr) {
+      tracer_->async_begin("rekey", "control", rekey_span_id(peer),
+                           loop_->now(), config_.as,
+                           {{"peer", static_cast<std::uint64_t>(peer)},
+                            {"serial", info.tx_key_serial}});
+    }
   } else {
     TableTransaction txn;
     txn.set_stamp_key(peer, key, /*retain_previous=*/false);
@@ -212,6 +233,11 @@ void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
     // though the PeeringAccept was lost or is still in flight behind it.
     link_.settle_token(from, AckToken::kPeeringRequest);
     info.state = PeerState::kPeered;
+    if (tracer_ != nullptr) {
+      tracer_->async_end("peering", "control", peering_span_id(from),
+                         loop_->now(), config_.as,
+                         {{"outcome", "peered_implicit"}});
+    }
     negotiate_key(from, /*rekey=*/false);
   }
   if (info.state != PeerState::kPeered) return;
@@ -250,6 +276,10 @@ void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg)
     track_delivery(from, con_rou_->submit(std::move(commit)));
     it->second.pending_key.reset();
     ++stats_.rekeys_completed;
+    if (tracer_ != nullptr) {
+      tracer_->async_end("rekey", "control", rekey_span_id(from), loop_->now(),
+                         config_.as);
+    }
     // Third phase: tell the verifier we switched, releasing its grace key.
     link_.send_reliable(from, RekeyComplete{msg.serial},
                         AckToken::kRekeyComplete);
@@ -269,12 +299,22 @@ void Controller::handle_rekey_complete(AsNumber from, const RekeyComplete& msg) 
 }
 
 void Controller::handle_delivery_failure(AsNumber peer, AckToken token) {
+  if (tracer_ != nullptr) {
+    tracer_->instant("delivery_failure", "control", loop_->now(), config_.as,
+                     {{"peer", static_cast<std::uint64_t>(peer)},
+                      {"token", static_cast<int>(token)}});
+  }
   const auto it = peers_.find(peer);
   if (it == peers_.end()) return;  // e.g. an abandoned teardown notice
   if (token == AckToken::kPeeringRequest &&
       it->second.state == PeerState::kRequested) {
     // Half-open peering: fall back so a later Ad (or re-discovery) retries.
     it->second.state = PeerState::kDiscovered;
+    if (tracer_ != nullptr) {
+      tracer_->async_end("peering", "control", peering_span_id(peer),
+                         loop_->now(), config_.as,
+                         {{"outcome", "delivery_failure"}});
+    }
   }
   // Other tokens need no rollback: a failed KeyInstall leaves the pending
   // key parked (the peer's grace key keeps old-stamp traffic verifiable),
@@ -299,6 +339,13 @@ std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
                                bool alarm_mode) {
   for (const auto& triple : triples) {
     execute_victim_functions(triple);
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          "invocation_window", "control", loop_->now(), triple.duration,
+          config_.as,
+          {{"functions", static_cast<std::uint64_t>(triple.functions)},
+           {"alarm_mode", alarm_mode ? "true" : "false"}});
+    }
   }
   set_alarm_mode_everywhere(alarm_mode);
   std::size_t asked = 0;
@@ -455,6 +502,10 @@ void Controller::handle_alarm_quit(AsNumber from) {
 }
 
 void Controller::request_drop_mode() {
+  if (tracer_ != nullptr) {
+    tracer_->instant("drop_mode_requested", "control", loop_->now(),
+                     config_.as);
+  }
   set_alarm_mode_everywhere(false);
   for (const auto& [as, info] : peers_) {
     if (info.state == PeerState::kPeered) {
@@ -475,6 +526,10 @@ void Controller::enable_auto_defense(std::size_t threshold_packets,
     const auto overwhelmed = detector_->observe(dst, now);
     if (!overwhelmed) return;
     ++stats_.detector_triggers;
+    if (tracer_ != nullptr) {
+      tracer_->instant("detector_trigger", "control", now, config_.as,
+                       {{"kind", "rate"}});
+    }
     // d-DDoS playbook: the prefix's inbound rate exploded, so invoke
     // DP+CDP at every peer for it.
     invoke_ddos_defense(*overwhelmed, /*spoofed_source=*/false);
@@ -492,11 +547,21 @@ void Controller::on_alarm_sample(const AlarmSample& sample) {
   std::erase_if(window, [cutoff](SimTime t) { return t < cutoff; });
   if (window.size() >= config_.detect_threshold) {
     ++stats_.detector_triggers;
+    if (tracer_ != nullptr) {
+      tracer_->instant(
+          "detector_trigger", "control", sample.time, config_.as,
+          {{"kind", "alarm"},
+           {"source_as", static_cast<std::uint64_t>(sample.source_as)}});
+    }
     request_drop_mode();
   }
 }
 
 void Controller::forget_peer(AsNumber peer) {
+  if (tracer_ != nullptr) {
+    tracer_->instant("peering_teardown", "control", loop_->now(), config_.as,
+                     {{"peer", static_cast<std::uint64_t>(peer)}});
+  }
   // Withdraw whatever is still riding the con-rou channel for this peer
   // (key installs, grace-drops, invocation installs it requested), then
   // revoke its keys immediately — teardown is a security action and must
@@ -566,6 +631,89 @@ RouterStats Controller::total_router_stats() const {
   for (const auto& r : routers_) total += r->stats();
   total += engine_->stats();
   return total;
+}
+
+Controller::~Controller() { unbind_metrics(); }
+
+void Controller::bind_metrics(telemetry::MetricsRegistry& registry) {
+  unbind_metrics();
+  const telemetry::Labels labels{{"as", std::to_string(config_.as)}};
+  engine_->bind_metrics(registry, labels);
+  link_.bind_metrics(registry, labels);
+  con_rou_->bind_metrics(registry, labels);
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<telemetry::Sample>& out) {
+        auto emit = [&](const char* name, double v, telemetry::MetricKind kind) {
+          out.push_back({name, v, labels, kind});
+        };
+        using enum telemetry::MetricKind;
+        emit("discs_controller_ads_seen_total",
+             static_cast<double>(stats_.ads_seen), kCounter);
+        emit("discs_controller_peering_requests_sent_total",
+             static_cast<double>(stats_.peering_requests_sent), kCounter);
+        emit("discs_controller_peering_requests_received_total",
+             static_cast<double>(stats_.peering_requests_received), kCounter);
+        emit("discs_controller_keys_generated_total",
+             static_cast<double>(stats_.keys_generated), kCounter);
+        emit("discs_controller_rekeys_completed_total",
+             static_cast<double>(stats_.rekeys_completed), kCounter);
+        emit("discs_controller_invocations_sent_total",
+             static_cast<double>(stats_.invocations_sent), kCounter);
+        emit("discs_controller_invocations_received_total",
+             static_cast<double>(stats_.invocations_received), kCounter);
+        emit("discs_controller_invocations_rejected_total",
+             static_cast<double>(stats_.invocations_rejected), kCounter);
+        emit("discs_controller_detector_triggers_total",
+             static_cast<double>(stats_.detector_triggers), kCounter);
+        emit("discs_controller_peers", static_cast<double>(peer_count()),
+             kGauge);
+        emit("discs_alarm_flow_reports_total",
+             static_cast<double>(flow_reports_total()), kCounter);
+        emit("discs_alarm_flow_ring_size",
+             static_cast<double>(flow_ring_ != nullptr ? flow_ring_->size() : 0),
+             kGauge);
+      });
+  metrics_ = &registry;
+}
+
+void Controller::unbind_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->remove_collector(metrics_collector_);
+  engine_->unbind_metrics();
+  link_.unbind_metrics();
+  con_rou_->unbind_metrics();
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
+}
+
+void Controller::set_tracer(telemetry::SimTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->set_track_name(config_.as, "AS " + std::to_string(config_.as) +
+                                            " (" + config_.controller_name +
+                                            ")");
+  }
+}
+
+void Controller::enable_flow_reports(std::size_t capacity) {
+  flow_ring_ = std::make_unique<telemetry::RingBuffer<FlowReport>>(capacity);
+  // The routers already have the controller's alarm sink, so adding a flow
+  // sink never changes the shared 1-in-n sampling decision (and thus the
+  // router RNG streams) — both sinks fire for the same sampled packets.
+  const auto sink = [this](const FlowReport& report) {
+    flow_ring_->push(report);
+  };
+  for (auto& router : routers_) router->set_flow_sink(sink);
+  engine_->set_flow_sink(sink);
+}
+
+std::vector<FlowReport> Controller::alarm_reports() const {
+  return flow_ring_ != nullptr ? flow_ring_->snapshot()
+                               : std::vector<FlowReport>{};
+}
+
+std::uint64_t Controller::flow_reports_total() const {
+  return flow_ring_ != nullptr ? flow_ring_->total() : 0;
 }
 
 }  // namespace discs

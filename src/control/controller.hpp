@@ -31,6 +31,8 @@
 #include "control/reliable.hpp"
 #include "control/secure_channel.hpp"
 #include "dataplane/router.hpp"
+#include "telemetry/ring.hpp"
+#include "telemetry/trace.hpp"
 #include "topology/dataset.hpp"
 
 namespace discs {
@@ -89,6 +91,7 @@ class Controller {
 
   Controller(const Controller&) = delete;
   Controller& operator=(const Controller&) = delete;
+  ~Controller();
 
   // ---- lifecycle ----
 
@@ -229,6 +232,38 @@ class Controller {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // ---- telemetry ----
+
+  /// One-call binding for the whole DAS under an {"as": "<n>"} label:
+  /// controller Stats as a pull-mode view, plus the engine's, the reliable
+  /// link's, and the con-rou channel's own bindings. The shared
+  /// ConConNetwork is NOT bound here (it belongs to no single controller) —
+  /// bind it once at the harness. Re-binding replaces; the destructor
+  /// unbinds.
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+  void unbind_metrics();
+  [[nodiscard]] bool metrics_bound() const { return metrics_ != nullptr; }
+
+  /// Attaches a sim-time tracer (nullptr detaches): peering negotiations
+  /// and three-phase re-keys become async spans, invocation windows become
+  /// complete events with their §IV-E duration, and delivery failures /
+  /// detector triggers / drop-mode requests / teardowns become instants.
+  /// All events land on track tid = our AS number. The tracer must outlive
+  /// the controller or be detached first.
+  void set_tracer(telemetry::SimTracer* tracer);
+  [[nodiscard]] telemetry::SimTracer* tracer() const { return tracer_; }
+
+  /// Alarm-mode flow reports (§IV-F): buffers the sampled NetFlow-style
+  /// records from every border router and the engine into a bounded ring
+  /// this controller's operator scrapes. Newest-wins once full;
+  /// flow_reports_total() counts past evictions.
+  void enable_flow_reports(std::size_t capacity = 1024);
+  [[nodiscard]] bool flow_reports_enabled() const { return flow_ring_ != nullptr; }
+  /// Buffered reports, oldest to newest (empty when not enabled).
+  [[nodiscard]] std::vector<FlowReport> alarm_reports() const;
+  /// Reports ever buffered, including evicted ones.
+  [[nodiscard]] std::uint64_t flow_reports_total() const;
+
  private:
   struct PeerInfo {
     PeerState state = PeerState::kDiscovered;
@@ -276,6 +311,16 @@ class Controller {
 
   void schedule_rekey_timer();
 
+  /// Async-span id pairing begin/end across controllers tracing into one
+  /// tracer: our AS in the high half, the peer in the low half. Re-key
+  /// spans flip the top bit so they never pair with a peering span.
+  [[nodiscard]] std::uint64_t peering_span_id(AsNumber peer) const {
+    return (static_cast<std::uint64_t>(config_.as) << 32) | peer;
+  }
+  [[nodiscard]] std::uint64_t rekey_span_id(AsNumber peer) const {
+    return peering_span_id(peer) | (1ull << 63);
+  }
+
   ControllerConfig config_;
   EventLoop* loop_;
   ConConNetwork* network_;
@@ -301,6 +346,11 @@ class Controller {
   // Detector state: per source AS, sample timestamps in the window.
   std::unordered_map<AsNumber, std::vector<SimTime>> samples_;
   bool drop_mode_requested_ = false;
+
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
+  telemetry::SimTracer* tracer_ = nullptr;
+  std::unique_ptr<telemetry::RingBuffer<FlowReport>> flow_ring_;
 };
 
 }  // namespace discs

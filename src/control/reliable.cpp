@@ -146,11 +146,51 @@ void ReliableLink::on_timeout(PendingKey key) {
   }
   ++p.attempts;
   ++stats_.retransmits;
+  if (backoff_level_ != nullptr) {
+    backoff_level_->record(static_cast<double>(p.attempts));
+  }
   p.rto = std::min(
       static_cast<SimTime>(static_cast<double>(p.rto) * config_.backoff),
       config_.max_rto);
   net_->send(p.envelope);  // same seq + ack flag: receiver dedups
   arm_timer(key);
+}
+
+void ReliableLink::bind_metrics(telemetry::MetricsRegistry& registry,
+                                telemetry::Labels labels) {
+  unbind_metrics();
+  backoff_level_ = &registry.histogram(
+      "discs_reliable_backoff_level", telemetry::Histogram::pow2_bounds(6),
+      "Transmission attempt number at each timer-driven retransmit", labels);
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<telemetry::Sample>& out) {
+        auto emit = [&](const char* name, double v, telemetry::MetricKind kind) {
+          out.push_back({name, v, labels, kind});
+        };
+        using enum telemetry::MetricKind;
+        emit("discs_reliable_sends_total",
+             static_cast<double>(stats_.reliable_sends), kCounter);
+        emit("discs_reliable_retransmits_total",
+             static_cast<double>(stats_.retransmits), kCounter);
+        emit("discs_reliable_delivery_failures_total",
+             static_cast<double>(stats_.delivery_failures), kCounter);
+        emit("discs_reliable_acks_sent_total",
+             static_cast<double>(stats_.acks_sent), kCounter);
+        emit("discs_reliable_acks_received_total",
+             static_cast<double>(stats_.acks_received), kCounter);
+        emit("discs_reliable_duplicates_suppressed_total",
+             static_cast<double>(stats_.duplicates_suppressed), kCounter);
+        emit("discs_reliable_in_flight", static_cast<double>(pending_.size()),
+             kGauge);
+      });
+  metrics_ = &registry;
+}
+
+void ReliableLink::unbind_metrics() {
+  if (metrics_ != nullptr) metrics_->remove_collector(metrics_collector_);
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
+  backoff_level_ = nullptr;
 }
 
 }  // namespace discs

@@ -33,6 +33,7 @@
 #include "control/messages.hpp"
 #include "control/secure_channel.hpp"
 #include "simkit/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace discs {
 
@@ -82,7 +83,10 @@ class ReliableLink {
   ReliableLink(EventLoop& loop, ConConNetwork& net, AsNumber self,
                ReliabilityConfig config = {})
       : loop_(&loop), net_(&net), self_(self), config_(config) {}
-  ~ReliableLink() { cancel_all(); }
+  ~ReliableLink() {
+    cancel_all();
+    unbind_metrics();
+  }
 
   ReliableLink(const ReliableLink&) = delete;
   ReliableLink& operator=(const ReliableLink&) = delete;
@@ -122,6 +126,14 @@ class ReliableLink {
   [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
+  /// Registers this link's telemetry into `registry`: a native histogram of
+  /// the attempt number at each retransmission (the backoff level) plus a
+  /// pull-mode view over ReliabilityStats and the in-flight pending count.
+  /// Re-binding replaces the previous binding; the destructor unbinds.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    telemetry::Labels labels = {});
+  void unbind_metrics();
+
  private:
   struct Pending {
     Envelope envelope;
@@ -154,6 +166,9 @@ class ReliableLink {
   std::map<std::pair<AsNumber, AckToken>, std::uint64_t> token_index_;
   std::unordered_map<AsNumber, PeerRx> rx_;
   ReliabilityStats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
+  telemetry::Histogram* backoff_level_ = nullptr;
 };
 
 }  // namespace discs

@@ -90,6 +90,10 @@ void ConConNetwork::send(Envelope envelope) {
 }
 
 void ConConNetwork::schedule_delivery(Envelope envelope, SimTime delay) {
+  if (delivery_delay_ != nullptr) {
+    delivery_delay_->record(static_cast<double>(delay) /
+                            static_cast<double>(kMillisecond));
+  }
   loop_->schedule(delay, [this, envelope = std::move(envelope)] {
     const auto handler = handlers_.find(envelope.to);
     if (handler != handlers_.end()) handler->second(envelope);
@@ -121,6 +125,50 @@ std::size_t ConConNetwork::live_sessions(SimTime now) const {
   return static_cast<std::size_t>(
       std::count_if(session_expiry_.begin(), session_expiry_.end(),
                     [now](const auto& kv) { return kv.second > now; }));
+}
+
+void ConConNetwork::bind_metrics(telemetry::MetricsRegistry& registry,
+                                 telemetry::Labels labels) {
+  unbind_metrics();
+  delivery_delay_ = &registry.histogram(
+      "discs_concon_delivery_delay_ms", telemetry::Histogram::pow2_bounds(12),
+      "Per-copy delivery delay in milliseconds (latency + handshake + jitter)",
+      labels);
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<telemetry::Sample>& out) {
+        auto emit = [&](const char* name, double v, telemetry::MetricKind kind) {
+          out.push_back({name, v, labels, kind});
+        };
+        using enum telemetry::MetricKind;
+        emit("discs_concon_messages_total", static_cast<double>(stats_.messages),
+             kCounter);
+        emit("discs_concon_bytes_total", static_cast<double>(stats_.bytes),
+             kCounter);
+        emit("discs_concon_handshakes_total",
+             static_cast<double>(stats_.handshakes), kCounter);
+        emit("discs_concon_session_resumptions_total",
+             static_cast<double>(stats_.session_resumptions), kCounter);
+        emit("discs_concon_sessions_expired_total",
+             static_cast<double>(stats_.sessions_expired), kCounter);
+        emit("discs_concon_peak_concurrent_sessions",
+             static_cast<double>(stats_.peak_concurrent_sessions), kGauge);
+        emit("discs_concon_session_cache_size",
+             static_cast<double>(session_expiry_.size()), kGauge);
+        emit("discs_concon_fault_dropped_total",
+             static_cast<double>(fault_stats_.dropped), kCounter);
+        emit("discs_concon_fault_duplicated_total",
+             static_cast<double>(fault_stats_.duplicated), kCounter);
+        emit("discs_concon_fault_partition_drops_total",
+             static_cast<double>(fault_stats_.partition_drops), kCounter);
+      });
+  metrics_ = &registry;
+}
+
+void ConConNetwork::unbind_metrics() {
+  if (metrics_ != nullptr) metrics_->remove_collector(metrics_collector_);
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
+  delivery_delay_ = nullptr;
 }
 
 }  // namespace discs

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "control/messages.hpp"
 #include "simkit/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace discs {
 
@@ -96,6 +97,10 @@ class ConConNetwork {
   ConConNetwork(EventLoop& loop, SimTime latency = 50 * kMillisecond,
                 ChannelCostModel cost = {})
       : loop_(&loop), latency_(latency), cost_(cost) {}
+  ~ConConNetwork() { unbind_metrics(); }
+
+  ConConNetwork(const ConConNetwork&) = delete;
+  ConConNetwork& operator=(const ConConNetwork&) = delete;
 
   /// Registers the controller of `as`; replaces any previous handler.
   void attach(AsNumber as, Handler handler) { handlers_[as] = std::move(handler); }
@@ -116,6 +121,15 @@ class ConConNetwork {
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Registers the channel's telemetry into `registry`: a native histogram
+  /// of per-copy delivery delay (milliseconds, handshake latency and fault
+  /// jitter included) plus a pull-mode view over ChannelStats, FaultStats
+  /// and the session-cache size. Re-binding replaces; the destructor
+  /// unbinds.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    telemetry::Labels labels = {});
+  void unbind_metrics();
 
   /// Number of currently live TLS sessions (cache entries not yet expired).
   [[nodiscard]] std::size_t live_sessions(SimTime now) const;
@@ -154,6 +168,9 @@ class ConConNetwork {
   bool lossless_ = true;
   Xoshiro256 fault_rng_{FaultPlan{}.seed};
   FaultStats fault_stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
+  telemetry::Histogram* delivery_delay_ = nullptr;
 };
 
 }  // namespace discs

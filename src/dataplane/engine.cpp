@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/rng.hpp"
+#include "crypto/aes_backend.hpp"
 #include "dataplane/transaction.hpp"
 
 namespace discs {
@@ -54,6 +55,8 @@ DataPlaneEngine::DataPlaneEngine(RouterTables& tables, AsNumber local_as,
         [raw](const AlarmSample& sample) { raw->alarms.push_back(sample); });
     raw->router.set_icmp6_sink(
         [raw](Ipv6Packet packet) { raw->icmp6.push_back(std::move(packet)); });
+    raw->router.set_flow_sink(
+        [raw](const FlowReport& report) { raw->flow_reports.push_back(report); });
     if (cache_enabled_) raw->router.set_lookup_cache(&raw->cache);
     shards_.push_back(std::move(shard));
   }
@@ -72,14 +75,42 @@ std::vector<Verdict> DataPlaneEngine::process(PacketBatch& batch, SimTime now) {
           static_cast<std::uint32_t>(i));
     }
     const std::span<BatchPacket> packets(batch.data(), batch.size());
+    if (telem_.registry != nullptr) {
+      telem_.batch_size->record(static_cast<double>(batch.size()));
+    }
     auto run_shard = [&](std::size_t s) {
       Shard& shard = *shards_[s];
+      const bool instrumented = telem_.registry != nullptr;
+      if (instrumented && cache_enabled_) shard.cache_before = shard.cache.stats();
       if constexpr (kOutbound) {
         shard.router.process_outbound_batch(packets, shard.indices, verdicts,
                                             now);
       } else {
         shard.router.process_inbound_batch(packets, shard.indices, verdicts,
                                            now);
+      }
+      if (instrumented) {
+        // Tally on the worker: the sharded counter cells make the adds
+        // contention-free, and the per-shard histogram records are one
+        // relaxed RMW each.
+        std::uint64_t tally[4] = {};
+        for (const std::uint32_t idx : shard.indices) {
+          ++tally[static_cast<std::size_t>(verdicts[idx])];
+        }
+        for (std::size_t v = 0; v < 4; ++v) {
+          if (tally[v] != 0) telem_.verdicts[v]->add(s, tally[v]);
+        }
+        telem_.queue_depth->record(static_cast<double>(shard.indices.size()));
+        if (cache_enabled_) {
+          const LpmLookupCache::Stats after = shard.cache.stats();
+          const std::uint64_t hits = after.hits - shard.cache_before.hits;
+          const std::uint64_t total =
+              hits + (after.misses - shard.cache_before.misses);
+          if (total > 0) {
+            telem_.cache_hit_rate->record(static_cast<double>(hits) /
+                                          static_cast<double>(total));
+          }
+        }
       }
     };
     if (n == 1) {
@@ -116,6 +147,10 @@ void DataPlaneEngine::drain_sinks() {
       for (const auto& [dst, t] : shard->observed) traffic_observer_(dst, t);
     }
     shard->observed.clear();
+    if (flow_sink_) {
+      for (const FlowReport& report : shard->flow_reports) flow_sink_(report);
+    }
+    shard->flow_reports.clear();
   }
 }
 
@@ -173,6 +208,101 @@ void DataPlaneEngine::set_traffic_observer(
     }
   }
 }
+
+void DataPlaneEngine::set_flow_sink(
+    std::function<void(const FlowReport&)> sink) {
+  std::unique_lock lock(mutex_);
+  flow_sink_ = std::move(sink);
+}
+
+void DataPlaneEngine::bind_metrics(telemetry::MetricsRegistry& registry,
+                                   telemetry::Labels labels) {
+  unbind_metrics();
+  // Register the instruments before touching engine state: a concurrent
+  // scrape holds the registry mutex and may call back into stats(), so the
+  // engine lock must never be held across a registry call (lock-order
+  // inversion otherwise).
+  Telemetry t;
+  const std::size_t n = shards_.size();
+  static constexpr const char* kVerdictNames[4] = {
+      "pass", "drop_filtered", "drop_spoofed", "drop_too_big"};
+  for (std::size_t v = 0; v < 4; ++v) {
+    telemetry::Labels l = labels;
+    l.emplace_back("verdict", kVerdictNames[v]);
+    t.verdicts[v] = &registry.sharded_counter(
+        "discs_engine_verdicts_total", n,
+        "Packets per verdict, summed across shards", l);
+  }
+  t.batch_size = &registry.histogram(
+      "discs_engine_batch_size", telemetry::Histogram::pow2_bounds(20),
+      "Packets per process_outbound/process_inbound call", labels);
+  t.queue_depth = &registry.histogram(
+      "discs_engine_shard_queue_depth", telemetry::Histogram::pow2_bounds(17),
+      "Packets hashed onto one shard within one batch", labels);
+  t.cache_hit_rate = &registry.histogram(
+      "discs_engine_lpm_cache_hit_rate", telemetry::Histogram::unit_bounds(20),
+      "Per-shard LPM lookup-cache hit rate over one batch", labels);
+  telemetry::Histogram& occupancy = registry.histogram(
+      "discs_engine_cmac_batch_occupancy", telemetry::Histogram::pow2_bounds(17),
+      "Deferred AES-CMAC computations per batch flush", labels);
+  {
+    telemetry::Labels l = labels;
+    l.emplace_back("backend", to_string(aes_backend()));
+    registry.gauge("discs_aes_backend_info",
+                   "AES implementation in use; value is always 1", l)
+        .set(1);
+  }
+  // Pull-mode view: the RouterStats / cache Stats structs stay the source
+  // of truth, the registry reads them only at scrape time.
+  const telemetry::MetricsRegistry::CollectorId collector =
+      registry.add_collector([this, labels](std::vector<telemetry::Sample>& out) {
+        const RouterStats s = stats();
+        const LpmLookupCache::Stats c = cache_stats();
+        auto emit = [&](const char* name, std::uint64_t v) {
+          out.push_back({name, static_cast<double>(v), labels,
+                         telemetry::MetricKind::kCounter});
+        };
+        emit("discs_router_out_processed_total", s.out_processed);
+        emit("discs_router_out_dropped_total", s.out_dropped);
+        emit("discs_router_out_stamped_total", s.out_stamped);
+        emit("discs_router_out_too_big_total", s.out_too_big);
+        emit("discs_router_fragments_stamped_total", s.fragments_stamped);
+        emit("discs_router_in_processed_total", s.in_processed);
+        emit("discs_router_in_verified_total", s.in_verified);
+        emit("discs_router_in_spoof_dropped_total", s.in_spoof_dropped);
+        emit("discs_router_in_spoof_sampled_total", s.in_spoof_sampled);
+        emit("discs_router_in_erased_tolerance_total", s.in_erased_tolerance);
+        emit("discs_router_in_passed_unverified_total", s.in_passed_unverified);
+        emit("discs_router_icmp_scrubbed_total", s.icmp_scrubbed);
+        emit("discs_lpm_cache_hits_total", c.hits);
+        emit("discs_lpm_cache_misses_total", c.misses);
+      });
+  std::unique_lock lock(mutex_);
+  telem_ = t;
+  telem_.collector = collector;
+  telem_.registry = &registry;
+  for (auto& shard : shards_) {
+    shard->router.set_cmac_occupancy_histogram(&occupancy);
+  }
+}
+
+void DataPlaneEngine::unbind_metrics() {
+  telemetry::MetricsRegistry* registry = nullptr;
+  telemetry::MetricsRegistry::CollectorId collector = 0;
+  {
+    std::unique_lock lock(mutex_);
+    registry = telem_.registry;
+    collector = telem_.collector;
+    telem_ = Telemetry{};
+    for (auto& shard : shards_) {
+      shard->router.set_cmac_occupancy_histogram(nullptr);
+    }
+  }
+  // Outside the engine lock for the same inversion reason as bind_metrics.
+  if (registry != nullptr) registry->remove_collector(collector);
+}
+
+DataPlaneEngine::~DataPlaneEngine() { unbind_metrics(); }
 
 RouterStats DataPlaneEngine::stats() const {
   std::unique_lock lock(mutex_);

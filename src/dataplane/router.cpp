@@ -117,18 +117,50 @@ Verdict BorderRouter::inbound_impl(Packet& packet, SimTime now) {
   if (verdict != Verdict::kDropSpoofed) return verdict;
 
   return spoof_consequence(
+      packet, tuple,
       {now, tables_->pfx2as.lookup(packet.header.src), /*inbound=*/true});
 }
 
-Verdict BorderRouter::spoof_consequence(const AlarmSample& sample) {
+template <typename Packet>
+Verdict BorderRouter::spoof_consequence(const Packet& packet,
+                                        const InTuple& tuple,
+                                        const AlarmSample& sample) {
+  // Alarm mode: identify, sample, forward (§IV-F); otherwise drop.
+  const Verdict verdict = alarm_mode_ ? Verdict::kPass : Verdict::kDropSpoofed;
   if (alarm_mode_) {
     ++stats_.in_spoof_sampled;
-    report_spoof(sample);
-    return Verdict::kPass;  // alarm mode: identify, sample, forward
+  } else {
+    ++stats_.in_spoof_dropped;
   }
-  ++stats_.in_spoof_dropped;
-  report_spoof(sample);
-  return Verdict::kDropSpoofed;
+  // One 1-in-n sampling decision feeds both sinks, so an AlarmSample and
+  // its FlowReport always describe the same packet. The RNG is drawn only
+  // when a sink is installed and sampling is active, which keeps the
+  // router's stream identical to the pre-flow-report behaviour whenever
+  // only the alarm sink is bound.
+  if (alarm_sink_ || flow_sink_) {
+    if (sampling_rate_ <= 1 || rng_.below(sampling_rate_) == 0) {
+      if (alarm_sink_) alarm_sink_(sample);
+      if (flow_sink_) {
+        FlowReport report;
+        report.time = sample.time;
+        report.source_as = sample.source_as;
+        report.inbound = sample.inbound;
+        if constexpr (std::is_same_v<Packet, Ipv4Packet>) {
+          report.src4 = packet.header.src;
+          report.dst4 = packet.header.dst;
+        } else {
+          report.ipv6 = true;
+          report.src6 = packet.header.src;
+          report.dst6 = packet.header.dst;
+        }
+        report.functions = tuple.verify_fns;
+        report.verdict = verdict;
+        report.sample_rate = sampling_rate_;
+        flow_sink_(report);
+      }
+    }
+  }
+  return verdict;
 }
 
 Verdict BorderRouter::process_inbound(Ipv4Packet& packet, SimTime now) {
@@ -186,6 +218,9 @@ void BorderRouter::process_outbound_batch(std::span<BatchPacket> packets,
         packets[idx]);
   }
   // All marks in one pipelined pass, then phase B writes them in order.
+  if (cmac_occupancy_ != nullptr && !indices.empty()) {
+    cmac_occupancy_->record(static_cast<double>(mac_work_.size()));
+  }
   mac_truncated_batch(mac_work_);
   for (const PendingOut& pending : pending_out_) {
     const auto mark =
@@ -253,6 +288,9 @@ void BorderRouter::process_inbound_batch(std::span<BatchPacket> packets,
         },
         packets[idx]);
   }
+  if (cmac_occupancy_ != nullptr && !indices.empty()) {
+    cmac_occupancy_->record(static_cast<double>(mac_work_.size()));
+  }
   mac_truncated_batch(mac_work_);
   for (const PendingIn& pending : pending_in_) {
     verdicts[pending.idx] = std::visit(
@@ -299,6 +337,7 @@ void BorderRouter::process_inbound_batch(std::span<BatchPacket> packets,
             return Verdict::kPass;
           }
           return spoof_consequence(
+              packet, tuple,
               {now, tables_->pfx2as.lookup(packet.header.src),
                /*inbound=*/true});
         },

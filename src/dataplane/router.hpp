@@ -14,6 +14,7 @@
 #include "dataplane/tables.hpp"
 #include "dataplane/tuple.hpp"
 #include "net/icmp.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace discs {
 
@@ -36,6 +37,28 @@ struct AlarmSample {
   SimTime time = 0;
   AsNumber source_as = kNoAs;  // Pfx2AS of the claimed source
   bool inbound = true;
+};
+
+/// The full §IV-F NetFlow/sFlow-style record for one sampled spoofing
+/// packet: addresses, the function table that demanded verification, the
+/// verdict the router applied (kPass in alarm mode, kDropSpoofed in drop
+/// mode), and the sampling rate so a scraper can extrapolate volumes.
+/// Emitted through the flow sink under the same 1-in-n sampling decision
+/// as AlarmSample; collected by the victim controller into its report ring.
+struct FlowReport {
+  SimTime time = 0;
+  AsNumber source_as = kNoAs;  // Pfx2AS of the claimed source
+  bool inbound = true;
+  bool ipv6 = false;
+  Ipv4Address src4{};  // valid when !ipv6
+  Ipv4Address dst4{};
+  Ipv6Address src6{};  // valid when ipv6
+  Ipv6Address dst6{};
+  /// Verify functions that matched (kCspVerify from In-Src and/or
+  /// kCdpVerify from In-Dst).
+  FunctionSet functions = 0;
+  Verdict verdict = Verdict::kDropSpoofed;
+  std::uint32_t sample_rate = 1;  // 1-in-n NetFlow-style sampling
 };
 
 struct RouterStats {
@@ -105,6 +128,22 @@ class BorderRouter {
     sampling_rate_ = one_in_n == 0 ? 1 : one_in_n;
   }
 
+  /// Receives the full flow report for every sampled spoofing packet (the
+  /// alarm-mode NetFlow record). Shares the sampling decision with the
+  /// alarm sink: when both sinks are installed, each sampled packet emits
+  /// one AlarmSample and one FlowReport.
+  void set_flow_sink(std::function<void(const FlowReport&)> sink) {
+    flow_sink_ = std::move(sink);
+  }
+
+  /// Telemetry hook: records the AES-CMAC flush size of every batch call
+  /// (how full the pipelined MAC batches run). nullptr disables. The
+  /// histogram must outlive the router; recording is a relaxed atomic add,
+  /// safe from the shard worker thread.
+  void set_cmac_occupancy_histogram(telemetry::Histogram* histogram) {
+    cmac_occupancy_ = histogram;
+  }
+
   /// Receives ICMPv6 messages the router originates (Packet Too Big).
   void set_icmp6_sink(std::function<void(Ipv6Packet)> sink) {
     icmp6_sink_ = std::move(sink);
@@ -155,8 +194,11 @@ class BorderRouter {
   Verdict apply_verify(Ipv6Packet& packet, const InTuple& tuple);
 
   /// The §V-C spoof consequence shared by the serial and batch paths:
-  /// count, report, and decide pass (alarm mode) vs drop.
-  Verdict spoof_consequence(const AlarmSample& sample);
+  /// count, report (alarm sample + flow report under one sampling
+  /// decision), and decide pass (alarm mode) vs drop.
+  template <typename Packet>
+  Verdict spoof_consequence(const Packet& packet, const InTuple& tuple,
+                            const AlarmSample& sample);
 
   // Batch-pipeline scratch (one packet that still needs phase B, and its
   // deferred MAC slot when one was queued). Kept as members so repeated
@@ -173,12 +215,6 @@ class BorderRouter {
     bool mark_absent;  // IPv6 packet with no DISCS option
   };
 
-  void report_spoof(const AlarmSample& sample) {
-    if (!alarm_sink_) return;
-    if (sampling_rate_ > 1 && rng_.below(sampling_rate_) != 0) return;
-    alarm_sink_(sample);
-  }
-
   const RouterTables* tables_;
   TupleGenerator tuples_;
   Xoshiro256 rng_;
@@ -186,8 +222,10 @@ class BorderRouter {
   std::uint32_t sampling_rate_ = 1;
   bool alarm_mode_ = false;
   std::function<void(const AlarmSample&)> alarm_sink_;
+  std::function<void(const FlowReport&)> flow_sink_;
   std::function<void(Ipv6Packet)> icmp6_sink_;
   std::function<void(Ipv4Address, SimTime)> traffic_observer_;
+  telemetry::Histogram* cmac_occupancy_ = nullptr;
   RouterStats stats_;
   std::vector<CmacWork> mac_work_;
   std::vector<PendingOut> pending_out_;

@@ -22,6 +22,9 @@ struct InTuple {
   bool verify = false;
   /// Within a tolerance interval: erase the mark, skip the judgement.
   bool erase_only = false;
+  /// Which verify functions demanded the check (CSP-verify from In-Src,
+  /// CDP-verify from In-Dst) — carried into alarm-mode flow reports.
+  FunctionSet verify_fns = 0;
   /// Verification key entry of the source AS; nullptr when the source does
   /// not belong to a peer (then the packet passes unverified, Table I).
   const KeyTable::Entry* key_v = nullptr;
@@ -62,6 +65,9 @@ class TupleGenerator {
     const bool cdp = has_function(dst_match.functions, DefenseFunction::kCdpVerify);
     if (!csp && !cdp) return tuple;
     tuple.verify = true;
+    tuple.verify_fns = static_cast<FunctionSet>(
+        (csp ? to_mask(DefenseFunction::kCspVerify) : 0) |
+        (cdp ? to_mask(DefenseFunction::kCdpVerify) : 0));
     tuple.erase_only = (csp && src_match.erase_only) || (cdp && dst_match.erase_only);
     tuple.key_v = tables_->key_v.find(origin_as(src));
     return tuple;

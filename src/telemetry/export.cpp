@@ -1,0 +1,187 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace discs::telemetry {
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+/// {k="v",...} including a trailing extra label when provided (histogram le).
+void append_prom_labels(std::string& out, const Labels& labels,
+                        const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::unordered_set<std::string> typed;  // one TYPE/HELP line per name
+  for (const auto& m : snapshot.metrics) {
+    if (typed.insert(m.name).second) {
+      if (!m.help.empty()) {
+        out += "# HELP " + m.name + " ";
+        append_escaped(out, m.help);
+        out += '\n';
+      }
+      out += "# TYPE " + m.name + " ";
+      out += kind_name(m.kind);
+      out += '\n';
+    }
+    if (m.kind != MetricKind::kHistogram) {
+      out += m.name;
+      append_prom_labels(out, m.labels);
+      out += ' ';
+      append_number(out, m.value);
+      out += '\n';
+      continue;
+    }
+    // Cumulative le buckets, then the +Inf bucket, _sum and _count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < m.histogram.bounds.size(); ++i) {
+      cumulative += m.histogram.buckets[i];
+      std::string le;
+      append_number(le, m.histogram.bounds[i]);
+      out += m.name + "_bucket";
+      append_prom_labels(out, m.labels, "le", le);
+      out += ' ';
+      append_number(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    cumulative += m.histogram.buckets.back();
+    out += m.name + "_bucket";
+    append_prom_labels(out, m.labels, "le", "+Inf");
+    out += ' ';
+    append_number(out, static_cast<double>(cumulative));
+    out += '\n';
+    out += m.name + "_sum";
+    append_prom_labels(out, m.labels);
+    out += ' ';
+    append_number(out, m.histogram.sum);
+    out += '\n';
+    out += m.name + "_count";
+    append_prom_labels(out, m.labels);
+    out += ' ';
+    append_number(out, static_cast<double>(m.histogram.count));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  return to_prometheus(registry.snapshot());
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"metrics\": [";
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const auto& m = snapshot.metrics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    append_escaped(out, m.name);
+    out += "\", \"kind\": \"";
+    out += kind_name(m.kind);
+    out += "\", \"labels\": {";
+    for (std::size_t l = 0; l < m.labels.size(); ++l) {
+      if (l != 0) out += ", ";
+      out += '"';
+      append_escaped(out, m.labels[l].first);
+      out += "\": \"";
+      append_escaped(out, m.labels[l].second);
+      out += '"';
+    }
+    out += '}';
+    if (m.kind != MetricKind::kHistogram) {
+      out += ", \"value\": ";
+      append_number(out, m.value);
+    } else {
+      out += ", \"count\": ";
+      append_number(out, static_cast<double>(m.histogram.count));
+      out += ", \"sum\": ";
+      append_number(out, m.histogram.sum);
+      out += ", \"bounds\": [";
+      for (std::size_t b = 0; b < m.histogram.bounds.size(); ++b) {
+        if (b != 0) out += ", ";
+        append_number(out, m.histogram.bounds[b]);
+      }
+      out += "], \"buckets\": [";
+      for (std::size_t b = 0; b < m.histogram.buckets.size(); ++b) {
+        if (b != 0) out += ", ";
+        append_number(out, static_cast<double>(m.histogram.buckets[b]));
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  return to_json(registry.snapshot());
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("  # telemetry: could not open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path) {
+  if (!write_text_file(path, to_json(registry))) return false;
+  std::printf("  # metrics: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace discs::telemetry

@@ -1,0 +1,31 @@
+// Exporters over a MetricsRegistry scrape: Prometheus text exposition
+// (counters/gauges plus `_bucket`/`_sum`/`_count` histogram series with
+// cumulative `le` buckets) and a JSON snapshot document following the
+// bench::JsonWriter conventions (schema_version stamp, stable key order),
+// so a driver can diff runs the same way it diffs results/bench_*.json.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace discs::telemetry {
+
+/// Prometheus text exposition format v0.0.4.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON snapshot: {"schema_version":1,"metrics":[{name,kind,labels,...}]}.
+/// Histograms carry non-cumulative bucket counts next to their upper
+/// bounds, plus count/sum.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Writes `content` to `path`; false (with a note on stdout) on failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Scrapes `registry` and writes the JSON snapshot to `path`.
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace discs::telemetry

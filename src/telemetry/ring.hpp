@@ -1,0 +1,61 @@
+// Bounded ring buffer for sampled reports (the §IV-F alarm-mode NetFlow
+// records): fixed capacity, newest-wins eviction, scrape returns
+// oldest-to-newest. `total()` keeps counting past evictions so a scraper
+// can tell how much it missed between visits.
+//
+// Not thread-safe by design: the control plane pushes and scrapes from the
+// single event-loop thread (the data-plane engine already serializes sink
+// callbacks onto the consumer thread).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace discs::telemetry {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    items_.reserve(capacity_);
+  }
+
+  void push(T item) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  /// Oldest to newest.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out.push_back(items_[(head_ + i) % items_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Items ever pushed (size() + evicted).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> items_;
+  std::size_t head_ = 0;  // oldest element once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace discs::telemetry

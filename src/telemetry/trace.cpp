@@ -1,0 +1,190 @@
+#include "telemetry/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace discs::telemetry {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceArgs& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, args[i].key);
+    out += "\":";
+    if (args[i].numeric) {
+      append_number(out, args[i].value);
+    } else {
+      out += '"';
+      append_escaped(out, args[i].text);
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void SimTracer::push(Event event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void SimTracer::set_process_name(std::string name) {
+  std::lock_guard lock(mutex_);
+  process_name_ = std::move(name);
+}
+
+void SimTracer::set_track_name(std::uint64_t tid, std::string name) {
+  std::lock_guard lock(mutex_);
+  for (auto& [existing, n] : track_names_) {
+    if (existing == tid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(tid, std::move(name));
+}
+
+void SimTracer::complete(std::string name, std::string category, SimTime ts,
+                         SimTime duration, std::uint64_t tid, TraceArgs args) {
+  push({std::move(name), std::move(category), 'X', ts, duration, tid, 0, false,
+        0, std::move(args)});
+}
+
+void SimTracer::instant(std::string name, std::string category, SimTime ts,
+                        std::uint64_t tid, TraceArgs args) {
+  push({std::move(name), std::move(category), 'i', ts, 0, tid, 0, false, 0,
+        std::move(args)});
+}
+
+void SimTracer::async_begin(std::string name, std::string category,
+                            std::uint64_t id, SimTime ts, std::uint64_t tid,
+                            TraceArgs args) {
+  push({std::move(name), std::move(category), 'b', ts, 0, tid, id, true, 0,
+        std::move(args)});
+}
+
+void SimTracer::async_end(std::string name, std::string category,
+                          std::uint64_t id, SimTime ts, std::uint64_t tid,
+                          TraceArgs args) {
+  push({std::move(name), std::move(category), 'e', ts, 0, tid, id, true, 0,
+        std::move(args)});
+}
+
+void SimTracer::counter(std::string name, SimTime ts, double value,
+                        std::uint64_t tid) {
+  push({std::move(name), "counter", 'C', ts, 0, tid, 0, false, value, {}});
+}
+
+std::size_t SimTracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void SimTracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::string SimTracer::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  const auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+  };
+  if (!process_name_.empty()) {
+    sep();
+    out += R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")";
+    append_escaped(out, process_name_);
+    out += "\"}}";
+  }
+  for (const auto& [tid, name] : track_names_) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%" PRIu64 ",\"args\":{\"name\":\"",
+                  tid);
+    out += buf;
+    append_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    sep();
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.category.empty() ? "discs" : e.category);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%c\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":%" PRIu64,
+                  e.phase, e.ts, e.tid);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%" PRIu64, e.duration);
+      out += buf;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.has_id) {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%" PRIx64 "\"", e.id);
+      out += buf;
+    }
+    out += ',';
+    if (e.phase == 'C') {
+      out += "\"args\":{\"value\":";
+      append_number(out, e.counter_value);
+      out += '}';
+    } else {
+      append_args(out, e.args);
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool SimTracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("  # trace: could not open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("  # trace: wrote %s (%zu events)\n", path.c_str(), size());
+  return true;
+}
+
+}  // namespace discs::telemetry

@@ -1,0 +1,106 @@
+// Sim-time tracer: spans and instants keyed to the discrete-event clock
+// (EventLoop::now(), integer microseconds), exported as Chrome trace_event
+// JSON — load the file in about://tracing or https://ui.perfetto.dev to
+// see controller protocol phases, invocation windows, and channel activity
+// on one timeline.
+//
+// trace_event timestamps are microseconds, the same unit as SimTime, so
+// values pass through unscaled. Callers pass `ts` explicitly (they have
+// `now` in hand everywhere the control plane runs); the tracer never
+// consults a clock itself, which keeps it usable from benches that map
+// wall-clock time onto the trace timeline.
+//
+// Thread-safe: every emit takes the internal mutex. The tracer is a
+// control-plane / scrape-path tool, not a per-packet one — do not put it
+// on the data-plane hot path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simkit/event_loop.hpp"
+
+namespace discs::telemetry {
+
+/// One key/value pair in a trace event's `args` object. Numeric values are
+/// emitted as JSON numbers, everything else as strings.
+struct TraceArg {
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), text(std::move(v)) {}
+  TraceArg(std::string k, const char* v) : key(std::move(k)), text(v) {}
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), value(v), numeric(true) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(static_cast<double>(v)), numeric(true) {}
+  TraceArg(std::string k, int v)
+      : key(std::move(k)), value(v), numeric(true) {}
+
+  std::string key;
+  std::string text;
+  double value = 0;
+  bool numeric = false;
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+class SimTracer {
+ public:
+  /// Names the process row in the viewer (metadata event).
+  void set_process_name(std::string name);
+  /// Names a track (tid) in the viewer, e.g. "as7 controller".
+  void set_track_name(std::uint64_t tid, std::string name);
+
+  /// Complete event ("ph":"X"): a span whose duration is known up front —
+  /// invocation windows, bench phases.
+  void complete(std::string name, std::string category, SimTime ts,
+                SimTime duration, std::uint64_t tid = 0, TraceArgs args = {});
+
+  /// Instant event ("ph":"i") — delivery failures, detector triggers.
+  void instant(std::string name, std::string category, SimTime ts,
+               std::uint64_t tid = 0, TraceArgs args = {});
+
+  /// Async span ("ph":"b"/"e"): begin and end happen in different event
+  /// callbacks — peering negotiations, three-phase re-keys. `id` pairs the
+  /// two halves (use e.g. (self << 32) | peer).
+  void async_begin(std::string name, std::string category, std::uint64_t id,
+                   SimTime ts, std::uint64_t tid = 0, TraceArgs args = {});
+  void async_end(std::string name, std::string category, std::uint64_t id,
+                 SimTime ts, std::uint64_t tid = 0, TraceArgs args = {});
+
+  /// Counter event ("ph":"C"): a numeric series sampled over sim time.
+  void counter(std::string name, SimTime ts, double value,
+               std::uint64_t tid = 0);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} — valid trace_event JSON.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; false (with a note on stdout) on failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;
+    SimTime ts;
+    SimTime duration;     // "X" only
+    std::uint64_t tid;
+    std::uint64_t id;     // async only
+    bool has_id;
+    double counter_value; // "C" only
+    TraceArgs args;
+  };
+
+  void push(Event event);
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::string process_name_;
+  std::vector<std::pair<std::uint64_t, std::string>> track_names_;
+};
+
+}  // namespace discs::telemetry

@@ -8,13 +8,36 @@
 // The companion lossless check pins that the fault layer is pay-for-play:
 // an explicitly installed FaultPlan{} draws no randomness and produces
 // byte-for-byte the ChannelStats of a channel that never heard of faults.
+//
+// The driver accepts two telemetry flags in addition to the gtest ones
+// (defining our own main keeps gtest_main's out of the link):
+//   --trace FILE    write a Chrome trace_event JSON of every trial's
+//                   control-plane activity (peering/re-key spans,
+//                   invocation windows, delivery failures)
+//   --metrics FILE  write a metrics JSON snapshot; each ChaosWorld folds
+//                   its channel/fault/reliability counters into the global
+//                   registry at teardown
 #include "control/controller.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+// Set from main before RUN_ALL_TESTS; the tracer outlives every world.
+discs::telemetry::SimTracer g_tracer;
+bool g_trace_enabled = false;
+
+}  // namespace
 
 namespace discs {
 namespace {
@@ -51,6 +74,44 @@ struct ChaosWorld {
         if (a != b) b->discover(a->advertisement());
       }
     }
+    if (g_trace_enabled) {
+      // set_tracer names each controller's track itself.
+      for (auto& c : controllers) c->set_tracer(&g_tracer);
+    }
+  }
+
+  /// Folds this world's channel, fault, and reliability counters into the
+  /// global registry. Worlds are per-trial and die with their controllers,
+  /// so the counters are accumulated by value at teardown instead of
+  /// leaving pull-mode collectors behind over freed objects.
+  ~ChaosWorld() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("discs_chaos_worlds_total").add();
+    const FaultStats& f = net.fault_stats();
+    reg.counter("discs_chaos_faults_total", "", {{"fault", "drop"}})
+        .add(f.dropped);
+    reg.counter("discs_chaos_faults_total", "", {{"fault", "duplicate"}})
+        .add(f.duplicated);
+    reg.counter("discs_chaos_faults_total", "", {{"fault", "partition"}})
+        .add(f.partition_drops);
+    const ChannelStats& ch = net.stats();
+    reg.counter("discs_chaos_channel_messages_total").add(ch.messages);
+    reg.counter("discs_chaos_channel_bytes_total").add(ch.bytes);
+    reg.counter("discs_chaos_channel_handshakes_total").add(ch.handshakes);
+    ReliabilityStats rs;
+    for (const auto& c : controllers) {
+      const ReliabilityStats& s = c->link().stats();
+      rs.reliable_sends += s.reliable_sends;
+      rs.retransmits += s.retransmits;
+      rs.delivery_failures += s.delivery_failures;
+      rs.duplicates_suppressed += s.duplicates_suppressed;
+    }
+    reg.counter("discs_chaos_reliable_sends_total").add(rs.reliable_sends);
+    reg.counter("discs_chaos_retransmits_total").add(rs.retransmits);
+    reg.counter("discs_chaos_delivery_failures_total")
+        .add(rs.delivery_failures);
+    reg.counter("discs_chaos_duplicates_suppressed_total")
+        .add(rs.duplicates_suppressed);
   }
 
   Controller& as(AsNumber n) { return *controllers[n - 1]; }
@@ -225,3 +286,46 @@ TEST(ChaosTest, LosslessFaultPlanReproducesChannelStatsExactly) {
 
 }  // namespace
 }  // namespace discs
+
+/// gtest_main replacement: strips --trace/--metrics before InitGoogleTest,
+/// runs the suite, then persists the telemetry artifacts. CI validates both
+/// files as JSON, so a write failure must fail the run even when every
+/// test passed.
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<char*> gtest_args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      gtest_args.push_back(argv[i]);
+    }
+  }
+  int gtest_argc = static_cast<int>(gtest_args.size());
+  ::testing::InitGoogleTest(&gtest_argc, gtest_args.data());
+
+  if (!trace_path.empty()) {
+    g_trace_enabled = true;
+    g_tracer.set_process_name("chaos_test");
+  }
+  const int rc = RUN_ALL_TESTS();
+
+  bool io_ok = true;
+  if (!trace_path.empty() && !g_tracer.write(trace_path)) {
+    std::fprintf(stderr, "chaos_test: cannot write trace to %s\n",
+                 trace_path.c_str());
+    io_ok = false;
+  }
+  if (!metrics_path.empty() &&
+      !discs::telemetry::write_metrics_json(
+          discs::telemetry::MetricsRegistry::global(), metrics_path)) {
+    std::fprintf(stderr, "chaos_test: cannot write metrics to %s\n",
+                 metrics_path.c_str());
+    io_ok = false;
+  }
+  return io_ok ? rc : (rc != 0 ? rc : 1);
+}

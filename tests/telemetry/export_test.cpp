@@ -1,0 +1,124 @@
+// Exporter output shape: Prometheus text (TYPE/HELP lines, label quoting,
+// cumulative le buckets with +Inf/_sum/_count) and the JSON document
+// (schema stamp, per-metric objects), both checked for syntactic validity
+// with the minimal checker in json_check.hpp.
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "json_check.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace discs::telemetry {
+namespace {
+
+using discs::testing_json::is_valid_json;
+
+TEST(PrometheusExportTest, CountersAndGaugesRenderWithLabels) {
+  MetricsRegistry reg;
+  reg.counter("discs_requests_total", "requests seen", {{"as", "7"}}).add(3);
+  reg.gauge("discs_pending", "", {{"as", "7"}}).set(-1);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# HELP discs_requests_total requests seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE discs_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("discs_requests_total{as=\"7\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE discs_pending gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("discs_pending{as=\"7\"} -1\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  h.record(0.5);
+  h.record(1.5);
+  h.record(9.0);  // overflow
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 11\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter("c", "", {{"msg", "a\"b\\c"}}).add(1);
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("c{msg=\"a\\\"b\\\\c\"} 1\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, TypeLineEmittedOncePerName) {
+  MetricsRegistry reg;
+  reg.counter("dup_total", "", {{"as", "1"}}).add(1);
+  reg.counter("dup_total", "", {{"as", "2"}}).add(2);
+  const std::string text = to_prometheus(reg);
+  std::size_t count = 0;
+  for (std::size_t p = text.find("# TYPE dup_total"); p != std::string::npos;
+       p = text.find("# TYPE dup_total", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(JsonExportTest, DocumentIsValidAndStampsSchema) {
+  MetricsRegistry reg;
+  reg.counter("c", "", {{"as", "1"}}).add(4);
+  reg.gauge("g").set(2);
+  reg.histogram("h", {1.0, 8.0}).record(3.0);
+
+  const std::string json = to_json(reg);
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": "), std::string::npos);
+}
+
+TEST(JsonExportTest, EmptyRegistryStillValid) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(is_valid_json(to_json(reg)));
+}
+
+TEST(JsonExportTest, CollectorSamplesAppearInBothFormats) {
+  MetricsRegistry reg;
+  const auto id = reg.add_collector([](std::vector<Sample>& out) {
+    out.push_back({"discs_router_in_verified_total", 12.0, {{"as", "3"}},
+                   MetricKind::kCounter});
+  });
+  EXPECT_NE(to_prometheus(reg).find(
+                "discs_router_in_verified_total{as=\"3\"} 12\n"),
+            std::string::npos);
+  EXPECT_NE(to_json(reg).find("discs_router_in_verified_total"),
+            std::string::npos);
+  reg.remove_collector(id);
+}
+
+TEST(JsonExportTest, WriteMetricsJsonRoundTripsThroughDisk) {
+  MetricsRegistry reg;
+  reg.counter("written_total").add(1);
+  const std::string path = ::testing::TempDir() + "discs_metrics_test.json";
+  ASSERT_TRUE(write_metrics_json(reg, path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(is_valid_json(buffer.str()));
+  EXPECT_NE(buffer.str().find("written_total"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonExportTest, UnwritablePathReturnsFalse) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(write_metrics_json(reg, "/nonexistent-dir/x/metrics.json"));
+}
+
+}  // namespace
+}  // namespace discs::telemetry

@@ -1,0 +1,119 @@
+// Minimal recursive-descent JSON syntax checker for exporter tests: the
+// repo has no JSON library dependency, and the exporters build documents by
+// hand, so the tests validate well-formedness themselves (CI additionally
+// runs `python -m json.tool` over the real artifacts).
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace discs::testing_json {
+
+class Checker {
+ public:
+  explicit Checker(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto digit_run = [&] {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digit_run();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      bool exp_digits = false;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    return digits && pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!consume(':')) return false;
+      if (!value()) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (consume(','));
+    return consume(']');
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool is_valid_json(const std::string& text) { return Checker(text).valid(); }
+
+}  // namespace discs::testing_json

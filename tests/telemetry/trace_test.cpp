@@ -1,0 +1,87 @@
+// SimTracer output: every phase type renders, the document is valid
+// trace_event JSON (object form with displayTimeUnit + traceEvents), and
+// metadata events name the process and tracks.
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "json_check.hpp"
+
+namespace discs::telemetry {
+namespace {
+
+using discs::testing_json::is_valid_json;
+
+TEST(SimTracerTest, AllPhasesProduceValidTraceEventJson) {
+  SimTracer tracer;
+  tracer.set_process_name("unit test");
+  tracer.set_track_name(7, "AS 7 controller");
+  tracer.complete("invocation_window", "control", 1000, 500, 7,
+                  {{"functions", "CDP"}, {"peers", 3}});
+  tracer.instant("delivery_failure", "control", 1200, 7, {{"token", 42.0}});
+  tracer.async_begin("peering", "control", (7ull << 32) | 9, 100, 7);
+  tracer.async_end("peering", "control", (7ull << 32) | 9, 900, 7,
+                   {{"outcome", "peered"}});
+  tracer.counter("in_flight", 1500, 4.0, 7);
+
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // One event per phase letter.
+  for (const char* phase : {"\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"b\"",
+                            "\"ph\":\"e\"", "\"ph\":\"C\""}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+  // Metadata events from set_process_name / set_track_name.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("AS 7 controller"), std::string::npos);
+}
+
+TEST(SimTracerTest, ArgsRenderNumbersAndStrings) {
+  SimTracer tracer;
+  tracer.instant("x", "c", 10, 0, {{"n", 3.5}, {"s", "text"}});
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(is_valid_json(json));
+  EXPECT_NE(json.find("\"n\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"text\""), std::string::npos);
+}
+
+TEST(SimTracerTest, SizeAndClear) {
+  SimTracer tracer;
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.instant("a", "c", 1);
+  tracer.instant("b", "c", 2);
+  EXPECT_EQ(tracer.size(), 2u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(is_valid_json(tracer.to_json()));  // empty trace still valid
+}
+
+TEST(SimTracerTest, WritePersistsValidJson) {
+  SimTracer tracer;
+  tracer.set_process_name("writer");
+  tracer.complete("span", "test", 0, 10);
+  const std::string path = ::testing::TempDir() + "discs_trace_test.json";
+  ASSERT_TRUE(tracer.write(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(is_valid_json(buffer.str()));
+  EXPECT_NE(buffer.str().find("\"span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SimTracerTest, EscapesQuotesInNames) {
+  SimTracer tracer;
+  tracer.instant("quote\"inside", "cat\\egory", 5);
+  EXPECT_TRUE(is_valid_json(tracer.to_json()));
+}
+
+}  // namespace
+}  // namespace discs::telemetry
