@@ -191,52 +191,42 @@ std::vector<DeliveryResult> DiscsSystem::send_batch(AsNumber origin_as,
     live.push_back(i);
   }
 
-  // Outbound stage: one sharded engine pass at the origin DAS (intra-AS
-  // traffic never crosses a border and skips both stages).
+  // Both engine stages run through the scatter view: the batch stays flat
+  // and the engines receive index lists into it — packets are stamped and
+  // verified in place, never gathered into per-stage sub-batches.
+  std::vector<Verdict> verdicts(batch.size());
+
+  // Outbound stage: one engine pass at the origin DAS (intra-AS traffic
+  // never crosses a border and skips both stages).
   if (Controller* source = controller(origin_as); source != nullptr) {
-    PacketBatch out;
     std::vector<std::uint32_t> out_idx;
-    out.reserve(live.size());
     out_idx.reserve(live.size());
     for (const std::uint32_t i : live) {
-      if (dst_of[i] == origin_as) continue;
-      out.add(std::move(batch[i]));
-      out_idx.push_back(i);
+      if (dst_of[i] != origin_as) out_idx.push_back(i);
     }
-    const std::vector<Verdict> verdicts =
-        source->engine().process_outbound(out, now);
-    for (std::size_t j = 0; j < out_idx.size(); ++j) {
-      const std::uint32_t i = out_idx[j];
-      batch[i] = std::move(out[j]);  // hand the stamped packet back
-      results[i].source_verdict = verdicts[j];
-      if (is_drop(verdicts[j])) {
+    source->engine().process_outbound(batch.span(), out_idx, verdicts, now);
+    for (const std::uint32_t i : out_idx) {
+      results[i].source_verdict = verdicts[i];
+      if (is_drop(verdicts[i])) {
         results[i].outcome = DeliveryOutcome::kDroppedAtSource;
       }
     }
   }
 
   // Inbound stage: survivors partitioned by destination DAS, one engine
-  // pass per DAS.
-  std::unordered_map<AsNumber,
-                     std::pair<PacketBatch, std::vector<std::uint32_t>>>
-      by_dst;
+  // pass (one index view) per DAS.
+  std::unordered_map<AsNumber, std::vector<std::uint32_t>> by_dst;
   for (const std::uint32_t i : live) {
     if (results[i].outcome == DeliveryOutcome::kDroppedAtSource) continue;
     const AsNumber dst = dst_of[i];
     if (dst == origin_as || controller(dst) == nullptr) continue;  // delivered
-    auto& [sub, idx] = by_dst[dst];
-    sub.add(std::move(batch[i]));
-    idx.push_back(i);
+    by_dst[dst].push_back(i);
   }
-  for (auto& [dst, group] : by_dst) {
-    auto& [sub, idx] = group;
-    const std::vector<Verdict> verdicts =
-        controller(dst)->engine().process_inbound(sub, now);
-    for (std::size_t j = 0; j < idx.size(); ++j) {
-      const std::uint32_t i = idx[j];
-      batch[i] = std::move(sub[j]);
-      results[i].destination_verdict = verdicts[j];
-      if (is_drop(verdicts[j])) {
+  for (auto& [dst, idx] : by_dst) {
+    controller(dst)->engine().process_inbound(batch.span(), idx, verdicts, now);
+    for (const std::uint32_t i : idx) {
+      results[i].destination_verdict = verdicts[i];
+      if (is_drop(verdicts[i])) {
         results[i].outcome = DeliveryOutcome::kDroppedAtDestination;
       }
     }

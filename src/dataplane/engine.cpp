@@ -1,13 +1,53 @@
 #include "dataplane/engine.hpp"
 
 #include <algorithm>
-#include <span>
+#include <cassert>
 
 #include "common/rng.hpp"
 #include "crypto/aes_backend.hpp"
 #include "dataplane/transaction.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace discs {
+
+namespace {
+
+/// Chunk-autotuner target: split a shard's per-batch work into about this
+/// many ring items, so workers start while the consumer is still
+/// dispatching and the producer can overlap its own shard-0 work.
+constexpr std::size_t kChunksPerShard = 8;
+/// Worker idle spins (polling the ring) before parking on the doorbell.
+constexpr std::uint32_t kIdleSpins = 256;
+/// Consumer completion-wait spins before futex-waiting on the counter.
+constexpr std::uint32_t kWaitSpins = 128;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+void pin_to_core(std::thread& thread, std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  // Best-effort: a failure (cgroup cpuset, exotic topology) costs locality,
+  // not correctness.
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)core;
+#endif
+}
+
+}  // namespace
 
 std::uint32_t flow_hash(Ipv4Address src, Ipv4Address dst) {
   SplitMix64 mix((std::uint64_t{src.bits()} << 32) | dst.bits());
@@ -37,15 +77,19 @@ std::uint32_t flow_hash(const BatchPacket& packet) {
 }
 
 DataPlaneEngine::DataPlaneEngine(RouterTables& tables, AsNumber local_as,
-                                 EngineConfig config, ThreadPool* pool)
+                                 EngineConfig config)
     : tables_(&tables),
-      pool_(pool != nullptr ? pool : &ThreadPool::global()),
+      config_(config),
       cache_enabled_(config.cache_slots > 0) {
-  const std::size_t n =
-      std::max<std::size_t>(1, config.shards == 0 ? pool_->size() : config.shards);
+  const std::size_t n = std::max<std::size_t>(
+      1, config.shards == 0
+             ? std::max(1u, std::thread::hardware_concurrency())
+             : config.shards);
+  config_.min_chunk = std::max<std::size_t>(1, config_.min_chunk);
+  config_.max_chunk = std::max(config_.min_chunk, config_.max_chunk);
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s) {
-    auto shard = std::make_unique<Shard>(tables, local_as,
+    auto shard = std::make_unique<Shard>(s, tables, local_as,
                                          derive_seed(config.rng_seed, s),
                                          config.external_mtu, config.cache_slots);
     Shard* raw = shard.get();
@@ -60,77 +104,327 @@ DataPlaneEngine::DataPlaneEngine(RouterTables& tables, AsNumber local_as,
     if (cache_enabled_) raw->router.set_lookup_cache(&raw->cache);
     shards_.push_back(std::move(shard));
   }
+  if (config_.spawn_workers_eagerly) start();
+}
+
+void DataPlaneEngine::start() {
+  if (shards_.size() < 2 || !workers_.empty()) return;
+  std::unique_lock lock(mutex_);
+  stop_.store(false, std::memory_order_relaxed);
+  workers_.reserve(shards_.size() - 1);
+  for (std::size_t wi = 0; wi + 1 < shards_.size(); ++wi) {
+    workers_.push_back(std::make_unique<Worker>(config_.ring_slots));
+  }
+  // Spawn only after workers_ is fully built: worker_main indexes it.
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    workers_[wi]->thread = std::thread([this, wi] { worker_main(wi); });
+    if (config_.pin_workers && hw > 1) {
+      // Worker wi drives shard wi+1; spread over cores 1..hw-1 and leave
+      // core 0 to the (unpinned) consumer.
+      pin_to_core(workers_[wi]->thread, (wi + 1) % hw);
+    }
+  }
+}
+
+void DataPlaneEngine::stop() {
+  if (workers_.empty()) return;
+  std::unique_lock lock(mutex_);
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    // Rings are empty here (the writer lock quiesced them); the bump makes
+    // any in-flight doorbell wait return immediately.
+    w->doorbell.fetch_add(1, std::memory_order_release);
+    w->doorbell.notify_one();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  workers_.clear();
+  stop_.store(false, std::memory_order_relaxed);
+}
+
+void DataPlaneEngine::worker_main(std::size_t worker_index) {
+  Worker& w = *workers_[worker_index];
+  Shard& shard = *shards_[worker_index + 1];
+  std::uint32_t spins = 0;
+  for (;;) {
+    WorkItem item;
+    if (w.ring.try_pop(item)) {
+      spins = 0;
+      run_chunk(shard,
+                std::span<const std::uint32_t>(shard.indices.data() + item.begin,
+                                               item.end - item.begin),
+                ctx_outbound_);
+      w.completed.fetch_add(1, std::memory_order_release);
+      // Dekker pairing with wait_for(): either this fence orders our
+      // increment before the consumer's waiting-flag read, or we see the
+      // flag and pay the notify.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (w.consumer_waiting.load(std::memory_order_relaxed)) {
+        w.completed.notify_one();
+      }
+      continue;
+    }
+    if (++spins < kIdleSpins) {
+      cpu_relax();
+      continue;
+    }
+    // Park. Read the doorbell generation BEFORE publishing the parked flag:
+    // a producer that pushes after our empty-recheck must observe
+    // parked==true (its seq_cst fence follows ours) and bump the
+    // generation, turning our wait into a no-op.
+    const std::uint64_t gen = w.doorbell.load(std::memory_order_acquire);
+    w.parked.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!w.ring.empty()) {
+      w.parked.store(false, std::memory_order_relaxed);
+      spins = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      w.parked.store(false, std::memory_order_relaxed);
+      return;
+    }
+    w.parks.fetch_add(1, std::memory_order_relaxed);
+    w.doorbell.wait(gen, std::memory_order_acquire);
+    w.parked.store(false, std::memory_order_relaxed);
+    w.wakeups.fetch_add(1, std::memory_order_relaxed);
+    spins = 0;
+  }
+}
+
+void DataPlaneEngine::push_work(Worker& worker, WorkItem item) {
+  while (!worker.ring.try_push(item)) {
+    // Ring full implies the worker is awake and draining (it only parks on
+    // an empty ring); yield so it can run even on a single core.
+    ring_full_stalls_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+  ++worker.pushed;
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  // Ring the doorbell only when the worker is parked (Dekker pairing with
+  // the park sequence in worker_main): the common back-to-back-batch case
+  // costs one fence and one relaxed load, no syscall.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (worker.parked.load(std::memory_order_relaxed)) {
+    worker.doorbell.fetch_add(1, std::memory_order_release);
+    worker.doorbell.notify_one();
+    doorbells_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DataPlaneEngine::wait_for(Worker& worker) {
+  const std::uint64_t target = worker.pushed;
+  std::uint64_t done = worker.completed.load(std::memory_order_acquire);
+  std::uint32_t spins = 0;
+  while (done != target) {
+    if (++spins < kWaitSpins) {
+      cpu_relax();
+    } else {
+      worker.consumer_waiting.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      done = worker.completed.load(std::memory_order_acquire);
+      if (done == target) break;
+      worker.completed.wait(done, std::memory_order_acquire);
+      worker.consumer_waiting.store(false, std::memory_order_relaxed);
+      spins = 0;
+    }
+    done = worker.completed.load(std::memory_order_acquire);
+  }
+  worker.consumer_waiting.store(false, std::memory_order_relaxed);
+}
+
+void DataPlaneEngine::run_chunk(Shard& shard,
+                                std::span<const std::uint32_t> indices,
+                                bool outbound) {
+  if (indices.empty()) return;
+  std::span<Verdict> verdicts(ctx_verdicts_, ctx_packets_.size());
+  if (outbound) {
+    shard.router.process_outbound_batch(ctx_packets_, indices, verdicts,
+                                        ctx_now_);
+  } else {
+    shard.router.process_inbound_batch(ctx_packets_, indices, verdicts,
+                                       ctx_now_);
+  }
+  if (telem_.registry != nullptr) {
+    // Tally on the processing thread: the sharded counter cells make the
+    // adds contention-free.
+    std::uint64_t tally[4] = {};
+    for (const std::uint32_t idx : indices) {
+      ++tally[static_cast<std::size_t>(verdicts[idx])];
+    }
+    for (std::size_t v = 0; v < 4; ++v) {
+      if (tally[v] != 0) telem_.verdicts[v]->add(shard.id, tally[v]);
+    }
+  }
+}
+
+std::size_t DataPlaneEngine::autotune_chunk(std::size_t shard_occupancy) {
+  // Occupancy-driven, never time-driven: the granularity depends only on
+  // the batch stream, so repeated runs over the same packets stay
+  // bit-identical (the determinism suite pins this).
+  const auto occ = static_cast<double>(shard_occupancy);
+  ewma_occupancy_ =
+      ewma_occupancy_ == 0 ? occ : 0.75 * ewma_occupancy_ + 0.25 * occ;
+  const auto target =
+      static_cast<std::size_t>(ewma_occupancy_ / kChunksPerShard);
+  return std::clamp(target, config_.min_chunk, config_.max_chunk);
+}
+
+std::size_t DataPlaneEngine::chunk_hint() const {
+  const auto target =
+      static_cast<std::size_t>(ewma_occupancy_ / kChunksPerShard);
+  return std::clamp(target, config_.min_chunk, config_.max_chunk);
 }
 
 template <bool kOutbound>
-std::vector<Verdict> DataPlaneEngine::process(PacketBatch& batch, SimTime now) {
-  std::vector<Verdict> verdicts(batch.size());
-  if (batch.empty()) return verdicts;
+void DataPlaneEngine::process(std::span<BatchPacket> packets,
+                              std::span<const std::uint32_t> indices,
+                              std::span<Verdict> verdicts, SimTime now) {
+  if (indices.empty()) return;
+  assert(verdicts.size() >= packets.size());
+  const std::size_t n = shards_.size();
+  if (n > 1 && workers_.empty()) start();
   {
     std::shared_lock lock(mutex_);
-    const std::size_t n = shards_.size();
-    for (auto& shard : shards_) shard->indices.clear();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      shards_[flow_hash(batch[i]) % n]->indices.push_back(
-          static_cast<std::uint32_t>(i));
+    const bool instrumented = telem_.registry != nullptr;
+    if (instrumented) {
+      telem_.batch_size->record(static_cast<double>(indices.size()));
     }
-    const std::span<BatchPacket> packets(batch.data(), batch.size());
-    if (telem_.registry != nullptr) {
-      telem_.batch_size->record(static_cast<double>(batch.size()));
-    }
-    auto run_shard = [&](std::size_t s) {
-      Shard& shard = *shards_[s];
-      const bool instrumented = telem_.registry != nullptr;
-      if (instrumented && cache_enabled_) shard.cache_before = shard.cache.stats();
-      if constexpr (kOutbound) {
-        shard.router.process_outbound_batch(packets, shard.indices, verdicts,
-                                            now);
-      } else {
-        shard.router.process_inbound_batch(packets, shard.indices, verdicts,
-                                           now);
-      }
-      if (instrumented) {
-        // Tally on the worker: the sharded counter cells make the adds
-        // contention-free, and the per-shard histogram records are one
-        // relaxed RMW each.
-        std::uint64_t tally[4] = {};
-        for (const std::uint32_t idx : shard.indices) {
-          ++tally[static_cast<std::size_t>(verdicts[idx])];
-        }
-        for (std::size_t v = 0; v < 4; ++v) {
-          if (tally[v] != 0) telem_.verdicts[v]->add(s, tally[v]);
-        }
-        telem_.queue_depth->record(static_cast<double>(shard.indices.size()));
-        if (cache_enabled_) {
-          const LpmLookupCache::Stats after = shard.cache.stats();
-          const std::uint64_t hits = after.hits - shard.cache_before.hits;
-          const std::uint64_t total =
-              hits + (after.misses - shard.cache_before.misses);
-          if (total > 0) {
-            telem_.cache_hit_rate->record(static_cast<double>(hits) /
-                                          static_cast<double>(total));
-          }
-        }
-      }
-    };
+    // Publish the batch context. The release store inside each ring push
+    // orders these writes before any worker's pop; the single-shard bypass
+    // reads them from the consumer thread directly.
+    ctx_packets_ = packets;
+    ctx_verdicts_ = verdicts.data();
+    ctx_now_ = now;
+    ctx_outbound_ = kOutbound;
+
     if (n == 1) {
-      run_shard(0);
+      // Single-worker bypass: no hashing, no partition scratch, no rings —
+      // the caller's index span is processed inline, in chunks so the
+      // two-phase batch walk stays cache-resident.
+      Shard& shard = *shards_[0];
+      if (instrumented) {
+        telem_.queue_depth->record(static_cast<double>(indices.size()));
+        if (cache_enabled_) shard.cache_before = shard.cache.stats();
+      }
+      const std::size_t chunk = autotune_chunk(indices.size());
+      for (std::size_t at = 0; at < indices.size(); at += chunk) {
+        run_chunk(shard, indices.subspan(at, std::min(chunk, indices.size() - at)),
+                  kOutbound);
+      }
+      if (instrumented && cache_enabled_) record_batch_telemetry();
     } else {
-      pool_->parallel_for(0, n, run_shard);
+      // Partition: one flow-hash pass filling the per-shard index lists.
+      for (auto& shard : shards_) shard->indices.clear();
+      for (const std::uint32_t i : indices) {
+        shards_[flow_hash(packets[i]) % n]->indices.push_back(i);
+      }
+      std::size_t max_occupancy = 0;
+      for (const auto& shard : shards_) {
+        max_occupancy = std::max(max_occupancy, shard->indices.size());
+        if (instrumented) {
+          telem_.queue_depth->record(
+              static_cast<double>(shard->indices.size()));
+          if (cache_enabled_) shard->cache_before = shard->cache.stats();
+        }
+      }
+      const std::size_t chunk = autotune_chunk(max_occupancy);
+      // Dispatch round-robin so every worker receives its first chunk
+      // before any worker receives its second.
+      bool more = true;
+      for (std::size_t at = 0; more; at += chunk) {
+        more = false;
+        for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+          const std::size_t have = shards_[wi + 1]->indices.size();
+          if (at >= have) continue;
+          const std::size_t end = std::min(have, at + chunk);
+          push_work(*workers_[wi],
+                    WorkItem{static_cast<std::uint32_t>(at),
+                             static_cast<std::uint32_t>(end)});
+          if (end < have) more = true;
+        }
+      }
+      // Shard 0 runs here, overlapping the workers; then quiesce the rings.
+      Shard& shard0 = *shards_[0];
+      const std::span<const std::uint32_t> own(shard0.indices.data(),
+                                               shard0.indices.size());
+      for (std::size_t at = 0; at < own.size(); at += chunk) {
+        run_chunk(shard0, own.subspan(at, std::min(chunk, own.size() - at)),
+                  kOutbound);
+      }
+      for (auto& worker : workers_) wait_for(*worker);
+      if (instrumented && cache_enabled_) record_batch_telemetry();
     }
   }
   drain_sinks();
+}
+
+void DataPlaneEngine::record_batch_telemetry() {
+  // Consumer-side, once per shard per batch, after the rings quiesced (the
+  // completion acquire makes the worker-written cache counters visible).
+  for (const auto& shard : shards_) {
+    const LpmLookupCache::Stats after = shard->cache.stats();
+    const std::uint64_t hits = after.hits - shard->cache_before.hits;
+    const std::uint64_t total =
+        hits + (after.misses - shard->cache_before.misses);
+    if (total > 0) {
+      telem_.cache_hit_rate->record(static_cast<double>(hits) /
+                                    static_cast<double>(total));
+    }
+  }
+}
+
+template <bool kOutbound>
+std::vector<Verdict> DataPlaneEngine::process_all(std::span<BatchPacket> packets,
+                                                  SimTime now) {
+  std::vector<Verdict> verdicts(packets.size());
+  if (packets.empty()) return verdicts;
+  // Identity index view, cached across batches (it only ever grows).
+  if (iota_.size() < packets.size()) {
+    const auto old = static_cast<std::uint32_t>(iota_.size());
+    iota_.resize(packets.size());
+    for (std::uint32_t i = old; i < iota_.size(); ++i) iota_[i] = i;
+  }
+  process<kOutbound>(packets,
+                     std::span<const std::uint32_t>(iota_.data(), packets.size()),
+                     verdicts, now);
   return verdicts;
 }
 
 std::vector<Verdict> DataPlaneEngine::process_outbound(PacketBatch& batch,
                                                        SimTime now) {
-  return process<true>(batch, now);
+  return process_all<true>(batch.span(), now);
 }
 
 std::vector<Verdict> DataPlaneEngine::process_inbound(PacketBatch& batch,
                                                       SimTime now) {
-  return process<false>(batch, now);
+  return process_all<false>(batch.span(), now);
+}
+
+std::vector<Verdict> DataPlaneEngine::process_outbound(
+    std::span<BatchPacket> packets, SimTime now) {
+  return process_all<true>(packets, now);
+}
+
+std::vector<Verdict> DataPlaneEngine::process_inbound(
+    std::span<BatchPacket> packets, SimTime now) {
+  return process_all<false>(packets, now);
+}
+
+void DataPlaneEngine::process_outbound(std::span<BatchPacket> packets,
+                                       std::span<const std::uint32_t> indices,
+                                       std::span<Verdict> verdicts,
+                                       SimTime now) {
+  process<true>(packets, indices, verdicts, now);
+}
+
+void DataPlaneEngine::process_inbound(std::span<BatchPacket> packets,
+                                      std::span<const std::uint32_t> indices,
+                                      std::span<Verdict> verdicts,
+                                      SimTime now) {
+  process<false>(packets, indices, verdicts, now);
 }
 
 void DataPlaneEngine::drain_sinks() {
@@ -156,6 +450,9 @@ void DataPlaneEngine::drain_sinks() {
 
 void DataPlaneEngine::update_tables(
     const std::function<void(RouterTables&)>& mutate) {
+  // The writer lock IS the quiesce: a batch holds the reader lock from
+  // fan-out until every ring drained, so once we own the lock all workers
+  // are parked and every ring is empty — no joins, no thread churn.
   std::unique_lock lock(mutex_);
   mutate(*tables_);
   for (auto& shard : shards_) shard->cache.invalidate();
@@ -252,12 +549,14 @@ void DataPlaneEngine::bind_metrics(telemetry::MetricsRegistry& registry,
                    "AES implementation in use; value is always 1", l)
         .set(1);
   }
-  // Pull-mode view: the RouterStats / cache Stats structs stay the source
-  // of truth, the registry reads them only at scrape time.
+  // Pull-mode view: the RouterStats / cache Stats structs and the worker
+  // protocol counters stay the source of truth, the registry reads them
+  // only at scrape time.
   const telemetry::MetricsRegistry::CollectorId collector =
       registry.add_collector([this, labels](std::vector<telemetry::Sample>& out) {
         const RouterStats s = stats();
         const LpmLookupCache::Stats c = cache_stats();
+        const WorkerStats w = worker_stats();
         auto emit = [&](const char* name, std::uint64_t v) {
           out.push_back({name, static_cast<double>(v), labels,
                          telemetry::MetricKind::kCounter});
@@ -276,6 +575,11 @@ void DataPlaneEngine::bind_metrics(telemetry::MetricsRegistry& registry,
         emit("discs_router_icmp_scrubbed_total", s.icmp_scrubbed);
         emit("discs_lpm_cache_hits_total", c.hits);
         emit("discs_lpm_cache_misses_total", c.misses);
+        emit("discs_engine_worker_parks_total", w.parks);
+        emit("discs_engine_worker_wakeups_total", w.wakeups);
+        emit("discs_engine_worker_doorbells_total", w.doorbells);
+        emit("discs_engine_ring_full_stalls_total", w.ring_full_stalls);
+        emit("discs_engine_work_chunks_total", w.chunks);
       });
   std::unique_lock lock(mutex_);
   telem_ = t;
@@ -302,7 +606,10 @@ void DataPlaneEngine::unbind_metrics() {
   if (registry != nullptr) registry->remove_collector(collector);
 }
 
-DataPlaneEngine::~DataPlaneEngine() { unbind_metrics(); }
+DataPlaneEngine::~DataPlaneEngine() {
+  stop();
+  unbind_metrics();
+}
 
 RouterStats DataPlaneEngine::stats() const {
   std::unique_lock lock(mutex_);
@@ -315,6 +622,21 @@ LpmLookupCache::Stats DataPlaneEngine::cache_stats() const {
   std::unique_lock lock(mutex_);
   LpmLookupCache::Stats total;
   for (const auto& shard : shards_) total += shard->cache.stats();
+  return total;
+}
+
+DataPlaneEngine::WorkerStats DataPlaneEngine::worker_stats() const {
+  // Shared lock: the workers_ vector only changes under the writer lock
+  // (start/stop), while the per-worker counters are relaxed atomics.
+  std::shared_lock lock(mutex_);
+  WorkerStats total;
+  for (const auto& w : workers_) {
+    total.parks += w->parks.load(std::memory_order_relaxed);
+    total.wakeups += w->wakeups.load(std::memory_order_relaxed);
+  }
+  total.doorbells = doorbells_.load(std::memory_order_relaxed);
+  total.ring_full_stalls = ring_full_stalls_.load(std::memory_order_relaxed);
+  total.chunks = chunks_.load(std::memory_order_relaxed);
   return total;
 }
 

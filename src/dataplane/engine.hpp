@@ -1,33 +1,54 @@
-// The sharded batch data-plane engine: the scaling layer above
-// BorderRouter. A PacketBatch (mixed IPv4/IPv6) is partitioned by an
-// RSS-style flow hash onto N worker shards; each shard owns a BorderRouter
-// plus a small per-worker LPM lookup cache, and the per-shard RouterStats
-// merge into one aggregate via RouterStats::operator+=.
+// The run-to-completion batch data-plane engine: the scaling layer above
+// BorderRouter. A batch (mixed IPv4/IPv6) is partitioned by an RSS-style
+// flow hash onto N shards; each shard owns a BorderRouter plus a small
+// per-shard LPM lookup cache, and the per-shard RouterStats merge into one
+// aggregate via RouterStats::operator+=.
+//
+// Worker model (persistent, SPSC-fed — no per-batch thread fan-out):
+//  * Shard 0 always runs on the consumer thread. Shards 1..N-1 each own one
+//    persistent pinned worker thread, spawned once (at construction, at
+//    start(), or lazily on the first multi-shard batch) and parked on a
+//    generation-stamped doorbell while idle.
+//  * Fan-out moves index ranges, not packets: the consumer partitions the
+//    batch into per-shard index lists and pushes span-based work items
+//    (begin/end ranges into those lists) onto each worker's bounded SPSC
+//    ring. A chunk autotuner picks the range granularity from an EWMA of
+//    per-shard occupancy so phase-A/phase-B passes stay cache-resident.
+//  * Completion is a per-worker cumulative chunk counter, awaited with a
+//    spin-then-futex wait — no join barrier, no condvar round trip.
+//  * With one shard the engine bypasses partitioning and rings entirely and
+//    runs the (chunked) batch inline on the consumer thread.
 //
 // Concurrency contract:
-//  * process_outbound/process_inbound are called from ONE consumer thread at
-//    a time; internally they fan the batch across the thread pool.
+//  * process_outbound/process_inbound are called from ONE consumer thread
+//    at a time; internally they feed the persistent workers.
 //  * Table mutations (deploy/undeploy, re-keying, Pfx2AS refresh) must go
-//    through update_tables(), which serializes against in-flight batches
-//    with a writer lock and flushes every shard's LPM cache afterwards, so
-//    no batch ever sees a half-applied update or a stale cached verdict.
-//  * Sinks (alarm samples, ICMPv6 PTB, traffic observations) are collected
-//    per shard during the batch and drained on the calling thread after the
-//    parallel region — callbacks never run concurrently. Within one batch
-//    the drain order is shard-major, not arrival order.
+//    through update_tables()/apply(), which quiesce the rings by taking the
+//    writer lock: a batch holds the reader lock from fan-out until every
+//    ring has drained, so the writer only ever runs between batches, with
+//    all workers parked and every ring empty. Every shard's LPM cache is
+//    flushed afterwards, so no batch ever sees a half-applied update or a
+//    stale cached verdict.
+//  * Sinks (alarm samples, ICMPv6 PTB, traffic observations, flow reports)
+//    are collected per shard during the batch and drained on the calling
+//    thread after the rings quiesce — callbacks never run concurrently.
+//    Within one batch the drain order is shard-major, not arrival order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <span>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
 
-#include "common/thread_pool.hpp"
 #include "dataplane/lpm_cache.hpp"
 #include "dataplane/router.hpp"
+#include "dataplane/spsc_ring.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace discs {
@@ -60,6 +81,11 @@ class PacketBatch {
   [[nodiscard]] BatchPacket* data() { return packets_.data(); }
   [[nodiscard]] const BatchPacket* data() const { return packets_.data(); }
 
+  /// The span view the engine actually consumes.
+  [[nodiscard]] std::span<BatchPacket> span() {
+    return {packets_.data(), packets_.size()};
+  }
+
   [[nodiscard]] auto begin() { return packets_.begin(); }
   [[nodiscard]] auto end() { return packets_.end(); }
   [[nodiscard]] auto begin() const { return packets_.begin(); }
@@ -77,35 +103,79 @@ class PacketBatch {
 [[nodiscard]] std::uint32_t flow_hash(const BatchPacket& packet);
 
 struct EngineConfig {
-  std::size_t shards = 0;          // 0 = thread-pool size
+  std::size_t shards = 0;          // 0 = hardware_concurrency
   std::size_t cache_slots = 1024;  // per-shard LPM cache; 0 disables it
   std::uint64_t rng_seed = 1;
   std::size_t external_mtu = 1500;
+  /// SPSC work-ring slots per worker (rounded up to a power of two). Small
+  /// values force wraparound and producer backpressure — useful in tests.
+  std::size_t ring_slots = 64;
+  /// Chunk-autotuner clamp: work items cover [min_chunk, max_chunk] packet
+  /// indices. Equal values pin the granularity (disables autotuning). The
+  /// max default keeps a chunk's two-phase walk (lookup pass + verdict
+  /// pass over the same packets) L2-resident; larger chunks re-introduce
+  /// the cache thrash the chunking exists to remove.
+  std::size_t min_chunk = 256;
+  std::size_t max_chunk = 1024;
+  /// Best-effort worker-thread affinity (worker i -> core (i+1) mod cores);
+  /// skipped when the host has a single core.
+  bool pin_workers = true;
+  /// Spawn the persistent workers inside the constructor. When false they
+  /// spawn at start() or lazily on the first multi-shard batch, so
+  /// engines that never see batch traffic never own threads.
+  bool spawn_workers_eagerly = false;
 };
 
 class DataPlaneEngine {
  public:
   /// `tables` must outlive the engine. The engine takes them non-const
   /// because it is also the mutation gate: all updates flow through
-  /// update_tables(). `pool` defaults to ThreadPool::global().
+  /// update_tables()/apply().
   DataPlaneEngine(RouterTables& tables, AsNumber local_as,
-                  EngineConfig config = {}, ThreadPool* pool = nullptr);
+                  EngineConfig config = {});
+
+  /// Spawns the persistent workers (idempotent; a no-op with one shard).
+  /// Called lazily by the first multi-shard batch when the config did not
+  /// ask for eager spawning.
+  void start();
+  /// Parks and joins the workers (idempotent). The engine stays usable:
+  /// the next multi-shard batch restarts them. Must not race process_*.
+  void stop();
+  [[nodiscard]] bool workers_running() const { return !workers_.empty(); }
 
   /// Processes a batch leaving / entering the local AS. Returns one verdict
   /// per packet, aligned with batch indices. Packets are mutated in place
   /// (stamping, mark erasure) exactly as BorderRouter would.
   std::vector<Verdict> process_outbound(PacketBatch& batch, SimTime now);
   std::vector<Verdict> process_inbound(PacketBatch& batch, SimTime now);
+  std::vector<Verdict> process_outbound(std::span<BatchPacket> packets,
+                                        SimTime now);
+  std::vector<Verdict> process_inbound(std::span<BatchPacket> packets,
+                                       SimTime now);
 
-  /// Applies `mutate` to the tables under the writer lock (waiting out any
-  /// in-flight batch) and flushes every shard's LPM cache. This is the only
+  /// Scatter view: processes exactly `packets[i]` for i in `indices`
+  /// (ascending, no duplicates), writing `verdicts[i]`. `verdicts` must
+  /// span packets.size(); entries not named by `indices` are untouched.
+  /// This is the zero-copy fan-out used by DiscsSystem::send_batch — the
+  /// caller keeps one flat batch and hands out index views instead of
+  /// gathering sub-batches.
+  void process_outbound(std::span<BatchPacket> packets,
+                        std::span<const std::uint32_t> indices,
+                        std::span<Verdict> verdicts, SimTime now);
+  void process_inbound(std::span<BatchPacket> packets,
+                       std::span<const std::uint32_t> indices,
+                       std::span<Verdict> verdicts, SimTime now);
+
+  /// Applies `mutate` to the tables under the writer lock (quiescing the
+  /// worker rings) and flushes every shard's LPM cache. This is the only
   /// safe way to change tables while the engine is live.
   void update_tables(const std::function<void(RouterTables&)>& mutate);
 
-  /// Applies a TableTransaction atomically: writer lock, every op in order,
-  /// one epoch bump, one cache-generation flush. Returns the new table
-  /// epoch. This is the con-rou delivery endpoint — on sealed tables it is
-  /// the only mutation path that does not abort.
+  /// Applies a TableTransaction atomically: writer lock (rings quiesced,
+  /// workers parked), every op in order, one epoch bump, one
+  /// cache-generation flush. Returns the new table epoch. This is the
+  /// con-rou delivery endpoint — on sealed tables it is the only mutation
+  /// path that does not abort.
   TableEpoch apply(const TableTransaction& txn, SimTime now);
 
   /// Manually flushes every shard's LPM cache (update_tables already does;
@@ -126,10 +196,11 @@ class DataPlaneEngine {
   /// re-binding replaces the previous binding): per-verdict sharded
   /// counters, batch-size / per-shard queue-depth / LPM-cache-hit-rate /
   /// CMAC-batch-occupancy histograms, an AES-backend info gauge, and a
-  /// pull-mode view over the merged RouterStats + cache stats, all under
-  /// `labels` (add e.g. {"as", "7"} to disambiguate engines). The hot-path
-  /// cost when bound is one relaxed atomic add per packet plus a few
-  /// histogram records per shard per batch; when unbound it is zero.
+  /// pull-mode view over the merged RouterStats + cache stats + the worker
+  /// protocol counters (parks, doorbell wakeups, ring-full stalls, chunks),
+  /// all under `labels` (add e.g. {"as", "7"} to disambiguate engines). The
+  /// hot-path cost when bound is one relaxed atomic add per packet plus a
+  /// few histogram records per shard per batch; when unbound it is zero.
   void bind_metrics(telemetry::MetricsRegistry& registry,
                     telemetry::Labels labels = {});
   /// Removes the pull-mode collector (safe to call when never bound).
@@ -146,6 +217,20 @@ class DataPlaneEngine {
   /// Summed per-shard LPM-cache hit/miss counters.
   [[nodiscard]] LpmLookupCache::Stats cache_stats() const;
 
+  /// Worker-protocol counters, cumulative since construction. Cheap
+  /// relaxed-atomic reads; safe from any thread at any time.
+  struct WorkerStats {
+    std::uint64_t parks = 0;            // workers entering doorbell wait
+    std::uint64_t wakeups = 0;          // doorbell-triggered unparks
+    std::uint64_t doorbells = 0;        // notify syscalls the producer paid
+    std::uint64_t ring_full_stalls = 0; // producer spins on a full ring
+    std::uint64_t chunks = 0;           // work items dispatched to rings
+  };
+  [[nodiscard]] WorkerStats worker_stats() const;
+
+  /// The chunk granularity the autotuner would use for the next batch.
+  [[nodiscard]] std::size_t chunk_hint() const;
+
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] AsNumber local_as() const;
   /// Which shard a packet would be processed on.
@@ -155,11 +240,13 @@ class DataPlaneEngine {
 
  private:
   struct Shard {
-    Shard(const RouterTables& tables, AsNumber local_as, std::uint64_t seed,
-          std::size_t mtu, std::size_t cache_slots)
-        : router(tables, local_as, seed, mtu),
+    Shard(std::size_t id_in, const RouterTables& tables, AsNumber local_as,
+          std::uint64_t seed, std::size_t mtu, std::size_t cache_slots)
+        : id(id_in),
+          router(tables, local_as, seed, mtu),
           cache(cache_slots == 0 ? 1 : cache_slots) {}
 
+    std::size_t id;  // shard index: cell selector for the sharded counters
     BorderRouter router;
     LpmLookupCache cache;
     std::vector<std::uint32_t> indices;  // batch scratch: packets of this shard
@@ -168,6 +255,34 @@ class DataPlaneEngine {
     std::vector<std::pair<Ipv4Address, SimTime>> observed;
     std::vector<FlowReport> flow_reports;
     LpmLookupCache::Stats cache_before;  // per-batch hit-rate delta scratch
+  };
+
+  /// An index range into one shard's per-batch `indices` list. The worker
+  /// resolves it against the per-batch context published before the push.
+  struct WorkItem {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// One persistent worker: its SPSC work feed plus the doorbell/park and
+  /// completion protocol state, each on its own cache line.
+  struct Worker {
+    explicit Worker(std::size_t ring_slots) : ring(ring_slots) {}
+
+    SpscRing<WorkItem> ring;
+    /// Bumped by the producer (with a notify) only when the worker is
+    /// parked; the worker waits on a generation it read before parking, so
+    /// a bump between the read and the wait turns the wait into a no-op.
+    alignas(64) std::atomic<std::uint64_t> doorbell{0};
+    std::atomic<bool> parked{false};
+    /// Cumulative work items completed; the producer-side `pushed` mirror
+    /// is plain because only the consumer thread writes it.
+    alignas(64) std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> consumer_waiting{false};
+    alignas(64) std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> wakeups{0};
+    std::uint64_t pushed = 0;
+    std::thread thread;
   };
 
   /// Instruments registered by bind_metrics; null pointers = unbound.
@@ -181,11 +296,26 @@ class DataPlaneEngine {
   };
 
   template <bool kOutbound>
-  std::vector<Verdict> process(PacketBatch& batch, SimTime now);
+  void process(std::span<BatchPacket> packets,
+               std::span<const std::uint32_t> indices,
+               std::span<Verdict> verdicts, SimTime now);
+  template <bool kOutbound>
+  std::vector<Verdict> process_all(std::span<BatchPacket> packets, SimTime now);
+
+  /// Runs one index range of `shard` against the published batch context.
+  /// Called from the owning worker thread (shards 1..N-1) or the consumer
+  /// thread (shard 0 and the single-shard bypass).
+  void run_chunk(Shard& shard, std::span<const std::uint32_t> indices,
+                 bool outbound);
+  void worker_main(std::size_t worker_index);
+  void push_work(Worker& worker, WorkItem item);
+  void wait_for(Worker& worker);
   void drain_sinks();
+  [[nodiscard]] std::size_t autotune_chunk(std::size_t shard_occupancy);
+  void record_batch_telemetry();
 
   RouterTables* tables_;
-  ThreadPool* pool_;
+  EngineConfig config_;
   mutable std::shared_mutex mutex_;  // shared: batch; unique: update/stats
   std::vector<std::unique_ptr<Shard>> shards_;
   bool cache_enabled_;
@@ -194,6 +324,24 @@ class DataPlaneEngine {
   std::function<void(Ipv4Address, SimTime)> traffic_observer_;
   std::function<void(const FlowReport&)> flow_sink_;
   Telemetry telem_;
+
+  // ---- persistent-worker state ----
+  std::vector<std::unique_ptr<Worker>> workers_;  // size: shards-1 or 0
+  std::atomic<bool> stop_{false};
+  // Per-batch context published to workers through the ring pushes (the
+  // release store on the ring head orders these writes before the pop).
+  std::span<BatchPacket> ctx_packets_;
+  Verdict* ctx_verdicts_ = nullptr;
+  SimTime ctx_now_ = 0;
+  bool ctx_outbound_ = false;
+  // Occupancy EWMA feeding the chunk autotuner (consumer thread only).
+  double ewma_occupancy_ = 0;
+  std::vector<std::uint32_t> iota_;  // identity indices for full batches
+  // Worker-protocol counters surfaced by worker_stats(); relaxed atomics so
+  // a metrics scrape may read them mid-batch.
+  std::atomic<std::uint64_t> doorbells_{0};
+  std::atomic<std::uint64_t> ring_full_stalls_{0};
+  std::atomic<std::uint64_t> chunks_{0};
 };
 
 }  // namespace discs

@@ -59,6 +59,10 @@ struct FlowReport {
   FunctionSet functions = 0;
   Verdict verdict = Verdict::kDropSpoofed;
   std::uint32_t sample_rate = 1;  // 1-in-n NetFlow-style sampling
+
+  /// Field-wise equality, used by the engine conformance and determinism
+  /// suites to pin flow-report ring contents across runs.
+  friend bool operator==(const FlowReport&, const FlowReport&) = default;
 };
 
 struct RouterStats {

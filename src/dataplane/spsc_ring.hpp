@@ -1,0 +1,89 @@
+// Bounded single-producer/single-consumer ring buffer: the work-feed
+// between the engine's consumer thread and one persistent worker. Lock-free
+// in the strict sense — push and pop are one relaxed load, one plain slot
+// access and one release store each on the fast path; the opposite index is
+// re-read (acquire) only when the cached copy says the ring looks full or
+// empty.
+//
+// Memory-ordering contract:
+//  * push(): the slot write happens-before the release store of head_, so a
+//    pop() that observes the new head (acquire) sees the slot contents — and
+//    anything the producer wrote before push(), which is how the engine
+//    publishes its per-batch context to workers without extra fences.
+//  * pop(): the slot read happens-before the release store of tail_, so a
+//    push() that observes the freed slot (acquire on tail_) can safely
+//    overwrite it.
+//  * Exactly ONE producer thread and ONE consumer thread; the head/tail
+//    cache fields are deliberately unsynchronized thread-local state.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace discs {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  [[nodiscard]] bool try_push(const T& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_[head & mask_] = item;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Callable from either side (the park/doorbell protocol re-checks this
+  /// after publishing the parked flag). May under-report concurrently
+  /// pushed items unless the caller orders the check with a fence.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy (exact when the other side is quiescent).
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  // Producer-owned line: head index plus the producer's stale copy of tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Consumer-owned line: tail index plus the consumer's stale copy of head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+};
+
+}  // namespace discs

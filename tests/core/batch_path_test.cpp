@@ -95,6 +95,62 @@ TEST(BatchPathTest, SendBatchMatchesSendPacketPerPacket) {
   }
 }
 
+// Degenerate shapes through the zero-copy scatter view: send_batch hands
+// the engines index lists into one flat batch, so empty index lists (all
+// packets unroutable, or every survivor intra-AS) and single-packet views
+// must behave exactly like their serial counterparts.
+TEST(BatchPathTest, ScatterViewEdgeCases) {
+  DiscsSystem system(small_config());
+  const Cast cast = pick_cast(system);
+  arm_defense(system, cast);
+
+  // Empty batch: no verdicts, no engine invocation.
+  PacketBatch empty;
+  EXPECT_TRUE(system.send_batch(cast.helper, empty).empty());
+
+  // Single-packet batch agrees with send_packet.
+  const std::vector<Ipv4Packet> mix =
+      craft_mix(system, cast.helper, cast.victim);
+  for (const Ipv4Packet& p : mix) {
+    Ipv4Packet serial_copy = p;
+    const DeliveryResult serial =
+        system.send_packet(cast.helper, serial_copy);
+    PacketBatch one;
+    one.add(p);
+    const auto batched = system.send_batch(cast.helper, one);
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(batched[0].outcome, serial.outcome);
+    EXPECT_EQ(batched[0].source_verdict, serial.source_verdict);
+    EXPECT_EQ(batched[0].destination_verdict, serial.destination_verdict);
+  }
+
+  // All-unroutable batch: both engine index lists are empty.
+  PacketBatch unroutable;
+  for (int k = 0; k < 8; ++k) {
+    unroutable.add(Ipv4Packet::make(
+        Ipv4Address::from_octets(240, 0, 0, static_cast<std::uint8_t>(k + 1)),
+        Ipv4Address::from_octets(240, 1, 0, 1), IpProto::kUdp, {}));
+  }
+  for (const DeliveryResult& r : system.send_batch(cast.helper, unroutable)) {
+    EXPECT_EQ(r.outcome, DeliveryOutcome::kUnroutable);
+    EXPECT_TRUE(r.path.empty());
+  }
+
+  // Intra-AS batch: routable but never crosses a border — the outbound
+  // index list must exclude every packet and both stages stay idle.
+  const auto own = system.dataset().prefixes_of(cast.helper);
+  PacketBatch intra;
+  for (std::size_t k = 0; k + 1 < std::min<std::size_t>(own.size(), 4); ++k) {
+    intra.add(Ipv4Packet::make(Ipv4Address(own[k].address().bits() + 1),
+                               Ipv4Address(own[k + 1].address().bits() + 2),
+                               IpProto::kUdp, {}));
+  }
+  for (const DeliveryResult& r : system.send_batch(cast.helper, intra)) {
+    EXPECT_EQ(r.outcome, DeliveryOutcome::kDelivered);
+    EXPECT_EQ(r.source_verdict, Verdict::kPass);  // default: stage skipped
+  }
+}
+
 TEST(BatchPathTest, RunAttackBatchedReproducesRunAttack) {
   // Two identically-seeded systems evolve their samplers identically, so
   // the serial and batched attack runs see the exact same packet stream.

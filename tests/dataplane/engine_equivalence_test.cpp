@@ -1,12 +1,18 @@
-// Batch-vs-serial equivalence: for randomized packet mixes (legit/spoofed,
-// v4/v6, fragments, ICMP Time Exceeded, alarm mode on/off) the sharded
-// DataPlaneEngine must return exactly the verdicts a single serial
-// BorderRouter returns, and its merged RouterStats must be identical.
+// Batch-vs-serial conformance suite: for randomized packet mixes
+// (legit/spoofed, v4/v6, fragments, ICMP Time Exceeded, alarm mode on/off)
+// the sharded DataPlaneEngine must return exactly the verdicts a single
+// serial BorderRouter returns, its merged RouterStats must be identical,
+// and every sink (alarm, flow report, ICMPv6) must emit the same multiset.
+// The grid covers the single-worker bypass (w1), the persistent-worker
+// path (w2/w4/w8 — oversubscribed on small hosts, which is exactly how the
+// park/doorbell protocol gets exercised under preemption), ring-wraparound
+// configs, and degenerate batch sizes.
 #include "dataplane/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -200,11 +206,26 @@ std::vector<std::uint8_t> canonical(const BatchPacket& packet) {
       packet);
 }
 
+// Sortable canonical form of a FlowReport: every field participates, so two
+// runs emitting the same multiset of reports produce the same sorted list.
+std::string flow_key(const FlowReport& r) {
+  std::string key = std::to_string(r.time) + '|' +
+                    std::to_string(r.source_as) + '|' +
+                    (r.inbound ? "in|" : "out|");
+  key += r.ipv6 ? r.src6.to_string() + '>' + r.dst6.to_string()
+                : r.src4.to_string() + '>' + r.dst4.to_string();
+  key += '|' + std::to_string(r.functions) + '|' +
+         std::to_string(static_cast<int>(r.verdict)) + '|' +
+         std::to_string(r.sample_rate);
+  return key;
+}
+
 struct Outcome {
   std::vector<Verdict> verdicts;
   RouterStats stats;
   std::vector<std::pair<AsNumber, bool>> alarms;  // (source_as, inbound)
   std::vector<std::vector<std::uint8_t>> icmp6;   // serialized PTB messages
+  std::vector<std::string> flows;                 // canonical FlowReports
 };
 
 Outcome run_serial(Env& env, const std::vector<BatchPacket>& pristine,
@@ -218,6 +239,8 @@ Outcome run_serial(Env& env, const std::vector<BatchPacket>& pristine,
   });
   router.set_icmp6_sink(
       [&](Ipv6Packet p) { out.icmp6.push_back(p.serialize()); });
+  router.set_flow_sink(
+      [&](const FlowReport& r) { out.flows.push_back(flow_key(r)); });
   for (BatchPacket& packet : packets) {
     out.verdicts.push_back(std::visit(
         [&](auto& p) {
@@ -232,9 +255,9 @@ Outcome run_serial(Env& env, const std::vector<BatchPacket>& pristine,
 
 Outcome run_engine(Env& env, const std::vector<BatchPacket>& pristine,
                    bool outbound, bool alarm_mode, SimTime now,
-                   std::size_t shards, std::size_t batch_size) {
+                   std::size_t shards, std::size_t batch_size,
+                   EngineConfig config = {}) {
   Outcome out;
-  EngineConfig config;
   config.shards = shards;
   config.rng_seed = 7;
   DataPlaneEngine engine(env.victim, kVictimAs, config);
@@ -244,6 +267,8 @@ Outcome run_engine(Env& env, const std::vector<BatchPacket>& pristine,
   });
   engine.set_icmp6_sink(
       [&](Ipv6Packet p) { out.icmp6.push_back(p.serialize()); });
+  engine.set_flow_sink(
+      [&](const FlowReport& r) { out.flows.push_back(flow_key(r)); });
   // Feed the traffic as a sequence of batches, as a live pipeline would.
   for (std::size_t at = 0; at < pristine.size(); at += batch_size) {
     PacketBatch batch;
@@ -271,6 +296,9 @@ void expect_equivalent(Outcome& serial, Outcome& engine) {
   std::sort(serial.icmp6.begin(), serial.icmp6.end());
   std::sort(engine.icmp6.begin(), engine.icmp6.end());
   EXPECT_EQ(serial.icmp6, engine.icmp6);
+  std::sort(serial.flows.begin(), serial.flows.end());
+  std::sort(engine.flows.begin(), engine.flows.end());
+  EXPECT_EQ(serial.flows, engine.flows);
 }
 
 class EngineEquivalence
@@ -303,11 +331,76 @@ TEST_P(EngineEquivalence, OutboundMatchesSerial) {
   expect_equivalent(serial, engine);
 }
 
+// w1 exercises the inline bypass; w2/w4/w8 exercise the persistent-worker
+// rings (oversubscribed on small CI hosts, which adds preemption right in
+// the middle of the park/doorbell handshake — the interesting schedule).
 INSTANTIATE_TEST_SUITE_P(
-    SeedsAndShards, EngineEquivalence,
+    SeedsAndWorkers, EngineEquivalence,
     ::testing::Combine(::testing::Values(3u, 17u, 99u),
-                       ::testing::Values(std::size_t{1}, std::size_t{3},
-                                         std::size_t{4})));
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8})));
+
+// Degenerate batch shapes at full worker count: empty batches (must not
+// wake anyone), single packets, and batch sizes straddling the ring
+// capacity. A 2-slot ring with a pinned 1-packet chunk forces index
+// wraparound and producer backpressure within a single 10k-packet run.
+class EngineEdgeCases : public ::testing::Test {
+ protected:
+  static EngineConfig tiny_ring() {
+    EngineConfig config;
+    config.ring_slots = 2;   // capacity 2 after power-of-two rounding
+    config.min_chunk = 1;    // pinned: every packet is its own work item
+    config.max_chunk = 1;
+    return config;
+  }
+};
+
+TEST_F(EngineEdgeCases, EmptyAndSinglePacketBatches) {
+  Env env;
+  Xoshiro256 rng(7);
+  const SimTime now = kMinute;
+  const auto mix = inbound_mix(env, rng, 64, now);
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{64}}) {
+    Outcome serial = run_serial(env, mix, /*outbound=*/false, false, now);
+    Outcome engine =
+        run_engine(env, mix, /*outbound=*/false, false, now, 4, batch_size);
+    expect_equivalent(serial, engine);
+  }
+  // A zero-size batch is a no-op: no verdicts, no stats, no worker wakeups.
+  DataPlaneEngine engine(env.victim, kVictimAs, EngineConfig{.shards = 4});
+  PacketBatch empty;
+  EXPECT_TRUE(engine.process_inbound(empty, now).empty());
+  EXPECT_EQ(engine.stats(), RouterStats{});
+  EXPECT_EQ(engine.worker_stats().chunks, 0u);
+}
+
+TEST_F(EngineEdgeCases, RingWraparoundUnderBackpressure) {
+  Env env;
+  Xoshiro256 rng(23);
+  const SimTime now = kMinute;
+  const auto mix = inbound_mix(env, rng, 10'000, now);
+  Outcome serial = run_serial(env, mix, /*outbound=*/false, true, now);
+  Outcome engine = run_engine(env, mix, /*outbound=*/false, true, now,
+                              /*shards=*/4, /*batch_size=*/512, tiny_ring());
+  expect_equivalent(serial, engine);
+}
+
+TEST_F(EngineEdgeCases, BatchSizesStraddlingRingCapacity) {
+  Env env;
+  Xoshiro256 rng(31);
+  const SimTime now = kMinute;
+  const auto mix = outbound_mix(env, rng, 2'000);
+  EngineConfig config = tiny_ring();
+  // Per-shard occupancy hovers around ring capacity (2) and one below/above
+  // it as the batch size walks 1..5 packets.
+  for (const std::size_t batch_size :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    Outcome serial = run_serial(env, mix, /*outbound=*/true, false, now);
+    Outcome engine = run_engine(env, mix, /*outbound=*/true, false, now,
+                                /*shards=*/4, batch_size, config);
+    expect_equivalent(serial, engine);
+  }
+}
 
 // The round trip peer-stamp -> engine-verify leaves genuine packets intact:
 // v6 packets byte-identical, v4 packets identical outside the mark fields.
