@@ -7,15 +7,31 @@
 //
 // Paper anchors (optimal strategy): 50 largest ASes -> incentive 0.68;
 // 200 largest -> 0.88.
+//
+// The workload comes from a scenario spec (kDefaultScenario below, or
+// --scenario FILE): topology, deployment strategy, and the random-trials
+// root seed. The spec's name/hash/seed are stamped into the results JSON.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "eval/deployment.hpp"
-#include "topology/synthetic.hpp"
+#include "scenario/runner.hpp"
 
 using namespace discs;
 
 namespace {
+
+/// The paper's Figure 6 workload: the §VI-A synthetic Internet, optimal
+/// deployment, random-trials seed 2.
+constexpr char kDefaultScenario[] = R"(scenario fig6_strategy
+seed 2
+world system
+topology synthetic
+synthetic.ases 44036
+synthetic.prefixes 442000
+deploy.strategy optimal
+deploy.count 50
+)";
 
 double at_count(const DeploymentCurve& curve, std::size_t count) {
   for (std::size_t i = 0; i < curve.counts.size(); ++i) {
@@ -41,11 +57,13 @@ void print_three(const char* title, const std::vector<std::size_t>& counts,
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv, "fig6_strategy");
   bench::JsonWriter json = bench::make_writer("fig6_strategy", args);
+  const scenario::ScenarioSpec spec =
+      bench::load_bench_scenario(args, kDefaultScenario, json);
   const std::size_t trials = args.smoke ? 5 : 50;
-  const auto dataset = generate_dataset(SyntheticConfig{});
+  scenario::ScenarioRunner runner(spec);
+  const auto& dataset = runner.dataset();
   const std::size_t n = dataset.as_count();
-  const auto optimal_order =
-      deployment_order(dataset, DeploymentStrategy::kOptimal, 0);
+  const auto optimal_order = runner.deployment_order();
 
   // --- whole-process sampling (Figs. 6a, 6b) ---
   std::vector<std::size_t> whole;
@@ -58,7 +76,8 @@ int main(int argc, char** argv) {
         std::pair{CurveMetric::kIncentiveDpCdp,
                   "Figure 6b — deployment incentives (whole process)"}}) {
     const auto uniform = run_uniform_deployment(n, whole, metric);
-    const auto random = run_random_trials(dataset, whole, metric, trials, 2);
+    const auto random =
+        run_random_trials(dataset, whole, metric, trials, spec.seed);
     const auto optimal = run_deployment(dataset, optimal_order, whole, metric);
     print_three(title_a, whole, uniform, random, optimal);
   }
@@ -72,7 +91,7 @@ int main(int argc, char** argv) {
       run_uniform_deployment(n, early, CurveMetric::kIncentiveDpCdp);
   const auto random_early =
       run_random_trials(dataset, early, CurveMetric::kIncentiveDpCdp, trials,
-                        2);
+                        spec.seed);
   const auto optimal_early = run_deployment(dataset, optimal_order, early,
                                             CurveMetric::kIncentiveDpCdp);
   print_three("Figure 6c — deployment incentives (early stage)", early,

@@ -9,6 +9,13 @@
 //
 // The closed form is cross-checked against a flow-level Monte-Carlo
 // estimate that samples (a, i, v) spoofing flows from the r_j distribution.
+//
+// The workload comes from a scenario spec (kDefaultScenario below, or
+// --scenario FILE): topology, deployment strategy, the random-trials root
+// seed, and the Monte-Carlo legs (one `at 0s attack` step each, whose
+// packets/seed drive the flow sampler). The spec's name/hash/seed are
+// stamped into the results JSON so runs are comparable iff their workload
+// labels match.
 #include <cstdio>
 #include <unordered_set>
 
@@ -16,11 +23,26 @@
 #include "eval/deployment.hpp"
 #include "eval/flowsim.hpp"
 #include "eval/report.hpp"
-#include "topology/synthetic.hpp"
+#include "scenario/runner.hpp"
 
 using namespace discs;
 
 namespace {
+
+/// The paper's Figure 7 workload: the §VI-A synthetic Internet, optimal
+/// deployment anchored at the 50 largest ASes, random-trials seed 3, and
+/// two 500k-flow Monte-Carlo legs (d-DDoS seed 11, s-DDoS seed 12).
+constexpr char kDefaultScenario[] = R"(scenario fig7_effectiveness
+seed 3
+world system
+topology synthetic
+synthetic.ases 44036
+synthetic.prefixes 442000
+deploy.strategy optimal
+deploy.count 50
+at 0s attack direct packets=500000 seed=11
+at 0s attack reflection packets=500000 seed=12
+)";
 
 double at_count(const DeploymentCurve& curve, std::size_t count) {
   for (std::size_t i = 0; i < curve.counts.size(); ++i) {
@@ -34,12 +56,13 @@ double at_count(const DeploymentCurve& curve, std::size_t count) {
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv, "fig7_effectiveness");
   bench::JsonWriter json = bench::make_writer("fig7_effectiveness", args);
+  const scenario::ScenarioSpec spec =
+      bench::load_bench_scenario(args, kDefaultScenario, json);
   const std::size_t trials = args.smoke ? 5 : 50;
-  const std::size_t mc_flows = args.smoke ? 50000 : 500000;
-  const auto dataset = generate_dataset(SyntheticConfig{});
+  scenario::ScenarioRunner runner(spec);
+  const auto& dataset = runner.dataset();
   const std::size_t n = dataset.as_count();
-  const auto optimal_order =
-      deployment_order(dataset, DeploymentStrategy::kOptimal, 0);
+  const auto optimal_order = runner.deployment_order();
 
   std::vector<std::size_t> whole;
   for (int step = 0; step <= 20; ++step) whole.push_back(n * step / 20);
@@ -47,8 +70,8 @@ int main(int argc, char** argv) {
   {
     const auto uniform =
         run_uniform_deployment(n, whole, CurveMetric::kEffectiveness);
-    const auto random = run_random_trials(dataset, whole,
-                                          CurveMetric::kEffectiveness, trials, 3);
+    const auto random = run_random_trials(
+        dataset, whole, CurveMetric::kEffectiveness, trials, spec.seed);
     const auto optimal = run_deployment(dataset, optimal_order, whole,
                                         CurveMetric::kEffectiveness);
     bench::header("Figure 7a — global spoofing reduction (whole process)");
@@ -68,7 +91,7 @@ int main(int argc, char** argv) {
   const auto uniform_early =
       run_uniform_deployment(n, early, CurveMetric::kEffectiveness);
   const auto random_early = run_random_trials(
-      dataset, early, CurveMetric::kEffectiveness, trials, 3);
+      dataset, early, CurveMetric::kEffectiveness, trials, spec.seed);
   const auto optimal_early = run_deployment(dataset, optimal_order, early,
                                             CurveMetric::kEffectiveness);
 
@@ -100,27 +123,33 @@ int main(int argc, char** argv) {
   bench::row("reduction with 629 largest deployers", 0.90,
              at_count(optimal_early, 629));
 
-  // Monte-Carlo cross-check at the 50-largest point, both attack types.
-  std::unordered_set<AsNumber> deployed;
+  // Monte-Carlo cross-check at the spec's deployment anchor, one leg per
+  // attack step in the spec's schedule.
   {
+    std::unordered_set<AsNumber> deployed;
     DeploymentState state = DeploymentState::from_dataset(dataset);
-    for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t i = 0; i < spec.deploy_count && i < optimal_order.size();
+         ++i) {
       state.deploy(optimal_order[i]);
       deployed.insert(dataset.as_numbers()[optimal_order[i]]);
     }
-    const auto mc_d = simulate_effectiveness(dataset, deployed,
-                                             AttackType::kDirect, mc_flows, 11);
-    const auto mc_s = simulate_effectiveness(
-        dataset, deployed, AttackType::kReflection, mc_flows, 12);
     bench::header("Closed form vs flow-level Monte Carlo (50 largest)");
     bench::row("closed form", state.effectiveness(), state.effectiveness());
-    bench::row("Monte Carlo, d-DDoS (500k flows)", state.effectiveness(),
-               mc_d.fraction());
-    bench::row("Monte Carlo, s-DDoS (500k flows)", state.effectiveness(),
-               mc_s.fraction());
     json.metric("monte_carlo", "closed_form", state.effectiveness());
-    json.metric("monte_carlo", "mc_direct", mc_d.fraction());
-    json.metric("monte_carlo", "mc_reflection", mc_s.fraction());
+    for (const scenario::ScheduleStep& step : spec.schedule) {
+      if (step.kind != scenario::ScheduleStep::Kind::kAttack) continue;
+      const scenario::AttackStep& a = step.attack;
+      const std::size_t flows = args.smoke ? a.packets / 10 : a.packets;
+      const auto mc =
+          simulate_effectiveness(dataset, deployed, a.type, flows, a.seed);
+      const bool direct = a.type == AttackType::kDirect;
+      bench::row(std::string("Monte Carlo, ") +
+                     (direct ? "d-DDoS" : "s-DDoS") + " (" +
+                     std::to_string(a.packets / 1000) + "k flows)",
+                 state.effectiveness(), mc.fraction());
+      json.metric("monte_carlo", direct ? "mc_direct" : "mc_reflection",
+                  mc.fraction());
+    }
   }
   json.metric("anchors", "reduction_50_largest", at_count(optimal_early, 50));
   json.metric("anchors", "reduction_629_largest", at_count(optimal_early, 629));

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "crypto/aes_backend.hpp"
+#include "scenario/spec.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -120,14 +122,18 @@ class JsonWriter {
 };
 
 /// Command line shared by the harness binaries:
-///   bench_x [--smoke] [--trace FILE] [--metrics FILE] [OUTPUT.json]
-/// --smoke shrinks workloads for the CI sanity leg; --trace/--metrics name
-/// the Chrome-trace and metrics-snapshot side files.
+///   bench_x [--smoke] [--scenario FILE] [--trace FILE] [--metrics FILE]
+///           [OUTPUT.json]
+/// --smoke shrinks workloads for the CI sanity leg; --scenario replaces the
+/// bench's built-in workload spec with a .scn file (scenario-driven benches
+/// only); --trace/--metrics name the Chrome-trace and metrics-snapshot side
+/// files.
 struct Args {
   bool smoke = false;
-  std::string trace_path;    // empty = no trace requested
-  std::string metrics_path;  // empty = no metrics snapshot requested
-  std::string output;        // the results/bench_<name>.json document
+  std::string scenario_path;  // empty = the bench's built-in spec
+  std::string trace_path;     // empty = no trace requested
+  std::string metrics_path;   // empty = no metrics snapshot requested
+  std::string output;         // the results/bench_<name>.json document
 };
 
 inline Args parse_args(int argc, char** argv, const std::string& bench_name) {
@@ -137,6 +143,8 @@ inline Args parse_args(int argc, char** argv, const std::string& bench_name) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      args.scenario_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       args.trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
@@ -146,6 +154,42 @@ inline Args parse_args(int argc, char** argv, const std::string& bench_name) {
     }
   }
   return args;
+}
+
+/// Resolves a scenario-driven bench's workload: the --scenario file when
+/// given, else `builtin_text` (the bench's embedded default, which must
+/// parse). The spec's identity is stamped into the results document as
+/// schema-2 labels — scenario name, FNV-1a content hash over the canonical
+/// serialization, and the root seed — so two JSON files are comparable iff
+/// their scenario labels match. Exits on an unreadable/invalid file.
+inline scenario::ScenarioSpec load_bench_scenario(const Args& args,
+                                                  const char* builtin_text,
+                                                  JsonWriter& json) {
+  scenario::ScenarioSpec spec;
+  if (!args.scenario_path.empty()) {
+    auto loaded = scenario::load_scenario(args.scenario_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--scenario %s: %s\n", args.scenario_path.c_str(),
+                   loaded.error().to_string().c_str());
+      std::exit(2);
+    }
+    spec = std::move(*loaded);
+  } else {
+    auto parsed = scenario::parse_scenario(builtin_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "built-in scenario is invalid: %s\n",
+                   parsed.error().to_string().c_str());
+      std::exit(2);
+    }
+    spec = std::move(*parsed);
+  }
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(scenario::scenario_hash(spec)));
+  json.label("scenario", spec.name);
+  json.label("scenario_hash", hash);
+  json.label("scenario_seed", std::to_string(spec.seed));
+  return spec;
 }
 
 /// The one way bench mains create their results document: stamps the

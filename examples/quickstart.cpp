@@ -8,13 +8,39 @@
 // address space.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// With a path argument the hand-rolled demo below is replaced by the
+// scenario DSL: the .scn file is parsed, run through ScenarioRunner, and
+// the folded ScenarioOutcome printed —
+//   ./build/examples/quickstart examples/scenarios/paper_baseline_flood.scn
 #include <cstdio>
 
 #include "core/discs_system.hpp"
+#include "scenario/runner.hpp"
 
 using namespace discs;
 
-int main() {
+namespace {
+
+int run_scenario_file(const char* path) {
+  auto spec = scenario::load_scenario(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path, spec.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("scenario %s (hash %016llx, seed %llu)\n", spec->name.c_str(),
+              static_cast<unsigned long long>(scenario::scenario_hash(*spec)),
+              static_cast<unsigned long long>(spec->seed));
+  scenario::ScenarioRunner runner(std::move(*spec));
+  std::fputs(runner.run().to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return run_scenario_file(argv[1]);
+
   DiscsSystem system;  // default: 64-AS synthetic internet
 
   // Pick the three largest ASes: a victim, a collaborating peer, and a

@@ -5,6 +5,14 @@
 // FaultPlan + seeded controllers over the discrete-event loop), so a
 // failing seed reproduces exactly.
 //
+// The worlds are built from ONE scenario template (kChaosTemplate below) in
+// the scenario DSL: each trial appends its fault plan and checkpoint
+// schedule as spec lines and hands the text to ScenarioRunner, which
+// replays the exact construction the hand-rolled fixture used to do
+// (pinned per-controller seeds, full-mesh discovery, conditional fault
+// installation). run_to_checkpoint() slices the schedule so the gtest
+// assertions interleave between phases.
+//
 // The companion lossless check pins that the fault layer is pay-for-play:
 // an explicitly installed FaultPlan{} draws no randomness and produces
 // byte-for-byte the ChannelStats of a channel that never heard of faults.
@@ -17,16 +25,19 @@
 //   --metrics FILE  write a metrics JSON snapshot; each ChaosWorld folds
 //                   its channel/fault/reliability counters into the global
 //                   registry at teardown
-#include "control/controller.hpp"
+#include "scenario/runner.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -54,29 +65,38 @@ std::uint64_t chaos_root_seed() {
   return 0xc4a05;
 }
 
-/// Three DASes (AS 1..3) plus a legacy AS 4, mirroring the controller
-/// integration fixture, assembled on a caller-provided channel so each
-/// trial owns an independent loop + fault stream.
+/// The one scenario template every chaos world grows from: three DASes
+/// (AS 1..3) plus a legacy AS 4 on a 10 ms channel, controller seeds
+/// pinned to the historical as*1000+7 values. Trials append fault lines
+/// and an `at ...` schedule before parsing.
+constexpr char kChaosTemplate[] = R"(scenario chaos
+world control
+topology rpki
+channel.latency 10ms
+drain 0s
+rpki 10.0.0.0/8 1
+rpki 20.0.0.0/8 2
+rpki 30.0.0.0/8 3
+rpki 40.0.0.0/8 4
+controller.peering_delay 2s
+deploy 1 seed=1007
+deploy 2 seed=2007
+deploy 3 seed=3007
+)";
+
+/// A chaos world assembled by ScenarioRunner from template + extra spec
+/// lines. Construction throws (failing the test) on a malformed spec.
 struct ChaosWorld {
-  explicit ChaosWorld(const FaultPlan& plan, ReliabilityConfig reliability) {
-    if (!plan.lossless()) net.set_fault_plan(plan);
-    for (AsNumber as : {AsNumber{1}, AsNumber{2}, AsNumber{3}}) {
-      ControllerConfig cfg;
-      cfg.as = as;
-      cfg.seed = as * 1000 + 7;
-      cfg.max_peering_delay = 2 * kSecond;
-      cfg.reliability = reliability;
-      controllers.push_back(
-          std::make_unique<Controller>(cfg, loop, net, rpki));
+  explicit ChaosWorld(const std::string& spec_text) {
+    auto parsed = scenario::parse_scenario(spec_text);
+    if (!parsed.ok()) {
+      throw std::runtime_error("chaos spec: " + parsed.error().to_string());
     }
-    for (auto& a : controllers) {
-      for (auto& b : controllers) {
-        if (a != b) b->discover(a->advertisement());
-      }
-    }
+    runner.emplace(std::move(*parsed));
+    runner->build();
     if (g_trace_enabled) {
       // set_tracer names each controller's track itself.
-      for (auto& c : controllers) c->set_tracer(&g_tracer);
+      for (Controller* c : runner->controllers()) c->set_tracer(&g_tracer);
     }
   }
 
@@ -87,19 +107,19 @@ struct ChaosWorld {
   ~ChaosWorld() {
     auto& reg = telemetry::MetricsRegistry::global();
     reg.counter("discs_chaos_worlds_total").add();
-    const FaultStats& f = net.fault_stats();
+    const FaultStats& f = runner->net().fault_stats();
     reg.counter("discs_chaos_faults_total", "", {{"fault", "drop"}})
         .add(f.dropped);
     reg.counter("discs_chaos_faults_total", "", {{"fault", "duplicate"}})
         .add(f.duplicated);
     reg.counter("discs_chaos_faults_total", "", {{"fault", "partition"}})
         .add(f.partition_drops);
-    const ChannelStats& ch = net.stats();
+    const ChannelStats& ch = runner->net().stats();
     reg.counter("discs_chaos_channel_messages_total").add(ch.messages);
     reg.counter("discs_chaos_channel_bytes_total").add(ch.bytes);
     reg.counter("discs_chaos_channel_handshakes_total").add(ch.handshakes);
     ReliabilityStats rs;
-    for (const auto& c : controllers) {
+    for (const Controller* c : runner->controllers()) {
       const ReliabilityStats& s = c->link().stats();
       rs.reliable_sends += s.reliable_sends;
       rs.retransmits += s.retransmits;
@@ -114,25 +134,21 @@ struct ChaosWorld {
         .add(rs.duplicates_suppressed);
   }
 
-  Controller& as(AsNumber n) { return *controllers[n - 1]; }
-
-  [[nodiscard]] std::size_t total_windows() const {
-    std::size_t windows = 0;
-    for (const auto& c : controllers) {
-      const RouterTables& t = c->tables();
-      windows += t.in_src.window_count() + t.in_dst.window_count() +
-                 t.out_src.window_count() + t.out_dst.window_count();
-    }
-    return windows;
+  bool run_to(const std::string& checkpoint) {
+    return runner->run_to_checkpoint(checkpoint);
   }
 
-  InternetDataset rpki{{{pfx("10.0.0.0/8"), {1}},
-                        {pfx("20.0.0.0/8"), {2}},
-                        {pfx("30.0.0.0/8"), {3}},
-                        {pfx("40.0.0.0/8"), {4}}}};
-  EventLoop loop;
-  ConConNetwork net{loop, 10 * kMillisecond};
-  std::vector<std::unique_ptr<Controller>> controllers;
+  Controller& as(AsNumber n) { return *runner->controller(n); }
+  EventLoop& loop() { return runner->loop(); }
+  ConConNetwork& net() { return runner->net(); }
+  const std::vector<Controller*>& controllers() {
+    return runner->controllers();
+  }
+  [[nodiscard]] std::size_t total_windows() const {
+    return runner->total_windows();
+  }
+
+  std::optional<scenario::ScenarioRunner> runner;
 };
 
 /// Both key directions of a peered pair agree end to end: the stamping key
@@ -153,22 +169,33 @@ void expect_pair_key_consistent(Controller& a, Controller& b) {
       << b.as_number() << "}";
 }
 
-/// One full control-plane life cycle under the given plan: discovery +
-/// peering, a re-key round that straddles a partition between AS 1 and
-/// AS 2, and an invocation whose windows must deploy and then expire
-/// without leaving orphans.
-void run_chaos_trial(const FaultPlan& plan) {
-  ReliabilityConfig reliability;
-  // 30% loss per copy means a retry round trip fails with p ~ 0.51; twelve
-  // transmissions push a delivery failure below ~3e-4 per message, and the
-  // fixed seeds below are verified to converge with zero failures.
-  reliability.max_retries = 12;
-  ChaosWorld world(plan, reliability);
+/// One full control-plane life cycle under the given per-trial fault seed:
+/// discovery + peering, a re-key round that straddles a partition between
+/// AS 1 and AS 2, and an invocation whose windows must deploy and then
+/// expire without leaving orphans.
+void run_chaos_trial(std::uint64_t fault_seed) {
+  std::ostringstream text;
+  text << kChaosTemplate
+       // 30% loss per copy means a retry round trip fails with p ~ 0.51;
+       // twelve transmissions push a delivery failure below ~3e-4 per
+       // message, and the fixed seeds below are verified to converge with
+       // zero failures.
+       << "reliability.max_retries 12\n"
+          "fault.drop 0.3\n"
+          "fault.duplicate 0.1\n"
+          "fault.reorder 50ms\n"
+          "fault.jitter 20ms\n"
+          "fault.partition 1 2 70s 73s\n"
+       << "fault.seed " << fault_seed << "\n"
+       << "at 60s checkpoint peered\n"
+          "at 70s rekey @0\n"
+          "at 140s checkpoint rekeyed\n";
+  ChaosWorld world(text.str());
 
   // Phase 1: peering + initial keys converge despite the chaos.
-  world.loop.run_until(60 * kSecond);
-  for (auto& a : world.controllers) {
-    for (auto& b : world.controllers) {
+  ASSERT_TRUE(world.run_to("peered"));
+  for (auto* a : world.controllers()) {
+    for (auto* b : world.controllers()) {
       if (a != b) expect_pair_key_consistent(*a, *b);
     }
   }
@@ -176,12 +203,10 @@ void run_chaos_trial(const FaultPlan& plan) {
   // Phase 2: AS 1 re-keys every peer at t=70s — inside the 70s..73s
   // partition toward AS 2, so that pair's KeyInstall/acks must survive on
   // retransmits alone until the partition heals.
-  world.loop.run_until(70 * kSecond);
-  world.as(1).rekey_all_peers();
-  world.loop.run_until(140 * kSecond);
+  ASSERT_TRUE(world.run_to("rekeyed"));
   EXPECT_GE(world.as(1).stats().rekeys_completed, 2u);
-  for (auto& a : world.controllers) {
-    for (auto& b : world.controllers) {
+  for (auto* a : world.controllers()) {
+    for (auto* b : world.controllers()) {
       if (a != b) expect_pair_key_consistent(*a, *b);
     }
   }
@@ -196,7 +221,7 @@ void run_chaos_trial(const FaultPlan& plan) {
                                             /*spoofed_source=*/false,
                                             20 * kSecond),
             2u);
-  world.loop.run_until(world.loop.now() + 90 * kSecond);
+  world.loop().run_until(world.loop().now() + 90 * kSecond);
   EXPECT_GE(world.as(2).stats().invocations_received, 1u);
   EXPECT_GE(world.as(3).stats().invocations_received, 1u);
   EXPECT_GT(world.as(2).tables().applied_epoch(), epoch2);
@@ -206,15 +231,16 @@ void run_chaos_trial(const FaultPlan& plan) {
   // Reliability invariants: the chaos really bit (faults injected, repairs
   // happened), retransmission stayed bounded by the cap, and nothing was
   // abandoned.
-  EXPECT_GT(world.net.fault_stats().dropped, 0u);
-  EXPECT_GT(world.net.fault_stats().duplicated, 0u);
-  for (auto& c : world.controllers) {
+  const auto max_retries =
+      world.runner->spec().reliability.max_retries;
+  EXPECT_GT(world.net().fault_stats().dropped, 0u);
+  EXPECT_GT(world.net().fault_stats().duplicated, 0u);
+  for (auto* c : world.controllers()) {
     const ReliabilityStats& rs = c->link().stats();
     EXPECT_EQ(rs.delivery_failures, 0u)
         << "AS " << c->as_number() << " abandoned a message";
     EXPECT_LE(rs.retransmits,
-              rs.reliable_sends *
-                  static_cast<std::uint64_t>(reliability.max_retries));
+              rs.reliable_sends * static_cast<std::uint64_t>(max_retries));
     EXPECT_EQ(c->link().pending_count(), 0u)
         << "AS " << c->as_number() << " still has unsettled sends";
   }
@@ -226,30 +252,24 @@ void run_chaos_trial(const FaultPlan& plan) {
 TEST(ChaosTest, ConvergesUnderLossDuplicationAndReordering) {
   for (std::uint64_t trial = 0; trial < 8; ++trial) {
     SCOPED_TRACE("trial " + std::to_string(trial));
-    FaultPlan plan;
-    plan.drop_probability = 0.3;
-    plan.duplicate_probability = 0.1;
-    plan.reorder_window = 50 * kMillisecond;
-    plan.latency_jitter = 20 * kMillisecond;
-    plan.partitions = {{1, 2, 70 * kSecond, 73 * kSecond}};
-    plan.seed = derive_seed(chaos_root_seed(), trial);
-    run_chaos_trial(plan);
+    run_chaos_trial(derive_seed(chaos_root_seed(), trial));
   }
 }
 
 TEST(ChaosTest, PartitionOnlyPlanHealsByRetransmission) {
   // No random faults at all — just a hard 5 s outage between AS 1 and AS 2
   // right as peering starts. The pair must still converge once it heals.
-  FaultPlan plan;
-  plan.partitions = {{1, 2, 0, 5 * kSecond}};
-  ReliabilityConfig reliability;
-  reliability.max_retries = 12;
-  ChaosWorld world(plan, reliability);
-  world.loop.run_until(60 * kSecond);
+  std::ostringstream text;
+  text << kChaosTemplate
+       << "reliability.max_retries 12\n"
+          "fault.partition 1 2 0s 5s\n"
+          "at 60s checkpoint converged\n";
+  ChaosWorld world(text.str());
+  ASSERT_TRUE(world.run_to("converged"));
   expect_pair_key_consistent(world.as(1), world.as(2));
   expect_pair_key_consistent(world.as(2), world.as(1));
-  EXPECT_GT(world.net.fault_stats().partition_drops, 0u);
-  for (auto& c : world.controllers) {
+  EXPECT_GT(world.net().fault_stats().partition_drops, 0u);
+  for (auto* c : world.controllers()) {
     EXPECT_EQ(c->link().stats().delivery_failures, 0u);
   }
 }
@@ -258,15 +278,16 @@ TEST(ChaosTest, PartitionOnlyPlanHealsByRetransmission) {
 /// the channel's cost accounting.
 ChannelStats run_reference_scenario(bool install_lossless_plan,
                                     FaultStats* fault_stats) {
-  ChaosWorld world(FaultPlan{}, ReliabilityConfig{});
-  if (install_lossless_plan) world.net.set_fault_plan(FaultPlan{});
-  world.loop.run_until(30 * kSecond);
-  world.as(1).rekey_all_peers();
-  world.loop.run_until(40 * kSecond);
-  world.as(1).invoke_ddos_defense(pfx("10.1.0.0/16"), false, 5 * kSecond);
-  world.loop.run_until(60 * kSecond);
-  if (fault_stats != nullptr) *fault_stats = world.net.fault_stats();
-  return world.net.stats();
+  std::ostringstream text;
+  text << kChaosTemplate
+       << "at 30s rekey @0\n"
+          "at 40s invoke @0 10.1.0.0/16 direct 5s\n"
+          "at 60s checkpoint end\n";
+  ChaosWorld world(text.str());
+  if (install_lossless_plan) world.net().set_fault_plan(FaultPlan{});
+  EXPECT_TRUE(world.run_to("end"));
+  if (fault_stats != nullptr) *fault_stats = world.net().fault_stats();
+  return world.net().stats();
 }
 
 TEST(ChaosTest, LosslessFaultPlanReproducesChannelStatsExactly) {

@@ -1,0 +1,157 @@
+// Runner contract: two runs of the same spec fold to byte-identical
+// outcomes, checkpoints slice the schedule where the spec says, and both
+// world shapes (full DiscsSystem vs. bare controllers) come up from text.
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace discs::scenario {
+namespace {
+
+ScenarioSpec must_parse(const std::string& text) {
+  auto result = parse_scenario(text);
+  if (!result.ok()) {
+    ADD_FAILURE() << result.error().message;
+    return ScenarioSpec{};
+  }
+  return std::move(*result);
+}
+
+constexpr char kSystemAttack[] = R"(scenario runner_system
+seed 21
+world system
+topology synthetic
+synthetic.ases 16
+synthetic.prefixes 64
+deploy.strategy optimal
+deploy.count 4
+drain 60s
+
+at 30s invoke @0 all direct 20s
+at 35s attack direct packets=400
+at 36s attack reflection packets=300 batch=64
+)";
+
+constexpr char kControlChaos[] = R"(scenario runner_control
+seed 5
+world control
+topology rpki
+channel.latency 10ms
+drain 30s
+rpki 10.0.0.0/8 1
+rpki 20.0.0.0/8 2
+rpki 30.0.0.0/8 3
+controller.peering_delay 2s
+reliability.max_retries 12
+deploy 1 seed=1007
+deploy 2 seed=2007
+deploy 3 seed=3007
+
+fault.drop 0.2
+fault.seed 404
+
+at 60s checkpoint peered
+at 70s rekey @0
+at 140s checkpoint rekeyed
+at 150s invoke @0 10.1.0.0/16 direct 10s
+)";
+
+std::string outcome_of(const std::string& text) {
+  ScenarioRunner runner(must_parse(text));
+  return runner.run().to_string();
+}
+
+TEST(ScenarioRunnerTest, SystemOutcomeIsByteIdenticalAcrossRuns) {
+  const std::string first = outcome_of(kSystemAttack);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(outcome_of(kSystemAttack), first);
+}
+
+TEST(ScenarioRunnerTest, ControlOutcomeIsByteIdenticalAcrossRuns) {
+  const std::string first = outcome_of(kControlChaos);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(outcome_of(kControlChaos), first);
+}
+
+TEST(ScenarioRunnerTest, SystemAttackStepsProduceReports) {
+  ScenarioRunner runner(must_parse(kSystemAttack));
+  const ScenarioOutcome& outcome = runner.run();
+  ASSERT_EQ(outcome.attacks.size(), 2u);
+  EXPECT_EQ(outcome.attacks[0].packets_sent, 400u);
+  EXPECT_EQ(outcome.attacks[1].packets_sent, 300u);
+  // The invoked window covers the victim's prefixes, so the direct flood
+  // must lose packets at deployed filters.
+  EXPECT_LT(outcome.attacks[0].delivered, outcome.attacks[0].packets_sent);
+  EXPECT_EQ(outcome.deployed, 4u);
+  EXPECT_EQ(outcome.residual_windows, 0u);  // 20s window << 60s drain
+}
+
+TEST(ScenarioRunnerTest, CheckpointsSliceTheSchedule) {
+  ScenarioRunner runner(must_parse(kControlChaos));
+  ASSERT_TRUE(runner.run_to_checkpoint("peered"));
+  // All three controllers have met each other by the first checkpoint.
+  for (Controller* c : runner.controllers()) {
+    EXPECT_EQ(c->peer_count(), 2u);
+  }
+  ASSERT_TRUE(runner.run_to_checkpoint("rekeyed"));
+  EXPECT_GE(runner.loop().now(), SimTime{140} * kSecond);
+  // No checkpoint named "end" exists: everything runs, returns false.
+  EXPECT_FALSE(runner.run_to_checkpoint("end"));
+  const ScenarioOutcome& outcome = runner.run();
+  EXPECT_EQ(outcome.deployed, 3u);
+  EXPECT_EQ(outcome.residual_windows, 0u);
+}
+
+TEST(ScenarioRunnerTest, RunIsIdempotentOnceFinished) {
+  ScenarioRunner runner(must_parse(kSystemAttack));
+  const std::string once = runner.run().to_string();
+  EXPECT_EQ(runner.run().to_string(), once);
+}
+
+TEST(ScenarioRunnerTest, EvalAccessorsWorkWithoutBuild) {
+  ScenarioRunner runner(must_parse(
+      "topology synthetic\n"
+      "synthetic.ases 16\n"
+      "synthetic.prefixes 64\n"
+      "deploy.strategy optimal\n"
+      "deploy.count 4\n"));
+  const InternetDataset& ds = runner.dataset();
+  EXPECT_EQ(ds.as_numbers().size(), 16u);
+  const std::vector<std::size_t> order = runner.deployment_order();
+  EXPECT_EQ(order.size(), 16u);
+  // Optimal strategy fronts the largest address-space owners.
+  EXPECT_GE(ds.address_space(ds.as_numbers()[order[0]]),
+            ds.address_space(ds.as_numbers()[order[1]]));
+}
+
+TEST(ScenarioRunnerTest, DeploymentOrderHonoursStrategySeed) {
+  const char* base =
+      "topology synthetic\n"
+      "synthetic.ases 16\n"
+      "synthetic.prefixes 64\n"
+      "deploy.strategy random\n";
+  ScenarioRunner a(must_parse(std::string(base) + "deploy.seed 3\n"));
+  ScenarioRunner b(must_parse(std::string(base) + "deploy.seed 3\n"));
+  ScenarioRunner c(must_parse(std::string(base) + "deploy.seed 4\n"));
+  EXPECT_EQ(a.deployment_order(), b.deployment_order());
+  EXPECT_NE(a.deployment_order(), c.deployment_order());
+}
+
+TEST(ScenarioRunnerTest, BuildRejectsUndeployableAs) {
+  // AS 99 owns nothing in the rpki table; deploying it must throw.
+  ScenarioRunner runner(must_parse(
+      "world control\n"
+      "topology rpki\n"
+      "rpki 10.0.0.0/8 1\n"
+      "rpki 20.0.0.0/8 2\n"
+      "deploy 1\n"
+      "deploy 99\n"));
+  EXPECT_THROW(runner.build(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace discs::scenario

@@ -1,0 +1,152 @@
+// scenario_fuzz — property-based fuzzing over the scenario DSL.
+//
+//   scenario_fuzz [--seed N] [--iters N] [--base FILE] [--inject INVARIANT]
+//                 [--out DIR] [--quiet]
+//
+// Mutates the base spec (built-in default: a small synthetic deployment
+// with a protected victim) from --seed, runs every mutant, and checks its
+// invariants. On the first violation the failing spec is greedily shrunk
+// and the minimal repro written to --out (default ".") as
+// repro_<invariant>_<hash>.scn, stamped with `expect_violation` so
+// scenario_replay exits 0 iff the bug still reproduces.
+//
+// Exit codes: 0 = no violation in the budget, 1 = violation found (repro
+// written), 2 = usage/load error. CI runs two legs: a clean sweep that
+// must exit 0, and an --inject no_attack_delivered leg that must exit 1 —
+// proving the find-shrink-replay loop end to end.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "scenario/fuzz.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using namespace discs::scenario;
+
+/// The built-in fuzz target: 16 synthetic ASes, 4 DASes by the optimal
+/// strategy, the first DAS invokes d-DDoS defense before a direct flood.
+/// All its own checks hold; --inject no_attack_delivered gives mutants a
+/// falsifiable target (reflection floods and post-expiry attacks deliver).
+ScenarioSpec default_base() {
+  ScenarioSpec spec;
+  spec.name = "fuzz_base";
+  spec.seed = 42;
+  spec.world = WorldKind::kSystem;
+  spec.topology = TopologyKind::kSynthetic;
+  spec.synthetic.num_ases = 16;
+  spec.synthetic.num_prefixes = 64;
+  spec.deploy_count = 4;
+  spec.drain = 60 * discs::kSecond;
+
+  ScheduleStep invoke;
+  invoke.at = 30 * discs::kSecond;
+  invoke.kind = ScheduleStep::Kind::kInvoke;
+  invoke.as_index = 0;
+  invoke.all_prefixes = true;
+  invoke.spoofed_source = false;
+  invoke.duration = 20 * discs::kSecond;
+  spec.schedule.push_back(invoke);
+
+  ScheduleStep attack;
+  attack.at = 35 * discs::kSecond;
+  attack.kind = ScheduleStep::Kind::kAttack;
+  attack.attack.type = discs::AttackType::kDirect;
+  attack.attack.packets = 500;
+  spec.schedule.push_back(attack);
+
+  spec.checks = {std::string(invariants::kRoundTrip),
+                 std::string(invariants::kOrphanFreedom),
+                 std::string(invariants::kNoDeliveryFailures),
+                 std::string(invariants::kRetransmitBound)};
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzConfig config;
+  std::string base_path;
+  std::string out_dir = ".";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = std::strtoull(need_value("--seed"), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      config.iterations = std::strtoull(need_value("--iters"), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--base") == 0) {
+      base_path = need_value("--base");
+    } else if (std::strcmp(argv[i], "--inject") == 0) {
+      config.inject = need_value("--inject");
+      if (!is_known_invariant(config.inject)) {
+        std::fprintf(stderr, "--inject %s: unknown invariant\n",
+                     config.inject.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_dir = need_value("--out");
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_fuzz [--seed N] [--iters N] [--base FILE] "
+                   "[--inject INVARIANT] [--out DIR] [--quiet]\n");
+      return 2;
+    }
+  }
+
+  ScenarioSpec base;
+  if (base_path.empty()) {
+    base = default_base();
+  } else {
+    auto loaded = load_scenario(base_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", base_path.c_str(),
+                   loaded.error().to_string().c_str());
+      return 2;
+    }
+    base = std::move(*loaded);
+  }
+
+  const auto progress = [&](const std::string& line) {
+    if (!quiet) std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  const FuzzResult result = fuzz_scenarios(base, config, progress);
+  std::printf("executed %zu/%zu mutants (seed %llu)\n", result.executed,
+              config.iterations,
+              static_cast<unsigned long long>(config.seed));
+  if (!result.found) {
+    std::printf("no invariant violations found\n");
+    return 0;
+  }
+
+  std::printf("violation: %s (%s)\n", result.violation.invariant.c_str(),
+              result.violation.detail.c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);  // best effort
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(scenario_hash(result.shrunk)));
+  const std::string repro_path = out_dir + "/repro_" +
+                                 result.violation.invariant + "_" + hash +
+                                 ".scn";
+  if (!save_scenario(result.shrunk, repro_path)) {
+    std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
+    return 2;
+  }
+  std::printf("shrunk in %zu reductions; repro: %s\n", result.shrink_steps,
+              repro_path.c_str());
+  std::printf("replay with: scenario_replay %s\n", repro_path.c_str());
+  return 1;
+}

@@ -1,0 +1,114 @@
+// scenario_replay — runs .scn files and verifies their recorded verdict.
+//
+//   scenario_replay FILE...        replay each file
+//   scenario_replay --dir DIR      replay every .scn under DIR (sorted)
+//   scenario_replay --outcome FILE print the folded ScenarioOutcome too
+//
+// Exit-code contract (what makes checked-in repros regression tests):
+//  * a spec with `expect_violation <name>` succeeds iff that violation
+//    still fires — exit 0 means "the bug reproduces";
+//  * any other spec succeeds iff every `check` line passes (a spec with no
+//    checks just has to run to completion).
+// Exit 0 when every file succeeds, 1 on any failed verdict, 2 on usage or
+// parse errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/fuzz.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using discs::scenario::CheckResult;
+using discs::scenario::ScenarioSpec;
+
+/// True when the file's verdict holds (see the exit-code contract above).
+bool replay_file(const std::string& path, bool print_outcome) {
+  const auto loaded = discs::scenario::load_scenario(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.error().to_string().c_str());
+    return false;
+  }
+  const ScenarioSpec& spec = *loaded;
+  const CheckResult result = discs::scenario::check_scenario(spec);
+
+  bool ok = true;
+  if (!spec.expect_violation.empty()) {
+    const bool reproduced = std::any_of(
+        result.violations.begin(), result.violations.end(),
+        [&](const auto& v) { return v.invariant == spec.expect_violation; });
+    ok = reproduced;
+    std::printf("%s: %s (expect_violation %s %s)\n", path.c_str(),
+                ok ? "OK" : "FAIL", spec.expect_violation.c_str(),
+                reproduced ? "reproduces" : "no longer fires");
+  } else {
+    ok = result.ok();
+    if (ok) {
+      std::printf("%s: OK (%zu checks)\n", path.c_str(), spec.checks.size());
+    } else {
+      for (const auto& v : result.violations) {
+        std::printf("%s: FAIL %s: %s\n", path.c_str(), v.invariant.c_str(),
+                    v.detail.c_str());
+      }
+    }
+  }
+  if (print_outcome) {
+    discs::scenario::ScenarioRunner runner(spec);
+    std::fputs(runner.run().to_string().c_str(), stdout);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool print_outcome = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--outcome") == 0) {
+      print_outcome = true;
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      const std::filesystem::path dir = argv[++i];
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".scn") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "--dir %s: %s\n", dir.string().c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: scenario_replay [--outcome] [--dir DIR] FILE...\n");
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::printf("no .scn files to replay\n");
+    return 0;
+  }
+  std::sort(files.begin(), files.end());
+
+  int failures = 0;
+  for (const std::string& file : files) {
+    if (!replay_file(file, print_outcome)) ++failures;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d of %zu scenario(s) failed\n", failures,
+                 files.size());
+    return 1;
+  }
+  return 0;
+}
