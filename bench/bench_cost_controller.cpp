@@ -12,9 +12,24 @@
 
 using namespace discs;
 
+namespace {
+
+/// Snapshot scale for the on-demand load model; the 201-AS live-measurement
+/// mesh below is a fixed fixture, not part of the scenario.
+constexpr char kDefaultScenario[] = R"(scenario cost_controller
+seed 1
+topology synthetic
+synthetic.ases 44036
+synthetic.prefixes 442000
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv, "cost_controller");
   bench::JsonWriter json = bench::make_writer("cost_controller", args);
+  const scenario::ScenarioSpec spec =
+      bench::load_bench_scenario(args, kDefaultScenario, json);
   bench::header("Section VI-C.1 — controller cost model (43k ASes, 442k prefixes)");
   const auto cost = controller_cost(43000, 442000);
   bench::row("AS table memory", 1.6, cost.as_table_mb, "MB");
@@ -91,7 +106,7 @@ int main(int argc, char** argv) {
   // much of global traffic ever touches DISCS processing?
   bench::header("On-demand processing load (gravity traffic model)");
   {
-    const auto dataset = generate_dataset(SyntheticConfig{});
+    const auto dataset = generate_dataset(spec.synthetic);
     const double load24 = expected_on_demand_load(dataset, 1611, 24);
     const double load1 = expected_on_demand_load(dataset, 1611, 1);
     std::printf("  1611 attacks/day, 24h invocations: %.3f%% of traffic processed\n",

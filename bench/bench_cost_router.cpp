@@ -17,6 +17,15 @@ using namespace discs;
 
 namespace {
 
+/// Snapshot scale for the measured-footprint section (the cost-model rows
+/// use the paper's own 43k/442k constants).
+constexpr char kDefaultScenario[] = R"(scenario cost_router
+seed 1
+topology synthetic
+synthetic.ases 44036
+synthetic.prefixes 442000
+)";
+
 Ipv4Packet sample_v4() {
   return Ipv4Packet::make(*Ipv4Address::parse("10.1.2.3"),
                           *Ipv4Address::parse("192.0.2.4"), IpProto::kUdp,
@@ -99,7 +108,8 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--smoke") {
       ours.push_back(argv[i]);
-    } else if ((a == "--trace" || a == "--metrics") && i + 1 < argc) {
+    } else if ((a == "--scenario" || a == "--trace" || a == "--metrics") &&
+               i + 1 < argc) {
       ours.push_back(argv[i]);
       ours.push_back(argv[++i]);
     } else if (a.ends_with(".json")) {
@@ -112,6 +122,8 @@ int main(int argc, char** argv) {
   const bench::Args args =
       bench::parse_args(ours_argc, ours.data(), "cost_router");
   bench::JsonWriter json = bench::make_writer("cost_router", args);
+  const scenario::ScenarioSpec spec =
+      bench::load_bench_scenario(args, kDefaultScenario, json);
 
   bench::header("Section VI-C.2 — router cost model (43k ASes, 442k prefixes)");
   const auto cost = router_cost(43000, 442000);
@@ -131,17 +143,23 @@ int main(int argc, char** argv) {
   // heap footprint next to the paper's SRAM estimate.
   bench::header("Measured table footprint at snapshot scale");
   {
-    SyntheticConfig internet;  // full 44036 / 442k
-    const auto dataset = generate_dataset(internet);
-    Pfx2AsTable table;
+    const auto dataset = generate_dataset(spec.synthetic);
+    RouterTables tables;
     for (const auto& entry : dataset.entries()) {
-      table.add(entry.prefix, entry.origins.front());
+      tables.pfx2as.add(entry.prefix, entry.origins.front());
     }
     std::printf("  Pfx2AS entries: %zu, binary-trie heap: %.1f MB\n",
-                table.size(), double(table.memory_bytes()) / (1024 * 1024));
-    json.metric("measured", "pfx2as_entries", static_cast<double>(table.size()));
+                tables.pfx2as.size(),
+                double(tables.pfx2as.memory_bytes()) / (1024 * 1024));
+    json.metric("measured", "pfx2as_entries",
+                static_cast<double>(tables.pfx2as.size()));
     json.metric("measured", "trie_heap_mb",
-                double(table.memory_bytes()) / (1024 * 1024));
+                double(tables.pfx2as.memory_bytes()) / (1024 * 1024));
+    tables.seal();  // compiles the DIR-24-8 flat form the data plane serves
+    std::printf("  sealed flat-LPM (DIR-24-8) heap: %.1f MB\n",
+                double(tables.compiled_memory_bytes()) / (1024 * 1024));
+    json.metric("measured", "compiled_heap_mb",
+                double(tables.compiled_memory_bytes()) / (1024 * 1024));
     bench::note("(software tries trade memory for portability; ASIC SRAM/TCAM"
                 " packs the same data into the paper's 3.5 MB)");
   }

@@ -14,13 +14,28 @@
 
 using namespace discs;
 
+namespace {
+
+/// The paper's Figure 5 workload: the §VI-A synthetic Internet, random
+/// deployment trials seeded off the root seed.
+constexpr char kDefaultScenario[] = R"(scenario fig5_incentives
+seed 1
+topology synthetic
+synthetic.ases 44036
+synthetic.prefixes 442000
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bench::Args args = bench::parse_args(argc, argv, "fig5_incentives");
   bench::JsonWriter json = bench::make_writer("fig5_incentives", args);
+  const scenario::ScenarioSpec spec =
+      bench::load_bench_scenario(args, kDefaultScenario, json);
   bench::header("Figure 5 — deployment incentives vs deployment ratio");
   bench::note("synthetic snapshot: 44036 ASes / ~442k prefixes, 50 random trials");
 
-  const auto dataset = generate_dataset(SyntheticConfig{});
+  const auto dataset = generate_dataset(spec.synthetic);
   const std::size_t n = dataset.as_count();
 
   // Sample at every 2% of deployment plus the paper's quoted ratios.
@@ -30,11 +45,12 @@ int main(int argc, char** argv) {
 
   const std::size_t kTrials = args.smoke ? 5 : 50;
   const auto dp = run_random_trials(dataset, counts, CurveMetric::kIncentiveDp,
-                                    kTrials, 1);
+                                    kTrials, spec.seed);
   const auto cdp = run_random_trials(dataset, counts, CurveMetric::kIncentiveCdp,
-                                     kTrials, 1);
+                                     kTrials, spec.seed);
   const auto both = run_random_trials(dataset, counts,
-                                      CurveMetric::kIncentiveDpCdp, kTrials, 1);
+                                      CurveMetric::kIncentiveDpCdp, kTrials,
+                                      spec.seed);
 
   std::printf("  %-8s %-12s %-12s %-12s\n", "ratio", "DP/SP", "CDP/CSP",
               "DP+CDP/SP+CSP");

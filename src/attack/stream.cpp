@@ -1,0 +1,120 @@
+#include "attack/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace discs {
+
+namespace {
+
+/// Draws addresses uniformly over an AS's routable space: prefix chosen
+/// proportionally to its size, offset uniform within the prefix.
+struct PrefixPicker {
+  std::vector<Prefix4> prefixes;
+  std::vector<std::uint64_t> cum;  // cumulative prefix sizes
+  std::uint64_t total = 0;
+
+  PrefixPicker(const InternetDataset& dataset, AsNumber as)
+      : prefixes(dataset.prefixes_of(as)) {
+    if (prefixes.empty()) {
+      throw std::invalid_argument("FlowStream: AS owns no prefixes");
+    }
+    cum.reserve(prefixes.size());
+    for (const Prefix4& p : prefixes) {
+      total += p.size();
+      cum.push_back(total);
+    }
+  }
+
+  Ipv4Address draw(Xoshiro256& rng) const {
+    const std::uint64_t r = rng.below(total);
+    const std::size_t i = static_cast<std::size_t>(
+        std::upper_bound(cum.begin(), cum.end(), r) - cum.begin());
+    const std::uint64_t offset = r - (i == 0 ? 0 : cum[i - 1]);
+    return Ipv4Address(prefixes[i].address().bits() +
+                       static_cast<std::uint32_t>(offset));
+  }
+};
+
+// Hörmann & Derflinger rejection-inversion helpers. helper1/helper2 are the
+// series-expanded log1p(x)/x and expm1(x)/x, stable through s == 1.
+double helper1(double x) {
+  return std::abs(x) > 1e-8 ? std::log1p(x) / x
+                            : 1 - x * (0.5 - x * (1.0 / 3 - x * 0.25));
+}
+double helper2(double x) {
+  return std::abs(x) > 1e-8
+             ? std::expm1(x) / x
+             : 1 + x * 0.5 * (1 + x * (1.0 / 3) * (1 + x * 0.25));
+}
+double h_integral(double x, double s) {
+  const double log_x = std::log(x);
+  return helper2((1 - s) * log_x) * log_x;
+}
+double h(double x, double s) { return std::exp(-s * std::log(x)); }
+double h_integral_inverse(double x, double s) {
+  double t = x * (1 - s);
+  if (t < -1) t = -1;  // guard against rounding below the domain
+  return std::exp(helper1(t) * x);
+}
+
+}  // namespace
+
+FlowStream::FlowStream(const InternetDataset& dataset, AsNumber src_as,
+                       AsNumber dst_as, StreamConfig config,
+                       std::uint64_t seed)
+    : config_(config), seed_(seed), payload_(config.payload_bytes, 0) {
+  if (config_.flows == 0) {
+    throw std::invalid_argument("FlowStream: flows must be >= 1");
+  }
+  if (config_.zipf_s <= 0) {
+    throw std::invalid_argument("FlowStream: zipf_s must be > 0");
+  }
+  const PrefixPicker src(dataset, src_as);
+  const PrefixPicker dst(dataset, dst_as);
+  // The flow table itself is seeded off a reserved index so chunk seeds
+  // (0, 1, 2, ...) never collide with it.
+  Xoshiro256 rng(derive_seed(seed_, ~std::uint64_t{0}));
+  flows_.reserve(config_.flows);
+  for (std::size_t i = 0; i < config_.flows; ++i) {
+    flows_.push_back({src.draw(rng), dst.draw(rng)});
+  }
+  const double s = config_.zipf_s;
+  const double n = static_cast<double>(config_.flows);
+  h_x1_ = h_integral(1.5, s) - 1;
+  h_n_ = h_integral(n + 0.5, s);
+  s_cut_ = 2 - h_integral_inverse(h_integral(2.5, s) - h(2, s), s);
+}
+
+std::size_t FlowStream::zipf_rank(Xoshiro256& rng) const {
+  const double s = config_.zipf_s;
+  const double n = static_cast<double>(config_.flows);
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u, s);
+    double k = std::floor(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    if (k - x <= s_cut_ || u >= h_integral(k + 0.5, s) - h(k, s)) {
+      return static_cast<std::size_t>(k);
+    }
+  }
+}
+
+void FlowStream::fill_chunk(std::uint64_t chunk_index,
+                            std::vector<BatchPacket>& out) const {
+  Xoshiro256 rng(derive_seed(seed_, chunk_index));
+  out.clear();
+  for (std::size_t i = 0; i < config_.chunk_size; ++i) {
+    const Flow& flow = flows_[zipf_rank(rng) - 1];
+    out.emplace_back(
+        Ipv4Packet::make(flow.src, flow.dst, IpProto::kUdp, payload_));
+  }
+}
+
+std::size_t FlowStream::memory_bytes() const {
+  return flows_.capacity() * sizeof(Flow) + payload_.capacity();
+}
+
+}  // namespace discs

@@ -1,0 +1,81 @@
+// Streaming Zipf-over-flows traffic generator — the paper-scale workload
+// source behind bench_scale.
+//
+// A FlowStream holds a fixed population of (src, dst) flows — src drawn
+// from one AS's prefixes, dst from another's, each prefix weighted by its
+// size — and synthesizes packets chunk by chunk. Per-packet flow choice is
+// Zipf-distributed over flow ranks (rank 1 hottest), matching the
+// heavy-tailed per-flow volumes of reflection-era traffic, via
+// rejection-inversion sampling (Hörmann & Derflinger 1996): O(1) per draw,
+// no per-flow alias table, so generator state is ~8 bytes per flow.
+//
+// Chunked-RNG contract: fill_chunk(i) seeds its RNG with
+// derive_seed(seed, i) and touches no mutable state, so chunk i's packets
+// are a pure function of (dataset, config, seed, i). Runs are
+// bit-reproducible, chunks can be regenerated in any order (resume a soak
+// at chunk k without replaying 0..k-1), and the full workload is never
+// materialized — the engine sees one fixed-size chunk at a time through
+// its scatter-view API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/router.hpp"
+#include "topology/dataset.hpp"
+
+namespace discs {
+
+/// Workload shape of a FlowStream; mirrors the scenario DSL's scale.* keys.
+struct StreamConfig {
+  std::size_t flows = std::size_t{1} << 20;  // concurrent flow population
+  std::size_t chunk_size = 8192;             // packets per fill_chunk
+  double zipf_s = 1.2;                       // Zipf exponent over flow ranks
+  std::size_t payload_bytes = 16;            // UDP payload per packet
+};
+
+class FlowStream {
+ public:
+  /// Builds the flow population deterministically from `seed`: src
+  /// addresses inside `src_as`'s prefixes, dst addresses inside `dst_as`'s.
+  FlowStream(const InternetDataset& dataset, AsNumber src_as, AsNumber dst_as,
+             StreamConfig config, std::uint64_t seed);
+
+  /// Fills `out` (cleared first; capacity is reused across calls) with
+  /// config.chunk_size packets for chunk `chunk_index`. Const and
+  /// state-free per chunk — see the chunked-RNG contract above.
+  void fill_chunk(std::uint64_t chunk_index,
+                  std::vector<BatchPacket>& out) const;
+
+  /// The flow a Zipf rank maps to, exposed so tests can pin the contract.
+  [[nodiscard]] std::pair<Ipv4Address, Ipv4Address> flow(std::size_t rank) const {
+    const Flow& f = flows_[rank - 1];
+    return {f.src, f.dst};
+  }
+
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  /// Resident generator state — the per-flow memory cost of the stream.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Flow {
+    Ipv4Address src;
+    Ipv4Address dst;
+  };
+
+  /// One Zipf(s, flows) draw, rank in [1, flows].
+  [[nodiscard]] std::size_t zipf_rank(Xoshiro256& rng) const;
+
+  StreamConfig config_;
+  std::uint64_t seed_;
+  std::vector<Flow> flows_;
+  std::vector<std::uint8_t> payload_;
+  // Rejection-inversion constants for Zipf(zipf_s, flows).
+  double h_x1_ = 0;   // hIntegral(1.5) - 1
+  double h_n_ = 0;    // hIntegral(flows + 0.5)
+  double s_cut_ = 0;  // immediate-accept cutoff
+};
+
+}  // namespace discs

@@ -104,7 +104,18 @@ DataPlaneEngine::DataPlaneEngine(RouterTables& tables, AsNumber local_as,
     if (cache_enabled_) raw->router.set_lookup_cache(&raw->cache);
     shards_.push_back(std::move(shard));
   }
+  maybe_demote_caches();
   if (config_.spawn_workers_eagerly) start();
+}
+
+void DataPlaneEngine::maybe_demote_caches() {
+  // Sealed tables serve every lookup from the compiled flat arrays
+  // (lpm/flat.hpp) — a raw array load or two — so the per-shard cache in
+  // front of them only adds a probe+insert per packet. Retire it. Unsealed
+  // tables (test fixtures, benches) keep the cache-over-trie path.
+  if (!cache_enabled_ || caches_demoted_ || !tables_->sealed()) return;
+  for (auto& shard : shards_) shard->router.set_lookup_cache(nullptr);
+  caches_demoted_ = true;
 }
 
 void DataPlaneEngine::start() {
@@ -456,17 +467,20 @@ void DataPlaneEngine::update_tables(
   std::unique_lock lock(mutex_);
   mutate(*tables_);
   for (auto& shard : shards_) shard->cache.invalidate();
+  maybe_demote_caches();
 }
 
 TableEpoch DataPlaneEngine::apply(const TableTransaction& txn, SimTime now) {
   std::unique_lock lock(mutex_);
   const TableEpoch epoch = txn.apply(*tables_, now);
   for (auto& shard : shards_) shard->cache.invalidate();
+  maybe_demote_caches();
   return epoch;
 }
 
 void DataPlaneEngine::invalidate_caches() {
   for (auto& shard : shards_) shard->cache.invalidate();
+  maybe_demote_caches();
 }
 
 void DataPlaneEngine::set_alarm_mode(bool on) {
@@ -580,6 +594,22 @@ void DataPlaneEngine::bind_metrics(telemetry::MetricsRegistry& registry,
         emit("discs_engine_worker_doorbells_total", w.doorbells);
         emit("discs_engine_ring_full_stalls_total", w.ring_full_stalls);
         emit("discs_engine_work_chunks_total", w.chunks);
+        // LPM footprint gauges: the sealed flat-array bytes vs the
+        // build-representation trie bytes (reader lock — a transaction
+        // apply may be recompiling the flat form).
+        std::size_t compiled_bytes = 0;
+        std::size_t trie_bytes = 0;
+        {
+          std::shared_lock lock(mutex_);
+          compiled_bytes = tables_->compiled_memory_bytes();
+          trie_bytes = tables_->trie_memory_bytes();
+        }
+        auto emit_gauge = [&](const char* name, std::size_t v) {
+          out.push_back({name, static_cast<double>(v), labels,
+                         telemetry::MetricKind::kGauge});
+        };
+        emit_gauge("discs_lpm_compiled_bytes", compiled_bytes);
+        emit_gauge("discs_lpm_trie_bytes", trie_bytes);
       });
   std::unique_lock lock(mutex_);
   telem_ = t;

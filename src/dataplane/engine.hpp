@@ -313,12 +313,16 @@ class DataPlaneEngine {
   void drain_sinks();
   [[nodiscard]] std::size_t autotune_chunk(std::size_t shard_occupancy);
   void record_batch_telemetry();
+  /// Retires the per-shard LPM caches once the tables are sealed (the
+  /// compiled flat arrays make a cache in front of them pure overhead).
+  void maybe_demote_caches();
 
   RouterTables* tables_;
   EngineConfig config_;
   mutable std::shared_mutex mutex_;  // shared: batch; unique: update/stats
   std::vector<std::unique_ptr<Shard>> shards_;
   bool cache_enabled_;
+  bool caches_demoted_ = false;
   std::function<void(const AlarmSample&)> alarm_sink_;
   std::function<void(Ipv6Packet)> icmp6_sink_;
   std::function<void(Ipv4Address, SimTime)> traffic_observer_;

@@ -54,11 +54,12 @@ void FunctionTable::install_impl(Lpm& lpm, const Prefix& prefix,
   detail::check_guard(guard_, "function table");
   std::uint32_t index;
   if (const std::uint32_t* existing = lpm.find_exact(prefix)) {
-    index = *existing;
+    index = *existing;  // window-only change: the compiled form stays valid
   } else {
     index = static_cast<std::uint32_t>(entries_.size());
     entries_.emplace_back();
     lpm.insert(prefix, index);
+    compiled_ = false;
   }
   auto& windows = entries_[index].windows;
   // Merge with an overlapping/adjacent window of the same function
@@ -83,11 +84,10 @@ void FunctionTable::install(const Prefix6& prefix, DefenseFunction f,
   install_impl(v6_, prefix, f, start, end);
 }
 
-template <typename Lpm, typename Addr>
-FunctionMatch FunctionTable::lookup_impl(const Lpm& lpm, const Addr& addr,
-                                         SimTime now) const {
+template <typename Visit>
+FunctionMatch FunctionTable::scan_windows(Visit&& visit, SimTime now) const {
   FunctionMatch match;
-  lpm.visit_matches(addr, [&](std::uint32_t index) {
+  visit([&](std::uint32_t index) {
     for (const auto& w : entries_[index].windows) {
       if (!w.active_at(now)) continue;
       match.functions |= to_mask(w.function);
@@ -103,11 +103,25 @@ FunctionMatch FunctionTable::lookup_impl(const Lpm& lpm, const Addr& addr,
 }
 
 FunctionMatch FunctionTable::lookup(Ipv4Address addr, SimTime now) const {
-  return lookup_impl(v4_, addr, now);
+  if (compiled_) {
+    return scan_windows(
+        [&](auto&& fn) { c4_.visit(addr, std::forward<decltype(fn)>(fn)); },
+        now);
+  }
+  return scan_windows(
+      [&](auto&& fn) { v4_.visit_matches(addr, std::forward<decltype(fn)>(fn)); },
+      now);
 }
 
 FunctionMatch FunctionTable::lookup(const Ipv6Address& addr, SimTime now) const {
-  return lookup_impl(v6_, addr, now);
+  if (compiled_) {
+    return scan_windows(
+        [&](auto&& fn) { c6_.visit(addr, std::forward<decltype(fn)>(fn)); },
+        now);
+  }
+  return scan_windows(
+      [&](auto&& fn) { v6_.visit_matches(addr, std::forward<decltype(fn)>(fn)); },
+      now);
 }
 
 void FunctionTable::expire(SimTime now) {

@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "crypto/cmac.hpp"
+#include "lpm/flat.hpp"
 #include "lpm/lpm.hpp"
 #include "simkit/event_loop.hpp"
 
@@ -92,33 +93,64 @@ using FunctionSet = std::uint8_t;
 
 /// Maps an address to its origin AS (longest prefix match). This is the
 /// router-resident projection of the controller's RPKI-derived mapping.
+///
+/// The tries are the mutable build representation; RouterTables::seal()
+/// (and every transaction apply thereafter) compiles them into immutable
+/// flat arrays (lpm/flat.hpp) that lookups prefer once present.
 class Pfx2AsTable {
  public:
   void add(const Prefix4& prefix, AsNumber as) {
     detail::check_guard(guard_, "pfx2as");
     v4_.insert(prefix, as);
+    compiled_ = false;
   }
   void add(const Prefix6& prefix, AsNumber as) {
     detail::check_guard(guard_, "pfx2as");
     v6_.insert(prefix, as);
+    compiled_ = false;
   }
 
   [[nodiscard]] AsNumber lookup(Ipv4Address addr) const {
+    if (compiled_) return c4_.lookup_or(addr, kNoAs);
     return v4_.lookup(addr).value_or(kNoAs);
   }
   [[nodiscard]] AsNumber lookup(const Ipv6Address& addr) const {
+    if (compiled_) return c6_.lookup_or(addr, kNoAs);
     return v6_.lookup(addr).value_or(kNoAs);
+  }
+
+  /// Sealed-path cache hint for an upcoming lookup (no-op until compiled).
+  void prefetch(Ipv4Address addr) const {
+    if (compiled_) c4_.prefetch(addr);
+  }
+  void prefetch(const Ipv6Address& addr) const {
+    if (compiled_) c6_.prefetch(addr);
   }
 
   [[nodiscard]] std::size_t size() const { return v4_.size() + v6_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const {
     return v4_.memory_bytes() + v6_.memory_bytes();
   }
+  [[nodiscard]] bool compiled() const { return compiled_; }
+  [[nodiscard]] std::size_t compiled_memory_bytes() const {
+    return compiled_ ? c4_.memory_bytes() + c6_.memory_bytes() : 0;
+  }
 
  private:
   friend struct RouterTables;
+
+  void compile_if_stale() {
+    if (compiled_) return;
+    c4_.build(v4_);
+    c6_.build(v6_);
+    compiled_ = true;
+  }
+
   Lpm4<AsNumber> v4_;
   Lpm6<AsNumber> v6_;
+  CompiledLpm<Ipv4Key, AsNumber> c4_;
+  CompiledLpm<Ipv6Key, AsNumber> c6_;
+  bool compiled_ = false;
   const TableWriteGuard* guard_ = nullptr;
 };
 
@@ -211,12 +243,21 @@ class FunctionTable {
       : tolerance_(other.tolerance_),
         v4_(std::move(other.v4_)),
         v6_(std::move(other.v6_)),
-        entries_(std::move(other.entries_)) {}
+        c4_(std::move(other.c4_)),
+        c6_(std::move(other.c6_)),
+        compiled_(other.compiled_),
+        entries_(std::move(other.entries_)) {
+    other.compiled_ = false;
+  }
   FunctionTable& operator=(FunctionTable&& other) noexcept {
     detail::check_guard(guard_, "function table");
     tolerance_ = other.tolerance_;
     v4_ = std::move(other.v4_);
     v6_ = std::move(other.v6_);
+    c4_ = std::move(other.c4_);
+    c6_ = std::move(other.c6_);
+    compiled_ = other.compiled_;
+    other.compiled_ = false;
     entries_ = std::move(other.entries_);
     return *this;
   }
@@ -234,10 +275,23 @@ class FunctionTable {
   [[nodiscard]] FunctionMatch lookup(Ipv4Address addr, SimTime now) const;
   [[nodiscard]] FunctionMatch lookup(const Ipv6Address& addr, SimTime now) const;
 
+  /// Sealed-path cache hint for an upcoming lookup (no-op until compiled).
+  void prefetch(Ipv4Address addr) const {
+    if (compiled_) c4_.prefetch(addr);
+  }
+  void prefetch(const Ipv6Address& addr) const {
+    if (compiled_) c6_.prefetch(addr);
+  }
+
   /// Removes windows that ended before `now` (housekeeping).
   void expire(SimTime now);
 
   [[nodiscard]] std::size_t window_count() const;
+
+  [[nodiscard]] bool compiled() const { return compiled_; }
+  [[nodiscard]] std::size_t compiled_memory_bytes() const {
+    return compiled_ ? c4_.memory_bytes() + c6_.memory_bytes() : 0;
+  }
 
  private:
   struct Entry {
@@ -247,14 +301,35 @@ class FunctionTable {
   template <typename Lpm, typename Prefix>
   void install_impl(Lpm& lpm, const Prefix& prefix, DefenseFunction f,
                     SimTime start, SimTime end);
-  template <typename Lpm, typename Addr>
-  FunctionMatch lookup_impl(const Lpm& lpm, const Addr& addr, SimTime now) const;
+  /// Window scan shared by the trie and compiled paths: `visit(fn)` must
+  /// call fn(index) for every entry whose prefix covers the address.
+  template <typename Visit>
+  FunctionMatch scan_windows(Visit&& visit, SimTime now) const;
+
+  /// Compiles the prefix structure. Windows stay mutable after sealing —
+  /// the compiled matcher yields entries_ indices, and install() on an
+  /// existing prefix or expire() only touch windows, so neither invalidates
+  /// the compiled form. Only a new-prefix insert marks it stale.
+  void compile_if_stale() {
+    if (compiled_) return;
+    // Function tables hold few prefixes but sit on the per-packet hot path,
+    // so depth beats density: a 16-bit v4 root (256 KiB) resolves the
+    // typical /9../16 invocation in one load and a /24 in two, where the
+    // count-based default (8-bit root) would chain 2-3 spill groups.
+    // Empty tables keep the default — their lookups never reach the root.
+    c4_.build(v4_, v4_.size() > 0 ? 16 : 0);
+    c6_.build(v6_);
+    compiled_ = true;
+  }
 
   friend struct RouterTables;
   SimTime tolerance_;
   // Values are indices into entries_ so windows can be mutated after insert.
   Lpm4<std::uint32_t> v4_;
   Lpm6<std::uint32_t> v6_;
+  CompiledMatcher<Ipv4Key> c4_;
+  CompiledMatcher<Ipv6Key> c6_;
+  bool compiled_ = false;
   std::vector<Entry> entries_;
   const TableWriteGuard* guard_ = nullptr;
 };
@@ -279,11 +354,29 @@ struct RouterTables {
   RouterTables& operator=(const RouterTables&) = delete;
 
   /// Freezes the tables: all further writes must come through a
-  /// TableTransaction.
-  void seal() { guard_.seal(); }
+  /// TableTransaction. Sealing also compiles every LPM-backed sub-table
+  /// into its immutable flat-array form (lpm/flat.hpp); transaction applies
+  /// that mutate prefix structure recompile the affected tables.
+  void seal() {
+    guard_.seal();
+    recompile();
+  }
   [[nodiscard]] bool sealed() const { return guard_.sealed(); }
   /// Epoch of the last transaction applied (0 = none yet).
   [[nodiscard]] TableEpoch applied_epoch() const { return epoch_; }
+
+  /// Footprint of the sealed flat engines across all sub-tables (0 until
+  /// sealed). Telemetry exposes this as discs_lpm_compiled_bytes.
+  [[nodiscard]] std::size_t compiled_memory_bytes() const {
+    return pfx2as.compiled_memory_bytes() + in_src.compiled_memory_bytes() +
+           in_dst.compiled_memory_bytes() + out_src.compiled_memory_bytes() +
+           out_dst.compiled_memory_bytes();
+  }
+  /// Footprint of the build-representation tries (pfx2as only; the
+  /// function-table tries are negligible next to it).
+  [[nodiscard]] std::size_t trie_memory_bytes() const {
+    return pfx2as.memory_bytes();
+  }
 
   Pfx2AsTable pfx2as;
   KeyTable key_s;  // stamping keys: key_{local,peer}
@@ -295,6 +388,18 @@ struct RouterTables {
 
  private:
   friend class TableTransaction;
+
+  /// Recompiles any stale sub-table into its flat form. No-op until sealed;
+  /// TableTransaction::apply calls this (under the engine writer lock) so
+  /// sealed lookups never see the slow path.
+  void recompile() {
+    if (!guard_.sealed()) return;
+    pfx2as.compile_if_stale();
+    in_src.compile_if_stale();
+    in_dst.compile_if_stale();
+    out_src.compile_if_stale();
+    out_dst.compile_if_stale();
+  }
 
   void bind_guards() {
     pfx2as.guard_ = &guard_;

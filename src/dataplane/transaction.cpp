@@ -136,6 +136,10 @@ TableEpoch TableTransaction::apply(RouterTables& tables, SimTime now) const {
         },
         op);
   }
+  // Ops that changed prefix structure marked their tables stale; rebuild
+  // the sealed flat engines before readers resume (we run under the engine
+  // writer lock, so no lookup can observe the stale window).
+  tables.recompile();
   return ++tables.epoch_;
 }
 

@@ -106,6 +106,28 @@ class TupleGenerator {
     return tuple;
   }
 
+  /// Cache hints for the lookups out_tuple(src, dst) is about to do. The
+  /// batch phase-A loops call this a few packets ahead of the packet being
+  /// processed, overlapping the compiled tables' root loads with work.
+  /// No-ops on the cache path (probes are already cache-resident) and on
+  /// unsealed tables (nothing compiled to prefetch).
+  template <typename Addr>
+  void prefetch_out(const Addr& src, const Addr& dst) const {
+    if (cache_ != nullptr) return;
+    tables_->out_src.prefetch(src);
+    tables_->out_dst.prefetch(dst);
+    tables_->pfx2as.prefetch(dst);
+  }
+
+  /// in_tuple twin: function tables plus the source-AS origin lookup.
+  template <typename Addr>
+  void prefetch_in(const Addr& src, const Addr& dst) const {
+    if (cache_ != nullptr) return;
+    tables_->in_src.prefetch(src);
+    tables_->in_dst.prefetch(dst);
+    tables_->pfx2as.prefetch(src);
+  }
+
   [[nodiscard]] AsNumber local_as() const { return local_as_; }
 
  private:

@@ -12,6 +12,8 @@
 // overwrites an existing entry for the same prefix.
 #pragma once
 
+#include <array>
+#include <bitset>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -31,6 +33,10 @@ struct Ipv4Key {
   static std::uint8_t byte(const Address& a, unsigned i) {
     return static_cast<std::uint8_t>(a.bits() >> (24 - 8 * i));
   }
+  static Address from_bytes(const std::array<std::uint8_t, 4>& b) {
+    return Address((std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+                   (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]});
+  }
 };
 
 struct Ipv6Key {
@@ -39,6 +45,9 @@ struct Ipv6Key {
   static constexpr unsigned kMaxBits = 128;
   static unsigned bit(const Address& a, unsigned i) { return a.bit(i); }
   static std::uint8_t byte(const Address& a, unsigned i) { return a.bytes()[i]; }
+  static Address from_bytes(const std::array<std::uint8_t, 16>& b) {
+    return Address(b);
+  }
 };
 
 /// Classic binary (unibit) trie.
@@ -55,7 +64,10 @@ class BinaryTrie {
     Node* node = root_.get();
     for (unsigned i = 0; i < prefix.length(); ++i) {
       auto& child = node->child[Traits::bit(prefix.address(), i)];
-      if (!child) child = std::make_unique<Node>();
+      if (!child) {
+        child = std::make_unique<Node>();
+        ++nodes_;
+      }
       node = child.get();
     }
     if (!node->value) ++size_;
@@ -99,18 +111,29 @@ class BinaryTrie {
     }
   }
 
+  /// Visits every stored (prefix, value) pair depth-first, a prefix before
+  /// any of its refinements. The sealed flat engines (flat.hpp) use this to
+  /// enumerate the build-time trie.
+  template <typename Fn>
+  void visit_entries(Fn&& fn) const {
+    std::array<std::uint8_t, Traits::kMaxBits / 8> bytes{};
+    visit_entries_rec(root_.get(), 0, bytes, fn);
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
   void clear() {
     root_ = std::make_unique<Node>();
     size_ = 0;
+    nodes_ = 1;
   }
 
-  /// Approximate heap footprint in bytes (node count * sizeof(Node)); used
-  /// by the router cost bench.
+  /// Approximate heap footprint in bytes. The node count is maintained
+  /// incrementally on insert — the router cost bench calls this in a loop,
+  /// so it must not walk the trie.
   [[nodiscard]] std::size_t memory_bytes() const {
-    return count_nodes(root_.get()) * sizeof(Node);
+    return nodes_ * sizeof(Node);
   }
 
  private:
@@ -119,13 +142,25 @@ class BinaryTrie {
     std::optional<Value> value;
   };
 
-  static std::size_t count_nodes(const Node* n) {
-    if (n == nullptr) return 0;
-    return 1 + count_nodes(n->child[0].get()) + count_nodes(n->child[1].get());
+  template <typename Fn>
+  static void visit_entries_rec(
+      const Node* node, unsigned depth,
+      std::array<std::uint8_t, Traits::kMaxBits / 8>& bytes, Fn& fn) {
+    if (node->value) fn(Prefix(Traits::from_bytes(bytes), depth), *node->value);
+    if (depth >= Traits::kMaxBits) return;
+    const auto mask = static_cast<std::uint8_t>(0x80u >> (depth % 8));
+    for (unsigned b = 0; b < 2; ++b) {
+      const Node* child = node->child[b].get();
+      if (child == nullptr) continue;
+      if (b != 0) bytes[depth / 8] |= mask;
+      visit_entries_rec(child, depth + 1, bytes, fn);
+      if (b != 0) bytes[depth / 8] &= static_cast<std::uint8_t>(~mask);
+    }
   }
 
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  std::size_t nodes_ = 1;  // root included
 };
 
 /// 8-bit-stride multibit trie. Each level consumes one address byte; a
@@ -147,7 +182,10 @@ class StrideTrie {
     while (remaining > 8) {
       const std::uint8_t b = Traits::byte(prefix.address(), level);
       auto& child = node->children[b];
-      if (!child) child = std::make_unique<Node>();
+      if (!child) {
+        child = std::make_unique<Node>();
+        ++nodes_;
+      }
       node = child.get();
       remaining -= 8;
       ++level;
@@ -166,7 +204,15 @@ class StrideTrie {
         slot.length = static_cast<std::uint8_t>(remaining);
       }
     }
-    ++size_;  // counts insert calls (duplicates included); informational only
+    // size() counts distinct prefixes (BinaryTrie semantics): within this
+    // node a prefix is identified by its final-byte length and top bits —
+    // id = (2^len - 1) + top_len_bits, 511 ids total.
+    const unsigned id = (1u << remaining) - 1 +
+                        (remaining == 0 ? 0u : base >> (8 - remaining));
+    if (!node->present[id]) {
+      node->present.set(id);
+      ++size_;
+    }
   }
 
   [[nodiscard]] std::optional<Value> lookup(const Address& addr) const {
@@ -181,10 +227,12 @@ class StrideTrie {
     return best;
   }
 
+  /// Count of distinct prefixes inserted (duplicates overwrite in place).
   [[nodiscard]] std::size_t size() const { return size_; }
 
+  /// Incrementally-maintained node count, like BinaryTrie::memory_bytes().
   [[nodiscard]] std::size_t memory_bytes() const {
-    return count_nodes(root_.get()) * sizeof(Node);
+    return nodes_ * sizeof(Node);
   }
 
  private:
@@ -195,17 +243,12 @@ class StrideTrie {
   struct Node {
     std::array<Slot, 256> slots{};
     std::array<std::unique_ptr<Node>, 256> children{};
+    std::bitset<511> present{};  // distinct prefixes ending in this node
   };
-
-  static std::size_t count_nodes(const Node* n) {
-    if (n == nullptr) return 0;
-    std::size_t total = 1;
-    for (const auto& c : n->children) total += count_nodes(c.get());
-    return total;
-  }
 
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  std::size_t nodes_ = 1;  // root included
 };
 
 /// Default LPM engines used by the data plane.

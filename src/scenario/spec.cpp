@@ -497,6 +497,27 @@ bool Parser::handle_line(const std::vector<std::string>& t) {
     return true;
   }
   if (key == "engine.max_chunk") return read_count(v, &spec.engine.max_chunk);
+  if (key == "scale.flows") {
+    if (!read_count(v, &spec.scale.flows)) return false;
+    if (spec.scale.flows == 0) return fail("scale.flows must be >= 1");
+    return true;
+  }
+  if (key == "scale.packets") {
+    if (!read_count(v, &spec.scale.packets)) return false;
+    if (spec.scale.packets == 0) return fail("scale.packets must be >= 1");
+    return true;
+  }
+  if (key == "scale.chunk") {
+    if (!read_count(v, &spec.scale.chunk)) return false;
+    if (spec.scale.chunk == 0) return fail("scale.chunk must be >= 1");
+    return true;
+  }
+  if (key == "scale.zipf_s") {
+    if (!read_f64(v, &spec.scale.zipf_s)) return false;
+    if (spec.scale.zipf_s <= 0) return fail("scale.zipf_s must be > 0");
+    return true;
+  }
+  if (key == "scale.payload") return read_count(v, &spec.scale.payload);
   if (key == "expect_violation") {
     // Repros may pin "error": the run threw, and the replay must keep
     // throwing. Not valid for `check` — only outcomes are checkable.
@@ -734,6 +755,12 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
   out << "engine.ring_slots " << spec.engine.ring_slots << "\n";
   out << "engine.min_chunk " << spec.engine.min_chunk << "\n";
   out << "engine.max_chunk " << spec.engine.max_chunk << "\n";
+
+  out << "scale.flows " << spec.scale.flows << "\n";
+  out << "scale.packets " << spec.scale.packets << "\n";
+  out << "scale.chunk " << spec.scale.chunk << "\n";
+  out << "scale.zipf_s " << format_f64(spec.scale.zipf_s) << "\n";
+  out << "scale.payload " << spec.scale.payload << "\n";
 
   for (const ScheduleStep& s : spec.schedule) {
     out << "at " << format_time(s.at) << " ";

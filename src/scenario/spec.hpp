@@ -38,6 +38,9 @@
 //   fault.partition <asA> <asB> <start> <end>
 //   fault.seed <u64>
 //   engine.shards/.cache_slots/.ring_slots/.min_chunk/.max_chunk <n>
+//   scale.flows/.packets/.chunk/.payload <n>  scale.zipf_s <f>
+//                                        # streaming-workload shape for
+//                                        # bench_scale (FlowStream)
 //   at <time> checkpoint <name>          # named pause point for harnesses
 //   at <time> settle                     # just advance simulated time
 //   at <time> rekey <as|@i>
@@ -87,6 +90,19 @@ struct RpkiEntry {
 struct DeployEntry {
   AsNumber as = kNoAs;
   std::uint64_t seed = 0;
+};
+
+/// Streaming-workload shape (`scale.*` keys): the FlowStream population and
+/// chunking that bench_scale drives through the batch engine. Defaults are
+/// a million-flow soak in 8k-packet chunks.
+struct ScaleConfig {
+  std::size_t flows = std::size_t{1} << 20;    // concurrent flow population
+  std::size_t packets = std::size_t{4} << 20;  // total packets streamed
+  std::size_t chunk = 8192;                    // packets per engine call
+  double zipf_s = 1.2;                         // flow-popularity exponent
+  std::size_t payload = 16;                    // UDP payload bytes
+
+  friend bool operator==(const ScaleConfig&, const ScaleConfig&) = default;
 };
 
 /// A scheduled attack: agent/victim kNoAs with deployed_index -1 resolve at
@@ -154,6 +170,7 @@ struct ScenarioSpec {
   ReliabilityConfig reliability{};
   FaultPlan fault{};
   EngineConfig engine{};
+  ScaleConfig scale{};
 
   std::vector<ScheduleStep> schedule;
   std::vector<std::string> checks;

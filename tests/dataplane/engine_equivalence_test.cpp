@@ -331,6 +331,35 @@ TEST_P(EngineEquivalence, OutboundMatchesSerial) {
   expect_equivalent(serial, engine);
 }
 
+// Sealed-path conformance: the same mixes through an engine whose tables
+// were sealed — so lookups ride the compiled DIR-24-8/flat engines with the
+// per-shard LPM cache retired — must produce exactly the verdicts, stats,
+// and sink multisets of the serial router walking the build tries. Env
+// construction is deterministic, so the two Envs hold identical tables and
+// keys; only the lookup substrate differs.
+TEST_P(EngineEquivalence, SealedTablesMatchTriePath) {
+  const auto [seed, shards] = GetParam();
+  Env trie_env;
+  Env sealed_env;
+  sealed_env.victim.seal();
+  Xoshiro256 rng(seed ^ 0xc0ffee);
+  const SimTime now = kMinute;
+  const auto in_mix = inbound_mix(trie_env, rng, 5'000, now);
+  for (const bool alarm_mode : {false, true}) {
+    Outcome serial =
+        run_serial(trie_env, in_mix, /*outbound=*/false, alarm_mode, now);
+    Outcome engine = run_engine(sealed_env, in_mix, /*outbound=*/false,
+                                alarm_mode, now, shards, /*batch_size=*/512);
+    expect_equivalent(serial, engine);
+  }
+  const auto out_mix = outbound_mix(trie_env, rng, 5'000);
+  Outcome serial =
+      run_serial(trie_env, out_mix, /*outbound=*/true, false, now);
+  Outcome engine = run_engine(sealed_env, out_mix, /*outbound=*/true, false,
+                              now, shards, /*batch_size=*/512);
+  expect_equivalent(serial, engine);
+}
+
 // w1 exercises the inline bypass; w2/w4/w8 exercise the persistent-worker
 // rings (oversubscribed on small CI hosts, which adds preemption right in
 // the middle of the park/doorbell handshake — the interesting schedule).

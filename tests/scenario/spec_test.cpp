@@ -58,6 +58,12 @@ TEST(ScenarioSpecTest, SerializeParseRoundTripsByteForByte) {
       "at 30s invoke @0 all direct 20s\n"
       "at 35s attack reflection packets=100 batch=64 seed=9\n"
       "check orphan_freedom\n",
+      "topology synthetic\n"
+      "scale.flows 1048576\n"
+      "scale.packets 4194304\n"
+      "scale.chunk 8192\n"
+      "scale.zipf_s 1.1\n"
+      "scale.payload 32\n",
   };
   for (const char* doc : docs) {
     const ScenarioSpec spec = parse_ok(doc);
@@ -144,6 +150,23 @@ TEST(ScenarioSpecTest, OutOfRangeValuesAreRejected) {
   expect_rejected(
       "topology synthetic\nsynthetic.ases 8\nsynthetic.head_count 9\n",
       "explicit head_count larger than the AS count");
+}
+
+TEST(ScenarioSpecTest, ScaleKeysParseWithBoundsChecks) {
+  const ScenarioSpec spec = parse_ok(
+      "topology synthetic\n"
+      "scale.flows 512\n"
+      "scale.chunk 64\n"
+      "scale.zipf_s 0.8\n");
+  EXPECT_EQ(spec.scale.flows, 512u);
+  EXPECT_EQ(spec.scale.chunk, 64u);
+  EXPECT_DOUBLE_EQ(spec.scale.zipf_s, 0.8);
+  EXPECT_EQ(spec.scale.packets, std::size_t{4} << 20);  // untouched default
+  expect_rejected("topology synthetic\nscale.flows 0\n", "zero flows");
+  expect_rejected("topology synthetic\nscale.packets 0\n", "zero packets");
+  expect_rejected("topology synthetic\nscale.chunk 0\n", "zero chunk");
+  expect_rejected("topology synthetic\nscale.zipf_s 0\n", "zipf_s not > 0");
+  expect_rejected("topology synthetic\nscale.zipf_s -1.5\n", "negative zipf_s");
 }
 
 TEST(ScenarioSpecTest, DefaultHeadCountScalesDownWithSmallTopologies) {
