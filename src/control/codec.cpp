@@ -1,6 +1,8 @@
 #include "control/codec.hpp"
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace discs {
 namespace {
@@ -26,8 +28,20 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
+/// Guards every u16 length/count prefix: a size that does not fit must
+/// fail loudly at the sender instead of encoding a wrong length the
+/// decoder would reject as trailing junk (silently losing the message).
+std::uint16_t checked_u16_size(std::size_t n, const char* what) {
+  if (n > kMaxWireLength) {
+    throw std::length_error(std::string("encode_envelope: ") + what + " size " +
+                            std::to_string(n) + " exceeds the u16 prefix (" +
+                            std::to_string(kMaxWireLength) + ")");
+  }
+  return static_cast<std::uint16_t>(n);
+}
+
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  put_u16(out, checked_u16_size(s.size(), "string"));
   out.insert(out.end(), s.begin(), s.end());
 }
 
@@ -171,7 +185,7 @@ std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
           put_u64(out, body.acked_seq);
         } else if constexpr (std::is_same_v<T, InvocationRequest>) {
           put_u8(out, body.alarm_mode ? 1 : 0);
-          put_u16(out, static_cast<std::uint16_t>(body.triples.size()));
+          put_u16(out, checked_u16_size(body.triples.size(), "triple count"));
           for (const auto& triple : body.triples) {
             put_victim_prefix(out, triple.victim_prefix);
             put_u8(out, triple.functions);

@@ -1,8 +1,8 @@
 // Wire codec for the controller-to-controller protocol: every
 // ControlMessage encodes to a self-describing byte string and back. The
-// simulator's channel moves C++ objects for speed; this codec exists so the
-// protocol is implementable outside the simulator (and its tests pin the
-// format): a 24-byte common header followed by a type-specific body.
+// simulator's channel moves C++ objects for speed; UdpTransport puts these
+// exact bytes on real sockets (one datagram per envelope), and the tests
+// pin the format: a 24-byte common header followed by a type-specific body.
 //
 //   header: magic "DCS2" (4) | type (1) | flags (1) | reserved (2) |
 //           from AS (4) | to AS (4) | sequence number (8)
@@ -11,7 +11,12 @@
 // for this sequence number arrives). "DCS2" supersedes the pre-reliability
 // "DCS1" format, whose header lacked the sequence number.
 //
-// All integers are big-endian. Strings are length-prefixed (u16).
+// All integers are big-endian. Strings are length-prefixed (u16), and the
+// InvocationRequest triple list is count-prefixed (u16): both fields top
+// out at 65535. encode_envelope REJECTS anything larger by throwing — it
+// never truncates a length through the prefix, which would produce a frame
+// whose declared and actual sizes disagree (the decoder's trailing-junk
+// check would then silently discard the message in flight).
 #pragma once
 
 #include <cstdint>
@@ -23,7 +28,15 @@
 
 namespace discs {
 
-/// Serializes an envelope (header + message body).
+/// Largest value a u16 length/count prefix can carry: the size ceiling for
+/// reason strings and for InvocationRequest triple lists.
+inline constexpr std::size_t kMaxWireLength = 65535;
+
+/// Serializes an envelope (header + message body). Throws std::length_error
+/// when a string field or the triple list exceeds kMaxWireLength elements —
+/// the contract is reject-at-source, never clamp: a silently shortened
+/// defense request (dropped triples) or a mis-declared length would be
+/// strictly worse than a loud local failure.
 [[nodiscard]] std::vector<std::uint8_t> encode_envelope(const Envelope& envelope);
 
 /// Parses an envelope; nullopt on any malformed input (bad magic, unknown

@@ -30,7 +30,7 @@ constexpr FunctionExpansion kExpansions[] = {
 }  // namespace
 
 Controller::Controller(ControllerConfig config, EventLoop& loop,
-                       ConConNetwork& network, const InternetDataset& rpki)
+                       Transport& network, const InternetDataset& rpki)
     : config_(std::move(config)),
       loop_(&loop),
       network_(&network),

@@ -84,9 +84,11 @@ enum class PeerState : std::uint8_t {
 
 class Controller {
  public:
-  /// `network` delivers control messages; `rpki` is the prefix-ownership
-  /// oracle (RPKI in the paper). Both must outlive the controller.
-  Controller(ControllerConfig config, EventLoop& loop, ConConNetwork& network,
+  /// `network` delivers control messages — either the simulated
+  /// ConConNetwork or a real socket Transport; the controller is agnostic.
+  /// `rpki` is the prefix-ownership oracle (RPKI in the paper). Both must
+  /// outlive the controller.
+  Controller(ControllerConfig config, EventLoop& loop, Transport& network,
              const InternetDataset& rpki);
 
   Controller(const Controller&) = delete;
@@ -323,7 +325,7 @@ class Controller {
 
   ControllerConfig config_;
   EventLoop* loop_;
-  ConConNetwork* network_;
+  Transport* network_;
   const InternetDataset* rpki_;
   Xoshiro256 rng_;
   ReliableLink link_;

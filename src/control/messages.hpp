@@ -52,10 +52,16 @@ struct InvocationTriple {
 
 // ---- message bodies ----
 
-struct PeeringRequest {};
-struct PeeringAccept {};
+struct PeeringRequest {
+  friend bool operator==(const PeeringRequest&, const PeeringRequest&) = default;
+};
+struct PeeringAccept {
+  friend bool operator==(const PeeringAccept&, const PeeringAccept&) = default;
+};
 struct PeeringReject {
   std::string reason;
+
+  friend bool operator==(const PeeringReject&, const PeeringReject&) = default;
 };
 
 /// Key delivery: `key` is key_{sender,receiver} — the sender stamps with it,
@@ -65,12 +71,16 @@ struct KeyInstall {
   Key128 key{};
   std::uint64_t serial = 0;
   bool rekey = false;
+
+  friend bool operator==(const KeyInstall&, const KeyInstall&) = default;
 };
 
 /// Receiver confirms deployment of `serial`; the sender now switches its
 /// stamping key (two-phase re-keying, §IV-D).
 struct KeyInstallAck {
   std::uint64_t serial = 0;
+
+  friend bool operator==(const KeyInstallAck&, const KeyInstallAck&) = default;
 };
 
 /// Sender confirms it committed the new stamping key for `serial`: the
@@ -79,12 +89,17 @@ struct KeyInstallAck {
 /// stamping the old key after the receiver dropped it).
 struct RekeyComplete {
   std::uint64_t serial = 0;
+
+  friend bool operator==(const RekeyComplete&, const RekeyComplete&) = default;
 };
 
 struct InvocationRequest {
   std::vector<InvocationTriple> triples;
   /// Alarm mode: execute the functions but sample instead of dropping.
   bool alarm_mode = false;
+
+  friend bool operator==(const InvocationRequest&,
+                         const InvocationRequest&) = default;
 };
 
 struct InvocationAccept {
@@ -92,21 +107,32 @@ struct InvocationAccept {
   /// Envelope sequence number of the InvocationRequest this answers; lets
   /// the invoker settle its retransmit timer (0 = unknown/legacy sender).
   std::uint64_t request_seq = 0;
+
+  friend bool operator==(const InvocationAccept&,
+                         const InvocationAccept&) = default;
 };
 
 struct InvocationReject {
   std::string reason;
   std::uint64_t request_seq = 0;
+
+  friend bool operator==(const InvocationReject&,
+                         const InvocationReject&) = default;
 };
 
 /// Victim asks peers to leave alarm mode and start dropping (§IV-F).
-struct AlarmQuit {};
+struct AlarmQuit {
+  friend bool operator==(const AlarmQuit&, const AlarmQuit&) = default;
+};
 
 /// Sender is leaving the collaboration (un-deploying DISCS, or severing
 /// this one relationship): the receiver must erase the pair's keys and
 /// stop treating the sender as a peer.
 struct PeeringTeardown {
   std::string reason;
+
+  friend bool operator==(const PeeringTeardown&,
+                         const PeeringTeardown&) = default;
 };
 
 /// Link-level acknowledgement: confirms receipt of the envelope carrying
@@ -116,6 +142,8 @@ struct PeeringTeardown {
 /// settle retransmission earlier when they arrive first.
 struct DeliveryAck {
   std::uint64_t acked_seq = 0;
+
+  friend bool operator==(const DeliveryAck&, const DeliveryAck&) = default;
 };
 
 using ControlMessage =
@@ -135,6 +163,8 @@ struct Envelope {
   std::uint64_t seq = 0;
   /// True when the sender arms a retransmit timer and expects a DeliveryAck.
   bool ack_requested = false;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
 };
 
 /// Approximate serialized size in bytes, used for bandwidth accounting in

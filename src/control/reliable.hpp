@@ -1,7 +1,9 @@
 // Reliability layer for the con-con channel: per-peer sequence numbering,
 // link-level acknowledgements, retransmission with exponential backoff, and
 // receive-side deduplication. One ReliableLink fronts each controller's
-// view of the (possibly lossy) ConConNetwork.
+// view of the (possibly lossy) Transport — the simulated ConConNetwork or
+// the real UdpTransport; the retransmit/backoff logic is shared verbatim
+// between backends because this layer only ever sees the Transport seam.
 //
 // Protocol:
 //   * Every envelope a link sends carries a per-(self -> peer) monotonically
@@ -31,9 +33,9 @@
 #include <utility>
 
 #include "control/messages.hpp"
-#include "control/secure_channel.hpp"
 #include "simkit/event_loop.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/transport.hpp"
 
 namespace discs {
 
@@ -80,7 +82,7 @@ class ReliableLink {
   /// Called when a reliable send exhausts its retries.
   using FailureHandler = std::function<void(AsNumber peer, AckToken token)>;
 
-  ReliableLink(EventLoop& loop, ConConNetwork& net, AsNumber self,
+  ReliableLink(EventLoop& loop, Transport& net, AsNumber self,
                ReliabilityConfig config = {})
       : loop_(&loop), net_(&net), self_(self), config_(config) {}
   ~ReliableLink() {
@@ -126,6 +128,19 @@ class ReliableLink {
   [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
+  /// Introspection over the receive-side dedup state for `peer` (both 0
+  /// for never-heard-from peers): the out-of-order seqs currently
+  /// remembered — bounded by dedup_window — and the floor below which
+  /// everything counts as seen. Tests pin the memory bound with these.
+  [[nodiscard]] std::size_t rx_ahead_size(AsNumber peer) const {
+    const auto it = rx_.find(peer);
+    return it == rx_.end() ? 0 : it->second.ahead.size();
+  }
+  [[nodiscard]] std::uint64_t rx_floor(AsNumber peer) const {
+    const auto it = rx_.find(peer);
+    return it == rx_.end() ? 0 : it->second.floor;
+  }
+
   /// Registers this link's telemetry into `registry`: a native histogram of
   /// the attempt number at each retransmission (the backoff level) plus a
   /// pull-mode view over ReliabilityStats and the in-flight pending count.
@@ -157,7 +172,7 @@ class ReliableLink {
   bool record_seq(PeerRx& rx, std::uint64_t seq);  // false = duplicate
 
   EventLoop* loop_;
-  ConConNetwork* net_;
+  Transport* net_;
   AsNumber self_;
   ReliabilityConfig config_;
   FailureHandler on_failure_;

@@ -23,6 +23,7 @@
 #include "control/messages.hpp"
 #include "simkit/event_loop.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/transport.hpp"
 
 namespace discs {
 
@@ -90,21 +91,24 @@ struct FaultStats {
 
 /// Star-free full-mesh message bus: any registered controller can message
 /// any other by AS number. Delivery is asynchronous via the event loop.
-class ConConNetwork {
+/// This is the simulated Transport backend — the default everywhere.
+class ConConNetwork : public Transport {
  public:
-  using Handler = std::function<void(const Envelope&)>;
+  using Handler = Transport::Handler;
 
   ConConNetwork(EventLoop& loop, SimTime latency = 50 * kMillisecond,
                 ChannelCostModel cost = {})
       : loop_(&loop), latency_(latency), cost_(cost) {}
-  ~ConConNetwork() { unbind_metrics(); }
+  ~ConConNetwork() override { unbind_metrics(); }
 
   ConConNetwork(const ConConNetwork&) = delete;
   ConConNetwork& operator=(const ConConNetwork&) = delete;
 
   /// Registers the controller of `as`; replaces any previous handler.
-  void attach(AsNumber as, Handler handler) { handlers_[as] = std::move(handler); }
-  void detach(AsNumber as) { handlers_.erase(as); }
+  void attach(AsNumber as, Handler handler) override {
+    handlers_[as] = std::move(handler);
+  }
+  void detach(AsNumber as) override { handlers_.erase(as); }
 
   /// Installs the fault model (resets its RNG stream from plan.seed).
   void set_fault_plan(FaultPlan plan);
@@ -117,7 +121,7 @@ class ConConNetwork {
   }
   /// Full-envelope variant used by the reliability layer (sequence number
   /// and ack flag travel with the message; retransmissions reuse them).
-  void send(Envelope envelope);
+  void send(Envelope envelope) override;
 
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }

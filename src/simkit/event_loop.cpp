@@ -34,6 +34,14 @@ void EventLoop::run() {
   }
 }
 
+std::optional<SimTime> EventLoop::next_event_time() {
+  while (!queue_.empty() && !live_ids_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().when;
+}
+
 void EventLoop::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Discard cancelled tombstones here instead of letting step() skip

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -43,6 +44,12 @@ class EventLoop {
 
   /// Runs at most one event; returns false when the queue is empty.
   bool step();
+
+  /// Timestamp of the earliest live pending event; nullopt when idle.
+  /// Non-const because it prunes cancelled tombstones off the queue front
+  /// (observable only through memory, never through event order). The
+  /// RealtimeDriver uses this to size its poll() timeout.
+  [[nodiscard]] std::optional<SimTime> next_event_time();
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::size_t pending() const { return live_ids_.size(); }

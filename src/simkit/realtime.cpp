@@ -1,0 +1,86 @@
+#include "simkit/realtime.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+
+namespace discs {
+namespace {
+
+/// Longest single poll() nap: keeps the done() predicate responsive even
+/// when no timer is pending and no packet arrives.
+constexpr SimTime kMaxNap = 50 * kMillisecond;
+
+}  // namespace
+
+RealtimeDriver::RealtimeDriver(EventLoop& loop)
+    : loop_(&loop),
+      start_(std::chrono::steady_clock::now()),
+      base_(loop.now()) {}
+
+SimTime RealtimeDriver::elapsed() const {
+  const auto d = std::chrono::steady_clock::now() - start_;
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void RealtimeDriver::watch_fd(int fd, std::function<void()> on_readable) {
+  for (Watch& w : fds_) {
+    if (w.fd == fd) {
+      w.on_readable = std::move(on_readable);
+      return;
+    }
+  }
+  fds_.push_back(Watch{fd, std::move(on_readable)});
+}
+
+void RealtimeDriver::unwatch_fd(int fd) {
+  std::erase_if(fds_, [fd](const Watch& w) { return w.fd == fd; });
+}
+
+void RealtimeDriver::catch_up_timers() {
+  // run_until also advances loop.now() to the deadline, so timers the
+  // handlers schedule keep their wall-clock anchoring.
+  loop_->run_until(base_ + elapsed());
+}
+
+bool RealtimeDriver::run_until_cond(const std::function<bool()>& done,
+                                    SimTime timeout) {
+  const SimTime deadline = elapsed() + timeout;
+  std::vector<pollfd> pfds;
+  while (true) {
+    catch_up_timers();
+    if (done()) return true;
+    const SimTime now = elapsed();
+    if (now >= deadline) return done();
+
+    // Sleep until the next timer, the caller's deadline, or a packet —
+    // whichever comes first.
+    SimTime nap = std::min(deadline - now, kMaxNap);
+    if (const auto next = loop_->next_event_time()) {
+      nap = std::min(nap, *next > base_ + now ? *next - (base_ + now) : 0);
+    }
+    pfds.clear();
+    for (const Watch& w : fds_) pfds.push_back(pollfd{w.fd, POLLIN, 0});
+    // Round the nap up to whole milliseconds so a 1µs-out timer does not
+    // spin poll(0); due timers are caught up on the next loop iteration.
+    const int timeout_ms =
+        static_cast<int>(std::min<SimTime>((nap + 999) / 1000, 1000));
+    const int ready =
+        ::poll(pfds.empty() ? nullptr : pfds.data(),
+               static_cast<nfds_t>(pfds.size()), std::max(timeout_ms, 1));
+    if (ready > 0) {
+      // Snapshot the callbacks: a handler may watch/unwatch fds (attach/
+      // detach during a callback) and invalidate fds_ iterators.
+      std::vector<std::function<void()>> due;
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+          due.push_back(fds_[i].on_readable);
+        }
+      }
+      for (const auto& fn : due) fn();
+    }
+  }
+}
+
+}  // namespace discs

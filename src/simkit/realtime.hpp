@@ -1,0 +1,70 @@
+// Bridges the deterministic discrete-event loop onto wall-clock time and
+// file-descriptor readiness, so code written against EventLoop timers —
+// most importantly ReliableLink's retransmit/backoff machinery — runs
+// unchanged over real sockets.
+//
+// The driver owns the mapping between SimTime and the wall clock: at
+// construction it pins loop.now() to "now" on a monotonic clock, and from
+// then on advances the loop with run_until(elapsed) between poll() calls.
+// Timers therefore fire at (approximately) their scheduled wall-clock
+// time, in the same deterministic same-timestamp order the simulator
+// guarantees; fd callbacks run interleaved whenever poll() reports
+// readiness. Everything executes on the caller's thread inside run_for /
+// run_until_cond — there is no background thread and no locking.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simkit/event_loop.hpp"
+
+namespace discs {
+
+class RealtimeDriver {
+ public:
+  explicit RealtimeDriver(EventLoop& loop);
+
+  RealtimeDriver(const RealtimeDriver&) = delete;
+  RealtimeDriver& operator=(const RealtimeDriver&) = delete;
+
+  /// Registers `on_readable` to run whenever `fd` polls readable (POLLIN).
+  /// The callback must drain the fd (the driver polls level-triggered).
+  /// Re-watching an fd replaces its callback.
+  void watch_fd(int fd, std::function<void()> on_readable);
+  void unwatch_fd(int fd);
+  [[nodiscard]] std::size_t watched_fds() const { return fds_.size(); }
+
+  /// Runs timers and fd events for `duration` of wall-clock time.
+  void run_for(SimTime duration) {
+    run_until_cond([] { return false; }, duration);
+  }
+
+  /// Runs timers and fd events until `done()` holds or `timeout` elapses;
+  /// returns the final done(). `done` is re-evaluated after every batch of
+  /// work, so it is cheap to pass a lambda over protocol state.
+  bool run_until_cond(const std::function<bool()>& done, SimTime timeout);
+
+  /// Wall-clock time elapsed since construction, in SimTime microseconds —
+  /// the same scale loop().now() advances on.
+  [[nodiscard]] SimTime elapsed() const;
+
+  [[nodiscard]] EventLoop& loop() { return *loop_; }
+
+ private:
+  struct Watch {
+    int fd = -1;
+    std::function<void()> on_readable;
+  };
+
+  /// Fires every timer due at the current wall clock.
+  void catch_up_timers();
+
+  EventLoop* loop_;
+  std::chrono::steady_clock::time_point start_;
+  SimTime base_;  // loop.now() at construction; elapsed() is relative to it
+  std::vector<Watch> fds_;
+};
+
+}  // namespace discs

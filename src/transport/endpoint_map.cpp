@@ -1,0 +1,81 @@
+#include "transport/endpoint_map.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace discs {
+namespace {
+
+Error bad_line(std::size_t line, const std::string& text,
+               const std::string& why) {
+  return Error{"endpoint_map",
+               "line " + std::to_string(line) + ": " + why + ": '" + text + "'"};
+}
+
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+Result<EndpointMap> parse_endpoint_map(std::istream& in) {
+  EndpointMap map;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string as_text;
+    std::string endpoint_text;
+    std::string extra;
+    fields >> as_text >> endpoint_text;
+    if (endpoint_text.empty() || (fields >> extra)) {
+      return bad_line(line_no, line, "expected '<as> <host>:<port>'");
+    }
+    std::uint32_t as = 0;
+    if (!parse_u32(as_text, as) || as == kNoAs) {
+      return bad_line(line_no, line, "bad AS number");
+    }
+    const auto colon = endpoint_text.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return bad_line(line_no, line, "missing ':<port>'");
+    }
+    std::uint32_t port = 0;
+    if (!parse_u32(std::string_view(endpoint_text).substr(colon + 1), port) ||
+        port > 65535) {
+      return bad_line(line_no, line, "bad port");
+    }
+    if (map.contains(as)) {
+      return bad_line(line_no, line, "duplicate AS");
+    }
+    map[as] = UdpEndpoint{endpoint_text.substr(0, colon),
+                          static_cast<std::uint16_t>(port)};
+  }
+  if (map.empty()) {
+    return Error{"endpoint_map", "no endpoints defined"};
+  }
+  return map;
+}
+
+Result<EndpointMap> load_endpoint_map_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{"endpoint_map", "cannot open '" + path + "'"};
+  }
+  return parse_endpoint_map(in);
+}
+
+void write_endpoint_map(std::ostream& out, const EndpointMap& map) {
+  for (const auto& [as, ep] : map) {
+    out << as << ' ' << ep.host << ':' << ep.port << '\n';
+  }
+}
+
+}  // namespace discs

@@ -1,0 +1,45 @@
+// AS -> UDP endpoint configuration for the real socket transport: which
+// host:port each DAS's controller listens on. One shared map is the whole
+// "routing table" of the control plane — every discs_node process in a
+// deployment loads the same file.
+//
+// File format (one endpoint per line, '#' comments and blank lines
+// skipped):
+//   <as-number> <host>:<port>
+//   65001 127.0.0.1:47001
+// Hosts are IPv4 dotted-quad literals (the control plane's own envelopes
+// carry v4 and v6 victim prefixes alike; the transport socket itself is
+// v4-only for now). Port 0 means "bind ephemeral" — usable only for ASes
+// attached locally in-process, where the map is patched with the real
+// port after bind.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace discs {
+
+struct UdpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  friend bool operator==(const UdpEndpoint&, const UdpEndpoint&) = default;
+};
+
+/// Ordered so iteration (e.g. "discover every peer") is deterministic.
+using EndpointMap = std::map<AsNumber, UdpEndpoint>;
+
+/// Parses the endpoint-map text format; Error names the first bad line.
+[[nodiscard]] Result<EndpointMap> parse_endpoint_map(std::istream& in);
+[[nodiscard]] Result<EndpointMap> load_endpoint_map_file(
+    const std::string& path);
+
+/// Serializes back to the text format (round-trips parse_endpoint_map).
+void write_endpoint_map(std::ostream& out, const EndpointMap& map);
+
+}  // namespace discs

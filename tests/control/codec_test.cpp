@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/rng.hpp"
+#include "random_envelope.hpp"
 
 namespace discs {
 namespace {
@@ -139,6 +143,65 @@ TEST(CodecTest, RejectsOutOfRangePrefixLengths) {
   // [family(1) addr(4) len(1) functions(1) duration(8)] at the tail.
   wire[wire.size() - 10] = 40;  // len > 32
   EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+// ---- u16 length-prefix boundary (regression for the silent static_cast
+// truncation in put_string and the InvocationRequest triple count). On the
+// pre-fix codec the 65536 cases encoded a length of 0 / a count of 0 and
+// the 65536-triple body decoded as trailing junk; now anything that does
+// not fit the prefix throws std::length_error at the sender.
+
+TEST(CodecTest, StringAtExactU16BoundaryRoundTrips) {
+  const std::string reason(kMaxWireLength, 'r');
+  const auto wire = encode_envelope(wrap(PeeringReject{reason}));
+  const auto back = decode_envelope(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<PeeringReject>(back->message).reason, reason);
+}
+
+TEST(CodecTest, StringPastU16BoundaryThrowsInsteadOfTruncating) {
+  const std::string reason(kMaxWireLength + 1, 'r');
+  EXPECT_THROW(encode_envelope(wrap(PeeringReject{reason})),
+               std::length_error);
+  EXPECT_THROW(encode_envelope(wrap(PeeringTeardown{reason})),
+               std::length_error);
+  EXPECT_THROW(encode_envelope(wrap(InvocationReject{reason, 1})),
+               std::length_error);
+}
+
+TEST(CodecTest, TripleCountAtExactU16BoundaryRoundTrips) {
+  InvocationRequest body;
+  body.triples.assign(kMaxWireLength,
+                      {*Prefix4::parse("10.0.0.0/8"), 1, kHour});
+  const auto wire = encode_envelope(wrap(body));
+  const auto back = decode_envelope(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<InvocationRequest>(back->message).triples.size(),
+            static_cast<std::size_t>(kMaxWireLength));
+}
+
+TEST(CodecTest, TripleCountPastU16BoundaryThrowsInsteadOfTruncating) {
+  InvocationRequest body;
+  body.triples.assign(kMaxWireLength + 1,
+                      {*Prefix4::parse("10.0.0.0/8"), 1, kHour});
+  EXPECT_THROW(encode_envelope(wrap(body)), std::length_error);
+}
+
+// ---- encode ∘ decode round-trip property over the full message space:
+// every variant (the generator cycles all 12), v4/v6 prefixes biased to
+// the 0/32/128 length extremes, strings from empty to multi-KB. Field
+// equality via the defaulted operator== — not just type equality.
+
+TEST(CodecTest, EveryVariantRoundTripsFieldForField) {
+  Xoshiro256 rng(0x10a0);
+  for (std::size_t k = 0; k < 600; ++k) {
+    const Envelope envelope = testing::random_envelope(rng, k);
+    const auto wire = encode_envelope(envelope);
+    const auto back = decode_envelope(wire);
+    ASSERT_TRUE(back.has_value()) << "variant " << k % 12;
+    EXPECT_TRUE(*back == envelope) << "variant " << k % 12;
+    EXPECT_EQ(encode_envelope(*back), wire);  // canonical
+  }
 }
 
 class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};

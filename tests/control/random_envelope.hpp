@@ -1,0 +1,105 @@
+// Deterministic random ControlMessage/Envelope generator shared by the
+// codec round-trip property test (tests/control/codec_test.cpp) and the
+// decode-fuzz harness (tools/codec_fuzz.cpp): one generator means the fuzz
+// corpus and the property test cover the same envelope space — all 12
+// message variants, v4/v6 victim prefixes at the length extremes (0, 32,
+// 128), and strings from empty through the 65535-byte wire maximum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/codec.hpp"
+#include "control/messages.hpp"
+#include "crypto/cmac.hpp"
+
+namespace discs::testing {
+
+inline std::string random_reason(Xoshiro256& rng) {
+  // Mostly short human-ish strings; occasionally empty or huge (the
+  // boundary cases regression-tested explicitly live in codec_test).
+  const std::uint64_t shape = rng.next() % 8;
+  std::size_t len = 0;
+  if (shape == 0) {
+    len = 0;
+  } else if (shape == 7) {
+    len = 4096 + static_cast<std::size_t>(rng.next() % 4096);
+  } else {
+    len = static_cast<std::size_t>(rng.next() % 64);
+  }
+  std::string s(len, '\0');
+  for (char& c : s) c = static_cast<char>(rng.next() & 0xff);
+  return s;
+}
+
+inline VictimPrefix random_victim_prefix(Xoshiro256& rng) {
+  if (rng.next() % 2 == 0) {
+    // v4; lengths hit 0 and 32 often, everything in between sometimes.
+    const std::uint64_t shape = rng.next() % 4;
+    const std::uint8_t len =
+        shape == 0 ? 0
+                   : (shape == 1 ? 32
+                                 : static_cast<std::uint8_t>(rng.next() % 33));
+    return VictimPrefix{
+        Prefix4(Ipv4Address(static_cast<std::uint32_t>(rng.next())), len)};
+  }
+  const std::uint64_t shape = rng.next() % 4;
+  const std::uint8_t len =
+      shape == 0 ? 0
+                 : (shape == 1 ? 128
+                               : static_cast<std::uint8_t>(rng.next() % 129));
+  std::array<std::uint8_t, 16> bytes{};
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next() & 0xff);
+  return VictimPrefix{Prefix6(Ipv6Address(bytes), len)};
+}
+
+inline InvocationTriple random_triple(Xoshiro256& rng) {
+  InvocationTriple triple;
+  triple.victim_prefix = random_victim_prefix(rng);
+  triple.functions = static_cast<InvokableSet>(rng.next() & 0xff);
+  triple.duration = rng.next();
+  return triple;
+}
+
+/// A random message of variant index `which` (0..11); callers cycle
+/// `which` to guarantee every variant appears in a corpus.
+inline ControlMessage random_message(Xoshiro256& rng, std::size_t which) {
+  switch (which % 12) {
+    case 0: return PeeringRequest{};
+    case 1: return PeeringAccept{};
+    case 2: return PeeringReject{random_reason(rng)};
+    case 3: return KeyInstall{derive_key128(rng.next()), rng.next(),
+                              (rng.next() & 1) != 0};
+    case 4: return KeyInstallAck{rng.next()};
+    case 5: {
+      InvocationRequest req;
+      req.alarm_mode = (rng.next() & 1) != 0;
+      const std::size_t n = static_cast<std::size_t>(rng.next() % 8);
+      for (std::size_t i = 0; i < n; ++i) {
+        req.triples.push_back(random_triple(rng));
+      }
+      return req;
+    }
+    case 6: return InvocationAccept{static_cast<std::size_t>(rng.next() % 4096),
+                                    rng.next()};
+    case 7: return InvocationReject{random_reason(rng), rng.next()};
+    case 8: return AlarmQuit{};
+    case 9: return PeeringTeardown{random_reason(rng)};
+    case 10: return DeliveryAck{rng.next()};
+    default: return RekeyComplete{rng.next()};
+  }
+}
+
+inline Envelope random_envelope(Xoshiro256& rng, std::size_t which) {
+  Envelope envelope;
+  envelope.from = static_cast<AsNumber>(rng.next());
+  envelope.to = static_cast<AsNumber>(rng.next());
+  envelope.seq = rng.next();
+  envelope.ack_requested = (rng.next() & 1) != 0;
+  envelope.message = random_message(rng, which);
+  return envelope;
+}
+
+}  // namespace discs::testing
