@@ -10,6 +10,8 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'D', 'C', 'S', '2'};
 constexpr std::size_t kHeaderSize = 24;
 constexpr std::uint8_t kFlagAckRequested = 1u << 0;
+constexpr std::uint8_t kFlagTraceContext = 1u << 1;
+constexpr std::uint8_t kKnownFlags = kFlagAckRequested | kFlagTraceContext;
 
 // ---- primitive writers ----
 
@@ -158,11 +160,18 @@ std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
   std::vector<std::uint8_t> out;
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
   put_u8(out, static_cast<std::uint8_t>(message_type(envelope.message)));
-  put_u8(out, envelope.ack_requested ? kFlagAckRequested : 0);  // flags
+  std::uint8_t flags = envelope.ack_requested ? kFlagAckRequested : 0;
+  if (envelope.trace) flags |= kFlagTraceContext;
+  put_u8(out, flags);
   put_u16(out, 0);  // reserved
   put_u32(out, envelope.from);
   put_u32(out, envelope.to);
   put_u64(out, envelope.seq);
+  if (envelope.trace) {
+    put_u64(out, envelope.trace->trace_id);
+    put_u64(out, envelope.trace->parent_span_id);
+    put_u64(out, envelope.trace->origin_ts_us);
+  }
 
   std::visit(
       [&](const auto& body) {
@@ -208,13 +217,21 @@ std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> wire) {
   Reader r{wire, 4};
   const std::uint8_t type = r.u8();
   const std::uint8_t flags = r.u8();
-  if ((flags & ~kFlagAckRequested) != 0) return std::nullopt;  // unknown flags
+  if ((flags & ~kKnownFlags) != 0) return std::nullopt;  // unknown flags
   (void)r.u16();  // reserved
   Envelope envelope;
   envelope.ack_requested = (flags & kFlagAckRequested) != 0;
   envelope.from = r.u32();
   envelope.to = r.u32();
   envelope.seq = r.u64();
+  if ((flags & kFlagTraceContext) != 0) {
+    telemetry::TraceContext ctx;
+    ctx.trace_id = r.u64();
+    ctx.parent_span_id = r.u64();
+    ctx.origin_ts_us = r.u64();
+    if (r.failed) return std::nullopt;
+    envelope.trace = ctx;
+  }
 
   switch (static_cast<MessageType>(type)) {
     case MessageType::kPeeringRequest:

@@ -11,6 +11,20 @@
 // for this sequence number arrives). "DCS2" supersedes the pre-reliability
 // "DCS1" format, whose header lacked the sequence number.
 //
+// Flags bit 1 = trace context present: a fixed 24-byte extension follows
+// the header, BEFORE the type-specific body —
+//
+//   extension: trace id (8) | parent span id (8) | origin timestamp µs (8)
+//
+// The extension is optional and backwards compatible in the only direction
+// that matters: frames without the flag decode exactly as before (the
+// pre-extension byte streams are pinned by a golden corpus in codec_test),
+// and an envelope without a context encodes byte-identically to the
+// pre-extension encoder. Decoders that predate the extension reject
+// flagged frames as "unknown flag" rather than misparse them — the
+// reliability layer's retransmit/failure path then surfaces the
+// incompatibility instead of silent corruption.
+//
 // All integers are big-endian. Strings are length-prefixed (u16), and the
 // InvocationRequest triple list is count-prefixed (u16): both fields top
 // out at 65535. encode_envelope REJECTS anything larger by throwing — it

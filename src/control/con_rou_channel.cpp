@@ -19,7 +19,8 @@ ConRouChannel::~ConRouChannel() {
 }
 
 ConRouChannel::DeliveryId ConRouChannel::submit_after(SimTime extra_delay,
-                                                      TableTransaction txn) {
+                                                      TableTransaction txn,
+                                                      AppliedHook on_applied) {
   ++stats_.submitted;
   const DeliveryId id = next_id_++;
   const SimTime delay = latency_ + extra_delay;
@@ -27,12 +28,14 @@ ConRouChannel::DeliveryId ConRouChannel::submit_after(SimTime extra_delay,
     // Synchronous fast path: no loop interaction, so threads that must not
     // touch the EventLoop can still drive table updates.
     deliver(txn, loop_->now(), /*is_sweep=*/false);
+    if (on_applied) on_applied(stats_.last_epoch, loop_->now());
     return id;
   }
   const std::uint64_t event = loop_->schedule(
-      delay, [this, id, txn = std::move(txn)] {
+      delay, [this, id, txn = std::move(txn), hook = std::move(on_applied)] {
         pending_.erase(id);
         deliver(txn, loop_->now(), /*is_sweep=*/false);
+        if (hook) hook(stats_.last_epoch, loop_->now());
       });
   pending_.emplace(id, event);
   return id;

@@ -55,12 +55,22 @@ class ConRouChannel {
   ConRouChannel(const ConRouChannel&) = delete;
   ConRouChannel& operator=(const ConRouChannel&) = delete;
 
+  /// Observes one transaction's application to the engine: fires exactly
+  /// once, right after DataPlaneEngine::apply returned, with the resulting
+  /// epoch and the loop time of delivery. Never fires for canceled
+  /// transactions. The invocation path hangs its time-to-protection
+  /// measurement and filter_install trace span off this.
+  using AppliedHook = std::function<void(TableEpoch epoch, SimTime delivered)>;
+
   /// Submits a transaction for delivery after the channel latency.
-  DeliveryId submit(TableTransaction txn) { return submit_after(0, std::move(txn)); }
+  DeliveryId submit(TableTransaction txn, AppliedHook on_applied = {}) {
+    return submit_after(0, std::move(txn), std::move(on_applied));
+  }
 
   /// Submits with an extra delay on top of the latency (two-phase re-keying
   /// schedules its grace-drop this way).
-  DeliveryId submit_after(SimTime extra_delay, TableTransaction txn);
+  DeliveryId submit_after(SimTime extra_delay, TableTransaction txn,
+                          AppliedHook on_applied = {});
 
   /// Bypasses the latency entirely and applies the transaction now,
   /// returning the resulting epoch (shutdown teardown path).

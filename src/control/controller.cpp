@@ -1,9 +1,17 @@
 #include "control/controller.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace discs {
 namespace {
+
+// Outcome codes carried in the "outcome" arg of closed trace spans.
+constexpr std::uint64_t kOutcomeOk = 0;
+constexpr std::uint64_t kOutcomeRejected = 1;
+constexpr std::uint64_t kOutcomeDeliveryFailure = 2;
+constexpr std::uint64_t kOutcomeSuperseded = 3;
+constexpr std::uint64_t kOutcomeImplicit = 4;
 
 /// The per-direction data-plane operations each invokable function expands
 /// into, split by executing side (Table I: bold = peer side).
@@ -119,7 +127,18 @@ void Controller::discover(const DiscsAd& ad) {
                            loop_->now(), config_.as,
                            {{"peer", static_cast<std::uint64_t>(target)}});
     }
-    link_.send_reliable(target, PeeringRequest{}, AckToken::kPeeringRequest);
+    // Distributed tracing: the peering handshake roots a trace here; the
+    // request span stays open until the accept/reject (or delivery failure)
+    // closes it, and its context rides the PeeringRequest to the peer.
+    std::optional<telemetry::TraceContext> ctx;
+    if (spans_ != nullptr) {
+      const std::uint64_t trace = spans_->new_id();
+      const std::uint64_t span = spans_->new_id();
+      info.peering_span = OpenSpan{trace, span, /*parent=*/0, loop_->now()};
+      ctx = telemetry::TraceContext{trace, span, telemetry::wall_clock_us()};
+    }
+    link_.send_reliable(target, PeeringRequest{}, AckToken::kPeeringRequest,
+                        ctx);
   });
 }
 
@@ -129,6 +148,10 @@ void Controller::handle(const Envelope& envelope) {
   // stay idempotent anyway: retransmits of an ancient seq can outlive the
   // dedup window, and raw (seq 0) senders bypass dedup entirely.
   if (link_.on_receive(envelope) != ReceiveAction::kFresh) return;
+  // Expose the envelope's trace context to the handlers (save/restore, not
+  // reset, because a zero-latency simulated network can deliver a handler's
+  // own sends synchronously and re-enter handle() underneath us).
+  const auto saved_ctx = std::exchange(rx_ctx_, envelope.trace);
   std::visit(
       [&](const auto& body) {
         using T = std::decay_t<decltype(body)>;
@@ -144,6 +167,8 @@ void Controller::handle(const Envelope& envelope) {
                                peering_span_id(envelope.from), loop_->now(),
                                config_.as, {{"outcome", "rejected"}});
           }
+          close_open_span(info.peering_span, "peering", envelope.from,
+                          kOutcomeRejected);
           info.state = PeerState::kRejected;
         } else if constexpr (std::is_same_v<T, KeyInstall>) {
           handle_key_install(envelope.from, body);
@@ -159,6 +184,13 @@ void Controller::handle(const Envelope& envelope) {
           // but the echoed seq settles our request's retransmit timer
           // earlier than the DeliveryAck would under loss.
           link_.settle_seq(envelope.from, body.request_seq);
+          if (const auto it = peers_.find(envelope.from); it != peers_.end()) {
+            close_open_span(it->second.invoke_span, "invoke_peer",
+                            envelope.from,
+                            std::is_same_v<T, InvocationAccept>
+                                ? kOutcomeOk
+                                : kOutcomeRejected);
+          }
         } else if constexpr (std::is_same_v<T, AlarmQuit>) {
           handle_alarm_quit(envelope.from);
         } else if constexpr (std::is_same_v<T, PeeringTeardown>) {
@@ -167,25 +199,30 @@ void Controller::handle(const Envelope& envelope) {
         // DeliveryAck never gets here (consumed by the link).
       },
       envelope.message);
+  rx_ctx_ = saved_ctx;
 }
 
 void Controller::handle_peering_request(AsNumber from) {
   ++stats_.peering_requests_received;
   auto& info = peers_[from];
+  const std::uint64_t peer_arg = from;
   if (config_.blacklist.contains(from)) {
     info.state = PeerState::kRejected;
-    link_.send_reliable(from, PeeringReject{"blacklisted"});
+    link_.send_reliable(from, PeeringReject{"blacklisted"}, AckToken::kNone,
+                        handler_ctx("reject_peering", {{"peer", peer_arg}}));
     return;
   }
   if (info.state == PeerState::kPeered) {
     // Duplicate / retransmitted request: re-accept so the peer can finish
     // its side, but do NOT regenerate the key — a gratuitous negotiate_key
     // here would bump tx_key_serial and orphan any in-flight re-key ack.
-    link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept);
+    link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept,
+                        handler_ctx("accept_peering", {{"peer", peer_arg}}));
     return;
   }
   info.state = PeerState::kPeered;
-  link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept);
+  link_.send_reliable(from, PeeringAccept{}, AckToken::kPeeringAccept,
+                      handler_ctx("accept_peering", {{"peer", peer_arg}}));
   negotiate_key(from, /*rekey=*/false);
 }
 
@@ -198,6 +235,7 @@ void Controller::handle_peering_accept(AsNumber from) {
     tracer_->async_end("peering", "control", peering_span_id(from),
                        loop_->now(), config_.as, {{"outcome", "peered"}});
   }
+  close_open_span(info.peering_span, "peering", from, kOutcomeOk);
   negotiate_key(from, /*rekey=*/false);
 }
 
@@ -220,8 +258,30 @@ void Controller::negotiate_key(AsNumber peer, bool rekey) {
     txn.set_stamp_key(peer, key, /*retain_previous=*/false);
     track_delivery(peer, con_rou_->submit(std::move(txn)));
   }
+  // Distributed tracing: inside a handler the install joins the incoming
+  // trace; a locally initiated round (re-key timer, first key after an
+  // untraced peer's message) roots a fresh one. A re-key's request span
+  // stays open until the ack commits it.
+  std::optional<telemetry::TraceContext> ctx = handler_ctx(
+      rekey ? "rekey_key_install" : "key_install",
+      {{"peer", static_cast<std::uint64_t>(peer)},
+       {"serial", info.tx_key_serial}});
+  if (!ctx && spans_ != nullptr) {
+    const std::uint64_t trace = spans_->new_id();
+    const std::uint64_t span = spans_->new_id();
+    ctx = telemetry::TraceContext{trace, span, telemetry::wall_clock_us()};
+    if (rekey) {
+      close_open_span(info.rekey_span, "rekey", peer, kOutcomeSuperseded);
+      info.rekey_span = OpenSpan{trace, span, /*parent=*/0, loop_->now()};
+    } else {
+      spans_->instant("key_install", "control", trace, span, /*parent=*/0,
+                      loop_->now(),
+                      {{"peer", static_cast<std::uint64_t>(peer)},
+                       {"serial", info.tx_key_serial}});
+    }
+  }
   link_.send_reliable(peer, KeyInstall{key, info.tx_key_serial, rekey},
-                      AckToken::kKeyInstall);
+                      AckToken::kKeyInstall, ctx);
 }
 
 void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
@@ -238,6 +298,7 @@ void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
                          loop_->now(), config_.as,
                          {{"outcome", "peered_implicit"}});
     }
+    close_open_span(info.peering_span, "peering", from, kOutcomeImplicit);
     negotiate_key(from, /*rekey=*/false);
   }
   if (info.state != PeerState::kPeered) return;
@@ -248,10 +309,14 @@ void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
   if (msg.serial < info.rx_key_serial) return;  // stale reordered install
   if (msg.serial == info.rx_key_serial) {
     link_.send_reliable(from, KeyInstallAck{msg.serial},
-                        AckToken::kKeyInstallAck);
+                        AckToken::kKeyInstallAck,
+                        handler_ctx("reack_key_install", {{"serial", msg.serial}}));
     return;
   }
   info.rx_key_serial = msg.serial;
+  const auto ctx = handler_ctx(
+      "install_key",
+      {{"serial", msg.serial}, {"rekey", msg.rekey ? 1u : 0u}});
   // key_{from,us}: we verify traffic stamped by `from` with it. During a
   // re-key the old key stays valid (grace) until the sender confirms the
   // switch-over with RekeyComplete — a fixed timer here would blackhole
@@ -259,7 +324,8 @@ void Controller::handle_key_install(AsNumber from, const KeyInstall& msg) {
   TableTransaction install;
   install.set_verify_key(from, msg.key, /*retain_previous=*/msg.rekey);
   track_delivery(from, con_rou_->submit(std::move(install)));
-  link_.send_reliable(from, KeyInstallAck{msg.serial}, AckToken::kKeyInstallAck);
+  link_.send_reliable(from, KeyInstallAck{msg.serial}, AckToken::kKeyInstallAck,
+                      ctx);
 }
 
 void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg) {
@@ -280,9 +346,11 @@ void Controller::handle_key_install_ack(AsNumber from, const KeyInstallAck& msg)
       tracer_->async_end("rekey", "control", rekey_span_id(from), loop_->now(),
                          config_.as);
     }
+    close_open_span(it->second.rekey_span, "rekey", from, kOutcomeOk);
     // Third phase: tell the verifier we switched, releasing its grace key.
     link_.send_reliable(from, RekeyComplete{msg.serial},
-                        AckToken::kRekeyComplete);
+                        AckToken::kRekeyComplete,
+                        handler_ctx("rekey_commit", {{"serial", msg.serial}}));
   }
 }
 
@@ -290,6 +358,7 @@ void Controller::handle_rekey_complete(AsNumber from, const RekeyComplete& msg) 
   const auto it = peers_.find(from);
   if (it == peers_.end() || it->second.state != PeerState::kPeered) return;
   if (msg.serial != it->second.rx_key_serial) return;  // stale / reordered
+  handler_ctx("grace_key_drop_scheduled", {{"serial", msg.serial}});
   // The stamper committed the new key; after a short drain for packets
   // already in flight with the old stamp, drop the grace key. The drop
   // rides the con-rou channel too (an in-flight teardown withdraws it).
@@ -315,6 +384,18 @@ void Controller::handle_delivery_failure(AsNumber peer, AckToken token) {
                          loop_->now(), config_.as,
                          {{"outcome", "delivery_failure"}});
     }
+    close_open_span(it->second.peering_span, "peering", peer,
+                    kOutcomeDeliveryFailure);
+  }
+  if (token == AckToken::kKeyInstall) {
+    close_open_span(it->second.rekey_span, "rekey", peer,
+                    kOutcomeDeliveryFailure);
+  }
+  if (token == AckToken::kNone) {
+    // Invocation requests are the only kNone reliable sends we open a span
+    // for; the response never came and the retransmits ran dry.
+    close_open_span(it->second.invoke_span, "invoke_peer", peer,
+                    kOutcomeDeliveryFailure);
   }
   // Other tokens need no rollback: a failed KeyInstall leaves the pending
   // key parked (the peer's grace key keeps old-stamp traffic verifiable),
@@ -337,6 +418,20 @@ void Controller::schedule_rekey_timer() {
 
 std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
                                bool alarm_mode) {
+  // Distributed tracing: one invocation = one trace. The root span covers
+  // the victim-side fan-out; each peer's request gets a child span that the
+  // peer's Accept/Reject (or a delivery failure) closes, and its context —
+  // with the wall-clock origin stamp the peers measure time-to-protection
+  // against — rides the InvocationRequest and all its retransmits.
+  const SimTime t0 = loop_->now();
+  std::uint64_t trace = 0;
+  std::uint64_t root = 0;
+  std::uint64_t origin = 0;
+  if (spans_ != nullptr) {
+    trace = spans_->new_id();
+    root = spans_->new_id();
+    origin = telemetry::wall_clock_us();
+  }
   for (const auto& triple : triples) {
     execute_victim_functions(triple);
     if (tracer_ != nullptr) {
@@ -349,13 +444,27 @@ std::size_t Controller::invoke(const std::vector<InvocationTriple>& triples,
   }
   set_alarm_mode_everywhere(alarm_mode);
   std::size_t asked = 0;
-  for (const auto& [as, info] : peers_) {
+  for (auto& [as, info] : peers_) {
     if (info.state != PeerState::kPeered) continue;
     ++stats_.invocations_sent;
+    std::optional<telemetry::TraceContext> ctx;
+    if (spans_ != nullptr) {
+      close_open_span(info.invoke_span, "invoke_peer", as, kOutcomeSuperseded);
+      info.invoke_span = OpenSpan{trace, spans_->new_id(), root, t0};
+      ctx = telemetry::TraceContext{trace, info.invoke_span->span, origin};
+    }
     // Reliable with no token: settled by the DeliveryAck or by the
     // Accept/Reject echoing our sequence number, whichever arrives first.
-    link_.send_reliable(as, InvocationRequest{triples, alarm_mode});
+    link_.send_reliable(as, InvocationRequest{triples, alarm_mode},
+                        AckToken::kNone, ctx);
     ++asked;
+  }
+  if (spans_ != nullptr) {
+    spans_->span("invocation", "control", trace, root, /*parent=*/0, t0,
+                 loop_->now() - t0,
+                 {{"peers", asked},
+                  {"triples", triples.size()},
+                  {"alarm_mode", alarm_mode ? 1u : 0u}});
   }
   return asked;
 }
@@ -417,7 +526,8 @@ void Controller::execute_victim_functions(const InvocationTriple& triple) {
 }
 
 void Controller::execute_peer_functions(AsNumber victim,
-                                        const InvocationTriple& triple) {
+                                        const InvocationTriple& triple,
+                                        std::uint64_t exec_span) {
   TableTransaction txn;
   std::visit(
       [&](const auto& prefix) {
@@ -439,7 +549,33 @@ void Controller::execute_peer_functions(AsNumber victim,
         }
       },
       triple.victim_prefix);
-  if (!txn.empty()) track_delivery(victim, con_rou_->submit(std::move(txn)));
+  if (txn.empty()) return;
+  // Time-to-protection is measured when the transaction actually applies to
+  // the engine (after the con-rou latency), not when we accept the request;
+  // the hook also leaves the filter_install record in the trace.
+  ConRouChannel::AppliedHook hook;
+  if (rx_ctx_ && (ttp_seconds_ != nullptr || spans_ != nullptr)) {
+    const telemetry::TraceContext ctx = *rx_ctx_;
+    hook = [this, ctx, exec_span, victim](TableEpoch epoch, SimTime now) {
+      std::uint64_t ttp_us = 0;
+      if (const std::uint64_t now_us = telemetry::wall_clock_us();
+          ctx.origin_ts_us != 0 && now_us > ctx.origin_ts_us) {
+        ttp_us = now_us - ctx.origin_ts_us;
+      }
+      if (ttp_seconds_ != nullptr && ctx.origin_ts_us != 0) {
+        ttp_seconds_->record(static_cast<double>(ttp_us) / 1e6);
+      }
+      if (spans_ != nullptr) {
+        spans_->instant("filter_install", "control", ctx.trace_id,
+                        spans_->new_id(),
+                        exec_span != 0 ? exec_span : ctx.parent_span_id, now,
+                        {{"victim", static_cast<std::uint64_t>(victim)},
+                         {"epoch", epoch},
+                         {"ttp_us", ttp_us}});
+      }
+    };
+  }
+  track_delivery(victim, con_rou_->submit(std::move(txn), std::move(hook)));
 }
 
 void Controller::track_delivery(AsNumber peer, ConRouChannel::DeliveryId id) {
@@ -458,8 +594,28 @@ void Controller::track_delivery(AsNumber peer, ConRouChannel::DeliveryId id) {
 void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg,
                                    std::uint64_t request_seq) {
   ++stats_.invocations_received;
+  // Distributed tracing: the whole peer-side execution is one span parented
+  // at the victim's request; the response carries it back so the victim's
+  // recv record closes the loop, and filter_install instants hang off it.
+  const SimTime exec_start = loop_->now();
+  std::uint64_t exec_span = 0;
+  std::optional<telemetry::TraceContext> reply_ctx;
+  if (spans_ != nullptr && rx_ctx_) {
+    exec_span = spans_->new_id();
+    reply_ctx = telemetry::TraceContext{rx_ctx_->trace_id, exec_span,
+                                        rx_ctx_->origin_ts_us};
+  }
+  const auto finish_span = [&](std::uint64_t accepted_count) {
+    if (exec_span == 0) return;
+    spans_->span("execute_invocation", "control", rx_ctx_->trace_id, exec_span,
+                 rx_ctx_->parent_span_id, exec_start, loop_->now() - exec_start,
+                 {{"victim", static_cast<std::uint64_t>(from)},
+                  {"accepted", accepted_count},
+                  {"triples", msg.triples.size()}});
+  };
   if (!is_peer(from)) {
-    link_.send(from, InvocationReject{"not a peer", request_seq});
+    link_.send(from, InvocationReject{"not a peer", request_seq}, reply_ctx);
+    finish_span(0);
     return;
   }
   // Ownership check (§IV-E3): every requested prefix must belong to the
@@ -474,7 +630,7 @@ void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg,
       ++stats_.invocations_rejected;
       continue;
     }
-    execute_peer_functions(from, triple);
+    execute_peer_functions(from, triple, exec_span);
     ++accepted;
   }
   if (msg.alarm_mode) {
@@ -483,11 +639,13 @@ void Controller::handle_invocation(AsNumber from, const InvocationRequest& msg,
   // Responses are fire-and-forget: they double as the request's ack (seq
   // echo), and a lost response is repaired by the requester's retransmit.
   if (accepted == msg.triples.size()) {
-    link_.send(from, InvocationAccept{accepted, request_seq});
+    link_.send(from, InvocationAccept{accepted, request_seq}, reply_ctx);
   } else {
     link_.send(from, InvocationReject{"ownership check failed for some prefixes",
-                                      request_seq});
+                                      request_seq},
+               reply_ctx);
   }
+  finish_span(accepted);
 }
 
 void Controller::set_alarm_mode_everywhere(bool on) {
@@ -641,6 +799,14 @@ void Controller::bind_metrics(telemetry::MetricsRegistry& registry) {
   engine_->bind_metrics(registry, labels);
   link_.bind_metrics(registry, labels);
   con_rou_->bind_metrics(registry, labels);
+  ttp_seconds_ = &registry.histogram(
+      "discs_time_to_protection_seconds",
+      {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0,
+       2.5, 5.0, 10.0, 30.0},
+      "Seconds from the victim emitting an invocation (trace-context origin "
+      "wall-clock stamp) to the filter-install transaction applying at this "
+      "peer's engine",
+      labels);
   metrics_collector_ = registry.add_collector(
       [this, labels](std::vector<telemetry::Sample>& out) {
         auto emit = [&](const char* name, double v, telemetry::MetricKind kind) {
@@ -684,6 +850,35 @@ void Controller::unbind_metrics() {
   con_rou_->unbind_metrics();
   metrics_ = nullptr;
   metrics_collector_ = 0;
+  ttp_seconds_ = nullptr;
+}
+
+void Controller::set_span_tracer(telemetry::SpanTracer* spans) {
+  spans_ = spans;
+  link_.set_span_tracer(spans);
+}
+
+std::optional<telemetry::TraceContext> Controller::handler_ctx(
+    const char* name, telemetry::SpanTracer::SpanArgs args) {
+  if (spans_ == nullptr || !rx_ctx_) return std::nullopt;
+  const std::uint64_t span = spans_->new_id();
+  spans_->instant(name, "control", rx_ctx_->trace_id, span,
+                  rx_ctx_->parent_span_id, loop_->now(), args);
+  return telemetry::TraceContext{rx_ctx_->trace_id, span,
+                                 rx_ctx_->origin_ts_us};
+}
+
+void Controller::close_open_span(std::optional<OpenSpan>& open,
+                                 const char* name, AsNumber peer,
+                                 std::uint64_t outcome) {
+  if (!open) return;
+  if (spans_ != nullptr) {
+    spans_->span(name, "control", open->trace, open->span, open->parent,
+                 open->start, loop_->now() - open->start,
+                 {{"peer", static_cast<std::uint64_t>(peer)},
+                  {"outcome", outcome}});
+  }
+  open.reset();
 }
 
 void Controller::set_tracer(telemetry::SimTracer* tracer) {

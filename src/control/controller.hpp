@@ -32,6 +32,7 @@
 #include "control/secure_channel.hpp"
 #include "dataplane/router.hpp"
 #include "telemetry/ring.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 #include "topology/dataset.hpp"
 
@@ -255,6 +256,17 @@ class Controller {
   void set_tracer(telemetry::SimTracer* tracer);
   [[nodiscard]] telemetry::SimTracer* tracer() const { return tracer_; }
 
+  /// Attaches the distributed-tracing shard writer (nullptr detaches) to
+  /// this controller AND its ReliableLink. With a tracer attached, every
+  /// protocol operation this controller initiates roots a trace whose
+  /// context rides the DCS2 envelopes (and their retransmissions) to the
+  /// peers; operations triggered by a context-carrying message join the
+  /// sender's trace instead. Without one, no context is ever attached and
+  /// the wire bytes are identical to the pre-tracing format. The tracer
+  /// must outlive the controller or be detached first.
+  void set_span_tracer(telemetry::SpanTracer* spans);
+  [[nodiscard]] telemetry::SpanTracer* span_tracer() const { return spans_; }
+
   /// Alarm-mode flow reports (§IV-F): buffers the sampled NetFlow-style
   /// records from every border router and the engine into a bounded ring
   /// this controller's operator scrapes. Newest-wins once full;
@@ -267,12 +279,26 @@ class Controller {
   [[nodiscard]] std::uint64_t flow_reports_total() const;
 
  private:
+  /// A distributed-tracing span this controller opened and will close in a
+  /// later handler (request → response): ids plus the start timestamp.
+  struct OpenSpan {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;  // 0 = trace root
+    SimTime start = 0;
+  };
+
   struct PeerInfo {
     PeerState state = PeerState::kDiscovered;
     std::string controller_name;
     std::uint64_t tx_key_serial = 0;  // last key serial we sent them
     std::uint64_t rx_key_serial = 0;  // last key serial we installed from them
     std::optional<Key128> pending_key;  // new stamping key awaiting ack
+    // Distributed-tracing request spans in flight toward this peer (only
+    // ever set while a SpanTracer is attached).
+    std::optional<OpenSpan> peering_span;  // PeeringRequest -> accept/reject
+    std::optional<OpenSpan> rekey_span;    // KeyInstall -> commit
+    std::optional<OpenSpan> invoke_span;   // InvocationRequest -> response
   };
 
   void handle(const Envelope& envelope);
@@ -299,8 +325,12 @@ class Controller {
 
   /// Submits the peer-side table transaction for an accepted triple; the
   /// channel delivers it after the con-rou latency. Tracked under the
-  /// victim's AS so teardown can withdraw it in flight.
-  void execute_peer_functions(AsNumber victim, const InvocationTriple& triple);
+  /// victim's AS so teardown can withdraw it in flight. `exec_span` (0 =
+  /// none) parents the filter_install trace record; the applied-hook also
+  /// feeds the time-to-protection histogram from the invocation's
+  /// trace-context origin timestamp.
+  void execute_peer_functions(AsNumber victim, const InvocationTriple& triple,
+                              std::uint64_t exec_span);
 
   /// Submits the victim-side table transaction for our own invocation.
   void execute_victim_functions(const InvocationTriple& triple);
@@ -322,6 +352,21 @@ class Controller {
   [[nodiscard]] std::uint64_t rekey_span_id(AsNumber peer) const {
     return peering_span_id(peer) | (1ull << 63);
   }
+
+  /// Distributed tracing: allocates a handler span joined to the trace of
+  /// the envelope currently being handled, emits it as an instant named
+  /// `name`, and returns the context that responses (or follow-on
+  /// requests) should carry. nullopt when no tracer is attached or the
+  /// incoming envelope carried no context — traces are only ever rooted
+  /// where an operation starts, never grafted on mid-protocol.
+  std::optional<telemetry::TraceContext> handler_ctx(
+      const char* name, telemetry::SpanTracer::SpanArgs args = {});
+
+  /// Emits `open` as a completed span record named `name` with an outcome
+  /// arg (see kOutcome* in controller.cpp) and clears it. No-op when the
+  /// optional is empty.
+  void close_open_span(std::optional<OpenSpan>& open, const char* name,
+                       AsNumber peer, std::uint64_t outcome);
 
   ControllerConfig config_;
   EventLoop* loop_;
@@ -353,6 +398,16 @@ class Controller {
   telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
   telemetry::SimTracer* tracer_ = nullptr;
   std::unique_ptr<telemetry::RingBuffer<FlowReport>> flow_ring_;
+
+  telemetry::SpanTracer* spans_ = nullptr;
+  /// Trace context of the envelope currently inside handle() (nullopt
+  /// outside a handler or when the envelope carried none): handlers'
+  /// outgoing messages inherit it so one operation stays one trace.
+  std::optional<telemetry::TraceContext> rx_ctx_;
+  /// Bound by bind_metrics: seconds from the victim's invocation emission
+  /// (trace-context origin timestamp) to the filter-install transaction
+  /// applying at this peer's engine.
+  telemetry::Histogram* ttp_seconds_ = nullptr;
 };
 
 }  // namespace discs

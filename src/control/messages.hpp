@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/types.hpp"
 #include "crypto/cmac.hpp"
 #include "simkit/event_loop.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace discs {
 
@@ -163,6 +165,11 @@ struct Envelope {
   std::uint64_t seq = 0;
   /// True when the sender arms a retransmit timer and expects a DeliveryAck.
   bool ack_requested = false;
+  /// Distributed-tracing context, present only when the sending controller
+  /// has a SpanTracer attached. Encodes as an optional DCS2 extension
+  /// (flag bit 1); retransmissions reuse the stored envelope verbatim, so
+  /// the context rides them automatically.
+  std::optional<telemetry::TraceContext> trace = {};
 
   friend bool operator==(const Envelope&, const Envelope&) = default;
 };

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "control/codec.hpp"
+
 namespace discs {
 
 void ReliableLink::send_reliable(AsNumber to, ControlMessage message,
-                                 AckToken token) {
+                                 AckToken token,
+                                 std::optional<telemetry::TraceContext> trace) {
   if (token != AckToken::kNone) {
     // A newer send of the same kind supersedes the old one: stop
     // retransmitting a message the protocol has moved past.
@@ -14,6 +17,7 @@ void ReliableLink::send_reliable(AsNumber to, ControlMessage message,
   Envelope envelope{self_, to, std::move(message)};
   envelope.seq = ++next_seq_[to];
   envelope.ack_requested = true;
+  envelope.trace = trace;
 
   const PendingKey key{to, envelope.seq};
   Pending& p = pending_[key];
@@ -24,17 +28,36 @@ void ReliableLink::send_reliable(AsNumber to, ControlMessage message,
   if (token != AckToken::kNone) token_index_[{to, token}] = envelope.seq;
 
   ++stats_.reliable_sends;
+  if (spans_ != nullptr && envelope.trace) {
+    spans_->wire_send(to, envelope.seq,
+                      static_cast<int>(message_type(envelope.message)),
+                      *envelope.trace, loop_->now(), /*attempt=*/1);
+  }
   net_->send(std::move(envelope));
   arm_timer(key);
 }
 
-void ReliableLink::send(AsNumber to, ControlMessage message) {
+void ReliableLink::send(AsNumber to, ControlMessage message,
+                        std::optional<telemetry::TraceContext> trace) {
   Envelope envelope{self_, to, std::move(message)};
   envelope.seq = ++next_seq_[to];
+  envelope.trace = trace;
+  if (spans_ != nullptr && envelope.trace) {
+    spans_->wire_send(to, envelope.seq,
+                      static_cast<int>(message_type(envelope.message)),
+                      *envelope.trace, loop_->now(), /*attempt=*/1);
+  }
   net_->send(std::move(envelope));
 }
 
 ReceiveAction ReliableLink::on_receive(const Envelope& envelope) {
+  // Every context-carrying arrival (duplicates included — the merge tool
+  // takes the minimum delay over all pairs) becomes a recv record.
+  if (spans_ != nullptr && envelope.trace) {
+    spans_->wire_recv(envelope.from, envelope.seq,
+                      static_cast<int>(message_type(envelope.message)),
+                      *envelope.trace, loop_->now());
+  }
   if (const auto* ack = std::get_if<DeliveryAck>(&envelope.message)) {
     ++stats_.acks_received;
     settle_seq(envelope.from, ack->acked_seq);
@@ -148,6 +171,11 @@ void ReliableLink::on_timeout(PendingKey key) {
   ++stats_.retransmits;
   if (backoff_level_ != nullptr) {
     backoff_level_->record(static_cast<double>(p.attempts));
+  }
+  if (spans_ != nullptr && p.envelope.trace) {
+    spans_->wire_send(key.first, p.envelope.seq,
+                      static_cast<int>(message_type(p.envelope.message)),
+                      *p.envelope.trace, loop_->now(), p.attempts);
   }
   p.rto = std::min(
       static_cast<SimTime>(static_cast<double>(p.rto) * config_.backoff),

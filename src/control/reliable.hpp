@@ -35,6 +35,7 @@
 #include "control/messages.hpp"
 #include "simkit/event_loop.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "transport/transport.hpp"
 
 namespace discs {
@@ -99,11 +100,16 @@ class ReliableLink {
 
   /// Sends with a retransmit timer. A pending send to the same peer with
   /// the same non-kNone token is superseded (its timer cancelled silently).
+  /// `trace` rides the envelope as the DCS2 trace-context extension — and
+  /// rides every retransmission verbatim, so the whole repair history of a
+  /// message lands in one causal tree.
   void send_reliable(AsNumber to, ControlMessage message,
-                     AckToken token = AckToken::kNone);
+                     AckToken token = AckToken::kNone,
+                     std::optional<telemetry::TraceContext> trace = {});
 
   /// Sends once, sequenced (so the receiver can dedup) but without a timer.
-  void send(AsNumber to, ControlMessage message);
+  void send(AsNumber to, ControlMessage message,
+            std::optional<telemetry::TraceContext> trace = {});
 
   /// Classifies an incoming envelope: consumes DeliveryAcks, answers
   /// ack requests, and deduplicates. Call before any protocol handling.
@@ -149,6 +155,15 @@ class ReliableLink {
                     telemetry::Labels labels = {});
   void unbind_metrics();
 
+  /// Attaches the distributed-tracing shard writer (nullptr detaches):
+  /// every transmission of a context-carrying envelope emits a `send`
+  /// record (retransmits with their attempt number) and every arrival of
+  /// one emits a `recv` record — the pairs the merge tool aligns clocks
+  /// with. Envelopes without a context cost one null/nullopt check and
+  /// emit nothing. The tracer must outlive the link or be detached first.
+  void set_span_tracer(telemetry::SpanTracer* spans) { spans_ = spans; }
+  [[nodiscard]] telemetry::SpanTracer* span_tracer() const { return spans_; }
+
  private:
   struct Pending {
     Envelope envelope;
@@ -184,6 +199,7 @@ class ReliableLink {
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::MetricsRegistry::CollectorId metrics_collector_ = 0;
   telemetry::Histogram* backoff_level_ = nullptr;
+  telemetry::SpanTracer* spans_ = nullptr;
 };
 
 }  // namespace discs

@@ -1,0 +1,182 @@
+#include "telemetry/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "telemetry/export.hpp"
+
+namespace discs::telemetry {
+namespace {
+
+// A scrape request is one line plus a handful of headers; anything bigger
+// is not a scraper and gets cut off.
+constexpr std::size_t kMaxRequestBytes = 4096;
+constexpr std::size_t kMaxConnections = 16;
+
+/// Writes all of `body` to `fd`, which is switched to blocking with a send
+/// timeout first; false on any short/failed write.
+bool write_fully(int fd, const std::string& body) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags != -1) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::send(fd, body.data() + off, body.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ScrapeEndpoint::ScrapeEndpoint(RealtimeDriver& driver,
+                               const MetricsRegistry& registry)
+    : driver_(&driver), registry_(&registry) {}
+
+ScrapeEndpoint::~ScrapeEndpoint() { close(); }
+
+bool ScrapeEndpoint::listen(const std::string& host, std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  driver_->watch_fd(listen_fd_, [this] { on_accept(); });
+  return true;
+}
+
+void ScrapeEndpoint::close() {
+  if (listen_fd_ != -1) {
+    driver_->unwatch_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+  }
+  for (const Conn& c : conns_) {
+    driver_->unwatch_fd(c.fd);
+    ::close(c.fd);
+  }
+  conns_.clear();
+}
+
+void ScrapeEndpoint::on_accept() {
+  // Level-triggered poll: drain the accept queue completely.
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: poll will re-arm us
+    if (conns_.size() >= kMaxConnections) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(Conn{fd, {}});
+    driver_->watch_fd(fd, [this, fd] { on_readable(fd); });
+  }
+}
+
+void ScrapeEndpoint::on_readable(int fd) {
+  const auto it = std::find_if(conns_.begin(), conns_.end(),
+                               [fd](const Conn& c) { return c.fd == fd; });
+  if (it == conns_.end()) return;
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      it->in.append(buf, static_cast<std::size_t>(n));
+      if (it->in.find("\r\n\r\n") != std::string::npos ||
+          it->in.find("\n\n") != std::string::npos ||
+          it->in.size() > kMaxRequestBytes) {
+        respond(*it);
+        close_conn(fd);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(fd);  // peer hung up (or hard error) before a full request
+    return;
+  }
+}
+
+void ScrapeEndpoint::close_conn(int fd) {
+  driver_->unwatch_fd(fd);
+  ::close(fd);
+  std::erase_if(conns_, [fd](const Conn& c) { return c.fd == fd; });
+}
+
+void ScrapeEndpoint::respond(Conn& c) {
+  const std::size_t eol = c.in.find_first_of("\r\n");
+  const std::string line = c.in.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method = sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  const std::string path = sp1 == std::string::npos || sp2 == std::string::npos
+                               ? ""
+                               : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string response;
+  if (method != "GET") {
+    response = http_response("405 Method Not Allowed", "text/plain",
+                             "method not allowed\n");
+  } else if (path == "/metrics") {
+    response = http_response("200 OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             to_prometheus(*registry_));
+  } else if (path == "/healthz") {
+    response = http_response("200 OK", "text/plain", "ok\n");
+  } else {
+    response = http_response("404 Not Found", "text/plain", "not found\n");
+  }
+  ++served_;
+  write_fully(c.fd, response);
+}
+
+}  // namespace discs::telemetry

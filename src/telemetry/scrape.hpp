@@ -1,0 +1,65 @@
+// Minimal Prometheus scrape endpoint: a non-blocking TCP listener whose
+// accept/read events ride the RealtimeDriver's poll loop, so a discs_node
+// serves GET /metrics from the same thread that runs the protocol — no
+// background thread, no locking beyond what the registry already does.
+//
+// Scope is deliberately tiny: HTTP/1.1, request line + headers ignored
+// beyond the method and path, Connection: close on every response. That is
+// exactly what `curl` and a Prometheus scraper need and nothing more. The
+// listener binds loopback by default; this is an observability port, not a
+// hardened public server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkit/realtime.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace discs::telemetry {
+
+class ScrapeEndpoint {
+ public:
+  /// Serves scrapes of `registry` from fds watched on `driver`. Both must
+  /// outlive the endpoint (or close() must run first).
+  ScrapeEndpoint(RealtimeDriver& driver, const MetricsRegistry& registry);
+  ~ScrapeEndpoint();
+
+  ScrapeEndpoint(const ScrapeEndpoint&) = delete;
+  ScrapeEndpoint& operator=(const ScrapeEndpoint&) = delete;
+
+  /// Binds and listens on host:port (port 0 picks an ephemeral port — read
+  /// it back with port()). False with errno intact when any step fails.
+  bool listen(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool is_listening() const { return listen_fd_ != -1; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Unwatches and closes the listener and every open connection.
+  void close();
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;  // bytes read so far, until the blank line
+  };
+
+  void on_accept();
+  void on_readable(int fd);
+  void close_conn(int fd);
+  /// Parses the request line out of `c.in`, writes the full response
+  /// (blocking with a short send timeout — scrape responses are small and
+  /// the peer is a local collector), and closes the connection.
+  void respond(Conn& c);
+
+  RealtimeDriver* driver_;
+  const MetricsRegistry* registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Conn> conns_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace discs::telemetry

@@ -1,0 +1,242 @@
+#include "telemetry/span.hpp"
+
+#include <cinttypes>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace discs::telemetry {
+namespace {
+
+void append_hex_id(std::string& out, std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", id);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// Names and arg keys are compile-time identifiers throughout the control
+/// plane, but escape anyway so a hostile string can never break a line.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_ids(std::string& out, std::uint64_t trace, std::uint64_t span,
+                std::uint64_t parent, bool with_parent) {
+  out += ",\"trace\":";
+  append_hex_id(out, trace);
+  out += ",\"span\":";
+  append_hex_id(out, span);
+  if (with_parent) {
+    out += ",\"parent\":";
+    append_hex_id(out, parent);
+  }
+}
+
+void append_args(std::string& out, const SpanTracer::SpanArgs& args) {
+  if (args.empty()) return;
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_escaped(out, args[i].first);
+    out += "\":";
+    append_u64(out, args[i].second);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::uint64_t wall_clock_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool SpanTracer::open(const std::string& path, SimTime loop_now) {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    ++errors_;
+    return false;
+  }
+  std::string line = "{\"type\":\"meta\",\"as\":";
+  append_u64(line, node_id_);
+  line += ",\"pid\":";
+  append_u64(line, static_cast<std::uint64_t>(::getpid()));
+  line += ",\"loop_us\":";
+  append_u64(line, loop_now);
+  line += ",\"wall_us\":";
+  append_u64(line, wall_clock_us());
+  line += ",\"version\":1}";
+  emit_line(line);
+  return true;
+}
+
+bool SpanTracer::is_open() const {
+  std::lock_guard lock(mutex_);
+  return file_ != nullptr;
+}
+
+void SpanTracer::flush() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void SpanTracer::close() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::uint64_t SpanTracer::new_id() {
+  std::lock_guard lock(mutex_);
+  return (static_cast<std::uint64_t>(node_id_) << 32) | ++next_id_;
+}
+
+void SpanTracer::span(std::string_view name, std::string_view cat,
+                      std::uint64_t trace, std::uint64_t span_id,
+                      std::uint64_t parent, SimTime ts, SimTime dur,
+                      const SpanArgs& args) {
+  std::string line = "{\"type\":\"span\",\"name\":\"";
+  append_escaped(line, name);
+  line += "\",\"cat\":\"";
+  append_escaped(line, cat);
+  line += "\",\"as\":";
+  append_u64(line, node_id_);
+  append_ids(line, trace, span_id, parent, /*with_parent=*/true);
+  line += ",\"ts\":";
+  append_u64(line, ts);
+  line += ",\"dur\":";
+  append_u64(line, dur);
+  append_args(line, args);
+  line += '}';
+  std::lock_guard lock(mutex_);
+  emit_line(line);
+}
+
+void SpanTracer::instant(std::string_view name, std::string_view cat,
+                         std::uint64_t trace, std::uint64_t span_id,
+                         std::uint64_t parent, SimTime ts,
+                         const SpanArgs& args) {
+  std::string line = "{\"type\":\"instant\",\"name\":\"";
+  append_escaped(line, name);
+  line += "\",\"cat\":\"";
+  append_escaped(line, cat);
+  line += "\",\"as\":";
+  append_u64(line, node_id_);
+  append_ids(line, trace, span_id, parent, /*with_parent=*/true);
+  line += ",\"ts\":";
+  append_u64(line, ts);
+  append_args(line, args);
+  line += '}';
+  std::lock_guard lock(mutex_);
+  emit_line(line);
+}
+
+void SpanTracer::wire_send(std::uint32_t peer, std::uint64_t seq, int msg_type,
+                           const TraceContext& ctx, SimTime ts, int attempt) {
+  std::string line = "{\"type\":\"send\",\"as\":";
+  append_u64(line, node_id_);
+  line += ",\"peer\":";
+  append_u64(line, peer);
+  line += ",\"seq\":";
+  append_u64(line, seq);
+  line += ",\"msg\":";
+  append_u64(line, static_cast<std::uint64_t>(msg_type));
+  line += ",\"attempt\":";
+  append_u64(line, static_cast<std::uint64_t>(attempt));
+  append_ids(line, ctx.trace_id, ctx.parent_span_id, 0, /*with_parent=*/false);
+  line += ",\"ts\":";
+  append_u64(line, ts);
+  line += '}';
+  std::lock_guard lock(mutex_);
+  emit_line(line);
+}
+
+void SpanTracer::wire_recv(std::uint32_t peer, std::uint64_t seq, int msg_type,
+                           const TraceContext& ctx, SimTime ts) {
+  std::string line = "{\"type\":\"recv\",\"as\":";
+  append_u64(line, node_id_);
+  line += ",\"peer\":";
+  append_u64(line, peer);
+  line += ",\"seq\":";
+  append_u64(line, seq);
+  line += ",\"msg\":";
+  append_u64(line, static_cast<std::uint64_t>(msg_type));
+  append_ids(line, ctx.trace_id, ctx.parent_span_id, 0, /*with_parent=*/false);
+  line += ",\"ts\":";
+  append_u64(line, ts);
+  line += '}';
+  std::lock_guard lock(mutex_);
+  emit_line(line);
+}
+
+void SpanTracer::emit_line(const std::string& line) {
+  if (file_ == nullptr) return;
+  // Flush per record: the shard must survive a SIGKILL mid-run with every
+  // completed record intact (control-plane rates make this cheap).
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    ++errors_;
+    return;
+  }
+  ++records_;
+}
+
+std::uint64_t SpanTracer::records_written() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+std::uint64_t SpanTracer::write_errors() const {
+  std::lock_guard lock(mutex_);
+  return errors_;
+}
+
+void SpanTracer::bind_metrics(MetricsRegistry& registry, Labels labels) {
+  unbind_metrics();
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<Sample>& out) {
+        std::lock_guard lock(mutex_);
+        out.push_back({"discs_trace_shard_records_total",
+                       static_cast<double>(records_), labels,
+                       MetricKind::kCounter});
+        out.push_back({"discs_trace_shard_write_errors_total",
+                       static_cast<double>(errors_), labels,
+                       MetricKind::kCounter});
+        out.push_back({"discs_trace_shard_open",
+                       file_ != nullptr ? 1.0 : 0.0, labels,
+                       MetricKind::kGauge});
+      });
+  metrics_ = &registry;
+}
+
+void SpanTracer::unbind_metrics() {
+  if (metrics_ != nullptr) metrics_->remove_collector(metrics_collector_);
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
+}
+
+}  // namespace discs::telemetry

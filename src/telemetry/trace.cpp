@@ -55,7 +55,50 @@ void append_args(std::string& out, const TraceArgs& args) {
 
 void SimTracer::push(Event event) {
   std::lock_guard lock(mutex_);
+  if (event_cap_ != 0 && events_.size() >= event_cap_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(event));
+}
+
+void SimTracer::set_event_cap(std::size_t cap) {
+  std::lock_guard lock(mutex_);
+  event_cap_ = cap;
+}
+
+std::size_t SimTracer::event_cap() const {
+  std::lock_guard lock(mutex_);
+  return event_cap_;
+}
+
+std::uint64_t SimTracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void SimTracer::bind_metrics(MetricsRegistry& registry, Labels labels) {
+  unbind_metrics();
+  metrics_collector_ = registry.add_collector(
+      [this, labels](std::vector<Sample>& out) {
+        std::lock_guard lock(mutex_);
+        out.push_back({"discs_trace_events_dropped_total",
+                       static_cast<double>(dropped_), labels,
+                       MetricKind::kCounter});
+        out.push_back({"discs_trace_buffered_events",
+                       static_cast<double>(events_.size()), labels,
+                       MetricKind::kGauge});
+        out.push_back({"discs_trace_event_cap",
+                       static_cast<double>(event_cap_), labels,
+                       MetricKind::kGauge});
+      });
+  metrics_ = &registry;
+}
+
+void SimTracer::unbind_metrics() {
+  if (metrics_ != nullptr) metrics_->remove_collector(metrics_collector_);
+  metrics_ = nullptr;
+  metrics_collector_ = 0;
 }
 
 void SimTracer::set_process_name(std::string name) {

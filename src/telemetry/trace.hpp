@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "simkit/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace discs::telemetry {
 
@@ -76,6 +77,22 @@ class SimTracer {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Bounds the event buffer: once `cap` events are held, further emits are
+  /// counted in dropped() and discarded (0 = unbounded, the default).
+  /// Metadata (process/track names) is never dropped. Long-running
+  /// harnesses set a cap so an unexpectedly chatty run degrades to a
+  /// truncated trace plus a loud counter instead of unbounded memory.
+  void set_event_cap(std::size_t cap);
+  [[nodiscard]] std::size_t event_cap() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Pull-mode view under `labels`: trace_events_dropped_total,
+  /// buffered-event gauge, and the configured cap. Re-binding replaces;
+  /// the destructor unbinds.
+  void bind_metrics(MetricsRegistry& registry, Labels labels = {});
+  void unbind_metrics();
+  ~SimTracer() { unbind_metrics(); }
+
   /// {"displayTimeUnit":"ms","traceEvents":[...]} — valid trace_event JSON.
   [[nodiscard]] std::string to_json() const;
   /// Writes to_json() to `path`; false (with a note on stdout) on failure.
@@ -101,6 +118,10 @@ class SimTracer {
   std::vector<Event> events_;
   std::string process_name_;
   std::vector<std::pair<std::uint64_t, std::string>> track_names_;
+  std::size_t event_cap_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsRegistry::CollectorId metrics_collector_ = 0;
 };
 
 }  // namespace discs::telemetry

@@ -102,8 +102,107 @@ TEST(CodecTest, HeaderFormatIsPinned) {
 
 TEST(CodecTest, RejectsUnknownFlagBits) {
   auto wire = encode_envelope(wrap(PeeringRequest{}));
-  wire[5] = 0x02;  // undefined flag bit
+  wire[5] = 0x04;  // undefined flag bit (bit 1 is now the trace context)
   EXPECT_FALSE(decode_envelope(wire).has_value());
+  wire[5] = 0x80;
+  EXPECT_FALSE(decode_envelope(wire).has_value());
+}
+
+// ---- trace-context extension (flag bit 1): 24 bytes between header and
+// body, optional, and invisible when absent — a context-free envelope must
+// encode byte-identically to the pre-extension codec.
+
+TEST(CodecTest, TraceContextRoundTripsOnEveryVariant) {
+  Xoshiro256 rng(0x77ace);
+  for (std::size_t k = 0; k < 24; ++k) {  // two laps over the 12 variants
+    Envelope envelope = testing::random_envelope(rng, k);
+    envelope.trace = telemetry::TraceContext{rng.next(), rng.next(), rng.next()};
+    const auto wire = encode_envelope(envelope);
+    EXPECT_EQ(wire[5] & 0x02, 0x02) << "trace flag bit must be set";
+    const auto back = decode_envelope(wire);
+    ASSERT_TRUE(back.has_value()) << "variant " << k % 12;
+    ASSERT_TRUE(back->trace.has_value());
+    EXPECT_TRUE(*back == envelope) << "variant " << k % 12;
+    EXPECT_EQ(encode_envelope(*back), wire);
+
+    envelope.trace.reset();
+    const auto bare = encode_envelope(envelope);
+    EXPECT_EQ(bare.size() + 24, wire.size());
+    const auto bare_back = decode_envelope(bare);
+    ASSERT_TRUE(bare_back.has_value());
+    EXPECT_FALSE(bare_back->trace.has_value());
+  }
+}
+
+TEST(CodecTest, TraceContextFieldsArePinned) {
+  Envelope envelope = wrap(PeeringRequest{});
+  envelope.trace =
+      telemetry::TraceContext{0x1111111111111111ull, 0x2222222222222222ull,
+                              0x3333333333333333ull};
+  const auto wire = encode_envelope(envelope);
+  ASSERT_EQ(wire.size(), 48u);  // 24 header + 24 extension, empty body
+  EXPECT_EQ(wire[5], 0x02);     // flags: trace context only
+  EXPECT_EQ(wire[24], 0x11);    // trace id, big-endian
+  EXPECT_EQ(wire[32], 0x22);    // parent span id
+  EXPECT_EQ(wire[40], 0x33);    // origin timestamp
+  EXPECT_EQ(wire[47], 0x33);
+
+  // Truncating anywhere inside the extension must reject, not mis-parse.
+  for (std::size_t cut = 24; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(decode_envelope(std::span(wire.data(), cut)).has_value())
+        << cut;
+  }
+}
+
+TEST(CodecTest, PreExtensionFramesStillDecode) {
+  // Golden frames captured from the pre-extension codec (hex): decoding
+  // them must keep working forever, and re-encoding the decoded envelope
+  // without a context must reproduce the bytes exactly — the wire format
+  // only grew, it never moved.
+  const auto from_hex = [](std::string_view hex) {
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+      const auto nib = [](char c) -> unsigned {
+        return c <= '9' ? static_cast<unsigned>(c - '0')
+                        : static_cast<unsigned>(c - 'a' + 10);
+      };
+      out.push_back(static_cast<std::uint8_t>((nib(hex[i]) << 4) |
+                                              nib(hex[i + 1])));
+    }
+    return out;
+  };
+  struct GoldenFrame {
+    const char* hex;
+    Envelope expected;
+  };
+  Envelope peering = wrap(PeeringRequest{});
+  peering.seq = 7;
+  peering.ack_requested = true;
+  Envelope ack = wrap(KeyInstallAck{0x2a});
+  Envelope reject = wrap(PeeringReject{"no"});
+  Envelope invocation =
+      wrap(InvocationRequest{{{*Prefix4::parse("10.0.0.0/8"), 0x0f, kHour}},
+                             false});
+  const GoldenFrame golden[] = {
+      // PeeringRequest, seq 7, ack_requested (flags 0x01).
+      {"44435332010100000000fde90000fdea0000000000000007", peering},
+      // KeyInstallAck serial 0x2a.
+      {"44435332050000000000fde90000fdea0000000000000000000000000000002a",
+       ack},
+      // PeeringReject "no".
+      {"44435332030000000000fde90000fdea000000000000000000026e6f", reject},
+      // InvocationRequest: one v4 triple 10.0.0.0/8, functions 0x0f, 1h.
+      {"44435332060000000000fde90000fdea0000000000000000000001040a0000000"
+       "80f00000000d693a400",
+       invocation},
+  };
+  for (const auto& [hex, expected] : golden) {
+    const auto wire = from_hex(hex);
+    const auto back = decode_envelope(wire);
+    ASSERT_TRUE(back.has_value()) << hex;
+    EXPECT_TRUE(*back == expected) << hex;
+    EXPECT_EQ(encode_envelope(expected), wire) << hex;
+  }
 }
 
 TEST(CodecTest, ReliabilityMessagesRoundTrip) {

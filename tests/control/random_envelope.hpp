@@ -98,6 +98,12 @@ inline Envelope random_envelope(Xoshiro256& rng, std::size_t which) {
   envelope.to = static_cast<AsNumber>(rng.next());
   envelope.seq = rng.next();
   envelope.ack_requested = (rng.next() & 1) != 0;
+  // Half the corpus carries the optional trace-context extension so the
+  // property tests and fuzzer cover both frame shapes.
+  if ((rng.next() & 1) != 0) {
+    envelope.trace =
+        telemetry::TraceContext{rng.next(), rng.next(), rng.next()};
+  }
   envelope.message = random_message(rng, which);
   return envelope;
 }

@@ -1,0 +1,194 @@
+// End-to-end distributed-tracing tests over the simulated control plane:
+// one invocation at the victim must yield a single causal tree whose
+// records span every participating controller's shard, populate the
+// time-to-protection histogram at the peers, and — when the sender has no
+// tracer — put no context on the wire at all.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace_merge.hpp"
+
+namespace discs {
+namespace {
+
+using telemetry::ShardRecord;
+using telemetry::TraceShard;
+using telemetry::TraceSummary;
+using telemetry::load_trace_shard;
+using telemetry::summarize_traces;
+
+Prefix4 pfx(const char* t) { return *Prefix4::parse(t); }
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  TracePropagationTest()
+      : rpki_({{pfx("10.0.0.0/8"), {1}},
+               {pfx("20.0.0.0/8"), {2}},
+               {pfx("30.0.0.0/8"), {3}}}),
+        net_(loop_, 10 * kMillisecond) {}
+
+  ~TracePropagationTest() override {
+    for (const std::string& path : shard_paths_) std::remove(path.c_str());
+  }
+
+  std::unique_ptr<Controller> make_controller(AsNumber as) {
+    ControllerConfig cfg;
+    cfg.as = as;
+    cfg.seed = as * 1000 + 7;
+    return std::make_unique<Controller>(cfg, loop_, net_, rpki_);
+  }
+
+  /// Opens a shard-backed tracer for `as` and attaches it to `c`.
+  telemetry::SpanTracer* attach_tracer(Controller& c, AsNumber as) {
+    const std::string path = ::testing::TempDir() + "discs_prop_" +
+                             std::to_string(::getpid()) + "_as" +
+                             std::to_string(as) + ".jsonl";
+    shard_paths_.push_back(path);
+    auto tracer = std::make_unique<telemetry::SpanTracer>(as);
+    if (!tracer->open(path, loop_.now())) ADD_FAILURE() << path;
+    c.set_span_tracer(tracer.get());
+    tracers_.push_back(std::move(tracer));
+    return tracers_.back().get();
+  }
+
+  void flood_ads(std::vector<Controller*> controllers) {
+    for (Controller* a : controllers) {
+      for (Controller* b : controllers) {
+        if (a != b) b->discover(a->advertisement());
+      }
+    }
+    loop_.run_until(loop_.now() + 30 * kSecond);
+  }
+
+  std::vector<TraceShard> load_shards() {
+    std::vector<TraceShard> shards;
+    for (auto& tracer : tracers_) tracer->flush();
+    for (const std::string& path : shard_paths_) {
+      TraceShard shard;
+      if (load_trace_shard(path, shard)) shards.push_back(std::move(shard));
+    }
+    return shards;
+  }
+
+  double ttp_count(const telemetry::MetricsRegistry& registry) {
+    double total = 0;
+    for (const auto& m : registry.snapshot().metrics) {
+      if (m.name == "discs_time_to_protection_seconds") {
+        total += static_cast<double>(m.histogram.count);
+      }
+    }
+    return total;
+  }
+
+  InternetDataset rpki_;
+  EventLoop loop_;
+  ConConNetwork net_;
+  std::vector<std::unique_ptr<telemetry::SpanTracer>> tracers_;
+  std::vector<std::string> shard_paths_;
+};
+
+TEST_F(TracePropagationTest, OneInvocationYieldsOneCausalTreeAcrossNodes) {
+  auto c1 = make_controller(1);
+  auto c2 = make_controller(2);
+  auto c3 = make_controller(3);
+  attach_tracer(*c1, 1);
+  attach_tracer(*c2, 2);
+  attach_tracer(*c3, 3);
+
+  telemetry::MetricsRegistry registry;
+  c2->bind_metrics(registry);
+  c3->bind_metrics(registry);
+
+  flood_ads({c1.get(), c2.get(), c3.get()});
+  ASSERT_TRUE(c1->is_peer(2));
+  ASSERT_TRUE(c1->is_peer(3));
+
+  InvocationTriple triple;
+  triple.victim_prefix = pfx("10.0.0.0/8");
+  triple.functions = kInvokeAll;
+  EXPECT_EQ(c1->invoke({triple}), 2u);
+  loop_.run_until(loop_.now() + 10 * kSecond);
+
+  // Both peers applied the filter and measured time-to-protection.
+  EXPECT_EQ(ttp_count(registry), 2.0);
+
+  // The three shards stitch into one invocation trace spanning all nodes.
+  const auto shards = load_shards();
+  ASSERT_EQ(shards.size(), 3u);
+  const auto summaries = summarize_traces(shards);
+  const TraceSummary* invocation = nullptr;
+  for (const auto& s : summaries) {
+    if (s.root_name == "invocation") {
+      EXPECT_EQ(invocation, nullptr) << "more than one invocation trace";
+      invocation = &s;
+    }
+  }
+  ASSERT_NE(invocation, nullptr) << "no trace rooted at an invocation span";
+  EXPECT_EQ(invocation->nodes, (std::set<std::uint32_t>{1, 2, 3}));
+  EXPECT_GE(invocation->filter_installs, 2u);
+  EXPECT_GE(invocation->spans, 3u);  // root + two execute_invocation
+
+  // Wire records exist on both ends: the victim logged sends of the
+  // InvocationRequest (msg type 6), each peer the matching recv.
+  bool victim_sent = false, peer_received = false;
+  for (const auto& shard : shards) {
+    for (const auto& r : shard.records) {
+      if (r.kind == ShardRecord::Kind::kSend && shard.as == 1 && r.msg == 6 &&
+          r.trace == invocation->trace_id) {
+        victim_sent = true;
+      }
+      if (r.kind == ShardRecord::Kind::kRecv && shard.as != 1 && r.msg == 6 &&
+          r.trace == invocation->trace_id) {
+        peer_received = true;
+      }
+    }
+  }
+  EXPECT_TRUE(victim_sent);
+  EXPECT_TRUE(peer_received);
+
+  c2->unbind_metrics();
+  c3->unbind_metrics();
+}
+
+TEST_F(TracePropagationTest, UntracedSenderPutsNoContextOnTheWire) {
+  auto c1 = make_controller(1);  // victim: no tracer attached
+  auto c2 = make_controller(2);
+  attach_tracer(*c2, 2);
+
+  telemetry::MetricsRegistry registry;
+  c2->bind_metrics(registry);
+
+  flood_ads({c1.get(), c2.get()});
+  ASSERT_TRUE(c1->is_peer(2));
+
+  InvocationTriple triple;
+  triple.victim_prefix = pfx("10.0.0.0/8");
+  triple.functions = kInvokeAll;
+  EXPECT_EQ(c1->invoke({triple}), 1u);
+  loop_.run_until(loop_.now() + 10 * kSecond);
+
+  // The peer executed the window (metrics prove it) but saw no trace
+  // context: no recv records in its shard, no TTP sample, no spans rooted
+  // in a foreign trace.
+  EXPECT_EQ(ttp_count(registry), 0.0);
+  const auto shards = load_shards();
+  ASSERT_EQ(shards.size(), 1u);
+  for (const auto& r : shards[0].records) {
+    EXPECT_NE(r.kind, ShardRecord::Kind::kRecv);
+    EXPECT_NE(r.name, "execute_invocation");
+  }
+
+  c2->unbind_metrics();
+}
+
+}  // namespace
+}  // namespace discs

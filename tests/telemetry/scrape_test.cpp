@@ -1,0 +1,124 @@
+// ScrapeEndpoint tests over a real loopback TCP socket: a GET /metrics
+// returns the registry in Prometheus text format, /healthz answers, and
+// bad paths/methods get proper error statuses — all served from the
+// RealtimeDriver poll loop on the test's own thread (no background
+// threads anywhere).
+#include "telemetry/scrape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "simkit/event_loop.hpp"
+#include "simkit/realtime.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace discs::telemetry {
+namespace {
+
+class ScrapeTest : public ::testing::Test {
+ protected:
+  ScrapeTest() : driver_(loop_), endpoint_(driver_, registry_) {}
+
+  /// Connects, sends `request`, and pumps the driver until the server
+  /// closes the connection; returns everything received.
+  std::string roundtrip(const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint_.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+
+    // Non-blocking reads interleaved with driver polls: the endpoint does
+    // all its work inside driver_.run_*.
+    std::string response;
+    bool closed = false;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    driver_.run_until_cond(
+        [&] {
+          char buf[4096];
+          for (;;) {
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+              response.append(buf, static_cast<std::size_t>(n));
+              continue;
+            }
+            if (n == 0) closed = true;
+            break;
+          }
+          return closed;
+        },
+        5 * kSecond);
+    ::close(fd);
+    EXPECT_TRUE(closed) << "server never closed the connection";
+    return response;
+  }
+
+  EventLoop loop_;
+  RealtimeDriver driver_;
+  MetricsRegistry registry_;
+  ScrapeEndpoint endpoint_;
+};
+
+TEST_F(ScrapeTest, ListensOnEphemeralPortAndServesMetrics) {
+  registry_.counter("discs_scrape_test_requests_total", "test counter")
+      .add(3);
+  auto& hist = registry_.histogram("discs_time_to_protection_seconds",
+                                   {0.001, 0.01, 0.1, 1.0}, "ttp");
+  hist.record(0.005);
+  hist.record(0.05);
+
+  ASSERT_TRUE(endpoint_.listen("127.0.0.1", 0));
+  ASSERT_NE(endpoint_.port(), 0);
+
+  const std::string response = roundtrip("GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("discs_scrape_test_requests_total 3"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("discs_time_to_protection_seconds_count 2"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("discs_time_to_protection_seconds_bucket"),
+            std::string::npos);
+  EXPECT_EQ(endpoint_.requests_served(), 1u);
+}
+
+TEST_F(ScrapeTest, HealthzAnswersAndBadRequestsGetErrorStatuses) {
+  ASSERT_TRUE(endpoint_.listen("127.0.0.1", 0));
+
+  EXPECT_NE(roundtrip("GET /healthz HTTP/1.1\r\n\r\n").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(roundtrip("GET /nope HTTP/1.1\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(roundtrip("POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_EQ(endpoint_.requests_served(), 3u);
+}
+
+TEST_F(ScrapeTest, CloseStopsListening) {
+  ASSERT_TRUE(endpoint_.listen("127.0.0.1", 0));
+  EXPECT_TRUE(endpoint_.is_listening());
+  EXPECT_GT(driver_.watched_fds(), 0u);
+  endpoint_.close();
+  EXPECT_FALSE(endpoint_.is_listening());
+  EXPECT_EQ(driver_.watched_fds(), 0u);
+}
+
+}  // namespace
+}  // namespace discs::telemetry

@@ -1,0 +1,155 @@
+// SpanTracer shard-writer tests: every record kind the tracer emits must
+// load back through the merge tool's parser (writer and parser are pinned
+// against each other here), ids must be process-unique and hex-encoded,
+// and a tracer with no shard open must swallow records silently.
+#include "telemetry/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_merge.hpp"
+
+namespace discs::telemetry {
+namespace {
+
+std::string temp_shard_path(const char* tag) {
+  return ::testing::TempDir() + "discs_span_test_" + tag + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+TEST(SpanTracerTest, EveryRecordKindRoundTripsThroughTheShardParser) {
+  const std::string path = temp_shard_path("kinds");
+  SpanTracer tracer(7);
+  ASSERT_TRUE(tracer.open(path, /*loop_now=*/1234));
+
+  const std::uint64_t trace = tracer.new_id();
+  const std::uint64_t root = tracer.new_id();
+  const std::uint64_t child = tracer.new_id();
+  tracer.span("invocation", "control", trace, root, 0, 100, 250,
+              {{"peers", 4}});
+  tracer.instant("filter_install", "dataplane", trace, child, root, 300,
+                 {{"victim", 2}, {"ttp_us", 1500}});
+  const TraceContext ctx{trace, root, 42};
+  tracer.wire_send(2, 9, 6, ctx, 150, /*attempt=*/2);
+  tracer.wire_recv(2, 11, 7, ctx, 350);
+  tracer.flush();
+
+  TraceShard shard;
+  ASSERT_TRUE(load_trace_shard(path, shard));
+  EXPECT_EQ(shard.as, 7u);
+  EXPECT_TRUE(shard.has_meta);
+  EXPECT_EQ(shard.skipped_lines, 0u);
+  // meta + span + instant + send + recv
+  ASSERT_EQ(shard.records.size(), 5u);
+
+  const ShardRecord& meta = shard.records[0];
+  EXPECT_EQ(meta.kind, ShardRecord::Kind::kMeta);
+  EXPECT_EQ(meta.loop_us, 1234u);
+  EXPECT_GT(meta.wall_us, 0u);
+
+  const ShardRecord& span = shard.records[1];
+  EXPECT_EQ(span.kind, ShardRecord::Kind::kSpan);
+  EXPECT_EQ(span.name, "invocation");
+  EXPECT_EQ(span.cat, "control");
+  EXPECT_EQ(span.trace, trace);
+  EXPECT_EQ(span.span, root);
+  EXPECT_EQ(span.parent, 0u);
+  EXPECT_EQ(span.ts, 100u);
+  EXPECT_EQ(span.dur, 250u);
+  ASSERT_EQ(span.args.size(), 1u);
+  EXPECT_EQ(span.args[0].first, "peers");
+  EXPECT_EQ(span.args[0].second, 4u);
+
+  const ShardRecord& instant = shard.records[2];
+  EXPECT_EQ(instant.kind, ShardRecord::Kind::kInstant);
+  EXPECT_EQ(instant.name, "filter_install");
+  EXPECT_EQ(instant.parent, root);
+  ASSERT_EQ(instant.args.size(), 2u);
+  EXPECT_EQ(instant.args[1].first, "ttp_us");
+  EXPECT_EQ(instant.args[1].second, 1500u);
+
+  const ShardRecord& send = shard.records[3];
+  EXPECT_EQ(send.kind, ShardRecord::Kind::kSend);
+  EXPECT_EQ(send.peer, 2u);
+  EXPECT_EQ(send.seq, 9u);
+  EXPECT_EQ(send.msg, 6u);
+  EXPECT_EQ(send.attempt, 2u);
+  EXPECT_EQ(send.trace, trace);
+  EXPECT_EQ(send.span, root);
+
+  const ShardRecord& recv = shard.records[4];
+  EXPECT_EQ(recv.kind, ShardRecord::Kind::kRecv);
+  EXPECT_EQ(recv.seq, 11u);
+  EXPECT_EQ(recv.msg, 7u);
+  EXPECT_EQ(recv.ts, 350u);
+
+  EXPECT_EQ(tracer.records_written(), 5u);
+  EXPECT_EQ(tracer.write_errors(), 0u);
+  tracer.close();
+  std::remove(path.c_str());
+}
+
+TEST(SpanTracerTest, IdsEmbedNodeAndAreNeverZero) {
+  SpanTracer tracer(42);
+  const std::uint64_t a = tracer.new_id();
+  const std::uint64_t b = tracer.new_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a >> 32, 42u);
+  EXPECT_EQ(b >> 32, 42u);
+  EXPECT_EQ((a & 0xffffffffu) + 1, b & 0xffffffffu);
+}
+
+TEST(SpanTracerTest, ClosedTracerSwallowsRecords) {
+  SpanTracer tracer(3);
+  EXPECT_FALSE(tracer.is_open());
+  tracer.span("x", "c", 1, 2, 0, 0, 0);
+  tracer.wire_send(2, 1, 1, TraceContext{1, 2, 3}, 0);
+  EXPECT_EQ(tracer.records_written(), 0u);
+  EXPECT_EQ(tracer.write_errors(), 0u);
+}
+
+TEST(SpanTracerTest, HostileNamesAreEscapedIntoParsableLines) {
+  const std::string path = temp_shard_path("escape");
+  SpanTracer tracer(1);
+  ASSERT_TRUE(tracer.open(path));
+  tracer.span("quote\"back\\slash", "new\nline", 1, 2, 0, 10, 20);
+  tracer.flush();
+
+  TraceShard shard;
+  ASSERT_TRUE(load_trace_shard(path, shard));
+  EXPECT_EQ(shard.skipped_lines, 0u);
+  ASSERT_EQ(shard.records.size(), 2u);
+  EXPECT_EQ(shard.records[1].kind, ShardRecord::Kind::kSpan);
+  tracer.close();
+  std::remove(path.c_str());
+}
+
+TEST(SpanTracerTest, BindMetricsExportsShardCounters) {
+  const std::string path = temp_shard_path("metrics");
+  MetricsRegistry registry;
+  SpanTracer tracer(5);
+  tracer.bind_metrics(registry);
+  ASSERT_TRUE(tracer.open(path));
+  tracer.instant("tick", "c", 1, 2, 0, 0);
+
+  double records = -1, open = -1;
+  for (const auto& m : registry.snapshot().metrics) {
+    if (m.name == "discs_trace_shard_records_total") records = m.value;
+    if (m.name == "discs_trace_shard_open") open = m.value;
+  }
+  EXPECT_EQ(records, 2.0);  // meta + instant
+  EXPECT_EQ(open, 1.0);
+
+  tracer.unbind_metrics();
+  tracer.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace discs::telemetry

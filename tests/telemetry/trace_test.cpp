@@ -83,5 +83,61 @@ TEST(SimTracerTest, EscapesQuotesInNames) {
   EXPECT_TRUE(is_valid_json(tracer.to_json()));
 }
 
+TEST(SimTracerTest, EventCapDropsAndCounts) {
+  SimTracer tracer;
+  tracer.set_event_cap(2);
+  EXPECT_EQ(tracer.event_cap(), 2u);
+  tracer.instant("kept1", "c", 1);
+  tracer.instant("kept2", "c", 2);
+  tracer.instant("dropped1", "c", 3);
+  tracer.counter("dropped2", 4, 1.0);
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(is_valid_json(json));
+  EXPECT_NE(json.find("kept2"), std::string::npos);
+  EXPECT_EQ(json.find("dropped1"), std::string::npos);
+  // Metadata is never subject to the cap.
+  tracer.set_process_name("capped run");
+  EXPECT_NE(tracer.to_json().find("capped run"), std::string::npos);
+}
+
+TEST(SimTracerTest, CapZeroIsUnboundedAndClearResetsNothingButEvents) {
+  SimTracer tracer;
+  tracer.set_event_cap(1);
+  tracer.instant("a", "c", 1);
+  tracer.instant("b", "c", 2);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  // The cap survives clear(); the dropped counter is cumulative.
+  tracer.instant("c", "c", 3);
+  tracer.instant("d", "c", 4);
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  tracer.set_event_cap(0);
+  tracer.instant("e", "c", 5);
+  tracer.instant("f", "c", 6);
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST(SimTracerTest, BindMetricsExportsDropCounter) {
+  MetricsRegistry registry;
+  SimTracer tracer;
+  tracer.set_event_cap(1);
+  tracer.bind_metrics(registry, {{"world", "unit"}});
+  tracer.instant("a", "c", 1);
+  tracer.instant("b", "c", 2);
+  double dropped = -1, buffered = -1;
+  for (const auto& m : registry.snapshot().metrics) {
+    if (m.name == "discs_trace_events_dropped_total") dropped = m.value;
+    if (m.name == "discs_trace_buffered_events") buffered = m.value;
+  }
+  EXPECT_EQ(dropped, 1.0);
+  EXPECT_EQ(buffered, 1.0);
+  tracer.unbind_metrics();
+}
+
 }  // namespace
 }  // namespace discs::telemetry

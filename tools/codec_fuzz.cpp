@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   std::uint64_t accepted = 0;
   for (std::uint64_t iter = 0; iter < iters; ++iter) {
     std::vector<std::uint8_t> bytes = corpus[rng.next() % corpus.size()];
-    switch (rng.next() % 5) {
+    switch (rng.next() % 6) {
       case 0: {  // pure garbage, sized around real frame lengths
         bytes.resize(rng.next() % 128);
         for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
         }
         break;
       }
-      default: {  // splice: our prefix + another frame's suffix
+      case 4: {  // splice: our prefix + another frame's suffix
         const auto& other = corpus[rng.next() % corpus.size()];
         const std::size_t cut = bytes.empty() ? 0 : rng.next() % bytes.size();
         const std::size_t from =
@@ -149,6 +149,27 @@ int main(int argc, char** argv) {
         bytes.resize(cut);
         bytes.insert(bytes.end(), other.begin() + static_cast<long>(from),
                      other.end());
+        break;
+      }
+      default: {  // trace-extension surgery: toggle flag bit 1 and/or
+                  // insert/delete extension-sized chunks at offset 24, so
+                  // the flag and the 24 bytes it promises go out of sync.
+        if (bytes.size() < 24) break;
+        const std::uint64_t mode = rng.next() % 3;
+        if (mode != 1) bytes[5] ^= 0x02;
+        if (mode != 0) {
+          if ((rng.next() & 1) != 0) {
+            std::uint8_t chunk[24];
+            for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next());
+            const std::size_t n = 1 + rng.next() % 24;
+            bytes.insert(bytes.begin() + 24, chunk, chunk + n);
+          } else {
+            const std::size_t n =
+                std::min<std::size_t>(1 + rng.next() % 24, bytes.size() - 24);
+            bytes.erase(bytes.begin() + 24,
+                        bytes.begin() + 24 + static_cast<long>(n));
+          }
+        }
         break;
       }
     }

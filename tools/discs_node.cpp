@@ -12,6 +12,14 @@
 //       [--rekey] [--invoke 10.1.0.0/16] [--window-ms 500]
 //       [--expect-invocations K] [--loss P] [--loss-seed S]
 //       [--peer-wait-s 10] [--linger-s 2] [--rto-ms 20] [--metrics FILE]
+//       [--trace-shard FILE] [--scrape-port N]
+//
+// Observability: --trace-shard streams this node's distributed-tracing
+// records to a JSONL shard (merge the run's shards with discs_trace_merge);
+// --scrape-port serves GET /metrics (Prometheus text) on 127.0.0.1 from
+// the same poll loop the protocol runs on. SIGTERM/SIGINT interrupt the
+// choreography but still write the metrics JSON and flush the shard, so a
+// killed or timed-out run leaves a verdict behind (exit stays nonzero).
 //
 // Choreography is barrier-free: every node discovers every other AS in
 // the endpoint map at startup and waits (bounded) for full peering; then
@@ -20,6 +28,7 @@
 // to be on the receiving end — and every node lingers to answer
 // stragglers' retransmissions before writing its metrics JSON and exiting
 // 0 only if its role completed with zero delivery failures.
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,12 +41,21 @@
 #include "simkit/realtime.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/scrape.hpp"
+#include "telemetry/span.hpp"
 #include "topology/dataset.hpp"
 #include "transport/udp_transport.hpp"
 
 namespace {
 
 using namespace discs;
+
+// Written by the signal handler, polled by every phase predicate (the
+// driver re-evaluates predicates at least every 50ms, and a signal also
+// interrupts the poll() nap directly).
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
 
 struct Options {
   AsNumber as = kNoAs;
@@ -53,6 +71,8 @@ struct Options {
   std::uint64_t peer_wait_s = 10;
   std::uint64_t linger_s = 2;
   std::uint64_t rto_ms = 20;
+  std::string trace_shard;
+  std::optional<std::uint16_t> scrape_port;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,7 +81,8 @@ struct Options {
       "usage: %s --as N --peers FILE --rpki FILE [--rekey]\n"
       "          [--invoke PREFIX] [--window-ms MS] [--expect-invocations K]\n"
       "          [--loss P] [--loss-seed S] [--peer-wait-s S] [--linger-s S]\n"
-      "          [--rto-ms MS] [--metrics FILE]\n",
+      "          [--rto-ms MS] [--metrics FILE] [--trace-shard FILE]\n"
+      "          [--scrape-port N]\n",
       argv0);
   std::exit(2);
 }
@@ -105,6 +126,11 @@ Options parse_args(int argc, char** argv) {
       opt.linger_s = std::strtoull(need_value(i), nullptr, 0);
     } else if (arg == "--rto-ms") {
       opt.rto_ms = std::strtoull(need_value(i), nullptr, 0);
+    } else if (arg == "--trace-shard") {
+      opt.trace_shard = need_value(i);
+    } else if (arg == "--scrape-port") {
+      opt.scrape_port =
+          static_cast<std::uint16_t>(std::strtoul(need_value(i), nullptr, 0));
     } else {
       usage(argv[0]);
     }
@@ -147,11 +173,31 @@ int main(int argc, char** argv) {
   // Declared before the transport and controller: both unbind their
   // collectors from the registry on destruction, so it must outlive them.
   telemetry::MetricsRegistry registry;
+  telemetry::SpanTracer spans(opt.as);
+  if (!opt.trace_shard.empty()) {
+    if (!spans.open(opt.trace_shard)) {
+      std::fprintf(stderr, "discs_node: cannot open trace shard %s\n",
+                   opt.trace_shard.c_str());
+      return 2;
+    }
+    spans.bind_metrics(registry, {{"as", std::to_string(opt.as)}});
+  }
 
   EventLoop loop;
   RealtimeDriver driver(loop);
   UdpTransport transport(driver, *endpoints,
                          LossShim{opt.loss, opt.loss_seed});
+
+  telemetry::ScrapeEndpoint scrape(driver, registry);
+  if (opt.scrape_port) {
+    if (!scrape.listen("127.0.0.1", *opt.scrape_port)) {
+      std::fprintf(stderr, "discs_node: cannot listen on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(*opt.scrape_port));
+      return 2;
+    }
+    std::fprintf(stderr, "discs_node[%u]: /metrics on 127.0.0.1:%u\n", opt.as,
+                 static_cast<unsigned>(scrape.port()));
+  }
 
   ControllerConfig config;
   config.as = opt.as;
@@ -164,6 +210,11 @@ int main(int argc, char** argv) {
 
   controller.bind_metrics(registry);
   transport.bind_metrics(registry, {{"as", std::to_string(opt.as)}});
+  if (spans.is_open()) controller.set_span_tracer(&spans);
+
+  // Flush-on-signal choreography: phases abort, the verdict still lands.
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
   // DAS discovery: the endpoint map doubles as the set of DISCS-Ads this
   // deployment would have flooded via BGP.
@@ -177,7 +228,14 @@ int main(int argc, char** argv) {
   bool ok = true;
   auto phase = [&](const char* name, const std::function<bool()>& done,
                    SimTime timeout) {
-    const bool reached = driver.run_until_cond(done, timeout);
+    const bool reached = driver.run_until_cond(
+        [&] { return g_signal != 0 || done(); }, timeout);
+    if (g_signal != 0) {
+      std::fprintf(stderr, "discs_node[%u]: %s INTERRUPTED (signal %d)\n",
+                   opt.as, name, static_cast<int>(g_signal));
+      ok = false;
+      return false;
+    }
     std::fprintf(stderr, "discs_node[%u]: %s %s at %.3fs\n", opt.as, name,
                  reached ? "done" : "TIMED OUT",
                  static_cast<double>(driver.elapsed()) / kSecond);
@@ -236,8 +294,9 @@ int main(int argc, char** argv) {
           opt.peer_wait_s * kSecond + opt.window_ms * kMillisecond);
   }
 
-  // Linger: answer peers still retransmitting toward us before vanishing.
-  driver.run_for(opt.linger_s * kSecond);
+  // Linger: answer peers still retransmitting toward us before vanishing
+  // (skipped when signalled — the sender wants us gone now).
+  if (g_signal == 0) driver.run_for(opt.linger_s * kSecond);
 
   const ReliabilityStats& rs = controller.link().stats();
   if (rs.delivery_failures != 0) {
@@ -255,12 +314,16 @@ int main(int argc, char** argv) {
       .set(static_cast<std::int64_t>(expected_peers));
   registry.gauge("discs_node_residual_windows")
       .set(static_cast<std::int64_t>(window_count(controller)));
+  registry.gauge("discs_node_interrupted")
+      .set(g_signal != 0 ? static_cast<std::int64_t>(g_signal) : 0);
   if (!opt.metrics_file.empty() &&
       !telemetry::write_metrics_json(registry, opt.metrics_file)) {
     ok = false;
   }
+  spans.flush();
 
   controller.shutdown();
-  std::fprintf(stderr, "discs_node[%u]: %s\n", opt.as, ok ? "OK" : "FAILED");
+  std::fprintf(stderr, "discs_node[%u]: %s\n", opt.as,
+               g_signal != 0 ? "INTERRUPTED" : (ok ? "OK" : "FAILED"));
   return ok ? 0 : 1;
 }

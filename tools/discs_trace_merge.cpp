@@ -1,0 +1,107 @@
+// discs_trace_merge: stitches the per-node JSONL trace shards of a
+// multi-process run into one Chrome trace_event file (open in
+// chrome://tracing or Perfetto), aligning the nodes' clocks from the
+// matched send/recv records. Prints a per-trace summary and can gate CI:
+//
+//   discs_trace_merge --out merged.json [--require-invocation N] shard...
+//
+// With --require-invocation N the exit status is nonzero unless at least
+// one trace rooted at an "invocation" span touches >= N distinct nodes —
+// i.e. the run really produced a causal invocation tree across processes.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/trace_merge.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --out FILE [--require-invocation N] SHARD.jsonl...\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::size_t require_invocation = 0;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = need_value();
+    } else if (arg == "--require-invocation") {
+      require_invocation =
+          static_cast<std::size_t>(std::strtoull(need_value(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  using discs::telemetry::TraceShard;
+  std::vector<TraceShard> shards;
+  for (const std::string& path : shard_paths) {
+    TraceShard shard;
+    if (!discs::telemetry::load_trace_shard(path, shard)) {
+      std::fprintf(stderr, "cannot open shard %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("shard %s: as=%u records=%zu%s%s\n", path.c_str(), shard.as,
+                shard.records.size(), shard.has_meta ? "" : " (no meta)",
+                shard.skipped_lines != 0 ? " (torn lines skipped)" : "");
+    shards.push_back(std::move(shard));
+  }
+
+  const auto offsets = discs::telemetry::align_clocks(shards);
+  for (const auto& [as, offset] : offsets) {
+    std::printf("clock as=%u offset_us=%lld\n", as,
+                static_cast<long long>(offset));
+  }
+
+  const std::string merged =
+      discs::telemetry::merge_to_chrome_trace(shards, offsets);
+  if (!discs::telemetry::write_text_file(out_path, merged)) return 1;
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), merged.size());
+
+  bool invocation_ok = require_invocation == 0;
+  for (const auto& summary : discs::telemetry::summarize_traces(shards)) {
+    std::printf("trace 0x%llx root=%s nodes=%zu spans=%zu filter_installs=%zu\n",
+                static_cast<unsigned long long>(summary.trace_id),
+                summary.root_name.empty() ? "-" : summary.root_name.c_str(),
+                summary.nodes.size(), summary.spans, summary.filter_installs);
+    if (summary.root_name == "invocation" &&
+        summary.nodes.size() >= require_invocation) {
+      invocation_ok = true;
+    }
+  }
+  if (!invocation_ok) {
+    std::fprintf(stderr,
+                 "no invocation trace spanning >= %zu nodes found\n",
+                 require_invocation);
+    return 1;
+  }
+  return 0;
+}

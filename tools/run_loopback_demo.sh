@@ -8,14 +8,28 @@
 # abandoned nothing (zero delivery failures), and left no residual
 # windows — and that the peers really received the invocation.
 #
-#   run_loopback_demo.sh /path/to/discs_node [workdir]
+# Observability leg: every node streams a tracing shard; while the nodes
+# run, the script scrapes a live peer's /metrics endpoint until the
+# time-to-protection histogram is populated; afterwards it merges the five
+# shards with discs_trace_merge and asserts the result is valid JSON
+# containing one causal invocation tree spanning all five processes.
+#
+#   run_loopback_demo.sh /path/to/discs_node [workdir] [/path/to/discs_trace_merge]
+#
+# An empty workdir argument means "pick a fresh temp dir"; the merge binary
+# defaults to discs_trace_merge next to the node binary.
 #
 # Ports: base derived from PID (override with DISCS_DEMO_PORT_BASE) so
-# parallel ctest runs on one host do not collide.
+# parallel ctest runs on one host do not collide. Scrape (TCP) ports sit
+# 100 above the UDP ports.
 set -euo pipefail
 
-NODE_BIN=${1:?usage: run_loopback_demo.sh /path/to/discs_node [workdir]}
-WORK=${2:-$(mktemp -d /tmp/discs_demo.XXXXXX)}
+NODE_BIN=${1:?usage: run_loopback_demo.sh /path/to/discs_node [workdir] [merge_bin]}
+WORK=${2:-}
+if [ -z "$WORK" ]; then
+  WORK=$(mktemp -d /tmp/discs_demo.XXXXXX)
+fi
+MERGE_BIN=${3:-$(dirname "$NODE_BIN")/discs_trace_merge}
 PORT_BASE=${DISCS_DEMO_PORT_BASE:-$((21000 + $$ % 30000))}
 mkdir -p "$WORK"
 
@@ -33,13 +47,42 @@ common=(--peers "$WORK/peers.conf" --rpki "$WORK/rpki.txt"
 pids=()
 for as in 2 3 4 5; do
   "$NODE_BIN" --as "$as" "${common[@]}" --expect-invocations 1 \
-    --metrics "$WORK/node$as.json" 2> "$WORK/node$as.log" &
+    --metrics "$WORK/node$as.json" \
+    --trace-shard "$WORK/node$as.trace.jsonl" \
+    --scrape-port $((PORT_BASE + 100 + as)) 2> "$WORK/node$as.log" &
   pids+=($!)
 done
 # The victim: full-mesh peering, then a re-key round, then the invocation.
 "$NODE_BIN" --as 1 "${common[@]}" --rekey --invoke 10.1.0.0/16 \
-  --metrics "$WORK/node1.json" 2> "$WORK/node1.log" &
+  --metrics "$WORK/node1.json" \
+  --trace-shard "$WORK/node1.trace.jsonl" \
+  --scrape-port $((PORT_BASE + 100 + 1)) 2> "$WORK/node1.log" &
 pids+=($!)
+
+# Scrape a live peer while the choreography runs: node 2's /metrics must
+# eventually show a populated time-to-protection histogram (the peer
+# applied the victim's invocation and measured the end-to-end latency).
+scrape_url="http://127.0.0.1:$((PORT_BASE + 100 + 2))/metrics"
+fetch_metrics() {
+  if command -v curl > /dev/null 2>&1; then
+    curl -sf --max-time 2 "$scrape_url"
+  else
+    python3 -c 'import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=2).read().decode())' \
+      "$scrape_url"
+  fi
+}
+scraped=0
+for _ in $(seq 1 120); do
+  if fetch_metrics > "$WORK/scrape.prom" 2> /dev/null \
+      && grep -q '^discs_time_to_protection_seconds_count' "$WORK/scrape.prom" \
+      && awk '/^discs_time_to_protection_seconds_count/ { if ($2 + 0 >= 1) ok = 1 } END { exit !ok }' \
+          "$WORK/scrape.prom"; then
+    scraped=1
+    break
+  fi
+  sleep 0.5
+done
 
 status=0
 for pid in "${pids[@]}"; do
@@ -51,6 +94,21 @@ if [ "$status" -ne 0 ]; then
   tail -n 20 "$WORK"/node*.log
   exit 1
 fi
+
+if [ "$scraped" -ne 1 ]; then
+  echo "loopback demo: live /metrics scrape never showed a populated" \
+       "time-to-protection histogram" >&2
+  [ -s "$WORK/scrape.prom" ] && tail -n 20 "$WORK/scrape.prom" >&2
+  exit 1
+fi
+echo "live scrape: time-to-protection histogram populated on node 2"
+
+# Merge the five tracing shards into one Chrome trace and require a causal
+# invocation tree that spans all five processes.
+"$MERGE_BIN" --out "$WORK/merged_trace.json" --require-invocation 5 \
+  "$WORK"/node*.trace.jsonl
+python3 -m json.tool "$WORK/merged_trace.json" > /dev/null
+echo "trace merge: valid Chrome trace JSON with a 5-node invocation tree"
 
 # Cross-check the exported metrics JSON from every node.
 python3 - "$WORK" <<'PYEOF'
